@@ -1,0 +1,125 @@
+//! FIFO / greedy-locality task placement: the stock Hadoop FIFO scheduler's
+//! task-level behaviour. Never delays: every slot offer launches a task,
+//! preferring the best locality class available *right now*.
+
+use pnats_core::context::{MapSchedContext, ReduceSchedContext};
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_net::NodeId;
+use rand::rngs::SmallRng;
+
+/// Greedy instant placement with locality preference.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoGreedyPlacer;
+
+impl TaskPlacer for FifoGreedyPlacer {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn place_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        node: NodeId,
+        _rng: &mut SmallRng,
+    ) -> Decision {
+        if let Some(i) = ctx.candidates.iter().position(|c| c.is_local_to(node)) {
+            return Decision::Assign(i);
+        }
+        if let Some(i) = ctx
+            .candidates
+            .iter()
+            .position(|c| c.is_rack_local_to(node, ctx.layout))
+        {
+            return Decision::Assign(i);
+        }
+        Decision::Assign(0)
+    }
+
+    fn place_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        node: NodeId,
+        _rng: &mut SmallRng,
+    ) -> Decision {
+        // FIFO order; keep the common-sense co-location guard so comparisons
+        // against the paper's method are about placement, not slot packing.
+        if ctx.job_reduce_nodes.contains(&node) {
+            return Decision::Skip;
+        }
+        Decision::Assign(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_core::context::{MapCandidate, ReduceCandidate};
+    use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+    use pnats_net::{DistanceMatrix, Topology};
+    use rand::SeedableRng;
+
+    const GB: f64 = 1e9 / 8.0;
+
+    #[test]
+    fn prefers_local_then_rack_then_any() {
+        let topo = Topology::multi_rack(2, 2, GB, GB);
+        let h = DistanceMatrix::hops(&topo);
+        let mk = |i: u32, r: u32| MapCandidate {
+            task: MapTaskId { job: JobId(0), index: i },
+            block_size: 1,
+            replicas: vec![NodeId(r)],
+        };
+        let mut p = FifoGreedyPlacer;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let free = vec![NodeId(0)];
+
+        // Candidate 2 is local to node 0.
+        let cands = vec![mk(0, 2), mk(1, 1), mk(2, 0)];
+        let ctx = MapSchedContext {
+            job: JobId(0), candidates: &cands, free_map_nodes: &free,
+            cost: &h, layout: topo.layout(), now: 0.0,
+        };
+        assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(2));
+
+        // No local: candidate 1 (node 1, same rack as 0) wins.
+        let cands = vec![mk(0, 2), mk(1, 1)];
+        let ctx = MapSchedContext {
+            job: JobId(0), candidates: &cands, free_map_nodes: &free,
+            cost: &h, layout: topo.layout(), now: 0.0,
+        };
+        assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(1));
+
+        // Neither: first in FIFO order.
+        let cands = vec![mk(0, 2), mk(1, 3)];
+        let ctx = MapSchedContext {
+            job: JobId(0), candidates: &cands, free_map_nodes: &free,
+            cost: &h, layout: topo.layout(), now: 0.0,
+        };
+        assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(0));
+    }
+
+    #[test]
+    fn reduce_is_fifo_with_collocation_guard() {
+        let topo = Topology::single_rack(2, GB);
+        let h = DistanceMatrix::hops(&topo);
+        let cands: Vec<ReduceCandidate> = (0..2)
+            .map(|i| ReduceCandidate {
+                task: ReduceTaskId { job: JobId(0), index: i },
+                sources: vec![],
+            })
+            .collect();
+        let free = vec![NodeId(0)];
+        let mut p = FifoGreedyPlacer;
+        let mut rng = SmallRng::seed_from_u64(0);
+        let ctx = ReduceSchedContext {
+            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
+            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
+            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
+            reduces_launched: 0, reduces_total: 2, now: 0.0,
+        };
+        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(0));
+        let running = vec![NodeId(0)];
+        let ctx = ReduceSchedContext { job_reduce_nodes: &running, ..ctx };
+        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Skip);
+    }
+}

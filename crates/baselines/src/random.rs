@@ -1,0 +1,91 @@
+//! Uniform random placement — the floor every scheduler should beat.
+
+use pnats_core::context::{MapSchedContext, ReduceSchedContext};
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_net::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Assigns a uniformly random pending task to every offered slot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomPlacer;
+
+impl TaskPlacer for RandomPlacer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        _node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        Decision::Assign(rng.gen_range(0..ctx.candidates.len()))
+    }
+
+    fn place_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        _node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        Decision::Assign(rng.gen_range(0..ctx.candidates.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_core::context::{MapCandidate, ReduceCandidate};
+    use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+    use pnats_net::{ClusterLayout, DistanceMatrix, RackId};
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_all_candidates() {
+        let h = DistanceMatrix::zero(2);
+        let layout = ClusterLayout::new(vec![RackId(0); 2]);
+        let cands: Vec<MapCandidate> = (0..4)
+            .map(|i| MapCandidate {
+                task: MapTaskId { job: JobId(0), index: i },
+                block_size: 1,
+                replicas: vec![NodeId(0)],
+            })
+            .collect();
+        let free = vec![NodeId(0)];
+        let ctx = MapSchedContext {
+            job: JobId(0), candidates: &cands, free_map_nodes: &free,
+            cost: &h, layout: &layout, now: 0.0,
+        };
+        let mut p = RandomPlacer;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            if let Decision::Assign(i) = p.place_map(&ctx, NodeId(0), &mut rng) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn reduce_never_skips() {
+        let h = DistanceMatrix::zero(2);
+        let layout = ClusterLayout::new(vec![RackId(0); 2]);
+        let cands = vec![ReduceCandidate {
+            task: ReduceTaskId { job: JobId(0), index: 0 },
+            sources: vec![],
+        }];
+        let free = vec![NodeId(0)];
+        let ctx = ReduceSchedContext {
+            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
+            job_reduce_nodes: &[], cost: &h, layout: &layout,
+            job_map_progress: 0.0, maps_finished: 0, maps_total: 1,
+            reduces_launched: 0, reduces_total: 1, now: 0.0,
+        };
+        let mut p = RandomPlacer;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the transmission cost model (Formulas 1–3): the
+//! per-decision arithmetic that bounds how often the JobTracker can make
+//! fine-grained placement decisions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnats_core::context::{MapCandidate, ReduceCandidate, ShuffleSource};
+use pnats_core::cost::{map_cost, map_cost_avg, reduce_cost};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{DistanceMatrix, NodeId, Topology};
+
+fn fixtures(n_nodes: usize, n_sources: usize) -> (DistanceMatrix, MapCandidate, ReduceCandidate, Vec<NodeId>) {
+    let topo = Topology::palmetto_slice(n_nodes, 125e6);
+    let h = DistanceMatrix::hops(&topo);
+    let map = MapCandidate {
+        task: MapTaskId { job: JobId(0), index: 0 },
+        block_size: 128 << 20,
+        replicas: vec![NodeId(3 % n_nodes as u32), NodeId(7 % n_nodes as u32)],
+    };
+    let reduce = ReduceCandidate {
+        task: ReduceTaskId { job: JobId(0), index: 0 },
+        sources: (0..n_sources)
+            .map(|i| ShuffleSource {
+                node: NodeId((i % n_nodes) as u32),
+                current_bytes: 1e6 + i as f64,
+                input_read: 64 << 20,
+                input_total: 128 << 20,
+            })
+            .collect(),
+    };
+    let free: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
+    (h, map, reduce, free)
+}
+
+fn bench_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    for n in [20usize, 60, 200] {
+        let (h, map, reduce, free) = fixtures(n, n);
+        group.bench_with_input(BenchmarkId::new("map_cost", n), &n, |b, _| {
+            b.iter(|| black_box(map_cost(black_box(&map), NodeId(1), &h)));
+        });
+        group.bench_with_input(BenchmarkId::new("map_cost_avg", n), &n, |b, _| {
+            b.iter(|| black_box(map_cost_avg(black_box(&map), &free, &h)));
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_cost", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(reduce_cost(
+                    black_box(&reduce),
+                    NodeId(1),
+                    &h,
+                    IntermediateEstimator::ProgressExtrapolated,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_costs);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Estimator update throughput: how fast `Î_jf` can be recomputed from
+//! heartbeat progress reports at per-job scale (hundreds of sources per
+//! candidate, tens of candidates per offer).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnats_core::context::ShuffleSource;
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_net::NodeId;
+
+fn sources(n: usize) -> Vec<ShuffleSource> {
+    (0..n)
+        .map(|i| ShuffleSource {
+            node: NodeId((i % 60) as u32),
+            current_bytes: (i as f64 + 1.0) * 1e5,
+            input_read: (i as u64 % 128 + 1) << 20,
+            input_total: 128 << 20,
+        })
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimation");
+    for n in [60usize, 300, 900] {
+        let srcs = sources(n);
+        for est in [
+            IntermediateEstimator::ProgressExtrapolated,
+            IntermediateEstimator::CurrentSize,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(est.label(), n),
+                &srcs,
+                |b, srcs| {
+                    b.iter(|| {
+                        let total: f64 = srcs.iter().map(|s| est.estimate(s)).sum();
+                        black_box(total)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

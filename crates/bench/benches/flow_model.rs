@@ -1,0 +1,41 @@
+//! Max-min fair flow allocation throughput: the progressive-filling pass
+//! that runs on every transfer arrival/departure in the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnats_net::{FlowNetwork, NodeId, RoutingTable, Topology};
+
+fn bench_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_model");
+    for &(nodes, flows) in &[(20usize, 50usize), (60, 200), (60, 600)] {
+        let topo = Topology::palmetto_slice(nodes, 125e6);
+        let routes = RoutingTable::new(&topo);
+        group.bench_with_input(
+            BenchmarkId::new("progressive_filling", format!("{nodes}n_{flows}f")),
+            &flows,
+            |b, &nf| {
+                b.iter_batched(
+                    || {
+                        let mut fx = FlowNetwork::new(&topo);
+                        for i in 0..nf {
+                            let src = NodeId((i % nodes) as u32);
+                            let dst = NodeId(((i * 13 + 1) % nodes) as u32);
+                            if src != dst {
+                                fx.add_flow(src, dst, routes.route(src, dst));
+                            }
+                        }
+                        fx
+                    },
+                    |mut fx| {
+                        fx.ensure_rates();
+                        black_box(fx.n_active())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Placement-decision latency per scheduler: the full Algorithm 1/2 path
+//! (candidate scan, cost + average, probability, draw) against the
+//! baselines' decision paths, at realistic candidate/cluster sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnats_baselines::{CouplingPlacer, FairDelayPlacer, MinCostPlacer};
+use pnats_core::context::{
+    MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
+};
+use pnats_core::placer::TaskPlacer;
+use pnats_core::prob_sched::ProbabilisticPlacer;
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{DistanceMatrix, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    h: DistanceMatrix,
+    layout: pnats_net::ClusterLayout,
+    map_cands: Vec<MapCandidate>,
+    reduce_cands: Vec<ReduceCandidate>,
+    free: Vec<NodeId>,
+}
+
+fn fixture(n_nodes: usize, n_cands: usize) -> Fixture {
+    let topo = Topology::palmetto_slice(n_nodes, 125e6);
+    let h = DistanceMatrix::hops(&topo);
+    let layout = topo.layout().clone();
+    let map_cands: Vec<MapCandidate> = (0..n_cands)
+        .map(|i| MapCandidate {
+            task: MapTaskId { job: JobId(0), index: i as u32 },
+            block_size: 128 << 20,
+            replicas: vec![
+                NodeId((i % n_nodes) as u32),
+                NodeId(((i * 7 + 1) % n_nodes) as u32),
+            ],
+        })
+        .collect();
+    let reduce_cands: Vec<ReduceCandidate> = (0..n_cands.min(16))
+        .map(|i| ReduceCandidate {
+            task: ReduceTaskId { job: JobId(0), index: i as u32 },
+            sources: (0..n_nodes)
+                .map(|s| ShuffleSource {
+                    node: NodeId(s as u32),
+                    current_bytes: (s * i + 1) as f64 * 1e5,
+                    input_read: 64 << 20,
+                    input_total: 128 << 20,
+                })
+                .collect(),
+        })
+        .collect();
+    let free: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
+    Fixture { h, layout, map_cands, reduce_cands, free }
+}
+
+type PlacerFactory = Box<dyn Fn() -> Box<dyn TaskPlacer>>;
+
+fn bench_place(c: &mut Criterion) {
+    let fx = fixture(60, 32);
+    let mut group = c.benchmark_group("placement");
+
+    let placers: Vec<(&str, PlacerFactory)> = vec![
+        ("probabilistic", Box::new(|| Box::new(ProbabilisticPlacer::paper()))),
+        ("coupling", Box::new(|| Box::new(CouplingPlacer::paper()))),
+        ("fair", Box::new(|| Box::new(FairDelayPlacer::hadoop_defaults()))),
+        ("mincost", Box::new(|| Box::new(MinCostPlacer::new()))),
+    ];
+    for (name, make) in &placers {
+        group.bench_with_input(BenchmarkId::new("map_offer", name), name, |b, _| {
+            let mut placer = make();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let ctx = MapSchedContext {
+                job: JobId(0),
+                candidates: &fx.map_cands,
+                free_map_nodes: &fx.free,
+                cost: &fx.h,
+                layout: &fx.layout,
+                now: 0.0,
+            };
+            b.iter(|| black_box(placer.place_map(&ctx, NodeId(5), &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_offer", name), name, |b, _| {
+            let mut placer = make();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let ctx = ReduceSchedContext {
+                job: JobId(0),
+                candidates: &fx.reduce_cands,
+                free_reduce_nodes: &fx.free,
+                job_reduce_nodes: &[],
+                cost: &fx.h,
+                layout: &fx.layout,
+                job_map_progress: 0.5,
+                maps_finished: 100,
+                maps_total: 200,
+                reduces_launched: 4,
+                reduces_total: 16,
+                now: 10.0,
+            };
+            b.iter(|| black_box(placer.place_reduce(&ctx, NodeId(5), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_place);
+criterion_main!(benches);

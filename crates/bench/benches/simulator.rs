@@ -1,0 +1,36 @@
+//! Whole-simulator throughput: simulated-seconds per wall-second on a
+//! scaled batch — the number that bounds experiment turnaround.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pnats_bench::harness::{cloud_config, make_placer, SchedulerKind};
+use pnats_sim::{JobInput, Simulation};
+use pnats_workloads::{scaled_batch, AppKind};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Probabilistic, SchedulerKind::Fair] {
+        group.bench_with_input(
+            BenchmarkId::new("scaled_wordcount_batch", kind.label()),
+            &kind,
+            |b, &kind| {
+                let inputs = JobInput::from_batch(&scaled_batch(AppKind::Wordcount, 3, 10));
+                b.iter(|| {
+                    let mut cfg = cloud_config(42);
+                    cfg.n_nodes = 20;
+                    // Regenerate for the shrunken cluster: the stock cloud
+                    // profile references 60 node ids.
+                    cfg.background =
+                        pnats_sim::config::background_traffic(2, 2_000.0, 20, 42);
+                    let placer = make_placer(kind, &cfg);
+                    let report = Simulation::new(cfg, placer).run(&inputs);
+                    black_box(report.sim_end)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

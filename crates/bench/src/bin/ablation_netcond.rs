@@ -1,0 +1,49 @@
+//! Ablation: §II-B3's network-condition cost (inverse measured rate) vs
+//! plain hop counts, across background-traffic intensities.
+//!
+//! The paper's §V names "different network conditions (e.g., bandwidth
+//! utilization)" as the evaluation this feature deserves. We sweep the
+//! number of background-traffic lanes and compare hop-based scheduling
+//! against the congestion-scaled matrix.
+
+use pnats_bench::harness::{cloud_config, make_probabilistic, mean_jct};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::prob::ProbabilityModel;
+use pnats_metrics::render_table;
+use pnats_sim::config::background_traffic;
+use pnats_sim::{JobInput, Simulation};
+use pnats_workloads::{table2_batch, AppKind};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let inputs = JobInput::from_batch(&table2_batch(AppKind::Terasort));
+    let mut rows = Vec::new();
+    for lanes in [0usize, 4, 8, 16] {
+        let mut cells = vec![lanes.to_string()];
+        for netcond in [true, false] {
+            let mut cfg = cloud_config(seed);
+            cfg.network_condition = netcond;
+            cfg.background = background_traffic(lanes, 8_000.0, cfg.n_nodes, 999 + seed);
+            let placer = make_probabilistic(
+                0.4,
+                ProbabilityModel::Exponential,
+                IntermediateEstimator::ProgressExtrapolated,
+            );
+            let r = Simulation::new(cfg, placer).run(&inputs);
+            cells.push(format!("{:.0}", mean_jct(&r)));
+        }
+        rows.push(cells);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Network-condition ablation — Terasort batch mean JCT (s)",
+            &["background lanes", "inverse-rate cost (§II-B3)", "hop cost"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,58 @@
+//! Ablation: alternative probability models (§V future work) and the
+//! deterministic min-cost strawman.
+//!
+//! "We will further explore various probabilistic computation models for
+//! the probability determination and study their impacts on the job
+//! performance" — here they are: exponential (the paper's Formula 4/5),
+//! reciprocal, linear and sigmoid, plus the fully deterministic greedy
+//! min-cost placer (the probabilistic relaxation removed entirely).
+
+use pnats_bench::harness::{cloud_config, make_placer, make_probabilistic, mean_jct, SchedulerKind};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::prob::ProbabilityModel;
+use pnats_metrics::render_table;
+use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_workloads::{table2_batch, AppKind};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let inputs = JobInput::from_batch(&table2_batch(AppKind::Wordcount));
+    let mut rows = Vec::new();
+    for model in ProbabilityModel::ALL {
+        let cfg = cloud_config(seed);
+        let placer =
+            make_probabilistic(0.4, model, IntermediateEstimator::ProgressExtrapolated);
+        let r = Simulation::new(cfg, placer).run(&inputs);
+        let maps = r.trace.locality_of(TaskKind::Map);
+        rows.push(vec![
+            model.label().to_string(),
+            format!("{}/{}", r.jobs_completed, r.jobs_submitted),
+            format!("{:.0}", mean_jct(&r)),
+            format!("{:.1}", maps.pct_node_local()),
+        ]);
+    }
+    {
+        let cfg = cloud_config(seed);
+        let placer = make_placer(SchedulerKind::MinCost, &cfg);
+        let r = Simulation::new(cfg, placer).run(&inputs);
+        let maps = r.trace.locality_of(TaskKind::Map);
+        rows.push(vec![
+            "deterministic-mincost".into(),
+            format!("{}/{}", r.jobs_completed, r.jobs_submitted),
+            format!("{:.0}", mean_jct(&r)),
+            format!("{:.1}", maps.pct_node_local()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Probability-model ablation — Wordcount batch",
+            &["model", "finished", "mean JCT (s)", "% local maps"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,43 @@
+//! Ablation: HDFS replication factor (the paper fixes 2; we sweep 1–3).
+//!
+//! More replicas mean more nodes can host any map locally, raising
+//! locality and shrinking the placement problem; replication 1 is the
+//! stress case where every placement decision is all-or-nothing.
+
+use pnats_bench::harness::{hdfs_config, make_placer, mean_jct, PAPER_SCHEDULERS};
+use pnats_metrics::render_table;
+use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_workloads::{table2_batch, AppKind};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let inputs = JobInput::from_batch(&table2_batch(AppKind::Wordcount));
+    let mut rows = Vec::new();
+    for replication in [1usize, 2, 3] {
+        for kind in PAPER_SCHEDULERS {
+            let mut cfg = hdfs_config(seed);
+            cfg.replication = replication;
+            let placer = make_placer(kind, &cfg);
+            let r = Simulation::new(cfg, placer).run(&inputs);
+            let maps = r.trace.locality_of(TaskKind::Map);
+            rows.push(vec![
+                replication.to_string(),
+                kind.label().to_string(),
+                format!("{:.0}", mean_jct(&r)),
+                format!("{:.1}", maps.pct_node_local()),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(
+            "Replication-factor sweep — Wordcount batch (HDFS layout)",
+            &["replication", "scheduler", "mean JCT (s)", "% local maps"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,47 @@
+//! Robustness extension: speculative execution under injected stragglers.
+//!
+//! The paper's related work leans on Mantri ("reining in the outliers");
+//! our simulator injects slow nodes and optionally launches Hadoop-style
+//! backup copies. This sweep shows (a) stragglers hurt every scheduler and
+//! (b) speculation claws the tail back, orthogonally to placement policy.
+
+use pnats_bench::harness::{hdfs_config, make_placer, mean_jct, SchedulerKind};
+use pnats_metrics::render_table;
+use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_workloads::{table2_batch, AppKind};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let inputs = JobInput::from_batch(&table2_batch(AppKind::Grep));
+    let mut rows = Vec::new();
+    for (label, slow, spec) in [
+        ("healthy", vec![], 0.0),
+        ("3 stragglers", vec![(5usize, 0.15), (23, 0.2), (47, 0.1)], 0.0),
+        ("3 stragglers + speculation", vec![(5, 0.15), (23, 0.2), (47, 0.1)], 0.25),
+    ] {
+        let mut cfg = hdfs_config(seed);
+        cfg.slow_nodes = slow;
+        cfg.speculation_lag = spec;
+        let placer = make_placer(SchedulerKind::Probabilistic, &cfg);
+        let r = Simulation::new(cfg, placer).run(&inputs);
+        let maps = r.trace.task_time_cdf(TaskKind::Map);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", mean_jct(&r)),
+            format!("{:.0}", r.trace.makespan()),
+            format!("{:.1}", maps.quantile(0.99)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Speculation ablation — Grep batch, probabilistic scheduler",
+            &["condition", "mean JCT (s)", "makespan (s)", "map p99 (s)"],
+            &rows,
+        )
+    );
+}

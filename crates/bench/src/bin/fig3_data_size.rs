@@ -1,0 +1,37 @@
+//! Figure 3: CDF of input data size and shuffle data size over the 30
+//! submitted jobs.
+//!
+//! Paper's shape: ~60 % of jobs exceed 50 GB of shuffle data, ~20 % exceed
+//! 100 GB, and ~20 % (the Grep jobs) stay below 10 GB.
+
+use pnats_metrics::{render_series, Cdf};
+use pnats_workloads::{ShuffleModel, TABLE2};
+
+fn main() {
+    const GB: f64 = (1u64 << 30) as f64;
+    let inputs: Vec<f64> = TABLE2.iter().map(|j| j.input_bytes() as f64 / GB).collect();
+    let shuffles: Vec<f64> = TABLE2
+        .iter()
+        .map(|j| ShuffleModel::for_app(j.app).expected_shuffle_bytes(j.input_bytes()) / GB)
+        .collect();
+    let input_cdf = Cdf::new(inputs);
+    let shuffle_cdf = Cdf::new(shuffles.clone());
+    print!(
+        "{}",
+        render_series(
+            "Figure 3 — CDF of data size (GB)",
+            "size_gb",
+            &[
+                ("input", input_cdf.steps()),
+                ("shuffle", shuffle_cdf.steps()),
+            ],
+        )
+    );
+    let over50 = shuffles.iter().filter(|s| **s > 50.0).count() as f64 / 30.0;
+    let over100 = shuffles.iter().filter(|s| **s > 100.0).count() as f64 / 30.0;
+    let under10 = shuffles.iter().filter(|s| **s < 10.0).count() as f64 / 30.0;
+    println!();
+    println!("shuffle > 50 GB : {:.0}%   (paper: ~60%)", over50 * 100.0);
+    println!("shuffle > 100 GB: {:.0}%   (paper: ~20%)", over100 * 100.0);
+    println!("shuffle < 10 GB : {:.0}%   (paper: ~20%)", under10 * 100.0);
+}

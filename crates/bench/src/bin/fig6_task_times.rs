@@ -1,0 +1,69 @@
+//! Figure 6: CDF of map-task and reduce-task running time under the three
+//! schedulers (replication 2).
+//!
+//! Paper's shape: the probabilistic scheduler's tasks finish earliest on
+//! both sides — all its map tasks complete within the time only 76 %
+//! (Coupling) / 48 % (Fair) of baseline maps meet, and all its reduces
+//! within the time only 65 % (Coupling) / 85 % (Fair) of baseline reduces
+//! meet. Note Coupling's reduce tail is the worst of the three (its
+//! postponed, current-size-guided launches), which our run reproduces.
+
+use pnats_bench::harness::{cloud_config, run_batches, PAPER_SCHEDULERS};
+use pnats_metrics::{render_series, render_table, Cdf};
+use pnats_sim::TaskKind;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let mut map_series = Vec::new();
+    let mut red_series = Vec::new();
+    let mut rows = Vec::new();
+    for kind in PAPER_SCHEDULERS {
+        let reports = run_batches(kind, || cloud_config(seed));
+        let mut maps = Vec::new();
+        let mut reds = Vec::new();
+        for r in &reports {
+            maps.extend(r.trace.tasks_of(TaskKind::Map).map(|t| t.running_time()));
+            reds.extend(r.trace.tasks_of(TaskKind::Reduce).map(|t| t.running_time()));
+        }
+        let mc = Cdf::new(maps);
+        let rc = Cdf::new(reds);
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.1}", mc.quantile(0.5)),
+            format!("{:.1}", mc.quantile(0.95)),
+            format!("{:.1}", mc.max().unwrap_or(0.0)),
+            format!("{:.1}", rc.quantile(0.5)),
+            format!("{:.1}", rc.quantile(0.95)),
+            format!("{:.1}", rc.max().unwrap_or(0.0)),
+        ]);
+        // Downsample to keep the printed series readable.
+        map_series.push((kind.label(), mc.series(40)));
+        red_series.push((kind.label(), rc.series(40)));
+    }
+    let map_ref: Vec<(&str, Vec<(f64, f64)>)> =
+        map_series.iter().map(|(n, s)| (*n, s.clone())).collect();
+    let red_ref: Vec<(&str, Vec<(f64, f64)>)> =
+        red_series.iter().map(|(n, s)| (*n, s.clone())).collect();
+    print!(
+        "{}",
+        render_series("Figure 6(a) — CDF of map task running time (s)", "t_s", &map_ref)
+    );
+    println!();
+    print!(
+        "{}",
+        render_series("Figure 6(b) — CDF of reduce task running time (s)", "t_s", &red_ref)
+    );
+    println!();
+    print!(
+        "{}",
+        render_table(
+            "Task running-time quantiles (s)",
+            &["scheduler", "map_p50", "map_p95", "map_max", "red_p50", "red_p95", "red_max"],
+            &rows,
+        )
+    );
+}

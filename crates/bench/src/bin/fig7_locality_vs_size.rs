@@ -1,0 +1,64 @@
+//! Figure 7: percentage of map tasks with local data, per input size.
+//!
+//! The paper buckets jobs by input size (10–100 GB) and shows the
+//! probabilistic scheduler holding the best map locality at every size.
+//! We run the three batches under the stock-HDFS layout and bucket the
+//! pooled map tasks by their job's input size.
+
+use pnats_bench::harness::{hdfs_config, run_batches, PAPER_SCHEDULERS};
+use pnats_metrics::{render_table, LocalityCounter};
+use pnats_sim::TaskKind;
+use pnats_workloads::TABLE2;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // size bucket (GB) -> per-scheduler counter
+    let sizes: Vec<u32> = (1..=10).map(|x| x * 10).collect();
+    let mut table: Vec<Vec<String>> = Vec::new();
+    let mut per_sched: Vec<Vec<LocalityCounter>> = Vec::new();
+
+    for kind in PAPER_SCHEDULERS {
+        let reports = run_batches(kind, || hdfs_config(seed));
+        let mut buckets = vec![LocalityCounter::default(); sizes.len()];
+        for (bi, report) in reports.iter().enumerate() {
+            // Batch bi contains the jobs of one application in Table II
+            // order: job index within the run == index into that batch.
+            let batch_specs: Vec<_> = TABLE2
+                .iter()
+                .filter(|j| {
+                    matches!(
+                        (bi, j.app),
+                        (0, pnats_workloads::AppKind::Wordcount)
+                            | (1, pnats_workloads::AppKind::Terasort)
+                            | (2, pnats_workloads::AppKind::Grep)
+                    )
+                })
+                .collect();
+            for t in report.trace.tasks_of(TaskKind::Map) {
+                let size = batch_specs[t.job].input_gb;
+                let bucket = sizes.iter().position(|s| *s == size).expect("known size");
+                buckets[bucket].record(t.locality);
+            }
+        }
+        per_sched.push(buckets);
+    }
+    for (si, size) in sizes.iter().enumerate() {
+        let mut row = vec![format!("{size}")];
+        for buckets in &per_sched {
+            row.push(format!("{:.1}", buckets[si].pct_node_local()));
+        }
+        table.push(row);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Figure 7 — % of map tasks with local data, by input size (GB)",
+            &["input_gb", "probabilistic", "coupling", "fair"],
+            &table,
+        )
+    );
+}

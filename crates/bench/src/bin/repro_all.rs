@@ -1,0 +1,42 @@
+//! Run every table/figure reproduction in sequence, printing one
+//! EXPERIMENTS.md-ready report. Equivalent to running each `--bin`
+//! individually; expect several minutes of wall-clock in release mode.
+//!
+//! Usage: `cargo run --release -p pnats-bench --bin repro_all [seed]`
+
+use std::process::Command;
+
+fn main() {
+    let seed = std::env::args().nth(1).unwrap_or_else(|| "42".to_string());
+    let bins = [
+        "table2",
+        "fig3_data_size",
+        "fig4_jct_cdf",
+        "fig5_reduction",
+        "fig6_task_times",
+        "table3_locality",
+        "fig7_locality_vs_size",
+        "pmin_sweep",
+        "ablation_estimation",
+        "ablation_netcond",
+        "ablation_prob_model",
+        "ablation_replication",
+        "ablation_speculation",
+        "extended_comparison",
+        "continuous_arrivals",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n############ {bin} ############");
+        let status = Command::new(dir.join(bin))
+            .arg(&seed)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,49 @@
+//! Table III: percentage of local-node / local-rack / remote tasks under
+//! the three schedulers.
+//!
+//! Paper (map + reduce tasks pooled, single-rack testbed): probabilistic
+//! 89.84 % / coupling 88.30 % / fair 85.59 % node-local, the rest
+//! rack-local, zero remote. Run under the stock-HDFS layout the paper's
+//! storage setup describes. We print map-only and pooled tallies; our
+//! reduce locality uses the dominant-source definition (see DESIGN.md),
+//! which is stricter than the paper's informal "machine with data for that
+//! task".
+
+use pnats_bench::harness::{hdfs_config, run_batches, PAPER_SCHEDULERS};
+use pnats_metrics::render_table;
+use pnats_sim::TaskKind;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let mut rows = Vec::new();
+    for kind in PAPER_SCHEDULERS {
+        let reports = run_batches(kind, || hdfs_config(seed));
+        let mut all = pnats_metrics::LocalityCounter::default();
+        let mut maps = pnats_metrics::LocalityCounter::default();
+        for r in &reports {
+            all += r.trace.locality_all();
+            maps += r.trace.locality_of(TaskKind::Map);
+        }
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{:.2}", all.pct_node_local()),
+            format!("{:.2}", all.pct_rack_local()),
+            format!("{:.2}", all.pct_remote()),
+            format!("{:.2}", maps.pct_node_local()),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Table III — data locality (% of tasks, HDFS layout)",
+            &["scheduler", "% local node", "% local rack", "% remote", "% local (maps only)"],
+            &rows,
+        )
+    );
+    println!();
+    println!("paper:  probabilistic 89.84 / coupling 88.30 / fair 85.59 % local node; 0 % remote");
+}

@@ -1,0 +1,228 @@
+//! Shared experiment machinery: standard configs, scheduler zoo, runners.
+
+use pnats_baselines::{
+    CouplingPlacer, FairDelayPlacer, FifoGreedyPlacer, LartsPlacer, MinCostPlacer, QuincyPlacer,
+    RandomPlacer,
+};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::placer::TaskPlacer;
+use pnats_core::prob::ProbabilityModel;
+use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
+use pnats_sim::config::background_traffic;
+use pnats_sim::{DataLayout, JobInput, SimConfig, SimReport, Simulation};
+use pnats_workloads::{table2_batch, AppKind};
+
+/// The headline configuration for the completion-time experiments
+/// (Figures 4, 5, 6): the paper's testbed scale (60 nodes, 4 map + 2
+/// reduce slots, replication 2, one logical rack over three oversubscribed
+/// switches) in the **cloud/NAS data regime** its introduction motivates —
+/// each job's replicas confined to a ~20 % ingest subset — plus eight lanes
+/// of background traffic standing in for Palmetto's co-tenants.
+pub fn cloud_config(seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_testbed();
+    c.reduce_rate_bps = 60e6;
+    c.map_rate_bps = 8e6;
+    c.ingest_fraction = 0.2;
+    c.data_layout = DataLayout::IngestConfined;
+    c.map_candidate_window = 32;
+    c.heartbeat_s = 1.0;
+    c.max_sim_time = 50_000.0;
+    c.seed = seed;
+    c.background = background_traffic(8, 8_000.0, c.n_nodes, 999 + seed);
+    c
+}
+
+/// The stock-HDFS configuration: rack-aware replica placement over the
+/// whole cluster, quiet network. Used for the locality experiments
+/// (Table III, Figure 7) — matching the paper's statement that "the
+/// generated files are stored in slave nodes with the replication factor
+/// being set to 2" — and as a sensitivity point for the JCT experiments.
+pub fn hdfs_config(seed: u64) -> SimConfig {
+    let mut c = cloud_config(seed);
+    c.data_layout = DataLayout::HdfsRackAware;
+    c.background.clear();
+    c
+}
+
+/// The schedulers the experiments compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerKind {
+    /// The paper's probabilistic network-aware scheduler (`P_min = 0.4`).
+    Probabilistic,
+    /// Coupling Scheduler (Tan et al.).
+    Coupling,
+    /// Hadoop Fair Scheduler with delay scheduling.
+    Fair,
+    /// Deterministic fine-grained min-cost (ablation).
+    MinCost,
+    /// FIFO / greedy locality.
+    Fifo,
+    /// LARTS-style reduce-locality scheduler.
+    Larts,
+    /// Quincy-style global min-cost matching (expensive per decision).
+    Quincy,
+    /// Uniform random placement (floor).
+    Random,
+}
+
+/// The paper's three-way comparison.
+pub const PAPER_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Probabilistic,
+    SchedulerKind::Coupling,
+    SchedulerKind::Fair,
+];
+
+/// Everything, for the extended comparisons.
+pub const ALL_SCHEDULERS: [SchedulerKind; 8] = [
+    SchedulerKind::Probabilistic,
+    SchedulerKind::Coupling,
+    SchedulerKind::Fair,
+    SchedulerKind::MinCost,
+    SchedulerKind::Fifo,
+    SchedulerKind::Larts,
+    SchedulerKind::Quincy,
+    SchedulerKind::Random,
+];
+
+impl SchedulerKind {
+    /// Display name matching the paper's terminology.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Probabilistic => "probabilistic",
+            SchedulerKind::Coupling => "coupling",
+            SchedulerKind::Fair => "fair",
+            SchedulerKind::MinCost => "mincost",
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Larts => "larts",
+            SchedulerKind::Quincy => "quincy",
+            SchedulerKind::Random => "random",
+        }
+    }
+}
+
+/// Instantiate a fresh placer of the given kind, with heartbeat-dependent
+/// baselines matched to `cfg`.
+pub fn make_placer(kind: SchedulerKind, cfg: &SimConfig) -> Box<dyn TaskPlacer> {
+    match kind {
+        SchedulerKind::Probabilistic => Box::new(ProbabilisticPlacer::paper()),
+        SchedulerKind::Coupling => {
+            Box::new(CouplingPlacer::new(0.8, 0.4, 3, cfg.heartbeat_s))
+        }
+        SchedulerKind::Fair => Box::new(FairDelayPlacer::hadoop_defaults()),
+        SchedulerKind::MinCost => Box::new(MinCostPlacer::new()),
+        SchedulerKind::Fifo => Box::new(FifoGreedyPlacer),
+        SchedulerKind::Larts => Box::new(LartsPlacer::default()),
+        SchedulerKind::Quincy => Box::new(QuincyPlacer),
+        SchedulerKind::Random => Box::new(RandomPlacer),
+    }
+}
+
+/// A probabilistic placer with a custom configuration (for sweeps).
+pub fn make_probabilistic(p_min: f64, model: ProbabilityModel, est: IntermediateEstimator) -> Box<dyn TaskPlacer> {
+    Box::new(ProbabilisticPlacer::new(ProbConfig { p_min, model, estimator: est }))
+}
+
+/// Run one application batch (the paper's Table II jobs for `app`) under
+/// `kind` on `cfg`.
+pub fn run_batch(app: AppKind, kind: SchedulerKind, cfg: SimConfig) -> SimReport {
+    let inputs = JobInput::from_batch(&table2_batch(app));
+    let placer = make_placer(kind, &cfg);
+    Simulation::new(cfg, placer).run(&inputs)
+}
+
+/// Run all three batches separately (as the paper does) under `kind`,
+/// returning reports in [Wordcount, Terasort, Grep] order.
+pub fn run_batches(kind: SchedulerKind, cfg_for: impl Fn() -> SimConfig) -> Vec<SimReport> {
+    AppKind::ALL
+        .iter()
+        .map(|app| run_batch(*app, kind, cfg_for()))
+        .collect()
+}
+
+/// Mean job completion time of a report (seconds).
+pub fn mean_jct(report: &SimReport) -> f64 {
+    let jobs = &report.trace.jobs;
+    if jobs.is_empty() {
+        return f64::NAN;
+    }
+    jobs.iter().map(|j| j.jct()).sum::<f64>() / jobs.len() as f64
+}
+
+/// Per-job completion times keyed by job name (for paired reductions —
+/// Figure 5 compares the *same* job across schedulers).
+pub fn jct_by_name(report: &SimReport) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = report
+        .trace
+        .jobs
+        .iter()
+        .map(|j| (j.name.clone(), j.jct()))
+        .collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_sim::TaskKind;
+
+    /// A fast, shrunken variant of the cloud config for harness tests.
+    fn mini_cloud(seed: u64) -> SimConfig {
+        let mut c = cloud_config(seed);
+        c.n_nodes = 8;
+        c.background = background_traffic(2, 500.0, 8, seed);
+        c
+    }
+
+    #[test]
+    fn standard_configs_are_paper_scale() {
+        let c = cloud_config(1);
+        assert_eq!(c.n_nodes, 60);
+        assert_eq!(c.data_layout, DataLayout::IngestConfined);
+        assert!(!c.background.is_empty());
+        let h = hdfs_config(1);
+        assert_eq!(h.data_layout, DataLayout::HdfsRackAware);
+        assert!(h.background.is_empty());
+    }
+
+    #[test]
+    fn all_schedulers_instantiate_and_label_uniquely() {
+        let cfg = cloud_config(1);
+        let mut labels: Vec<&str> = ALL_SCHEDULERS
+            .iter()
+            .map(|k| {
+                let p = make_placer(*k, &cfg);
+                assert_eq!(p.name(), k.label());
+                k.label()
+            })
+            .collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), ALL_SCHEDULERS.len());
+    }
+
+    #[test]
+    fn mini_batch_runs_under_every_scheduler() {
+        use pnats_workloads::scaled_batch;
+        for kind in ALL_SCHEDULERS {
+            let cfg = mini_cloud(7);
+            let inputs = JobInput::from_batch(&scaled_batch(AppKind::Grep, 2, 20));
+            let placer = make_placer(kind, &cfg);
+            let r = Simulation::new(cfg, placer).run(&inputs);
+            assert!(r.all_completed(), "{kind:?} failed to finish");
+            assert!(r.trace.tasks_of(TaskKind::Map).count() > 0);
+        }
+    }
+
+    #[test]
+    fn jct_by_name_is_sorted_and_complete() {
+        use pnats_workloads::scaled_batch;
+        let cfg = mini_cloud(3);
+        let inputs = JobInput::from_batch(&scaled_batch(AppKind::Wordcount, 3, 20));
+        let placer = make_placer(SchedulerKind::Fifo, &cfg);
+        let r = Simulation::new(cfg, placer).run(&inputs);
+        let v = jct_by_name(&r);
+        assert_eq!(v.len(), 3);
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,27 @@
+//! # pnats-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), all built on
+//! this crate's [`harness`]: standard cluster configurations, scheduler
+//! constructors and batch runners. `repro_all` chains every experiment and
+//! prints an EXPERIMENTS.md-ready report.
+//!
+//! ## Standard configurations
+//!
+//! * [`harness::cloud_config`] — the **headline** configuration for the
+//!   completion-time experiments (Figures 4–6): the paper's 60-node
+//!   testbed shape with the cloud/NAS data layout of its §I motivation
+//!   (replicas confined to each job's ingest subset) and shared-cluster
+//!   background traffic. This is the regime where fine-grained
+//!   network-aware placement has room to act.
+//! * [`harness::hdfs_config`] — stock HDFS rack-aware layout on a quiet
+//!   cluster; used for the locality experiments (Table III, Figure 7) and
+//!   as a sensitivity point for the JCT experiments.
+//!
+//! Both are documented, deterministic and seed-parameterized.
+
+pub mod harness;
+
+pub use harness::{
+    cloud_config, hdfs_config, make_placer, mean_jct, run_batch, run_batches, SchedulerKind,
+    ALL_SCHEDULERS, PAPER_SCHEDULERS,
+};

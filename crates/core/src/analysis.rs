@@ -1,0 +1,243 @@
+//! Analytical properties of the probabilistic placement policy.
+//!
+//! The paper's §V: "the optimality of this model is not known. In the
+//! future, we will conduct a theoretical analysis for the performance of
+//! our probabilistic network-aware scheduling method." This module is that
+//! analysis for the single-offer decision, in closed form where possible
+//! and by quadrature elsewhere:
+//!
+//! * [`expected_cost_single_offer`] — the expected transmission cost
+//!   incurred by one slot offer over a candidate cost distribution, under
+//!   a probability model with threshold `P_min`: cheap tasks are taken
+//!   with high probability, expensive ones skipped, so the *expected
+//!   accepted cost* is below the population mean — quantifying the
+//!   paper's "reduce the expected data transmission cost" claim.
+//! * [`acceptance_probability`] — how often the offer places anything at
+//!   all (the utilization side of the trade-off).
+//! * [`jain_fairness`] — Jain's index over per-task acceptance
+//!   probabilities (the "fair opportunities to be allocated" claim).
+//!
+//! These functions underpin the `ablation_prob_model` experiment and the
+//! property tests that pin the policy's qualitative behaviour.
+
+use crate::prob::ProbabilityModel;
+
+/// Expected cost *of the task accepted* at a single slot offer, given the
+/// candidate with minimum cost is chosen (Algorithm 1 picks max-P, i.e.
+/// min cost for a fixed `c_avg`) and accepted with probability
+/// `P(c) = model(c_avg, c)` gated by `p_min`.
+///
+/// `costs` is the pending-task cost population for the offered node;
+/// `c_avg` the expected placement cost over free nodes (Formula 4's
+/// numerator). Returns `(expected_cost_given_accept, acceptance_prob)`;
+/// the expected cost is `None` when acceptance is impossible.
+pub fn expected_cost_single_offer(
+    model: ProbabilityModel,
+    p_min: f64,
+    c_avg: f64,
+    costs: &[f64],
+) -> (Option<f64>, f64) {
+    // Algorithm 1 considers the single best candidate (max probability =
+    // min cost, by monotonicity).
+    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    if !best.is_finite() {
+        return (None, 0.0);
+    }
+    let p = model.probability(c_avg, best);
+    if p < p_min {
+        return (None, 0.0);
+    }
+    (Some(best), p)
+}
+
+/// Probability that a slot offer results in *some* assignment, averaged
+/// over offers whose best-candidate cost is drawn uniformly from `costs`.
+pub fn acceptance_probability(
+    model: ProbabilityModel,
+    p_min: f64,
+    c_avg: f64,
+    costs: &[f64],
+) -> f64 {
+    if costs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = costs
+        .iter()
+        .map(|&c| {
+            let p = model.probability(c_avg, c);
+            if p < p_min {
+                0.0
+            } else {
+                p
+            }
+        })
+        .sum();
+    total / costs.len() as f64
+}
+
+/// Expected accepted cost when the *offered* best-candidate cost is drawn
+/// uniformly from `costs` (i.e. across many heartbeats with varying
+/// cluster states): `E[c · P(c) · 1{P ≥ p_min}] / E[P(c) · 1{P ≥ p_min}]`.
+///
+/// The paper's claim quantified: this is never above the plain mean of the
+/// accept-eligible costs, because acceptance probability decreases in
+/// cost.
+pub fn expected_accepted_cost(
+    model: ProbabilityModel,
+    p_min: f64,
+    c_avg: f64,
+    costs: &[f64],
+) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &c in costs {
+        let p = model.probability(c_avg, c);
+        if p >= p_min {
+            num += c * p;
+            den += p;
+        }
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`; 1.0 means perfectly equal.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    assert!(xs.iter().all(|x| *x >= 0.0), "allocations must be non-negative");
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+/// Acceptance probabilities a cost population would receive (for fairness
+/// comparisons between the probabilistic policy and a deterministic
+/// min-cost policy, which gives probability 1 to the argmin and 0 to
+/// everyone else).
+pub fn acceptance_profile(
+    model: ProbabilityModel,
+    p_min: f64,
+    c_avg: f64,
+    costs: &[f64],
+) -> Vec<f64> {
+    costs
+        .iter()
+        .map(|&c| {
+            let p = model.probability(c_avg, c);
+            if p < p_min {
+                0.0
+            } else {
+                p
+            }
+        })
+        .collect()
+}
+
+/// Deterministic min-cost acceptance profile: 1 for (all) argmin tasks,
+/// 0 otherwise.
+pub fn deterministic_profile(costs: &[f64]) -> Vec<f64> {
+    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    costs
+        .iter()
+        .map(|&c| if c <= best { 1.0 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COSTS: [f64; 5] = [0.0, 50.0, 100.0, 200.0, 400.0];
+
+    #[test]
+    fn accepted_cost_below_population_mean() {
+        let mean = COSTS.iter().sum::<f64>() / COSTS.len() as f64;
+        for model in ProbabilityModel::ALL {
+            let e = expected_accepted_cost(model, 0.0, 100.0, &COSTS).unwrap();
+            assert!(e < mean, "{model:?}: {e} !< {mean}");
+        }
+    }
+
+    #[test]
+    fn threshold_raises_selectivity() {
+        // Higher p_min excludes costlier tasks -> lower expected accepted
+        // cost, lower acceptance probability.
+        let model = ProbabilityModel::Exponential;
+        let e_lo = expected_accepted_cost(model, 0.0, 100.0, &COSTS).unwrap();
+        let e_hi = expected_accepted_cost(model, 0.6, 100.0, &COSTS).unwrap();
+        assert!(e_hi < e_lo);
+        let a_lo = acceptance_probability(model, 0.0, 100.0, &COSTS);
+        let a_hi = acceptance_probability(model, 0.6, 100.0, &COSTS);
+        assert!(a_hi < a_lo);
+    }
+
+    #[test]
+    fn single_offer_takes_best_candidate() {
+        let (cost, p) = expected_cost_single_offer(
+            ProbabilityModel::Exponential,
+            0.4,
+            100.0,
+            &COSTS,
+        );
+        assert_eq!(cost, Some(0.0));
+        assert_eq!(p, 1.0);
+        // Empty population: no assignment.
+        let (cost, p) =
+            expected_cost_single_offer(ProbabilityModel::Exponential, 0.4, 100.0, &[]);
+        assert_eq!(cost, None);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn single_offer_respects_p_min() {
+        // Only one expensive task: ratio 0.1 -> P ≈ 0.095 < 0.4 -> skip.
+        let (cost, p) = expected_cost_single_offer(
+            ProbabilityModel::Exponential,
+            0.4,
+            100.0,
+            &[1000.0],
+        );
+        assert_eq!(cost, None);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn probabilistic_policy_is_fairer_than_deterministic() {
+        // The paper's stated reason for randomizing: tasks get "fair
+        // opportunities to be allocated".
+        for model in ProbabilityModel::ALL {
+            let prob = acceptance_profile(model, 0.0, 100.0, &COSTS);
+            let det = deterministic_profile(&COSTS);
+            assert!(
+                jain_fairness(&prob) > jain_fairness(&det),
+                "{model:?}: {} !> {}",
+                jain_fairness(&prob),
+                jain_fairness(&det)
+            );
+        }
+    }
+
+    #[test]
+    fn jain_index_limits() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_rejects_negative() {
+        jain_fairness(&[-1.0]);
+    }
+
+    #[test]
+    fn deterministic_profile_marks_argmin() {
+        assert_eq!(deterministic_profile(&[3.0, 1.0, 2.0, 1.0]), vec![0.0, 1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Scheduling contexts: what a placer sees at a heartbeat.
+//!
+//! Hadoop's JobTracker makes placement decisions "at the time of receiving a
+//! heartbeat from a node indicating slot availability" (paper §II-A). These
+//! structs are the snapshot of cluster state the decision is made against.
+//! They are *views* borrowed from whichever runtime hosts the placer — the
+//! discrete-event simulator, the threaded engine or a test harness.
+
+use crate::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{ClusterLayout, NodeId, PathCost};
+
+/// A pending map task `M_j` and everything its cost depends on.
+#[derive(Clone, Debug)]
+pub struct MapCandidate {
+    /// The task's identity.
+    pub task: MapTaskId,
+    /// `B_j`: bytes of the input block the task processes.
+    pub block_size: u64,
+    /// Nodes storing a replica of that block (`{D_l : L_lj = 1}`).
+    pub replicas: Vec<NodeId>,
+}
+
+/// One placed map task's contribution to a reduce task's shuffle input —
+/// the progress report `(d_read^j, A_jf)` of §II-B2 plus the map's location.
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffleSource {
+    /// Node `D_p` the map task was placed on (`x_jp = 1`).
+    pub node: NodeId,
+    /// `A_jf`: bytes of intermediate data currently produced by map `j`
+    /// for this reduce partition `f`.
+    pub current_bytes: f64,
+    /// `d_read^j`: input bytes the map has read so far.
+    pub input_read: u64,
+    /// `B_j`: total input bytes the map will read.
+    pub input_total: u64,
+}
+
+/// A pending reduce task `R_f` and the shuffle sources feeding it.
+#[derive(Clone, Debug)]
+pub struct ReduceCandidate {
+    /// The task's identity; `task.index` is the partition it consumes.
+    pub task: ReduceTaskId,
+    /// One entry per map task of the job that has been *placed* (running or
+    /// finished). Unplaced maps contribute nothing to Formula (2)'s double
+    /// sum because their `x_jp` row is all zeros.
+    pub sources: Vec<ShuffleSource>,
+}
+
+/// Snapshot handed to [`TaskPlacer::place_map`](crate::placer::TaskPlacer::place_map).
+pub struct MapSchedContext<'a> {
+    /// Job whose tasks are being scheduled (chosen by job-level scheduling).
+    pub job: JobId,
+    /// Unassigned map tasks of that job.
+    pub candidates: &'a [MapCandidate],
+    /// Nodes currently advertising ≥ 1 free map slot (the `N_m` nodes over
+    /// which `C_m_ave` is averaged). Always contains the heartbeating node.
+    pub free_map_nodes: &'a [NodeId],
+    /// Cost metric (`H` or its §II-B3 network-condition variant).
+    pub cost: &'a dyn PathCost,
+    /// Rack layout, for baselines that reason in locality classes.
+    pub layout: &'a ClusterLayout,
+    /// Current time in seconds (drives delay-based baselines).
+    pub now: f64,
+}
+
+/// Snapshot handed to [`TaskPlacer::place_reduce`](crate::placer::TaskPlacer::place_reduce).
+pub struct ReduceSchedContext<'a> {
+    /// Job whose tasks are being scheduled.
+    pub job: JobId,
+    /// Unassigned reduce tasks of that job.
+    pub candidates: &'a [ReduceCandidate],
+    /// Nodes currently advertising ≥ 1 free reduce slot (the `N_r` nodes of
+    /// Formula 5). Always contains the heartbeating node.
+    pub free_reduce_nodes: &'a [NodeId],
+    /// Nodes already running a reduce task of this job (Algorithm 2 line 1
+    /// refuses to co-locate two reduces of one job).
+    pub job_reduce_nodes: &'a [NodeId],
+    /// Cost metric.
+    pub cost: &'a dyn PathCost,
+    /// Rack layout.
+    pub layout: &'a ClusterLayout,
+    /// Fraction of the job's total map *work* completed, in [0, 1]
+    /// (Coupling's launch gate reads this).
+    pub job_map_progress: f64,
+    /// Completed map tasks of the job.
+    pub maps_finished: usize,
+    /// Total map tasks of the job.
+    pub maps_total: usize,
+    /// Reduce tasks of the job already launched.
+    pub reduces_launched: usize,
+    /// Total reduce tasks of the job.
+    pub reduces_total: usize,
+    /// Current time in seconds.
+    pub now: f64,
+}
+
+impl MapCandidate {
+    /// Whether a replica of the task's block lives on `node`.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+
+    /// Whether any replica shares a rack with `node`.
+    pub fn is_rack_local_to(&self, node: NodeId, layout: &ClusterLayout) -> bool {
+        self.replicas.iter().any(|r| layout.same_rack(*r, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_net::Topology;
+
+    #[test]
+    fn candidate_locality_classes() {
+        let topo = Topology::multi_rack(2, 2, 1.0, 1.0);
+        let c = MapCandidate {
+            task: MapTaskId { job: JobId(0), index: 0 },
+            block_size: 1,
+            replicas: vec![NodeId(0)],
+        };
+        assert!(c.is_local_to(NodeId(0)));
+        assert!(!c.is_local_to(NodeId(1)));
+        assert!(c.is_rack_local_to(NodeId(1), topo.layout()));
+        assert!(!c.is_rack_local_to(NodeId(2), topo.layout()));
+    }
+}

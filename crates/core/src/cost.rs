@@ -1,0 +1,233 @@
+//! The transmission cost model (paper §II-B).
+//!
+//! Cost is `bytes × per-byte path cost`, where the per-byte cost is either a
+//! hop count or the §II-B3 inverse-rate metric — both behind
+//! [`PathCost`]. Following the cost measurement of the paper's citations
+//! [13, 14], a placement's cost is the product of data size and distance.
+
+use crate::context::{MapCandidate, ReduceCandidate};
+use crate::estimate::IntermediateEstimator;
+use pnats_net::{NodeId, PathCost};
+
+/// Formula (1): cost of running map candidate `c` on `node`, reading its
+/// block from the nearest replica:
+/// `C_m(i,j) = B_j · min_{l : L_lj = 1} h_il`.
+///
+/// A candidate with no replicas (data lost / not yet placed) costs
+/// `+∞` — it can never look attractive.
+pub fn map_cost(c: &MapCandidate, node: NodeId, cost: &dyn PathCost) -> f64 {
+    let nearest = c
+        .replicas
+        .iter()
+        .map(|&r| cost.path_cost(node, r))
+        .min_by(f64::total_cmp);
+    match nearest {
+        Some(h) => c.block_size as f64 * h,
+        None => f64::INFINITY,
+    }
+}
+
+/// `C_m_ave` (Algorithm 1, line 6): the expected cost of assigning map
+/// candidate `c` uniformly over the nodes that currently have free map
+/// slots: `Σ_{k=1}^{N_m} C_m(k,j) / N_m`.
+pub fn map_cost_avg(c: &MapCandidate, free_nodes: &[NodeId], cost: &dyn PathCost) -> f64 {
+    if free_nodes.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = free_nodes.iter().map(|&k| map_cost(c, k, cost)).sum();
+    sum / free_nodes.len() as f64
+}
+
+/// Formula (3): cost of running reduce candidate `c` on `node`, summing the
+/// estimated shuffle bytes of every placed map weighted by path cost:
+/// `C_r(i,f) = Σ_j Σ_p x_jp · h_pi · Î_jf` with `Î_jf` supplied by `est`.
+pub fn reduce_cost(
+    c: &ReduceCandidate,
+    node: NodeId,
+    cost: &dyn PathCost,
+    est: IntermediateEstimator,
+) -> f64 {
+    c.sources
+        .iter()
+        .map(|s| est.estimate(s) * cost.path_cost(s.node, node))
+        .sum()
+}
+
+/// `C_r_ave` (Algorithm 2, line 7): expected cost of assigning reduce
+/// candidate `c` uniformly over the nodes with free reduce slots:
+/// `Σ_{k=1}^{N_r} C_r(k,f) / N_r`.
+pub fn reduce_cost_avg(
+    c: &ReduceCandidate,
+    free_nodes: &[NodeId],
+    cost: &dyn PathCost,
+    est: IntermediateEstimator,
+) -> f64 {
+    if free_nodes.is_empty() {
+        return f64::INFINITY;
+    }
+    let sum: f64 = free_nodes
+        .iter()
+        .map(|&k| reduce_cost(c, k, cost, est))
+        .sum();
+    sum / free_nodes.len() as f64
+}
+
+/// Total estimated shuffle bytes destined for reduce candidate `c`
+/// (used by LARTS-style baselines and diagnostics).
+pub fn reduce_total_input(c: &ReduceCandidate, est: IntermediateEstimator) -> f64 {
+    c.sources.iter().map(|s| est.estimate(s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ShuffleSource;
+    use crate::types::{JobId, MapTaskId, ReduceTaskId};
+    use pnats_net::DistanceMatrix;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn mt(i: u32) -> MapTaskId {
+        MapTaskId { job: JobId(0), index: i }
+    }
+
+    fn rt(i: u32) -> ReduceTaskId {
+        ReduceTaskId { job: JobId(0), index: i }
+    }
+
+    /// The paper's Figure 2 example: block of M1 on D1, M1 assigned to D3,
+    /// distance h(D3, D1) = 2, B = 128 MB -> cost 128 × 2 = 256 (in MB·hops).
+    #[test]
+    fn figure2_map_costs() {
+        let h = DistanceMatrix::paper_figure2();
+        let m1 = MapCandidate { task: mt(0), block_size: 128, replicas: vec![NodeId(0)] };
+        let m2 = MapCandidate { task: mt(1), block_size: 128, replicas: vec![NodeId(1)] };
+        assert_eq!(map_cost(&m1, NodeId(2), &h), 256.0);
+        assert_eq!(map_cost(&m2, NodeId(1), &h), 0.0, "local placement is free");
+    }
+
+    #[test]
+    fn map_cost_uses_nearest_replica() {
+        let h = DistanceMatrix::paper_figure2();
+        // Replicas on D1 (h from D2 = 10) and D3 (h from D2 = 6).
+        let c = MapCandidate { task: mt(0), block_size: 10, replicas: vec![NodeId(1), NodeId(3)] };
+        assert_eq!(map_cost(&c, NodeId(2), &h), 60.0);
+    }
+
+    #[test]
+    fn map_cost_no_replicas_is_infinite() {
+        let h = DistanceMatrix::zero(2);
+        let c = MapCandidate { task: mt(0), block_size: 10, replicas: vec![] };
+        assert!(map_cost(&c, NodeId(0), &h).is_infinite());
+    }
+
+    #[test]
+    fn map_cost_avg_is_mean_over_free_nodes() {
+        let h = DistanceMatrix::paper_figure2();
+        let c = MapCandidate { task: mt(0), block_size: 1, replicas: vec![NodeId(0)] };
+        // Costs from D0..D3 to replica D0: 0, 4, 2, 8 -> mean over {D0,D2} = 1.
+        let avg = map_cost_avg(&c, &[NodeId(0), NodeId(2)], &h);
+        assert_eq!(avg, 1.0);
+        assert!(map_cost_avg(&c, &[], &h).is_infinite());
+    }
+
+    /// The full reduce-side worked example of Figure 2(b): with M1@D3,
+    /// M2@D2, R1@D1, R2@D3 and I = [[10,5],[20,10]] (MB), the link costs
+    /// are 10·2, 5·0, 20·4, 10·10 — total 200.
+    #[test]
+    fn figure2_reduce_costs() {
+        let h = DistanceMatrix::paper_figure2();
+        // All maps finished: current == final, d_read == B.
+        let srcs_r1 = vec![
+            ShuffleSource { node: NodeId(2), current_bytes: 10.0, input_read: 128, input_total: 128 },
+            ShuffleSource { node: NodeId(1), current_bytes: 20.0, input_read: 128, input_total: 128 },
+        ];
+        let srcs_r2 = vec![
+            ShuffleSource { node: NodeId(2), current_bytes: 5.0, input_read: 128, input_total: 128 },
+            ShuffleSource { node: NodeId(1), current_bytes: 10.0, input_read: 128, input_total: 128 },
+        ];
+        let r1 = ReduceCandidate { task: rt(0), sources: srcs_r1 };
+        let r2 = ReduceCandidate { task: rt(1), sources: srcs_r2 };
+        let est = IntermediateEstimator::ProgressExtrapolated;
+        // R1 on D1 (idx 0): 10·h(D3,D1) + 20·h(D2,D1) = 10·2 + 20·4 = 100.
+        assert_eq!(reduce_cost(&r1, NodeId(0), &h, est), 100.0);
+        // R2 on D3 (idx 2): 5·h(D3,D3) + 10·h(D2,D3) = 0 + 100 = 100.
+        assert_eq!(reduce_cost(&r2, NodeId(2), &h, est), 100.0);
+        // Total transmission cost of the assignment = 200, as in Fig. 2(b).
+        let total = reduce_cost(&r1, NodeId(0), &h, est) + reduce_cost(&r2, NodeId(2), &h, est);
+        assert_eq!(total, 200.0);
+    }
+
+    #[test]
+    fn reduce_cost_extrapolates_in_progress_maps() {
+        let h = DistanceMatrix::paper_figure2();
+        // A half-done map on D1 with 3 bytes so far -> estimates 6 bytes.
+        let c = ReduceCandidate {
+            task: rt(0),
+            sources: vec![ShuffleSource {
+                node: NodeId(1),
+                current_bytes: 3.0,
+                input_read: 50,
+                input_total: 100,
+            }],
+        };
+        let ext = reduce_cost(&c, NodeId(0), &h, IntermediateEstimator::ProgressExtrapolated);
+        let cur = reduce_cost(&c, NodeId(0), &h, IntermediateEstimator::CurrentSize);
+        assert_eq!(ext, 6.0 * 4.0);
+        assert_eq!(cur, 3.0 * 4.0);
+    }
+
+    #[test]
+    fn reduce_cost_zero_on_sole_source_node() {
+        let h = DistanceMatrix::paper_figure2();
+        let c = ReduceCandidate {
+            task: rt(0),
+            sources: vec![ShuffleSource {
+                node: NodeId(1),
+                current_bytes: 9.0,
+                input_read: 1,
+                input_total: 1,
+            }],
+        };
+        assert_eq!(
+            reduce_cost(&c, NodeId(1), &h, IntermediateEstimator::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn reduce_cost_avg_and_total_input() {
+        let h = DistanceMatrix::paper_figure2();
+        let c = ReduceCandidate {
+            task: rt(0),
+            sources: vec![ShuffleSource {
+                node: NodeId(0),
+                current_bytes: 2.0,
+                input_read: 1,
+                input_total: 1,
+            }],
+        };
+        let est = IntermediateEstimator::default();
+        // Costs from D0..D3: 0, 8, 4, 16 -> mean over all four = 7.
+        let avg = reduce_cost_avg(
+            &c,
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            &h,
+            est,
+        );
+        assert_eq!(avg, 7.0);
+        assert_eq!(reduce_total_input(&c, est), 2.0);
+        assert!(reduce_cost_avg(&c, &[], &h, est).is_infinite());
+    }
+
+    #[test]
+    fn costs_scale_with_block_size() {
+        let h = DistanceMatrix::paper_figure2();
+        let small = MapCandidate { task: mt(0), block_size: MB, replicas: vec![NodeId(0)] };
+        let large = MapCandidate { task: mt(1), block_size: 4 * MB, replicas: vec![NodeId(0)] };
+        assert_eq!(
+            4.0 * map_cost(&small, NodeId(2), &h),
+            map_cost(&large, NodeId(2), &h)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The task-placement interface every scheduler implements.
+//!
+//! The runtime (simulator or threaded engine) owns cluster state and job
+//! bookkeeping; a [`TaskPlacer`] only answers the question Hadoop's
+//! task-level scheduling asks on each heartbeat: *given this node's free
+//! slot and these pending tasks, which task (if any) should run here?*
+
+use crate::context::{MapSchedContext, ReduceSchedContext};
+use pnats_net::NodeId;
+use rand::rngs::SmallRng;
+
+/// Outcome of a placement query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Launch `candidates[i]` on the offered node.
+    Assign(usize),
+    /// Leave the slot empty this heartbeat (delay, probability miss, gate).
+    Skip,
+}
+
+impl Decision {
+    /// The assigned candidate index, if any.
+    pub fn assigned(self) -> Option<usize> {
+        match self {
+            Decision::Assign(i) => Some(i),
+            Decision::Skip => None,
+        }
+    }
+}
+
+/// A task-level scheduling policy.
+///
+/// Implementations must be deterministic given the context and the provided
+/// RNG — all randomness flows through `rng` so experiments are replayable.
+pub trait TaskPlacer: Send {
+    /// Human-readable policy name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Offer a free **map** slot on `node`. The context always lists `node`
+    /// in `free_map_nodes` and has at least one candidate.
+    fn place_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision;
+
+    /// Offer a free **reduce** slot on `node`. The context always lists
+    /// `node` in `free_reduce_nodes` and has at least one candidate.
+    fn place_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision;
+
+    /// Notification that a new heartbeat round begins (baselines with
+    /// delay/postponement counters hook this; default no-op).
+    fn on_heartbeat_round(&mut self, _round: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_accessor() {
+        assert_eq!(Decision::Assign(3).assigned(), Some(3));
+        assert_eq!(Decision::Skip.assigned(), None);
+    }
+}

@@ -1,0 +1,416 @@
+//! Algorithms 1 and 2: probabilistic network-aware map / reduce placement.
+//!
+//! Both algorithms run when a heartbeat advertises a free slot on node
+//! `D_i`:
+//!
+//! 1. for every unassigned task, compute its cost `C` on `D_i` (Formula 1
+//!    for maps, Formula 3 for reduces) and the expected cost `C_ave` of
+//!    placing it uniformly on the currently-free-slot nodes;
+//! 2. convert to a probability `P = 1 − e^{−C_ave/C}` (Formulas 4/5);
+//! 3. take the task with the **largest** `P` — i.e. the task this node is
+//!    most unusually good for;
+//! 4. if `P < P_min`, leave the slot idle (some other node will be a much
+//!    better home for every pending task);
+//! 5. otherwise assign with probability `P` (a Bernoulli draw) — the
+//!    probabilistic relaxation that trades a little locality for immediate
+//!    resource use and fair access to good slots.
+//!
+//! Algorithm 2 additionally refuses to run two reduce tasks of one job on
+//! the same node (I/O contention and downlink congestion; paper §II-D).
+
+use crate::context::{MapSchedContext, ReduceSchedContext};
+use crate::cost::{map_cost, map_cost_avg, reduce_cost, reduce_cost_avg};
+use crate::estimate::IntermediateEstimator;
+use crate::placer::{Decision, TaskPlacer};
+use crate::prob::ProbabilityModel;
+use pnats_net::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Tunables of the probabilistic network-aware scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbConfig {
+    /// `P_min`: below this best-candidate probability the slot is skipped.
+    /// The paper selects 0.4 empirically (§III).
+    pub p_min: f64,
+    /// The probability model (paper default: exponential, Formula 4/5).
+    pub model: ProbabilityModel,
+    /// How reduce-side intermediate sizes are estimated (paper default:
+    /// progress extrapolation, §II-B2).
+    pub estimator: IntermediateEstimator,
+}
+
+impl Default for ProbConfig {
+    fn default() -> Self {
+        Self {
+            p_min: 0.4,
+            model: ProbabilityModel::Exponential,
+            estimator: IntermediateEstimator::ProgressExtrapolated,
+        }
+    }
+}
+
+impl ProbConfig {
+    /// Paper configuration with a different `P_min` (for the sweep that
+    /// reproduces the paper's threshold selection).
+    pub fn with_p_min(p_min: f64) -> Self {
+        assert!((0.0..1.0).contains(&p_min), "P_min must be in [0,1)");
+        Self { p_min, ..Self::default() }
+    }
+}
+
+/// The paper's scheduler: Algorithm 1 for maps, Algorithm 2 for reduces.
+#[derive(Clone, Debug)]
+pub struct ProbabilisticPlacer {
+    config: ProbConfig,
+    /// Decision statistics (diagnostics; not used for scheduling).
+    pub stats: PlacerStats,
+}
+
+/// Counters describing how often the probabilistic gates fired.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlacerStats {
+    /// Assignments made.
+    pub assigned: u64,
+    /// Slots skipped because the best probability was below `P_min`.
+    pub below_p_min: u64,
+    /// Slots skipped because the Bernoulli draw failed.
+    pub draw_failed: u64,
+}
+
+impl ProbabilisticPlacer {
+    /// A placer with the given configuration.
+    pub fn new(config: ProbConfig) -> Self {
+        Self { config, stats: PlacerStats::default() }
+    }
+
+    /// A placer with the paper's published configuration
+    /// (`P_min = 0.4`, exponential model, progress extrapolation).
+    pub fn paper() -> Self {
+        Self::new(ProbConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ProbConfig {
+        self.config
+    }
+
+    /// Shared tail of both algorithms: threshold gate + Bernoulli draw.
+    fn gate(&mut self, best: Option<(usize, f64)>, rng: &mut SmallRng) -> Decision {
+        let Some((idx, p)) = best else {
+            return Decision::Skip;
+        };
+        if p < self.config.p_min {
+            self.stats.below_p_min += 1;
+            return Decision::Skip;
+        }
+        if rng.gen::<f64>() < p {
+            self.stats.assigned += 1;
+            Decision::Assign(idx)
+        } else {
+            self.stats.draw_failed += 1;
+            Decision::Skip
+        }
+    }
+}
+
+/// Select the candidate with the largest probability; ties broken toward
+/// the lower index (stable, deterministic).
+fn argmax_probability(probs: impl Iterator<Item = f64>) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in probs.enumerate() {
+        if best.is_none_or(|(_, bp)| p > bp) {
+            best = Some((i, p));
+        }
+    }
+    best
+}
+
+impl TaskPlacer for ProbabilisticPlacer {
+    fn name(&self) -> &'static str {
+        "probabilistic"
+    }
+
+    /// Algorithm 1.
+    fn place_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        let best = argmax_probability(ctx.candidates.iter().map(|c| {
+            let c_here = map_cost(c, node, ctx.cost); // line 4
+            let c_ave = map_cost_avg(c, ctx.free_map_nodes, ctx.cost); // line 6
+            self.config.model.probability(c_ave, c_here) // line 7
+        }));
+        self.gate(best, rng) // lines 9-16
+    }
+
+    /// Algorithm 2.
+    fn place_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        // Line 1: refuse a second reduce task of this job on the node.
+        if ctx.job_reduce_nodes.contains(&node) {
+            return Decision::Skip;
+        }
+        let est = self.config.estimator;
+        let best = argmax_probability(ctx.candidates.iter().map(|c| {
+            let c_here = reduce_cost(c, node, ctx.cost, est); // line 5
+            let c_ave = reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est); // line 7
+            self.config.model.probability(c_ave, c_here) // line 8
+        }));
+        self.gate(best, rng) // lines 10-17
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{MapCandidate, ReduceCandidate, ShuffleSource};
+    use crate::types::{JobId, MapTaskId, ReduceTaskId};
+    use pnats_net::{ClusterLayout, DistanceMatrix, RackId};
+    use rand::SeedableRng;
+
+    fn layout4() -> ClusterLayout {
+        ClusterLayout::new(vec![RackId(0); 4])
+    }
+
+    fn mcand(i: u32, size: u64, replicas: Vec<NodeId>) -> MapCandidate {
+        MapCandidate {
+            task: MapTaskId { job: JobId(0), index: i },
+            block_size: size,
+            replicas,
+        }
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    fn map_ctx<'a>(
+        cands: &'a [MapCandidate],
+        free: &'a [NodeId],
+        cost: &'a DistanceMatrix,
+        layout: &'a ClusterLayout,
+    ) -> MapSchedContext<'a> {
+        MapSchedContext { job: JobId(0), candidates: cands, free_map_nodes: free, cost, layout, now: 0.0 }
+    }
+
+    #[test]
+    fn local_task_always_assigned() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![mcand(0, 128, vec![NodeId(2)])];
+        let free = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        // P = 1 on the data node: assignment is certain regardless of seed.
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(0));
+        }
+        assert_eq!(p.stats.assigned, 20);
+    }
+
+    #[test]
+    fn prefers_task_this_node_is_best_for() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        // Task 0's data is far from D2; task 1's data is on D2.
+        let cands = vec![mcand(0, 128, vec![NodeId(1)]), mcand(1, 128, vec![NodeId(2)])];
+        let free = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(1));
+    }
+
+    #[test]
+    fn below_p_min_skips() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        // Only task's data on D1. Offer the slot on D2: h(D2,D1) = 10,
+        // while D1 itself is free (cost 0) — the average is dragged down so
+        // the ratio (and probability) on D2 is small.
+        let cands = vec![mcand(0, 128, vec![NodeId(1)])];
+        let free = vec![NodeId(1), NodeId(2)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        // C on D2 = 1280; C_ave = (0 + 1280)/2 = 640; ratio 0.5 ->
+        // P = 1 - e^-0.5 ≈ 0.393 < 0.4.
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
+        assert_eq!(p.stats.below_p_min, 1);
+    }
+
+    #[test]
+    fn p_min_zero_still_draws_bernoulli() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![mcand(0, 128, vec![NodeId(1)])];
+        let free = vec![NodeId(1), NodeId(2)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let mut p = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.0));
+        // P ≈ 0.393: over many draws, both outcomes must occur.
+        let mut rng = rng();
+        let mut assigned = 0;
+        let mut skipped = 0;
+        for _ in 0..500 {
+            match p.place_map(&ctx, NodeId(2), &mut rng) {
+                Decision::Assign(_) => assigned += 1,
+                Decision::Skip => skipped += 1,
+            }
+        }
+        assert!(assigned > 100, "assigned {assigned}");
+        assert!(skipped > 100, "skipped {skipped}");
+        // Empirical rate close to 0.393.
+        let rate = assigned as f64 / 500.0;
+        assert!((rate - 0.393).abs() < 0.08, "rate {rate}");
+    }
+
+    #[test]
+    fn assignment_rate_matches_formula_probability() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        // C on D0 (replica at D2, h=2, B=128) = 256;
+        // free = {D0, D2}: C_ave = (256 + 0)/2 = 128; ratio 0.5 — gate it
+        // through p_min=0 and measure.
+        let cands = vec![mcand(0, 128, vec![NodeId(2)])];
+        let free = vec![NodeId(0), NodeId(2)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let expect = 1.0 - (-0.5f64).exp();
+        let mut p = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.0));
+        let mut rng = rng();
+        let n = 4000;
+        let mut hits = 0;
+        for _ in 0..n {
+            if p.place_map(&ctx, NodeId(0), &mut rng) != Decision::Skip {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.03, "rate {rate} vs {expect}");
+    }
+
+    fn rcand(i: u32, sources: Vec<ShuffleSource>) -> ReduceCandidate {
+        ReduceCandidate { task: ReduceTaskId { job: JobId(0), index: i }, sources }
+    }
+
+    fn reduce_ctx<'a>(
+        cands: &'a [ReduceCandidate],
+        free: &'a [NodeId],
+        running: &'a [NodeId],
+        cost: &'a DistanceMatrix,
+        layout: &'a ClusterLayout,
+    ) -> ReduceSchedContext<'a> {
+        ReduceSchedContext {
+            job: JobId(0),
+            candidates: cands,
+            free_reduce_nodes: free,
+            job_reduce_nodes: running,
+            cost,
+            layout,
+            job_map_progress: 0.5,
+            maps_finished: 1,
+            maps_total: 2,
+            reduces_launched: 0,
+            reduces_total: 1,
+            now: 0.0,
+        }
+    }
+
+    #[test]
+    fn reduce_collocation_constraint() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![rcand(
+            0,
+            vec![ShuffleSource { node: NodeId(0), current_bytes: 10.0, input_read: 1, input_total: 1 }],
+        )];
+        let free = vec![NodeId(0), NodeId(1)];
+        let running = vec![NodeId(0)];
+        let ctx = reduce_ctx(&cands, &free, &running, &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        // D0 would be free and perfect (cost 0) but already runs a reduce
+        // of this job.
+        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Skip);
+    }
+
+    #[test]
+    fn reduce_on_source_node_is_certain() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![rcand(
+            0,
+            vec![ShuffleSource { node: NodeId(3), current_bytes: 10.0, input_read: 1, input_total: 1 }],
+        )];
+        let free = vec![NodeId(1), NodeId(3)];
+        let ctx = reduce_ctx(&cands, &free, &[], &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_reduce(&ctx, NodeId(3), &mut rng), Decision::Assign(0));
+    }
+
+    #[test]
+    fn reduce_with_no_map_output_is_free_everywhere() {
+        // Before any map produces output, all costs are 0 => P = 1: the
+        // scheduler launches reduces eagerly (slow-start gating is the
+        // runtime's job, not the placer's).
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![rcand(0, vec![])];
+        let free = vec![NodeId(0), NodeId(1)];
+        let ctx = reduce_ctx(&cands, &free, &[], &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_reduce(&ctx, NodeId(1), &mut rng), Decision::Assign(0));
+    }
+
+    #[test]
+    fn estimator_changes_reduce_choice() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        // Recreate §II-B2's example: R could join M1@D0 (90% done, 5MB) or
+        // M2@D3 (10% done, 1MB now, 10MB final). Candidate reduce tasks are
+        // per-partition; here one task, two sources. The *placement node*
+        // choice is what differs: offer slot on D3.
+        let sources = vec![
+            ShuffleSource { node: NodeId(0), current_bytes: 5.0, input_read: 90, input_total: 100 },
+            ShuffleSource { node: NodeId(3), current_bytes: 1.0, input_read: 10, input_total: 100 },
+        ];
+        let cands = vec![rcand(0, sources)];
+        let free = vec![NodeId(0), NodeId(3)];
+        let ctx = reduce_ctx(&cands, &free, &[], &h, &layout);
+
+        // Extrapolated: on D3 cost = Î(M1)·h(0,3) = 5.56·8 ≈ 44.4;
+        //               on D0 cost = Î(M2)·h(3,0) = 10·8 = 80.
+        // So D3 is below-average -> high probability there.
+        let mut ext = ProbabilisticPlacer::new(ProbConfig {
+            p_min: 0.5,
+            ..ProbConfig::default()
+        });
+        let mut rng = rng();
+        assert_eq!(ext.place_reduce(&ctx, NodeId(3), &mut rng), Decision::Assign(0));
+
+        // Current-size: on D3 cost = 5·8 = 40; on D0 cost = 1·8 = 8.
+        // Now D3 looks *worse* than average ((40+8)/2=24; ratio 0.6,
+        // P ≈ 0.45 < 0.5) -> skipped.
+        let mut cur = ProbabilisticPlacer::new(ProbConfig {
+            p_min: 0.5,
+            estimator: IntermediateEstimator::CurrentSize,
+            ..ProbConfig::default()
+        });
+        assert_eq!(cur.place_reduce(&ctx, NodeId(3), &mut rng), Decision::Skip);
+    }
+
+    #[test]
+    #[should_panic(expected = "P_min must be in [0,1)")]
+    fn bad_p_min_rejected() {
+        ProbConfig::with_p_min(1.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Job and task identities shared across the scheduling stack.
+
+use std::fmt;
+
+/// Identifier of a MapReduce job (`J_i` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct JobId(pub u32);
+
+/// Identifier of a map task (`M_j`), scoped to its job.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct MapTaskId {
+    /// Owning job.
+    pub job: JobId,
+    /// Index within the job, `0..m`.
+    pub index: u32,
+}
+
+/// Identifier of a reduce task (`R_f`), scoped to its job.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ReduceTaskId {
+    /// Owning job.
+    pub job: JobId,
+    /// Index within the job, `0..n`; also the shuffle partition it owns.
+    pub index: u32,
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for MapTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/M{}", self.job, self.index)
+    }
+}
+
+impl fmt::Display for ReduceTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/R{}", self.job, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let j = JobId(3);
+        assert_eq!(j.to_string(), "J3");
+        assert_eq!(MapTaskId { job: j, index: 5 }.to_string(), "J3/M5");
+        assert_eq!(ReduceTaskId { job: j, index: 1 }.to_string(), "J3/R1");
+    }
+
+    #[test]
+    fn ordering_groups_by_job_then_index() {
+        let a = MapTaskId { job: JobId(0), index: 9 };
+        let b = MapTaskId { job: JobId(1), index: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Blocks: the unit of storage, replication and map-task input.
+
+use std::fmt;
+
+/// Identifier of a block; dense indices within one [`crate::BlockStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block id as a flat vector index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// A block: a fixed-size slice of a file's bytes. Each map task processes
+/// exactly one block (its `B_j` in the paper's notation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Identifier within the owning store.
+    pub id: BlockId,
+    /// Size in bytes (`B_j`).
+    pub size: u64,
+}
+
+impl Block {
+    /// A block of `size` bytes.
+    pub fn new(id: BlockId, size: u64) -> Self {
+        Self { id, size }
+    }
+}
+
+/// Split `total` bytes into blocks of at most `block_size` bytes; the final
+/// block carries the remainder. Returns the per-block sizes.
+///
+/// Mirrors HDFS file splitting: `Wordcount_10GB`'s 88 map tasks in the
+/// paper's Table II correspond to ⌈10 GB / 128 MB⌉-ish splits.
+pub fn split_sizes(total: u64, block_size: u64) -> Vec<u64> {
+    assert!(block_size > 0, "block size must be positive");
+    if total == 0 {
+        return Vec::new();
+    }
+    let full = (total / block_size) as usize;
+    let rem = total % block_size;
+    let mut v = vec![block_size; full];
+    if rem > 0 {
+        v.push(rem);
+    }
+    v
+}
+
+/// Split `total` bytes into exactly `n` near-equal blocks (used to hit the
+/// paper's exact per-job map counts from Table II).
+pub fn split_into(total: u64, n: usize) -> Vec<u64> {
+    assert!(n > 0, "cannot split into zero blocks");
+    let base = total / n as u64;
+    let rem = (total % n as u64) as usize;
+    (0..n)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_exact_multiple() {
+        assert_eq!(split_sizes(300, 100), vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn split_sizes_with_remainder() {
+        assert_eq!(split_sizes(250, 100), vec![100, 100, 50]);
+    }
+
+    #[test]
+    fn split_sizes_smaller_than_block() {
+        assert_eq!(split_sizes(10, 100), vec![10]);
+    }
+
+    #[test]
+    fn split_sizes_zero_total() {
+        assert!(split_sizes(0, 100).is_empty());
+    }
+
+    #[test]
+    fn split_into_preserves_total_and_count() {
+        let v = split_into(1003, 7);
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.iter().sum::<u64>(), 1003);
+        let (min, max) = (v.iter().min().unwrap(), v.iter().max().unwrap());
+        assert!(max - min <= 1, "near-equal split");
+    }
+
+    #[test]
+    fn split_into_one() {
+        assert_eq!(split_into(42, 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn split_into_zero_panics() {
+        split_into(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockId(7).to_string(), "blk7");
+    }
+}

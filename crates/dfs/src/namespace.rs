@@ -1,0 +1,140 @@
+//! File namespace: files are ordered lists of blocks.
+
+use crate::block::{Block, BlockId};
+use std::fmt;
+
+/// Identifier of a file in a [`Namespace`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct FileEntry {
+    name: String,
+    blocks: Vec<BlockId>,
+}
+
+/// A flat file → blocks namespace (HDFS without directories; the
+/// evaluation's job inputs are single large files).
+#[derive(Clone, Debug, Default)]
+pub struct Namespace {
+    files: Vec<FileEntry>,
+    blocks: Vec<Block>,
+}
+
+impl Namespace {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a file from per-block sizes; allocates fresh block ids.
+    pub fn create_file(&mut self, name: impl Into<String>, block_sizes: &[u64]) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        let mut blocks = Vec::with_capacity(block_sizes.len());
+        for &size in block_sizes {
+            let bid = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block::new(bid, size));
+            blocks.push(bid);
+        }
+        self.files.push(FileEntry { name: name.into(), blocks });
+        id
+    }
+
+    /// Number of files.
+    pub fn n_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of blocks across all files.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The file's name.
+    pub fn file_name(&self, file: FileId) -> &str {
+        &self.files[file.0 as usize].name
+    }
+
+    /// Blocks of `file`, in order.
+    pub fn file_blocks(&self, file: FileId) -> &[BlockId] {
+        &self.files[file.0 as usize].blocks
+    }
+
+    /// Total size of `file` in bytes.
+    pub fn file_size(&self, file: FileId) -> u64 {
+        self.files[file.0 as usize]
+            .blocks
+            .iter()
+            .map(|b| self.blocks[b.idx()].size)
+            .sum()
+    }
+
+    /// Block metadata.
+    pub fn block(&self, id: BlockId) -> Block {
+        self.blocks[id.idx()]
+    }
+
+    /// Look up a file by name.
+    pub fn find(&self, name: &str) -> Option<FileId> {
+        self.files
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FileId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::split_sizes;
+
+    #[test]
+    fn create_and_query() {
+        let mut ns = Namespace::new();
+        let f = ns.create_file("input", &split_sizes(250, 100));
+        assert_eq!(ns.n_files(), 1);
+        assert_eq!(ns.n_blocks(), 3);
+        assert_eq!(ns.file_name(f), "input");
+        assert_eq!(ns.file_size(f), 250);
+        assert_eq!(ns.file_blocks(f).len(), 3);
+        assert_eq!(ns.block(ns.file_blocks(f)[2]).size, 50);
+    }
+
+    #[test]
+    fn block_ids_unique_across_files() {
+        let mut ns = Namespace::new();
+        let a = ns.create_file("a", &[10, 10]);
+        let b = ns.create_file("b", &[20]);
+        let mut all: Vec<BlockId> = ns
+            .file_blocks(a)
+            .iter()
+            .chain(ns.file_blocks(b))
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut ns = Namespace::new();
+        let f = ns.create_file("wordcount_10g", &[1]);
+        assert_eq!(ns.find("wordcount_10g"), Some(f));
+        assert_eq!(ns.find("missing"), None);
+    }
+
+    #[test]
+    fn empty_file_allowed() {
+        let mut ns = Namespace::new();
+        let f = ns.create_file("empty", &[]);
+        assert_eq!(ns.file_size(f), 0);
+        assert!(ns.file_blocks(f).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Replica placement policies.
+//!
+//! Where replicas land determines the locality opportunities every scheduler
+//! competes over, so placement is a first-class, pluggable policy:
+//!
+//! * [`RackAware`] — stock HDFS: first replica on the "writer" node, second
+//!   on a random node in a *different* rack (or a different node of the same
+//!   rack in single-rack clusters), third on a different node of the second
+//!   replica's rack, further replicas random. This is what the paper's
+//!   testbed used (replication factor 2).
+//! * [`UniformRandom`] — replicas on distinct uniformly random nodes; the
+//!   distribution NAS/SAN-backed clusters approximate (paper §I cites data
+//!   "stored in NAS or SAN devices located in a subset of the nodes").
+//! * [`LocalOnly`] — every replica on the writer node; degenerate policy for
+//!   tests and worst-case locality skew.
+
+use pnats_net::{ClusterLayout, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Chooses the set of nodes holding each replica of a block.
+pub trait ReplicaPlacement {
+    /// Pick `replication` distinct nodes for a block written from `writer`.
+    ///
+    /// Returns fewer than `replication` nodes only when the cluster itself
+    /// is smaller than the replication factor.
+    fn place(
+        &self,
+        writer: NodeId,
+        replication: usize,
+        layout: &ClusterLayout,
+        rng: &mut SmallRng,
+    ) -> Vec<NodeId>;
+}
+
+/// Stock HDFS rack-aware placement (see module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RackAware;
+
+/// Uniform placement over distinct nodes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformRandom;
+
+/// All replicas on the writer node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalOnly;
+
+fn random_node_excluding(
+    layout: &ClusterLayout,
+    exclude: &[NodeId],
+    filter: impl Fn(NodeId) -> bool,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
+    let candidates: Vec<NodeId> = (0..layout.n_nodes() as u32)
+        .map(NodeId)
+        .filter(|n| !exclude.contains(n) && filter(*n))
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+impl ReplicaPlacement for RackAware {
+    fn place(
+        &self,
+        writer: NodeId,
+        replication: usize,
+        layout: &ClusterLayout,
+        rng: &mut SmallRng,
+    ) -> Vec<NodeId> {
+        let mut replicas = Vec::with_capacity(replication);
+        if replication == 0 {
+            return replicas;
+        }
+        replicas.push(writer);
+        // Second replica: off-rack if any other rack has nodes, else any
+        // other node of the writer's rack.
+        if replicas.len() < replication {
+            let off_rack = random_node_excluding(
+                layout,
+                &replicas,
+                |n| !layout.same_rack(n, writer),
+                rng,
+            );
+            let second = off_rack.or_else(|| {
+                random_node_excluding(layout, &replicas, |_| true, rng)
+            });
+            if let Some(n) = second {
+                replicas.push(n);
+            }
+        }
+        // Third replica: same rack as the second, different node.
+        if replicas.len() < replication && replicas.len() == 2 {
+            let second = replicas[1];
+            if let Some(n) = random_node_excluding(
+                layout,
+                &replicas,
+                |n| layout.same_rack(n, second),
+                rng,
+            ) {
+                replicas.push(n);
+            }
+        }
+        // Any further replicas: uniform over remaining nodes.
+        while replicas.len() < replication {
+            match random_node_excluding(layout, &replicas, |_| true, rng) {
+                Some(n) => replicas.push(n),
+                None => break, // cluster smaller than replication factor
+            }
+        }
+        replicas
+    }
+}
+
+impl ReplicaPlacement for UniformRandom {
+    fn place(
+        &self,
+        _writer: NodeId,
+        replication: usize,
+        layout: &ClusterLayout,
+        rng: &mut SmallRng,
+    ) -> Vec<NodeId> {
+        let mut replicas = Vec::with_capacity(replication);
+        while replicas.len() < replication {
+            match random_node_excluding(layout, &replicas, |_| true, rng) {
+                Some(n) => replicas.push(n),
+                None => break,
+            }
+        }
+        replicas
+    }
+}
+
+impl ReplicaPlacement for LocalOnly {
+    fn place(
+        &self,
+        writer: NodeId,
+        replication: usize,
+        _layout: &ClusterLayout,
+        _rng: &mut SmallRng,
+    ) -> Vec<NodeId> {
+        if replication == 0 {
+            Vec::new()
+        } else {
+            vec![writer]
+        }
+    }
+}
+
+/// Pick a uniformly random writer node, the common case when loading data
+/// from outside the cluster.
+pub fn random_writer(layout: &ClusterLayout, rng: &mut SmallRng) -> NodeId {
+    NodeId(rng.gen_range(0..layout.n_nodes() as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_net::{RackId, Topology};
+    use rand::SeedableRng;
+
+    const GB: f64 = 1e9 / 8.0;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn layout_multi() -> ClusterLayout {
+        Topology::multi_rack(3, 4, GB, GB).layout().clone()
+    }
+
+    fn layout_single() -> ClusterLayout {
+        Topology::single_rack(6, GB).layout().clone()
+    }
+
+    #[test]
+    fn rack_aware_first_is_writer_second_off_rack() {
+        let layout = layout_multi();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let r = RackAware.place(NodeId(0), 2, &layout, &mut rng);
+            assert_eq!(r.len(), 2);
+            assert_eq!(r[0], NodeId(0));
+            assert!(!layout.same_rack(r[0], r[1]), "second replica off-rack");
+        }
+    }
+
+    #[test]
+    fn rack_aware_third_shares_second_rack() {
+        let layout = layout_multi();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let r = RackAware.place(NodeId(0), 3, &layout, &mut rng);
+            assert_eq!(r.len(), 3);
+            assert!(layout.same_rack(r[1], r[2]));
+            assert_ne!(r[1], r[2]);
+        }
+    }
+
+    #[test]
+    fn rack_aware_single_rack_falls_back_to_distinct_nodes() {
+        let layout = layout_single();
+        let mut rng = rng();
+        let r = RackAware.place(NodeId(2), 2, &layout, &mut rng);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], NodeId(2));
+        assert_ne!(r[0], r[1]);
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let layout = ClusterLayout::new(vec![RackId(0), RackId(0)]);
+        let mut rng = rng();
+        let r = RackAware.place(NodeId(0), 5, &layout, &mut rng);
+        assert_eq!(r.len(), 2, "only 2 nodes exist");
+        let u = UniformRandom.place(NodeId(0), 5, &layout, &mut rng);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn uniform_replicas_are_distinct() {
+        let layout = layout_multi();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let r = UniformRandom.place(NodeId(0), 3, &layout, &mut rng);
+            assert_eq!(r.len(), 3);
+            assert_ne!(r[0], r[1]);
+            assert_ne!(r[1], r[2]);
+            assert_ne!(r[0], r[2]);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_cluster() {
+        let layout = layout_single();
+        let mut rng = rng();
+        let mut seen = vec![false; layout.n_nodes()];
+        for _ in 0..200 {
+            for n in UniformRandom.place(NodeId(0), 1, &layout, &mut rng) {
+                seen[n.idx()] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "every node eventually receives a replica");
+    }
+
+    #[test]
+    fn local_only_is_writer_only() {
+        let layout = layout_multi();
+        let mut rng = rng();
+        assert_eq!(LocalOnly.place(NodeId(5), 3, &layout, &mut rng), vec![NodeId(5)]);
+        assert!(LocalOnly.place(NodeId(5), 0, &layout, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_writer_in_range() {
+        let layout = layout_single();
+        let mut rng = rng();
+        for _ in 0..100 {
+            let w = random_writer(&layout, &mut rng);
+            assert!(w.idx() < layout.n_nodes());
+        }
+    }
+}

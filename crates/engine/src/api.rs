@@ -1,0 +1,107 @@
+//! User-facing job API: mappers, reducers, job descriptions.
+
+use std::sync::Arc;
+
+/// Emits intermediate or final key/value pairs.
+pub type Emit<'a> = dyn FnMut(String, String) + 'a;
+
+/// The map function: called once per input line (Hadoop's TextInputFormat
+/// semantics — key is the byte offset, value the line).
+pub trait Mapper: Send + Sync {
+    /// Process one input record.
+    fn map(&self, offset: u64, line: &str, emit: &mut Emit<'_>);
+}
+
+/// The reduce function: called once per distinct key with all its values.
+pub trait Reducer: Send + Sync {
+    /// Process one key group.
+    fn reduce(&self, key: &str, values: &[String], emit: &mut Emit<'_>);
+}
+
+/// A runnable MapReduce job.
+#[derive(Clone)]
+pub struct EngineJob {
+    /// Display name.
+    pub name: String,
+    /// Map function.
+    pub mapper: Arc<dyn Mapper>,
+    /// Reduce function.
+    pub reducer: Arc<dyn Reducer>,
+    /// Number of reduce tasks (= shuffle partitions).
+    pub n_reduces: usize,
+}
+
+impl EngineJob {
+    /// A job named `name` over the given user code.
+    pub fn new(
+        name: impl Into<String>,
+        mapper: Arc<dyn Mapper>,
+        reducer: Arc<dyn Reducer>,
+        n_reduces: usize,
+    ) -> Self {
+        assert!(n_reduces > 0, "jobs need at least one reduce partition");
+        Self { name: name.into(), mapper, reducer, n_reduces }
+    }
+}
+
+/// Hadoop's default partitioner: stable hash of the key modulo partitions.
+pub fn partition_of(key: &str, n_reduces: usize) -> usize {
+    // FNV-1a: stable across runs/platforms (std's hasher is not).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n_reduces as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Identity;
+    impl Mapper for Identity {
+        fn map(&self, _o: u64, line: &str, emit: &mut Emit<'_>) {
+            emit(line.to_string(), "1".to_string());
+        }
+    }
+    impl Reducer for Identity {
+        fn reduce(&self, key: &str, values: &[String], emit: &mut Emit<'_>) {
+            emit(key.to_string(), values.len().to_string());
+        }
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for n in [1usize, 7, 157] {
+            for key in ["", "a", "hello", "Zebra-12"] {
+                let p = partition_of(key, n);
+                assert!(p < n);
+                assert_eq!(p, partition_of(key, n), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        let n = 16;
+        let mut seen = vec![false; n];
+        for i in 0..1000 {
+            seen[partition_of(&format!("key{i}"), n)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "every partition hit");
+    }
+
+    #[test]
+    fn job_construction() {
+        let j = EngineJob::new("j", Arc::new(Identity), Arc::new(Identity), 3);
+        assert_eq!(j.name, "j");
+        assert_eq!(j.n_reduces, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce")]
+    fn zero_reduces_rejected() {
+        EngineJob::new("j", Arc::new(Identity), Arc::new(Identity), 0);
+    }
+}

@@ -1,0 +1,619 @@
+//! The engine runtime: virtual nodes, slots, heartbeat-driven placement,
+//! threaded task execution.
+
+use crate::api::{partition_of, EngineJob};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pnats_core::context::{
+    MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
+};
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
+use pnats_metrics::{LocalityClass, LocalityCounter};
+use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How intermediate keys map to reduce partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Partitioner {
+    /// Stable hash of the key (Hadoop default).
+    #[default]
+    Hash,
+    /// Range partition by the key's first byte — gives globally sorted
+    /// output for uniformly distributed keys (TeraSort's sampler, scaled
+    /// down).
+    RangeByFirstByte,
+}
+
+impl Partitioner {
+    fn of(self, key: &str, n: usize) -> usize {
+        match self {
+            Partitioner::Hash => partition_of(key, n),
+            Partitioner::RangeByFirstByte => {
+                let b = key.as_bytes().first().copied().unwrap_or(0) as usize;
+                (b * n / 256).min(n - 1)
+            }
+        }
+    }
+}
+
+/// Engine configuration. The defaults make examples finish in seconds while
+/// keeping remote reads visibly slower than local ones.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Virtual nodes.
+    pub n_nodes: usize,
+    /// Map slots per node.
+    pub map_slots: u32,
+    /// Reduce slots per node.
+    pub reduce_slots: u32,
+    /// Input split size in bytes.
+    pub block_bytes: usize,
+    /// Replication factor for input blocks.
+    pub replication: usize,
+    /// Driver heartbeat period.
+    pub heartbeat: Duration,
+    /// Simulated network cost: microseconds per KiB per hop. Local access
+    /// is free; a 2-hop 64 KiB read at 20 µs/KiB·hop costs ~2.6 ms.
+    pub net_us_per_kib_hop: u64,
+    /// Simulated map compute cost: microseconds per KiB of input.
+    pub cpu_us_per_kib: u64,
+    /// Fraction of maps that must finish before reduces launch.
+    pub slowstart: f64,
+    /// Shuffle-partition choice.
+    pub partitioner: Partitioner,
+    /// Seed for replica placement and placer randomness.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            n_nodes: 8,
+            map_slots: 2,
+            reduce_slots: 1,
+            block_bytes: 64 << 10,
+            replication: 2,
+            heartbeat: Duration::from_millis(4),
+            net_us_per_kib_hop: 20,
+            cpu_us_per_kib: 30,
+            slowstart: 0.25,
+            partitioner: Partitioner::Hash,
+            seed: 42,
+        }
+    }
+}
+
+/// What a run produces.
+pub struct EngineReport {
+    /// Final key/value pairs, partition-major (within a partition, sorted
+    /// by key — so with a range partitioner the whole output is sorted).
+    pub output: Vec<(String, String)>,
+    /// Where each map ran relative to its block.
+    pub map_locality: LocalityCounter,
+    /// Where each reduce ran relative to its dominant input source.
+    pub reduce_locality: LocalityCounter,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Map task count.
+    pub n_maps: usize,
+    /// Reduce task count.
+    pub n_reduces: usize,
+    /// Placement offers the scheduler declined.
+    pub skipped_offers: u64,
+}
+
+/// A map task's partitioned output: per-partition pairs plus byte sizes.
+type MapOutput = (Vec<Vec<(String, String)>>, Vec<u64>);
+/// Shared store of finished map outputs, filled by the driver.
+type OutputStore = Arc<Mutex<Vec<Option<MapOutput>>>>;
+
+/// Published progress of one running map task (the heartbeat report).
+struct MapProgress {
+    d_read: AtomicU64,
+    part_bytes: Vec<AtomicU64>,
+}
+
+enum DoneMsg {
+    Map {
+        map: usize,
+        node: NodeId,
+        /// Per-partition intermediate pairs and their byte sizes.
+        partitions: Vec<Vec<(String, String)>>,
+        bytes: Vec<u64>,
+    },
+    Reduce {
+        reduce: usize,
+        node: NodeId,
+        output: Vec<(String, String)>,
+        sources: Vec<(NodeId, u64)>,
+    },
+}
+
+/// The engine: a virtual cluster ready to run jobs.
+pub struct MapReduceEngine {
+    cfg: EngineConfig,
+    hops: Arc<DistanceMatrix>,
+    layout: ClusterLayout,
+}
+
+impl MapReduceEngine {
+    /// A cluster per `cfg`, on a single-rack star topology (the engine's
+    /// network realism lives in hop-proportional read delays, not in link
+    /// contention — that is the simulator's job).
+    pub fn new(cfg: EngineConfig) -> Self {
+        let topo = Topology::single_rack(cfg.n_nodes, 1e9);
+        Self {
+            hops: Arc::new(DistanceMatrix::hops(&topo)),
+            layout: topo.layout().clone(),
+            cfg,
+        }
+    }
+
+    /// Access the engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Split text into blocks of roughly `block_bytes` on line boundaries.
+    fn split_blocks(&self, input: &str) -> Vec<String> {
+        let mut blocks = Vec::new();
+        let mut cur = String::new();
+        for line in input.lines() {
+            cur.push_str(line);
+            cur.push('\n');
+            if cur.len() >= self.cfg.block_bytes {
+                blocks.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            blocks.push(cur);
+        }
+        if blocks.is_empty() {
+            blocks.push(String::new());
+        }
+        blocks
+    }
+
+    fn net_delay(&self, bytes: u64, hops: f64) -> Duration {
+        Duration::from_micros((bytes / 1024).max(1) * self.cfg.net_us_per_kib_hop * hops as u64)
+    }
+
+    /// Run `job` over `input` with the given task placer. Returns the full
+    /// output and placement statistics.
+    pub fn run(
+        &self,
+        job: &EngineJob,
+        input: &str,
+        mut placer: Box<dyn TaskPlacer>,
+    ) -> EngineReport {
+        let start = Instant::now();
+        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
+        let blocks: Arc<Vec<String>> = Arc::new(self.split_blocks(input));
+        let n_maps = blocks.len();
+        let n_reduces = job.n_reduces;
+
+        // Place replicas.
+        let mut store = BlockStore::new();
+        for b in 0..n_maps {
+            let writer = pnats_dfs::placement::random_writer(&self.layout, &mut rng);
+            let reps = RackAware.place(writer, self.cfg.replication, &self.layout, &mut rng);
+            store.set_replicas(BlockId(b as u32), reps);
+        }
+
+        // Scheduling state (driver-owned).
+        let jid = JobId(0);
+        let map_cands: Vec<MapCandidate> = (0..n_maps)
+            .map(|j| MapCandidate {
+                task: MapTaskId { job: jid, index: j as u32 },
+                block_size: blocks[j].len() as u64,
+                replicas: store.replicas(BlockId(j as u32)).to_vec(),
+            })
+            .collect();
+        let mut unassigned_maps: Vec<usize> = (0..n_maps).collect();
+        let mut unassigned_reduces: Vec<usize> = (0..n_reduces).collect();
+        let mut free_map: Vec<u32> = vec![self.cfg.map_slots; self.cfg.n_nodes];
+        let mut free_reduce: Vec<u32> = vec![self.cfg.reduce_slots; self.cfg.n_nodes];
+        let map_node: Arc<Mutex<Vec<Option<NodeId>>>> =
+            Arc::new(Mutex::new(vec![None; n_maps]));
+        let mut reduce_node: Vec<Option<NodeId>> = vec![None; n_reduces];
+        let mut job_reduce_nodes: Vec<NodeId> = Vec::new();
+        let mut maps_finished = 0usize;
+        let mut reduces_finished = 0usize;
+        let mut skipped_offers = 0u64;
+        let mut map_locality = LocalityCounter::default();
+        let mut reduce_locality = LocalityCounter::default();
+
+        // Cross-thread state.
+        let progress: Arc<Vec<MapProgress>> = Arc::new(
+            (0..n_maps)
+                .map(|_| MapProgress {
+                    d_read: AtomicU64::new(0),
+                    part_bytes: (0..n_reduces).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+        );
+        let outputs: OutputStore = Arc::new(Mutex::new((0..n_maps).map(|_| None).collect()));
+        let all_maps_done = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<DoneMsg>, Receiver<DoneMsg>) = unbounded();
+
+        let mut final_output: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
+
+        crossbeam::scope(|scope| {
+            let mut last_hb = Instant::now() - self.cfg.heartbeat;
+            loop {
+                // Drain completions.
+                while let Ok(msg) = rx.try_recv() {
+                    match msg {
+                        DoneMsg::Map { map, node, partitions, bytes } => {
+                            outputs.lock()[map] = Some((partitions, bytes));
+                            maps_finished += 1;
+                            free_map[node.idx()] += 1;
+                            if maps_finished == n_maps {
+                                all_maps_done.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        DoneMsg::Reduce { reduce, node, output, sources } => {
+                            reduces_finished += 1;
+                            free_reduce[node.idx()] += 1;
+                            if let Some(pos) =
+                                job_reduce_nodes.iter().position(|n| *n == node)
+                            {
+                                job_reduce_nodes.swap_remove(pos);
+                            }
+                            let dominant = sources
+                                .iter()
+                                .max_by_key(|(_, b)| *b)
+                                .map(|(n, _)| *n);
+                            reduce_locality.record(match dominant {
+                                Some(d) if d == node => LocalityClass::NodeLocal,
+                                Some(d) if self.layout.same_rack(d, node) => {
+                                    LocalityClass::RackLocal
+                                }
+                                Some(_) => LocalityClass::Remote,
+                                None => LocalityClass::NodeLocal,
+                            });
+                            final_output[reduce] = output;
+                        }
+                    }
+                }
+                if reduces_finished == n_reduces && maps_finished == n_maps {
+                    break;
+                }
+
+                if last_hb.elapsed() < self.cfg.heartbeat {
+                    std::thread::sleep(Duration::from_micros(300));
+                    continue;
+                }
+                last_hb = Instant::now();
+
+                // Heartbeat every node; fill slots through the placer.
+                for node_idx in 0..self.cfg.n_nodes {
+                    let node = NodeId(node_idx as u32);
+                    // Map slots.
+                    while free_map[node.idx()] > 0 && !unassigned_maps.is_empty() {
+                        let cands: Vec<MapCandidate> = unassigned_maps
+                            .iter()
+                            .map(|&m| map_cands[m].clone())
+                            .collect();
+                        let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
+                            .filter(|n| free_map[*n] > 0)
+                            .map(|n| NodeId(n as u32))
+                            .collect();
+                        let ctx = MapSchedContext {
+                            job: jid,
+                            candidates: &cands,
+                            free_map_nodes: &free_nodes,
+                            cost: self.hops.as_ref(),
+                            layout: &self.layout,
+                            now: start.elapsed().as_secs_f64(),
+                        };
+                        match placer.place_map(&ctx, node, &mut rng) {
+                            Decision::Assign(i) => {
+                                let map = unassigned_maps.swap_remove(i);
+                                free_map[node.idx()] -= 1;
+                                map_node.lock()[map] = Some(node);
+                                map_locality.record(if cands[i].is_local_to(node) {
+                                    LocalityClass::NodeLocal
+                                } else if cands[i].is_rack_local_to(node, &self.layout) {
+                                    LocalityClass::RackLocal
+                                } else {
+                                    LocalityClass::Remote
+                                });
+                                self.spawn_map(
+                                    scope, job, map, node, &store, &blocks, &progress,
+                                    tx.clone(),
+                                );
+                            }
+                            Decision::Skip => {
+                                skipped_offers += 1;
+                                break;
+                            }
+                        }
+                    }
+                    // Reduce slots (after slowstart).
+                    let gate =
+                        (self.cfg.slowstart * n_maps as f64).ceil() as usize;
+                    if maps_finished < gate.min(n_maps) {
+                        continue;
+                    }
+                    while free_reduce[node.idx()] > 0 && !unassigned_reduces.is_empty() {
+                        let cands: Vec<ReduceCandidate> = unassigned_reduces
+                            .iter()
+                            .map(|&f| ReduceCandidate {
+                                task: ReduceTaskId { job: jid, index: f as u32 },
+                                sources: self.shuffle_sources(
+                                    f, &map_node.lock(), &progress, &blocks,
+                                ),
+                            })
+                            .collect();
+                        let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
+                            .filter(|n| free_reduce[*n] > 0)
+                            .map(|n| NodeId(n as u32))
+                            .collect();
+                        let read_total: u64 = progress
+                            .iter()
+                            .map(|p| p.d_read.load(Ordering::Relaxed))
+                            .sum();
+                        let bytes_total: u64 =
+                            blocks.iter().map(|b| b.len() as u64).sum();
+                        let ctx = ReduceSchedContext {
+                            job: jid,
+                            candidates: &cands,
+                            free_reduce_nodes: &free_nodes,
+                            job_reduce_nodes: &job_reduce_nodes,
+                            cost: self.hops.as_ref(),
+                            layout: &self.layout,
+                            job_map_progress: read_total as f64
+                                / bytes_total.max(1) as f64,
+                            maps_finished,
+                            maps_total: n_maps,
+                            reduces_launched: n_reduces - unassigned_reduces.len(),
+                            reduces_total: n_reduces,
+                            now: start.elapsed().as_secs_f64(),
+                        };
+                        match placer.place_reduce(&ctx, node, &mut rng) {
+                            Decision::Assign(i) => {
+                                let red = unassigned_reduces.swap_remove(i);
+                                free_reduce[node.idx()] -= 1;
+                                reduce_node[red] = Some(node);
+                                job_reduce_nodes.push(node);
+                                self.spawn_reduce(
+                                    scope, job, red, node, &map_node, &outputs,
+                                    &all_maps_done, tx.clone(),
+                                );
+                            }
+                            Decision::Skip => {
+                                skipped_offers += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("engine worker panicked");
+
+        let output: Vec<(String, String)> = final_output.into_iter().flatten().collect();
+        EngineReport {
+            output,
+            map_locality,
+            reduce_locality,
+            wall: start.elapsed(),
+            n_maps,
+            n_reduces,
+            skipped_offers,
+        }
+    }
+
+    /// Build a reduce candidate's shuffle sources from live progress.
+    fn shuffle_sources(
+        &self,
+        partition: usize,
+        map_node: &[Option<NodeId>],
+        progress: &Arc<Vec<MapProgress>>,
+        blocks: &Arc<Vec<String>>,
+    ) -> Vec<ShuffleSource> {
+        map_node
+            .iter()
+            .enumerate()
+            .filter_map(|(m, node)| {
+                node.map(|n| ShuffleSource {
+                    node: n,
+                    current_bytes: progress[m].part_bytes[partition]
+                        .load(Ordering::Relaxed) as f64,
+                    input_read: progress[m].d_read.load(Ordering::Relaxed),
+                    input_total: blocks[m].len() as u64,
+                })
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_map<'s>(
+        &'s self,
+        scope: &crossbeam::thread::Scope<'s>,
+        job: &EngineJob,
+        map: usize,
+        node: NodeId,
+        store: &BlockStore,
+        blocks: &Arc<Vec<String>>,
+        progress: &Arc<Vec<MapProgress>>,
+        tx: Sender<DoneMsg>,
+    ) {
+        let mapper = job.mapper.clone();
+        let partitioner = self.cfg.partitioner;
+        let n_reduces = job.n_reduces;
+        let blocks = blocks.clone();
+        let progress = progress.clone();
+        let (_, fetch_hops) = store
+            .nearest_replica(BlockId(map as u32), node, self.hops.as_ref())
+            .expect("blocks have replicas");
+        let fetch_delay = self.net_delay(blocks[map].len() as u64, fetch_hops);
+        let cpu_us = self.cfg.cpu_us_per_kib;
+        scope.spawn(move |_| {
+            std::thread::sleep(fetch_delay);
+            let text = &blocks[map];
+            let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
+            let mut bytes = vec![0u64; n_reduces];
+            let mut offset = 0u64;
+            let p = &progress[map];
+            for line in text.lines() {
+                mapper.map(offset, line, &mut |k, v| {
+                    let part = partitioner.of(&k, n_reduces);
+                    let sz = (k.len() + v.len()) as u64;
+                    bytes[part] += sz;
+                    p.part_bytes[part].fetch_add(sz, Ordering::Relaxed);
+                    partitions[part].push((k, v));
+                });
+                offset += line.len() as u64 + 1;
+                p.d_read.store(offset.min(text.len() as u64), Ordering::Relaxed);
+                // Pace the task so progress is observable by the scheduler.
+                if offset % 8192 < line.len() as u64 + 1 {
+                    std::thread::sleep(Duration::from_micros(cpu_us * 8));
+                }
+            }
+            p.d_read.store(text.len() as u64, Ordering::Relaxed);
+            let _ = tx.send(DoneMsg::Map { map, node, partitions, bytes });
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_reduce<'s>(
+        &'s self,
+        scope: &crossbeam::thread::Scope<'s>,
+        job: &EngineJob,
+        reduce: usize,
+        node: NodeId,
+        map_node: &Arc<Mutex<Vec<Option<NodeId>>>>,
+        outputs: &OutputStore,
+        all_maps_done: &Arc<AtomicBool>,
+        tx: Sender<DoneMsg>,
+    ) {
+        let reducer = job.reducer.clone();
+        let outputs = outputs.clone();
+        let all_maps_done = all_maps_done.clone();
+        let hops = self.hops.clone();
+        let net_us = self.cfg.net_us_per_kib_hop;
+        let map_node = map_node.clone();
+        let n_maps = map_node.lock().len();
+        scope.spawn(move |_| {
+            // Shuffle: wait for the map phase, then pull this partition
+            // from every map output (network delay per remote source).
+            while !all_maps_done.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            // Every map has been placed and finished by now, so the
+            // placement table is fully populated.
+            let map_node: Vec<Option<NodeId>> = map_node.lock().clone();
+            let mut pairs: Vec<(String, String)> = Vec::new();
+            let mut per_source: Vec<(NodeId, u64)> = Vec::new();
+            for m in 0..n_maps {
+                let (part, sz) = {
+                    let guard = outputs.lock();
+                    let (parts, bytes) =
+                        guard[m].as_ref().expect("map output present after done");
+                    (parts[reduce].clone(), bytes[reduce])
+                };
+                let src = map_node[m].expect("map phase complete implies placement");
+                let h = hops.get(src, NodeId(node.0));
+                if h > 0.0 && sz > 0 {
+                    std::thread::sleep(Duration::from_micros(
+                        (sz / 1024).max(1) * net_us * h as u64,
+                    ));
+                }
+                if sz > 0 {
+                    match per_source.iter_mut().find(|(n, _)| *n == src) {
+                        Some(e) => e.1 += sz,
+                        None => per_source.push((src, sz)),
+                    }
+                }
+                pairs.extend(part);
+            }
+            // Sort + group + reduce.
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut output = Vec::new();
+            let mut i = 0;
+            while i < pairs.len() {
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                    j += 1;
+                }
+                let values: Vec<String> =
+                    pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+                reducer.reduce(&pairs[i].0, &values, &mut |k, v| output.push((k, v)));
+                i = j;
+            }
+            let _ = tx.send(DoneMsg::Reduce { reduce, node, output, sources: per_source });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::WordCountJob;
+    use pnats_core::prob_sched::ProbabilisticPlacer;
+    use std::collections::HashMap;
+
+    fn tiny_engine() -> MapReduceEngine {
+        MapReduceEngine::new(EngineConfig {
+            n_nodes: 4,
+            block_bytes: 512,
+            heartbeat: Duration::from_millis(1),
+            net_us_per_kib_hop: 5,
+            cpu_us_per_kib: 5,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn wordcount_counts_correctly() {
+        let eng = tiny_engine();
+        let input = "apple banana apple\ncherry banana apple\n".repeat(40);
+        let job = EngineJob::new(
+            "wc",
+            Arc::new(WordCountJob),
+            Arc::new(WordCountJob),
+            3,
+        );
+        let report = eng.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+        let counts: HashMap<String, u64> = report
+            .output
+            .iter()
+            .map(|(k, v)| (k.clone(), v.parse().unwrap()))
+            .collect();
+        assert_eq!(counts["apple"], 120);
+        assert_eq!(counts["banana"], 80);
+        assert_eq!(counts["cherry"], 40);
+        assert!(report.n_maps > 1, "input should split into several blocks");
+        assert_eq!(report.map_locality.total() as usize, report.n_maps);
+        assert_eq!(report.reduce_locality.total() as usize, report.n_reduces);
+    }
+
+    #[test]
+    fn block_splitting_respects_lines() {
+        let eng = tiny_engine();
+        let input = (0..100).map(|i| format!("line-{i}")).collect::<Vec<_>>().join("\n");
+        let blocks = eng.split_blocks(&input);
+        assert!(blocks.len() > 1);
+        let rejoined: String = blocks.concat();
+        assert_eq!(rejoined.lines().count(), 100);
+        for b in &blocks {
+            assert!(b.ends_with('\n') || b == blocks.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_input_still_completes() {
+        let eng = tiny_engine();
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
+        let report = eng.run(&job, "", Box::new(ProbabilisticPlacer::paper()));
+        assert!(report.output.is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! Carrier crate for the workspace-level integration tests in `/tests`.
+//!
+//! Cargo requires integration tests to belong to a package; this package
+//! exists solely to wire `tests/*.rs` (which span every pnats crate) into
+//! `cargo test --workspace`. It exports nothing.

@@ -1,0 +1,118 @@
+//! Summary statistics and the paper's reduction-percentage metric.
+
+/// Five-number-plus-mean summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize `samples`; returns `None` when empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s = samples.to_vec();
+        s.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let idx = ((p * s.len() as f64).ceil() as usize).max(1) - 1;
+            s[idx.min(s.len() - 1)]
+        };
+        Some(Summary {
+            n: s.len(),
+            min: s[0],
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            p95: q(0.95),
+            max: s[s.len() - 1],
+            mean: s.iter().sum::<f64>() / s.len() as f64,
+        })
+    }
+}
+
+/// The paper's Figure 5 metric: percentage reduction of `ours` relative to
+/// `baseline`, i.e. `(baseline − ours) / baseline × 100`.
+///
+/// Positive means `ours` is faster. Returns 0 for a zero baseline.
+pub fn reduction_pct(baseline: f64, ours: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+/// Element-wise reduction percentages for paired per-job measurements.
+pub fn paired_reductions(baseline: &[f64], ours: &[f64]) -> Vec<f64> {
+    assert_eq!(baseline.len(), ours.len(), "paired samples must align");
+    baseline
+        .iter()
+        .zip(ours)
+        .map(|(b, o)| reduction_pct(*b, *o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn reduction_matches_paper_definition() {
+        // (coupling - probabilistic)/coupling
+        assert_eq!(reduction_pct(100.0, 83.0), 17.0);
+        assert_eq!(reduction_pct(100.0, 54.0), 46.0);
+        assert_eq!(reduction_pct(100.0, 120.0), -20.0);
+        assert_eq!(reduction_pct(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn paired_reductions_align() {
+        let r = paired_reductions(&[100.0, 200.0], &[50.0, 150.0]);
+        assert_eq!(r, vec![50.0, 25.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_pairs_rejected() {
+        paired_reductions(&[1.0], &[1.0, 2.0]);
+    }
+}

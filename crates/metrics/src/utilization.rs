@@ -1,0 +1,137 @@
+//! Slot-utilization timelines.
+//!
+//! The paper claims better "cluster resource utilization"; concretely, the
+//! fraction of configured slots busy over time. The timeline records busy-
+//! count *change events* and integrates them.
+
+/// A step function of busy slots over time, built from change events.
+#[derive(Clone, Debug)]
+pub struct UtilizationTimeline {
+    capacity: u64,
+    /// (time, delta) events; +1 task start, -1 task end.
+    events: Vec<(f64, i64)>,
+}
+
+impl UtilizationTimeline {
+    /// A timeline for a cluster with `capacity` total slots.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0);
+        Self { capacity, events: Vec::new() }
+    }
+
+    /// Record a slot becoming busy at `t`.
+    pub fn start(&mut self, t: f64) {
+        self.events.push((t, 1));
+    }
+
+    /// Record a slot becoming free at `t`.
+    pub fn end(&mut self, t: f64) {
+        self.events.push((t, -1));
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The busy-count step function as `(time, busy)` points, one per
+    /// distinct event time, sorted.
+    pub fn steps(&self) -> Vec<(f64, u64)> {
+        let mut ev = self.events.clone();
+        ev.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out: Vec<(f64, u64)> = Vec::new();
+        let mut busy: i64 = 0;
+        for (t, d) in ev {
+            busy += d;
+            debug_assert!(busy >= 0, "more ends than starts");
+            match out.last_mut() {
+                Some(last) if last.0 == t => last.1 = busy as u64,
+                _ => out.push((t, busy as u64)),
+            }
+        }
+        out
+    }
+
+    /// Time-weighted mean utilization (busy / capacity) over `[t0, t1]`.
+    pub fn mean_utilization(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0);
+        let steps = self.steps();
+        if steps.is_empty() {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_t = t0;
+        let mut prev_busy = 0u64;
+        for (t, busy) in steps {
+            if t <= t0 {
+                prev_busy = busy;
+                continue;
+            }
+            if t >= t1 {
+                break;
+            }
+            area += (t - prev_t) * prev_busy as f64;
+            prev_t = t;
+            prev_busy = busy;
+        }
+        area += (t1 - prev_t) * prev_busy as f64;
+        area / ((t1 - t0) * self.capacity as f64)
+    }
+
+    /// Peak busy count.
+    pub fn peak(&self) -> u64 {
+        self.steps().into_iter().map(|(_, b)| b).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_utilization() {
+        // 1 of 2 slots busy from t=0 to t=10 within a [0, 20] window: 25%.
+        let mut u = UtilizationTimeline::new(2);
+        u.start(0.0);
+        u.end(10.0);
+        assert!((u.mean_utilization(0.0, 20.0) - 0.25).abs() < 1e-12);
+        assert_eq!(u.peak(), 1);
+    }
+
+    #[test]
+    fn overlapping_tasks() {
+        let mut u = UtilizationTimeline::new(4);
+        u.start(0.0);
+        u.start(0.0);
+        u.end(5.0);
+        u.end(10.0);
+        // busy: 2 for [0,5), 1 for [5,10) -> area 15 over 40.
+        assert!((u.mean_utilization(0.0, 10.0) - 15.0 / 40.0).abs() < 1e-12);
+        assert_eq!(u.peak(), 2);
+    }
+
+    #[test]
+    fn window_clipping() {
+        let mut u = UtilizationTimeline::new(1);
+        u.start(0.0);
+        u.end(100.0);
+        // Fully busy inside any sub-window.
+        assert!((u.mean_utilization(10.0, 20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let u = UtilizationTimeline::new(3);
+        assert_eq!(u.mean_utilization(0.0, 1.0), 0.0);
+        assert_eq!(u.peak(), 0);
+    }
+
+    #[test]
+    fn steps_merge_simultaneous_events() {
+        let mut u = UtilizationTimeline::new(2);
+        u.start(1.0);
+        u.start(1.0);
+        let s = u.steps();
+        assert_eq!(s, vec![(1.0, 2)]);
+    }
+}

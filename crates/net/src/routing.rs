@@ -1,0 +1,162 @@
+//! Link-level shortest-path routing.
+//!
+//! The fluid flow model ([`crate::flow`]) needs, for every node pair, the
+//! set of links a transfer occupies. [`RoutingTable`] precomputes a BFS
+//! shortest-path tree per source node and materializes paths as link-id
+//! lists on demand (paths in the tree shapes we build are ≤ 4 links).
+
+use crate::topology::{LinkId, NodeId, Topology, Vertex};
+use std::collections::VecDeque;
+
+/// Precomputed routes between all node pairs of a topology.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    n_nodes: usize,
+    /// `paths[a * n + b]` = links on the route a→b (empty when a == b or
+    /// unreachable; use [`RoutingTable::reachable`] to distinguish).
+    paths: Vec<Vec<LinkId>>,
+    reachable: Vec<bool>,
+}
+
+impl RoutingTable {
+    /// Compute routes for every ordered node pair of `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.n_nodes();
+        let n_vertices = n + topo.n_switches();
+        let mut paths = vec![Vec::new(); n * n];
+        let mut reachable = vec![false; n * n];
+
+        let vid = |v: Vertex| -> usize {
+            match v {
+                Vertex::Node(nd) => nd.idx(),
+                Vertex::Switch(s) => n + s.0 as usize,
+            }
+        };
+
+        let mut parent: Vec<Option<(LinkId, Vertex)>> = vec![None; n_vertices];
+        let mut seen = vec![false; n_vertices];
+        for src in 0..n {
+            parent.iter_mut().for_each(|p| *p = None);
+            seen.iter_mut().for_each(|s| *s = false);
+            let src_v = Vertex::Node(NodeId(src as u32));
+            seen[vid(src_v)] = true;
+            let mut queue = VecDeque::new();
+            queue.push_back(src_v);
+            while let Some(v) = queue.pop_front() {
+                for &(link, next) in topo.incident(v) {
+                    let ni = vid(next);
+                    if !seen[ni] {
+                        seen[ni] = true;
+                        parent[ni] = Some((link, v));
+                        queue.push_back(next);
+                    }
+                }
+            }
+            for dst in 0..n {
+                if dst == src {
+                    reachable[src * n + dst] = true;
+                    continue;
+                }
+                if !seen[dst] {
+                    continue;
+                }
+                reachable[src * n + dst] = true;
+                let mut route = Vec::new();
+                let mut cur = Vertex::Node(NodeId(dst as u32));
+                while vid(cur) != vid(src_v) {
+                    let (link, prev) =
+                        parent[vid(cur)].expect("seen vertices have parents back to source");
+                    route.push(link);
+                    cur = prev;
+                }
+                route.reverse();
+                paths[src * n + dst] = route;
+            }
+        }
+        Self { n_nodes: n, paths, reachable }
+    }
+
+    /// Number of nodes routed over.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Links on the route `a → b`; empty for `a == b`.
+    /// Panics if the pair is unreachable.
+    pub fn route(&self, a: NodeId, b: NodeId) -> &[LinkId] {
+        assert!(
+            self.reachable[a.idx() * self.n_nodes + b.idx()],
+            "no route {a} -> {b}"
+        );
+        &self.paths[a.idx() * self.n_nodes + b.idx()]
+    }
+
+    /// Whether a route exists from `a` to `b`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.reachable[a.idx() * self.n_nodes + b.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+
+    const GB: f64 = 1e9 / 8.0;
+
+    #[test]
+    fn single_rack_routes_have_two_links() {
+        let t = Topology::single_rack(3, GB);
+        let rt = RoutingTable::new(&t);
+        assert!(rt.route(NodeId(0), NodeId(0)).is_empty());
+        assert_eq!(rt.route(NodeId(0), NodeId(1)).len(), 2);
+        assert_eq!(rt.route(NodeId(2), NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn multi_rack_cross_rack_routes_use_uplinks() {
+        let t = Topology::multi_rack(2, 2, GB, GB);
+        let rt = RoutingTable::new(&t);
+        assert_eq!(rt.route(NodeId(0), NodeId(1)).len(), 2);
+        assert_eq!(rt.route(NodeId(0), NodeId(2)).len(), 4);
+    }
+
+    #[test]
+    fn route_length_equals_hop_distance() {
+        let t = Topology::palmetto_slice(12, GB);
+        let rt = RoutingTable::new(&t);
+        let h = DistanceMatrix::hops(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(rt.route(a, b).len() as f64, h.get(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pairs_unreachable() {
+        let t = Topology::isolated(2);
+        let rt = RoutingTable::new(&t);
+        assert!(rt.reachable(NodeId(0), NodeId(0)));
+        assert!(!rt.reachable(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_route_panics() {
+        let t = Topology::isolated(2);
+        let rt = RoutingTable::new(&t);
+        rt.route(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        let t = Topology::multi_rack(3, 4, GB, 10.0 * GB);
+        let rt = RoutingTable::new(&t);
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(rt.route(a, b).len(), rt.route(b, a).len());
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap keyed on `(time, sequence)` — the sequence number makes
+//! ordering total and deterministic for simultaneous events.
+
+use pnats_net::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Event payloads.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// A job becomes known to the JobTracker.
+    JobArrival {
+        /// Index into the simulation's job table.
+        job: usize,
+    },
+    /// A node reports in with its slot state.
+    Heartbeat {
+        /// Reporting node.
+        node: NodeId,
+    },
+    /// The earliest in-flight transfer may have finished. Valid only if
+    /// `version` still matches the transfer manager's version.
+    TransferWake {
+        /// Transfer-manager version this prediction was made against.
+        version: u64,
+    },
+    /// A map task finishes its compute phase.
+    MapDone {
+        /// Job index.
+        job: usize,
+        /// Map index within the job.
+        map: usize,
+    },
+    /// A speculative map backup finishes (may be stale if cancelled).
+    BackupDone {
+        /// Index into the simulation's backup table.
+        idx: usize,
+    },
+    /// A reduce task finishes its merge+reduce phase.
+    ReduceDone {
+        /// Job index.
+        job: usize,
+        /// Reduce index within the job.
+        reduce: usize,
+    },
+    /// Start a configured background flow.
+    BackgroundStart {
+        /// Index into `SimConfig::background`.
+        idx: usize,
+    },
+    /// Stop a configured background flow.
+    BackgroundStop {
+        /// Index into `SimConfig::background`.
+        idx: usize,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .t
+            .total_cmp(&self.t)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `t`.
+    pub fn push(&mut self, t: f64, kind: EventKind) {
+        assert!(t.is_finite() && t >= 0.0, "event time must be finite: {t}");
+        self.heap.push(Entry { t, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event as `(time, kind)`.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        self.heap.pop().map(|e| (e.t, e.kind))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Heartbeat { node: NodeId(0) });
+        q.push(1.0, EventKind::Heartbeat { node: NodeId(1) });
+        q.push(3.0, EventKind::Heartbeat { node: NodeId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::MapDone { job: 0, map: 0 });
+        q.push(1.0, EventKind::MapDone { job: 0, map: 1 });
+        q.push(1.0, EventKind::MapDone { job: 0, map: 2 });
+        let maps: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::MapDone { map, .. } => map,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(maps, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(0.0, EventKind::JobArrival { job: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::JobArrival { job: 0 });
+    }
+}

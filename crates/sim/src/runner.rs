@@ -1,0 +1,1125 @@
+//! The simulation driver: event loop, heartbeat scheduling, task lifecycle.
+//!
+//! ## How a run unfolds
+//!
+//! 1. Blocks of every job are placed on nodes by the configured replication
+//!    policy (HDFS rack-aware, factor 2 by default).
+//! 2. Nodes heartbeat every [`SimConfig::heartbeat_s`] seconds (staggered).
+//!    On each heartbeat the JobTracker fills the node's free slots: jobs
+//!    are visited in fair-share order (fewest running tasks first — the
+//!    paper keeps Hadoop's Fair Scheduler at the job level) and the
+//!    pluggable [`TaskPlacer`] answers each slot offer.
+//! 3. Placed maps fetch their block (a network flow if remote), compute,
+//!    and on completion push shuffle segments toward running reduces.
+//!    Placed reduces copy finished map outputs with bounded parallelism,
+//!    then merge+reduce once the job's map phase is complete.
+//! 4. Completed transfers feed the rate monitor; when
+//!    [`SimConfig::network_condition`] is set, the scheduler's cost matrix
+//!    is the congestion-scaled variant of §II-B3, refreshed every second.
+//!
+//! The run ends when every job finishes (or `max_sim_time` passes — the
+//! escape hatch that detects `P_min` values so high the cluster starves,
+//! which is how the paper's §III selected `P_min = 0.4`).
+
+use crate::config::{JobInput, SimConfig};
+use crate::events::{EventKind, EventQueue};
+use crate::state::{JobState, MapPhase, NodeState, ReducePhase};
+use crate::trace::{JobRecord, TaskKind, TaskRecord, Trace};
+use crate::transfers::{Completion, TransferTag, Transfers};
+use pnats_core::context::{MapSchedContext, ReduceCandidate, ReduceSchedContext};
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::types::{JobId, ReduceTaskId};
+use pnats_dfs::{RackAware, ReplicaPlacement};
+use pnats_metrics::LocalityClass;
+use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, RateMonitor};
+use pnats_workloads::Batch;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Convenience: the [`JobInput`]s of a workload batch.
+pub fn job_inputs_from_batch(batch: &Batch) -> Vec<JobInput> {
+    JobInput::from_batch(batch)
+}
+
+/// The outcome of a simulation run.
+pub struct SimReport {
+    /// Task-level scheduler that produced it.
+    pub scheduler: String,
+    /// Full execution trace.
+    pub trace: Trace,
+    /// Simulated time at which the run ended.
+    pub sim_end: f64,
+    /// Jobs submitted.
+    pub jobs_submitted: usize,
+    /// Jobs that finished before `max_sim_time`.
+    pub jobs_completed: usize,
+}
+
+impl SimReport {
+    /// Whether every job completed.
+    pub fn all_completed(&self) -> bool {
+        self.jobs_completed == self.jobs_submitted
+    }
+}
+
+/// A configured simulation, ready to run one batch.
+pub struct Simulation {
+    cfg: SimConfig,
+    layout: ClusterLayout,
+    hops: DistanceMatrix,
+    sched_matrix: DistanceMatrix,
+    sched_matrix_t: f64,
+    monitor: RateMonitor,
+    placer: Box<dyn TaskPlacer>,
+    rng: SmallRng,
+    now: f64,
+    events: EventQueue,
+    nodes: Vec<NodeState>,
+    jobs: Vec<JobState>,
+    arrived: Vec<bool>,
+    transfers: Transfers,
+    trace: Trace,
+    jobs_done: usize,
+    round: u64,
+    backups: Vec<BackupTask>,
+}
+
+/// A speculative copy of a running map task.
+struct BackupTask {
+    job: usize,
+    map: usize,
+    node: NodeId,
+    cancelled: bool,
+}
+
+impl Simulation {
+    /// Build a simulation over `cfg` with the given task-level placer.
+    pub fn new(cfg: SimConfig, placer: Box<dyn TaskPlacer>) -> Self {
+        let topo = cfg.build_topology();
+        let layout = topo.layout().clone();
+        let hops = DistanceMatrix::hops(&topo);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut nodes: Vec<NodeState> = (0..cfg.n_nodes)
+            .map(|_| NodeState {
+                free_map: cfg.map_slots,
+                free_reduce: cfg.reduce_slots,
+                speed: 1.0 + cfg.node_speed_spread * (rng.gen::<f64>() * 2.0 - 1.0),
+            })
+            .collect();
+        for &(idx, factor) in &cfg.slow_nodes {
+            nodes[idx].speed = factor;
+        }
+        let trace = Trace::new(cfg.total_map_slots(), cfg.total_reduce_slots());
+        let monitor = RateMonitor::new(cfg.n_nodes, cfg.monitor_alpha);
+        Self {
+            sched_matrix: hops.clone(),
+            sched_matrix_t: -1.0,
+            transfers: Transfers::new(&topo),
+            layout,
+            hops,
+            monitor,
+            placer,
+            rng,
+            now: 0.0,
+            events: EventQueue::new(),
+            nodes,
+            jobs: Vec::new(),
+            arrived: Vec::new(),
+            trace,
+            jobs_done: 0,
+            round: 0,
+            backups: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Run the batch to completion (or `max_sim_time`) and report.
+    pub fn run(mut self, inputs: &[JobInput]) -> SimReport {
+        // --- Place blocks and build job state. ---
+        // Writers come from each job's "ingest set" — the nodes that loaded
+        // the data (HDFS puts the first replica on the writer). A fraction
+        // of 1.0 degenerates to uniform writers.
+        let policy = RackAware;
+        let ingest_size = ((self.cfg.ingest_fraction * self.cfg.n_nodes as f64).ceil()
+            as usize)
+            .clamp(1, self.cfg.n_nodes);
+        for (ji, input) in inputs.iter().enumerate() {
+            let mut all_nodes: Vec<u32> = (0..self.cfg.n_nodes as u32).collect();
+            for i in (1..all_nodes.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                all_nodes.swap(i, j);
+            }
+            let ingest = &all_nodes[..ingest_size];
+            let replicas: Vec<Vec<NodeId>> = input
+                .block_sizes
+                .iter()
+                .map(|_| match self.cfg.data_layout {
+                    crate::config::DataLayout::HdfsRackAware => {
+                        let writer = NodeId(ingest[self.rng.gen_range(0..ingest.len())]);
+                        policy.place(writer, self.cfg.replication, &self.layout, &mut self.rng)
+                    }
+                    crate::config::DataLayout::IngestConfined => {
+                        // All replicas within the ingest set (NAS/SAN-style).
+                        let mut picks: Vec<NodeId> = Vec::new();
+                        let want = self.cfg.replication.min(ingest.len());
+                        while picks.len() < want {
+                            let n = NodeId(ingest[self.rng.gen_range(0..ingest.len())]);
+                            if !picks.contains(&n) {
+                                picks.push(n);
+                            }
+                        }
+                        picks
+                    }
+                })
+                .collect();
+            let job = JobState::new(
+                JobId(ji as u32),
+                input,
+                replicas,
+                self.cfg.n_nodes,
+                &mut self.rng,
+            );
+            self.events.push(input.submit, EventKind::JobArrival { job: ji });
+            self.jobs.push(job);
+            self.arrived.push(false);
+        }
+
+        // --- Prime heartbeats (staggered) and background flows. ---
+        let hb = self.cfg.heartbeat_s;
+        for n in 0..self.cfg.n_nodes {
+            let offset = hb * (n as f64 + 1.0) / self.cfg.n_nodes as f64;
+            self.events.push(offset, EventKind::Heartbeat { node: NodeId(n as u32) });
+        }
+        for (i, bg) in self.cfg.background.clone().iter().enumerate() {
+            self.events.push(bg.start, EventKind::BackgroundStart { idx: i });
+            self.events.push(bg.end, EventKind::BackgroundStop { idx: i });
+        }
+
+        // --- Main loop. ---
+        while let Some((t, kind)) = self.events.pop() {
+            if self.jobs_done == self.jobs.len() {
+                break;
+            }
+            if t > self.cfg.max_sim_time {
+                break;
+            }
+            debug_assert!(t >= self.now - 1e-9, "event time regression");
+            self.now = t;
+            self.dispatch(kind);
+        }
+
+        SimReport {
+            scheduler: self.placer.name().to_string(),
+            sim_end: self.now,
+            jobs_submitted: self.jobs.len(),
+            jobs_completed: self.jobs_done,
+            trace: self.trace,
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::JobArrival { job } => {
+                self.arrived[job] = true;
+            }
+            EventKind::Heartbeat { node } => {
+                self.round += 1;
+                self.placer.on_heartbeat_round(self.round);
+                self.refresh_sched_matrix();
+                self.schedule_node(node);
+                self.events
+                    .push(self.now + self.cfg.heartbeat_s, EventKind::Heartbeat { node });
+            }
+            EventKind::TransferWake { version } => {
+                if version != self.transfers.version() {
+                    return; // stale prediction
+                }
+                let done = self.transfers.reap(self.now);
+                for c in done {
+                    self.handle_completion(c);
+                }
+                self.arm_transfer_wake();
+            }
+            EventKind::MapDone { job, map } => self.on_map_done(job, map),
+            EventKind::BackupDone { idx } => self.on_backup_done(idx),
+            EventKind::ReduceDone { job, reduce } => self.on_reduce_done(job, reduce),
+            EventKind::BackgroundStart { idx } => {
+                let bg = self.cfg.background[idx];
+                self.transfers.start(
+                    self.now,
+                    NodeId(bg.src as u32),
+                    NodeId(bg.dst as u32),
+                    f64::INFINITY,
+                    TransferTag::Background { idx },
+                );
+                self.arm_transfer_wake();
+            }
+            EventKind::BackgroundStop { idx } => {
+                self.transfers.cancel(self.now, TransferTag::Background { idx });
+                self.arm_transfer_wake();
+            }
+        }
+    }
+
+    /// Re-arm the single pending transfer wake-up.
+    fn arm_transfer_wake(&mut self) {
+        if let Some((t, v)) = self.transfers.next_wake() {
+            self.events
+                .push(t.max(self.now), EventKind::TransferWake { version: v });
+        }
+    }
+
+    /// Refresh the scheduler-facing cost matrix (at most once per
+    /// heartbeat interval; it is a full n² snapshot).
+    fn refresh_sched_matrix(&mut self) {
+        if !self.cfg.network_condition {
+            return;
+        }
+        if self.now - self.sched_matrix_t < self.cfg.heartbeat_s * 0.999 {
+            return;
+        }
+        self.sched_matrix = self
+            .monitor
+            .congestion_scaled_matrix(&self.hops, self.cfg.nic_bps);
+        self.sched_matrix_t = self.now;
+    }
+
+    /// Jobs eligible for scheduling of one slot type, in Hadoop Fair
+    /// Scheduler order: jobs *below their fair share* of that slot type
+    /// first (fewest running tasks of the type breaks ties), jobs at or
+    /// above their share after them (work conservation — idle slots go to
+    /// over-share jobs rather than nobody).
+    fn fair_order(&self, demanding: &[usize], running_of: impl Fn(&JobState) -> usize, total_slots: u64) -> Vec<usize> {
+        if demanding.is_empty() {
+            return Vec::new();
+        }
+        let share = (total_slots as usize).div_ceil(demanding.len());
+        let mut order = demanding.to_vec();
+        order.sort_by_key(|&j| {
+            let running = running_of(&self.jobs[j]);
+            (running >= share, running, j)
+        });
+        order
+    }
+
+    /// Fill `node`'s free slots.
+    fn schedule_node(&mut self, node: NodeId) {
+        // Map slots: HEAD-OF-LINE. The fair-share head job gets the offer;
+        // if its task-level policy declines (delay scheduling waiting for
+        // locality, a probability gate firing low), the slot stays idle
+        // until the next heartbeat. This is Hadoop 1.x semantics and the
+        // under-utilization mechanism the paper (and Coupling's authors)
+        // ascribe to delay scheduling — a declined slot is a real cost.
+        loop {
+            if self.nodes[node.idx()].free_map == 0 {
+                break;
+            }
+            let demanding: Vec<usize> = (0..self.jobs.len())
+                .filter(|&j| {
+                    self.arrived[j]
+                        && self.jobs[j].finished_at.is_none()
+                        && !self.jobs[j].unassigned_maps.is_empty()
+                })
+                .collect();
+            let order =
+                self.fair_order(&demanding, |j| j.running_maps.len(), self.cfg.total_map_slots());
+            let Some(&head) = order.first() else { break };
+            match self.offer_map(head, node) {
+                Some(map) => self.assign_map(head, map, node),
+                None => break,
+            }
+        }
+        // Speculative execution: with free map slots, no pending maps in
+        // the head job, and a straggling copy, launch one backup.
+        if self.cfg.speculation_lag > 0.0 && self.nodes[node.idx()].free_map > 0 {
+            self.try_speculate(node);
+        }
+        // Reduce slots.
+        loop {
+            if self.nodes[node.idx()].free_reduce == 0 {
+                break;
+            }
+            let demanding: Vec<usize> = (0..self.jobs.len())
+                .filter(|&j| {
+                    let job = &self.jobs[j];
+                    if !self.arrived[j]
+                        || job.finished_at.is_some()
+                        || job.unassigned_reduces.is_empty()
+                    {
+                        return false;
+                    }
+                    // Hadoop slowstart: a fraction of maps must have finished.
+                    let gate = (self.cfg.slowstart * job.maps.len() as f64).ceil() as usize;
+                    job.maps_finished >= gate.min(job.maps.len())
+                })
+                .collect();
+            // Hard share cap on reduce slots: running reduces hold their
+            // slot for the job's whole shuffle, so without a cap the first
+            // jobs past slowstart would monopolize the pool for the rest
+            // of the batch (Fair Scheduler enforces shares per slot type).
+            let share = if demanding.is_empty() {
+                0
+            } else {
+                (self.cfg.total_reduce_slots() as usize).div_ceil(demanding.len())
+            };
+            let eligible: Vec<usize> = demanding
+                .iter()
+                .copied()
+                .filter(|&j| self.jobs[j].reduce_nodes.len() < share)
+                .collect();
+            let order = self.fair_order(
+                &eligible,
+                |j| j.reduce_nodes.len(),
+                self.cfg.total_reduce_slots(),
+            );
+            let mut assigned = false;
+            for ji in order {
+                if let Some(red) = self.offer_reduce(ji, node) {
+                    self.assign_reduce(ji, red, node);
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                break;
+            }
+        }
+    }
+
+    /// Nodes currently advertising at least one free map slot.
+    fn free_map_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.n_nodes)
+            .filter(|&n| self.nodes[n].free_map > 0)
+            .map(|n| NodeId(n as u32))
+            .collect()
+    }
+
+    fn free_reduce_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.n_nodes)
+            .filter(|&n| self.nodes[n].free_reduce > 0)
+            .map(|n| NodeId(n as u32))
+            .collect()
+    }
+
+    /// Offer one map slot on `node` for job `ji`; returns the chosen map
+    /// task index, if any.
+    fn offer_map(&mut self, ji: usize, node: NodeId) -> Option<usize> {
+        // Node-local candidates first (Hadoop's per-node task cache), then
+        // the head of the pending queue up to the window size.
+        let mut window = self.jobs[ji].local_unassigned_on(node, 8);
+        let job = &self.jobs[ji];
+        for &m in job.unassigned_maps.iter() {
+            if window.len() >= self.cfg.map_candidate_window {
+                break;
+            }
+            if !window.contains(&m) {
+                window.push(m);
+            }
+        }
+        let candidates: Vec<_> = window.iter().map(|&m| job.map_cands[m].clone()).collect();
+        let free = self.free_map_nodes();
+        let ctx = MapSchedContext {
+            job: job.id,
+            candidates: &candidates,
+            free_map_nodes: &free,
+            cost: if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            layout: &self.layout,
+            now: self.now,
+        };
+        match self.placer.place_map(&ctx, node, &mut self.rng) {
+            Decision::Assign(i) => Some(window[i]),
+            Decision::Skip => {
+                self.trace.skipped_offers += 1;
+                None
+            }
+        }
+    }
+
+    /// Offer one reduce slot on `node` for job `ji`.
+    fn offer_reduce(&mut self, ji: usize, node: NodeId) -> Option<usize> {
+        let job = &self.jobs[ji];
+        let window: Vec<usize> = job
+            .unassigned_reduces
+            .iter()
+            .take(self.cfg.reduce_candidate_window)
+            .copied()
+            .collect();
+        let mut candidates = Vec::with_capacity(window.len());
+        let mut scratch = Vec::new();
+        for &f in &window {
+            job.shuffle_sources(f, self.now, &mut scratch);
+            candidates.push(ReduceCandidate {
+                task: ReduceTaskId { job: job.id, index: f as u32 },
+                sources: scratch.clone(),
+            });
+        }
+        let free = self.free_reduce_nodes();
+        let launched = job.reduces.len() - job.unassigned_reduces.len();
+        let ctx = ReduceSchedContext {
+            job: job.id,
+            candidates: &candidates,
+            free_reduce_nodes: &free,
+            job_reduce_nodes: &job.reduce_nodes,
+            cost: if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            layout: &self.layout,
+            job_map_progress: job.map_work_progress(self.now),
+            maps_finished: job.maps_finished,
+            maps_total: job.maps.len(),
+            reduces_launched: launched,
+            reduces_total: job.reduces.len(),
+            now: self.now,
+        };
+        match self.placer.place_reduce(&ctx, node, &mut self.rng) {
+            Decision::Assign(i) => Some(window[i]),
+            Decision::Skip => {
+                self.trace.skipped_offers += 1;
+                None
+            }
+        }
+    }
+
+    fn map_locality(&self, ji: usize, map: usize, node: NodeId) -> LocalityClass {
+        let cand = &self.jobs[ji].map_cands[map];
+        if cand.is_local_to(node) {
+            LocalityClass::NodeLocal
+        } else if cand.is_rack_local_to(node, &self.layout) {
+            LocalityClass::RackLocal
+        } else {
+            LocalityClass::Remote
+        }
+    }
+
+    fn assign_map(&mut self, ji: usize, map: usize, node: NodeId) {
+        debug_assert!(self.nodes[node.idx()].free_map > 0);
+        self.nodes[node.idx()].free_map -= 1;
+        self.trace.map_util.start(self.now);
+
+        let locality = self.map_locality(ji, map, node);
+        let noise = self.cfg.partition_noise;
+        let job = &mut self.jobs[ji];
+        let pos = job
+            .unassigned_maps
+            .iter()
+            .position(|m| *m == map)
+            .expect("assigning an unassigned map");
+        job.unassigned_maps.remove(pos);
+        job.running_tasks += 1;
+        job.running_maps.push(map);
+        job.materialize_map_output(map, noise, &mut self.rng);
+        job.maps[map].assigned_t = self.now;
+        job.maps[map].locality = locality;
+
+        // Fetch from the nearest replica (by physical hops), then compute.
+        let (src, dist) = {
+            let cand = &job.map_cands[map];
+            cand.replicas
+                .iter()
+                .map(|&r| (r, self.hops.get(node, r)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("blocks always have replicas")
+        };
+        if dist == 0.0 {
+            self.start_map_compute(ji, map, node);
+        } else {
+            let bytes = self.jobs[ji].maps[map].block as f64;
+            self.jobs[ji].maps[map].phase = MapPhase::Fetching { node };
+            let done = self.transfers.start(
+                self.now,
+                src,
+                node,
+                bytes,
+                TransferTag::MapFetch { job: ji, map },
+            );
+            match done {
+                Some(c) => self.handle_completion(c),
+                None => self.arm_transfer_wake(),
+            }
+        }
+    }
+
+    fn start_map_compute(&mut self, ji: usize, map: usize, node: NodeId) {
+        let speed = self.nodes[node.idx()].speed;
+        let jitter = 1.0 + self.cfg.task_jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        let block = self.jobs[ji].maps[map].block as f64;
+        let duration = (block / (self.cfg.map_rate_bps * speed * jitter)).max(1e-6);
+        self.jobs[ji].maps[map].phase =
+            MapPhase::Computing { node, start: self.now, duration };
+        self.events
+            .push(self.now + duration, EventKind::MapDone { job: ji, map });
+    }
+
+    fn on_map_done(&mut self, ji: usize, map: usize) {
+        let node = self.jobs[ji].maps[map].node().expect("done map has a node");
+        self.nodes[node.idx()].free_map += 1;
+        self.trace.map_util.end(self.now);
+        if self.jobs[ji].maps[map].is_done() {
+            // A speculative backup already completed this task; this event
+            // is the losing primary releasing its slot.
+            return;
+        }
+        // Kill any outstanding backup of this task (the primary won).
+        for b in &mut self.backups {
+            if b.job == ji && b.map == map && !b.cancelled {
+                b.cancelled = true;
+                self.nodes[b.node.idx()].free_map += 1;
+                self.trace.map_util.end(self.now);
+            }
+        }
+        self.finish_map(ji, map, node);
+    }
+
+    /// Common completion path for primaries and winning backups.
+    fn finish_map(&mut self, ji: usize, map: usize, node: NodeId) {
+        self.jobs[ji].complete_map(map, node, self.now);
+        self.jobs[ji].running_tasks -= 1;
+        // A winning backup may have run elsewhere than the original
+        // placement; record the locality of where the work actually ran.
+        let locality = self.map_locality(ji, map, node);
+        self.jobs[ji].maps[map].locality = locality;
+
+        let m = &self.jobs[ji].maps[map];
+        let net_bytes = match m.locality {
+            LocalityClass::NodeLocal => 0.0,
+            _ => m.block as f64,
+        };
+        self.trace.tasks.push(TaskRecord {
+            job: ji,
+            kind: TaskKind::Map,
+            index: map,
+            node: node.idx(),
+            assigned: m.assigned_t,
+            finished: self.now,
+            locality: m.locality,
+            net_bytes,
+        });
+
+        // Push this map's output toward every running reduce.
+        let n_reduces = self.jobs[ji].reduces.len();
+        for f in 0..n_reduces {
+            let phase = self.jobs[ji].reduces[f].phase.clone();
+            if let ReducePhase::Shuffling { .. } = phase {
+                let bytes = self.jobs[ji].maps[map].final_bytes_for(f);
+                self.jobs[ji].reduces[f].enqueue(node, bytes);
+                self.kick_copiers(ji, f);
+                self.try_finish_shuffle(ji, f);
+            }
+        }
+        self.check_job_done(ji);
+    }
+
+    /// Launch at most one speculative backup on `node` for the fair-order
+    /// head job whose map queue is drained but whose slowest running map
+    /// lags the job's mean progress by `speculation_lag`.
+    fn try_speculate(&mut self, node: NodeId) {
+        let lag = self.cfg.speculation_lag;
+        let now = self.now;
+        for ji in 0..self.jobs.len() {
+            let job = &self.jobs[ji];
+            if !self.arrived[ji]
+                || job.finished_at.is_some()
+                || !job.unassigned_maps.is_empty()
+                || job.running_maps.is_empty()
+            {
+                continue;
+            }
+            // Progress fractions of running maps.
+            let fracs: Vec<(usize, f64)> = job
+                .running_maps
+                .iter()
+                .map(|&m| {
+                    let t = &job.maps[m];
+                    (m, t.input_read(now) as f64 / t.block.max(1) as f64)
+                })
+                .collect();
+            let mean = fracs.iter().map(|(_, f)| f).sum::<f64>() / fracs.len() as f64;
+            let Some(&(victim, frac)) = fracs
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .filter(|(_, f)| mean - f >= lag)
+            else {
+                continue;
+            };
+            let _ = frac;
+            // One backup per task; never on the straggler's own node.
+            if self
+                .backups
+                .iter()
+                .any(|b| b.job == ji && b.map == victim && !b.cancelled)
+                || job.maps[victim].node() == Some(node)
+            {
+                continue;
+            }
+            // Launch the backup from scratch on this node.
+            self.nodes[node.idx()].free_map -= 1;
+            self.trace.map_util.start(now);
+            let speed = self.nodes[node.idx()].speed;
+            let jitter = 1.0 + self.cfg.task_jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+            let block = self.jobs[ji].maps[victim].block as f64;
+            // Backups re-read their input; approximate a remote fetch at
+            // nominal NIC rate rather than opening a flow.
+            let fetch = block / self.cfg.nic_bps;
+            let duration = fetch + block / (self.cfg.map_rate_bps * speed * jitter);
+            let idx = self.backups.len();
+            self.backups.push(BackupTask { job: ji, map: victim, node, cancelled: false });
+            self.events.push(now + duration, EventKind::BackupDone { idx });
+            return;
+        }
+    }
+
+    /// A speculative copy finished (or fires stale after cancellation).
+    fn on_backup_done(&mut self, idx: usize) {
+        if self.backups[idx].cancelled {
+            return; // loser already reaped when the primary finished
+        }
+        let (ji, map, node) = {
+            let b = &self.backups[idx];
+            (b.job, b.map, b.node)
+        };
+        self.backups[idx].cancelled = true;
+        if self.jobs[ji].maps[map].is_done() {
+            // Primary beat us between scheduling and firing; just release.
+            self.nodes[node.idx()].free_map += 1;
+            self.trace.map_util.end(self.now);
+            return;
+        }
+        // The backup wins: complete the map here; the primary's later
+        // MapDone will find the task done and only release its slot.
+        self.nodes[node.idx()].free_map += 1;
+        self.trace.map_util.end(self.now);
+        self.finish_map(ji, map, node);
+    }
+
+    fn assign_reduce(&mut self, ji: usize, f: usize, node: NodeId) {
+        debug_assert!(self.nodes[node.idx()].free_reduce > 0);
+        self.nodes[node.idx()].free_reduce -= 1;
+        self.trace.reduce_util.start(self.now);
+
+        let job = &mut self.jobs[ji];
+        let pos = job
+            .unassigned_reduces
+            .iter()
+            .position(|r| *r == f)
+            .expect("assigning an unassigned reduce");
+        job.unassigned_reduces.remove(pos);
+        job.running_tasks += 1;
+        job.reduce_nodes.push(node);
+        job.reduces[f].phase = ReducePhase::Shuffling { node };
+        job.reduces[f].assigned_t = self.now;
+
+        // Pull everything already finished.
+        for n in 0..job.done_by_node.len() {
+            if let Some(bytes) = job.done_by_node[n].get(f).copied() {
+                if bytes > 0.0 {
+                    job.reduces[f].enqueue(NodeId(n as u32), bytes);
+                }
+            }
+        }
+        self.kick_copiers(ji, f);
+        self.try_finish_shuffle(ji, f);
+    }
+
+    /// Start queued shuffle fetches up to the copier limit.
+    fn kick_copiers(&mut self, ji: usize, f: usize) {
+        let node = match self.jobs[ji].reduces[f].phase {
+            ReducePhase::Shuffling { node } => node,
+            _ => return,
+        };
+        let mut started_remote = false;
+        loop {
+            let r = &mut self.jobs[ji].reduces[f];
+            if r.active_fetches >= self.cfg.parallel_copies || r.pending.is_empty() {
+                break;
+            }
+            let (src, bytes) = r.pending.pop_front().expect("checked non-empty");
+            if src == node {
+                // Local read: no network involvement.
+                r.receive(src, bytes);
+                continue;
+            }
+            r.active_fetches += 1;
+            let done = self.transfers.start(
+                self.now,
+                src,
+                node,
+                bytes,
+                TransferTag::Shuffle { job: ji, reduce: f },
+            );
+            if let Some(c) = done {
+                // Tiny transfers complete inline.
+                self.jobs[ji].reduces[f].active_fetches -= 1;
+                self.jobs[ji].reduces[f].receive(c.src, c.bytes);
+            } else {
+                started_remote = true;
+            }
+        }
+        if started_remote {
+            self.arm_transfer_wake();
+        }
+    }
+
+    /// If the reduce has everything, enter merge+reduce.
+    fn try_finish_shuffle(&mut self, ji: usize, f: usize) {
+        let job = &self.jobs[ji];
+        let r = &job.reduces[f];
+        let node = match r.phase {
+            ReducePhase::Shuffling { node } => node,
+            _ => return,
+        };
+        if job.maps_finished < job.maps.len()
+            || !r.pending.is_empty()
+            || r.active_fetches > 0
+        {
+            return;
+        }
+        let speed = self.nodes[node.idx()].speed;
+        let jitter = 1.0 + self.cfg.task_jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
+        let duration = (r.received / (self.cfg.reduce_rate_bps * speed * jitter)).max(1e-6);
+        self.jobs[ji].reduces[f].phase = ReducePhase::Merging { node };
+        self.events
+            .push(self.now + duration, EventKind::ReduceDone { job: ji, reduce: f });
+    }
+
+    fn on_reduce_done(&mut self, ji: usize, f: usize) {
+        let node = self.jobs[ji].reduces[f].node().expect("done reduce has a node");
+        {
+            let job = &mut self.jobs[ji];
+            job.reduces[f].phase = ReducePhase::Done { node, finish: self.now };
+            job.reduces_finished += 1;
+            job.running_tasks -= 1;
+            if let Some(pos) = job.reduce_nodes.iter().position(|n| *n == node) {
+                job.reduce_nodes.swap_remove(pos);
+            }
+        }
+        self.nodes[node.idx()].free_reduce += 1;
+        self.trace.reduce_util.end(self.now);
+
+        let r = &self.jobs[ji].reduces[f];
+        // Reduce locality: where did the bulk of its input live?
+        let locality = match r.dominant_source() {
+            Some(src) if src == node => LocalityClass::NodeLocal,
+            Some(src) if self.layout.same_rack(src, node) => LocalityClass::RackLocal,
+            Some(_) => LocalityClass::Remote,
+            None => LocalityClass::NodeLocal, // no input at all
+        };
+        let local_bytes: f64 = r
+            .per_source
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, b)| *b)
+            .sum();
+        self.trace.tasks.push(TaskRecord {
+            job: ji,
+            kind: TaskKind::Reduce,
+            index: f,
+            node: node.idx(),
+            assigned: r.assigned_t,
+            finished: self.now,
+            locality,
+            net_bytes: r.received - local_bytes,
+        });
+        self.check_job_done(ji);
+    }
+
+    fn check_job_done(&mut self, ji: usize) {
+        let job = &mut self.jobs[ji];
+        if job.finished_at.is_none() && job.is_done() {
+            job.finished_at = Some(self.now);
+            self.jobs_done += 1;
+            self.trace.jobs.push(JobRecord {
+                name: job.name.clone(),
+                submit: job.submit,
+                finished: self.now,
+            });
+        }
+    }
+
+    /// Route a finished network transfer to its consumer.
+    fn handle_completion(&mut self, c: Completion) {
+        if c.avg_rate.is_finite() {
+            self.monitor.observe(c.src, c.dst, c.avg_rate);
+        }
+        self.trace.network_bytes += c.bytes;
+        match c.tag {
+            TransferTag::MapFetch { job, map } => {
+                let node = match self.jobs[job].maps[map].phase {
+                    MapPhase::Fetching { node } => node,
+                    ref p => unreachable!("fetch completion in phase {p:?}"),
+                };
+                self.start_map_compute(job, map, node);
+            }
+            TransferTag::Shuffle { job, reduce } => {
+                let r = &mut self.jobs[job].reduces[reduce];
+                r.active_fetches -= 1;
+                r.receive(c.src, c.bytes);
+                self.kick_copiers(job, reduce);
+                self.try_finish_shuffle(job, reduce);
+            }
+            TransferTag::Background { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
+    use pnats_workloads::{AppKind, ShuffleModel};
+
+    fn tiny_inputs(n_jobs: usize, maps: usize, reduces: usize) -> Vec<JobInput> {
+        (0..n_jobs)
+            .map(|i| JobInput {
+                name: format!("job{i}"),
+                submit: 0.0,
+                block_sizes: vec![64 << 20; maps],
+                n_reduces: reduces,
+                shuffle: ShuffleModel::for_app(AppKind::Terasort),
+            })
+            .collect()
+    }
+
+    fn run_tiny(placer: Box<dyn TaskPlacer>, seed: u64) -> SimReport {
+        let cfg = SimConfig::tiny(6, seed);
+        Simulation::new(cfg, placer).run(&tiny_inputs(2, 8, 3))
+    }
+
+    #[test]
+    fn probabilistic_run_completes() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 7);
+        assert!(r.all_completed(), "finished {}/{}", r.jobs_completed, r.jobs_submitted);
+        assert_eq!(r.trace.jobs.len(), 2);
+        // 2 jobs × 8 maps + 2 × 3 reduces tasks recorded.
+        assert_eq!(r.trace.tasks_of(TaskKind::Map).count(), 16);
+        assert_eq!(r.trace.tasks_of(TaskKind::Reduce).count(), 6);
+        assert!(r.sim_end > 0.0);
+    }
+
+    #[test]
+    fn task_times_are_positive_and_ordered() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 8);
+        for t in &r.trace.tasks {
+            assert!(t.finished > t.assigned, "{t:?}");
+        }
+        for j in &r.trace.jobs {
+            assert!(j.jct() > 0.0);
+        }
+        // Makespan bounds every completion.
+        let mk = r.trace.makespan();
+        assert!(r.trace.tasks.iter().all(|t| t.finished <= mk + 1e-9));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_tiny(Box::new(ProbabilisticPlacer::paper()), 9);
+        let b = run_tiny(Box::new(ProbabilisticPlacer::paper()), 9);
+        assert_eq!(a.trace.jobs.len(), b.trace.jobs.len());
+        for (x, y) in a.trace.jobs.iter().zip(&b.trace.jobs) {
+            assert_eq!(x.finished, y.finished);
+            assert_eq!(x.name, y.name);
+        }
+        assert_eq!(a.trace.network_bytes, b.trace.network_bytes);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_tiny(Box::new(ProbabilisticPlacer::paper()), 1);
+        let b = run_tiny(Box::new(ProbabilisticPlacer::paper()), 2);
+        let ja: Vec<f64> = a.trace.jobs.iter().map(|j| j.finished).collect();
+        let jb: Vec<f64> = b.trace.jobs.iter().map(|j| j.finished).collect();
+        assert_ne!(ja, jb);
+    }
+
+    #[test]
+    fn impossible_p_min_starves_and_hits_time_cap() {
+        let mut cfg = SimConfig::tiny(4, 3);
+        cfg.max_sim_time = 500.0;
+        // P_min ≈ 1: only zero-cost placements are ever taken, and reduce
+        // tasks (whose cost is never exactly zero once maps spread) starve.
+        let placer = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.999));
+        let r = Simulation::new(cfg, Box::new(placer)).run(&tiny_inputs(1, 6, 3));
+        assert!(!r.all_completed(), "starvation expected");
+    }
+
+    #[test]
+    fn single_map_only_job() {
+        let cfg = SimConfig::tiny(3, 5);
+        let inputs = vec![JobInput {
+            name: "maponly".into(),
+            submit: 0.0,
+            block_sizes: vec![32 << 20],
+            n_reduces: 0,
+            shuffle: ShuffleModel::for_app(AppKind::Grep),
+        }];
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(r.all_completed());
+        assert_eq!(r.trace.tasks.len(), 1);
+    }
+
+    #[test]
+    fn staggered_submission() {
+        let cfg = SimConfig::tiny(4, 6);
+        let mut inputs = tiny_inputs(2, 4, 2);
+        inputs[1].submit = 50.0;
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(r.all_completed());
+        let j1 = r.trace.jobs.iter().find(|j| j.name == "job1").unwrap();
+        assert!(j1.submit == 50.0 && j1.finished > 50.0);
+    }
+
+    #[test]
+    fn network_bytes_accounted() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 11);
+        // Terasort: shuffle ≈ input; with 6 nodes most shuffle is remote.
+        assert!(r.trace.network_bytes > 0.0);
+        let total_input: f64 = 2.0 * 8.0 * (64u64 << 20) as f64;
+        assert!(
+            r.trace.network_bytes < 3.0 * total_input,
+            "{} vs {}",
+            r.trace.network_bytes,
+            total_input
+        );
+    }
+
+    #[test]
+    fn utilization_timelines_consistent() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 12);
+        let end = r.trace.makespan();
+        let mu = r.trace.map_util.mean_utilization(0.0, end);
+        assert!(mu > 0.0 && mu <= 1.0, "{mu}");
+        assert!(r.trace.map_util.peak() <= 12, "6 nodes × 2 slots");
+    }
+
+    #[test]
+    fn locality_recorded_for_all_tasks() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 13);
+        let loc = r.trace.locality_all();
+        assert_eq!(loc.total() as usize, r.trace.tasks.len());
+        // Single-rack topology: nothing can be remote.
+        assert_eq!(loc.remote, 0);
+    }
+
+    #[test]
+    fn background_flows_slow_things_down() {
+        let inputs = tiny_inputs(1, 6, 2);
+        let quiet = Simulation::new(SimConfig::tiny(4, 20), Box::new(ProbabilisticPlacer::paper()))
+            .run(&inputs);
+        let mut cfg = SimConfig::tiny(4, 20);
+        // Saturate every NIC with crossing background flows.
+        for s in 0..4usize {
+            cfg.background.push(crate::config::BackgroundFlow {
+                src: s,
+                dst: (s + 1) % 4,
+                start: 0.0,
+                end: 1e6,
+            });
+        }
+        let busy = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(quiet.all_completed() && busy.all_completed());
+        assert!(
+            busy.trace.makespan() > quiet.trace.makespan(),
+            "background traffic must hurt: {} vs {}",
+            busy.trace.makespan(),
+            quiet.trace.makespan()
+        );
+    }
+
+    #[test]
+    fn reduce_share_cap_prevents_monopoly() {
+        // Two jobs, tiny maps so both pass slowstart immediately; each job
+        // may hold at most ceil(total_reduce_slots / 2) reduce slots while
+        // the other still has pending demand.
+        let mut cfg = SimConfig::tiny(6, 31); // 6 nodes × 1 reduce slot
+        cfg.slowstart = 0.0;
+        let inputs = tiny_inputs(2, 4, 12);
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(r.all_completed());
+        // Reconstruct concurrent reduce occupancy per job over time.
+        let mut events: Vec<(f64, usize, i32)> = Vec::new();
+        for t in r.trace.tasks_of(TaskKind::Reduce) {
+            events.push((t.assigned, t.job, 1));
+            events.push((t.finished, t.job, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut running = [0i32; 2];
+        let share = 6usize.div_ceil(2) as i32;
+        for (_, job, d) in events {
+            running[job] += d;
+            assert!(
+                running[job] <= share,
+                "job {job} exceeded its reduce share: {}",
+                running[job]
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_confined_layout_restricts_replicas() {
+        // With a confined layout and a small ingest fraction, map locality
+        // must be markedly lower than under writer-local HDFS layout.
+        let mk = |layout| {
+            let mut cfg = SimConfig::tiny(10, 17);
+            cfg.ingest_fraction = 0.2;
+            cfg.data_layout = layout;
+            Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+                .run(&tiny_inputs(2, 20, 3))
+        };
+        let hdfs = mk(crate::config::DataLayout::HdfsRackAware);
+        let confined = mk(crate::config::DataLayout::IngestConfined);
+        assert!(hdfs.all_completed() && confined.all_completed());
+        let l_hdfs = hdfs.trace.locality_of(TaskKind::Map).pct_node_local();
+        let l_conf = confined.trace.locality_of(TaskKind::Map).pct_node_local();
+        assert!(
+            l_conf < l_hdfs,
+            "confined layout should depress locality: {l_conf} vs {l_hdfs}"
+        );
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers() {
+        // One crippled node (5% speed): without speculation its maps hold
+        // the job hostage; with speculation a backup finishes elsewhere.
+        let mk = |lag: f64| {
+            let mut cfg = SimConfig::tiny(5, 23);
+            cfg.slow_nodes = vec![(0, 0.05)];
+            cfg.speculation_lag = lag;
+            Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+                .run(&tiny_inputs(1, 10, 2))
+        };
+        let without = mk(0.0);
+        let with = mk(0.3);
+        assert!(without.all_completed() && with.all_completed());
+        assert!(
+            with.trace.makespan() < without.trace.makespan(),
+            "speculation should shorten the straggler-bound makespan: {} vs {}",
+            with.trace.makespan(),
+            without.trace.makespan()
+        );
+        // Exactly one record per map task even when backups raced.
+        assert_eq!(with.trace.tasks_of(TaskKind::Map).count(), 10);
+    }
+
+    #[test]
+    fn straggler_node_slows_its_tasks() {
+        let mut cfg = SimConfig::tiny(4, 21);
+        cfg.slow_nodes = vec![(0, 0.2)];
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+            .run(&tiny_inputs(1, 8, 2));
+        assert!(r.all_completed());
+        let on_slow: Vec<f64> = r
+            .trace
+            .tasks_of(TaskKind::Map)
+            .filter(|t| t.node == 0)
+            .map(|t| t.running_time())
+            .collect();
+        let on_fast: Vec<f64> = r
+            .trace
+            .tasks_of(TaskKind::Map)
+            .filter(|t| t.node != 0)
+            .map(|t| t.running_time())
+            .collect();
+        if !on_slow.is_empty() && !on_fast.is_empty() {
+            let slow_mean: f64 = on_slow.iter().sum::<f64>() / on_slow.len() as f64;
+            let fast_mean: f64 = on_fast.iter().sum::<f64>() / on_fast.len() as f64;
+            assert!(slow_mean > fast_mean, "{slow_mean} vs {fast_mean}");
+        }
+    }
+}

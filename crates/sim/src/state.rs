@@ -1,0 +1,555 @@
+//! Cluster, job and task state.
+//!
+//! Tasks are explicit state machines; *time-varying* quantities (map
+//! progress `d_read`, current intermediate size `A_jf`) are pure functions
+//! of state and the query time, so heartbeat "reports" never need to be
+//! stored or synchronized — exactly the information a Hadoop heartbeat
+//! would carry, derived on demand.
+
+use crate::config::JobInput;
+use pnats_core::context::{MapCandidate, ShuffleSource};
+use pnats_core::types::{JobId, MapTaskId};
+use pnats_metrics::LocalityClass;
+use pnats_net::NodeId;
+use pnats_workloads::ShuffleModel;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Per-node slot availability.
+#[derive(Clone, Debug)]
+pub struct NodeState {
+    /// Free map slots.
+    pub free_map: u32,
+    /// Free reduce slots.
+    pub free_reduce: u32,
+    /// Compute speed factor (1.0 = nominal).
+    pub speed: f64,
+}
+
+/// Map task lifecycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MapPhase {
+    /// Not yet placed.
+    Unassigned,
+    /// Fetching its input block from a remote replica.
+    Fetching {
+        /// Execution node.
+        node: NodeId,
+    },
+    /// Computing; progress is linear between `start` and `start + duration`.
+    Computing {
+        /// Execution node.
+        node: NodeId,
+        /// Compute start time.
+        start: f64,
+        /// Compute duration.
+        duration: f64,
+    },
+    /// Finished.
+    Done {
+        /// Execution node.
+        node: NodeId,
+        /// Completion time.
+        finish: f64,
+    },
+}
+
+/// One map task.
+#[derive(Clone, Debug)]
+pub struct MapTask {
+    /// Lifecycle phase.
+    pub phase: MapPhase,
+    /// Input block size (`B_j`).
+    pub block: u64,
+    /// Effective shuffle selectivity (drawn at placement).
+    pub selectivity: f64,
+    /// Per-reduce partition weights (`w_jf`, sum 1; materialized at
+    /// placement).
+    pub weights: Vec<f64>,
+    /// Time the task was assigned.
+    pub assigned_t: f64,
+    /// Locality of its placement.
+    pub locality: LocalityClass,
+}
+
+impl MapTask {
+    /// Execution node, if placed.
+    pub fn node(&self) -> Option<NodeId> {
+        match self.phase {
+            MapPhase::Unassigned => None,
+            MapPhase::Fetching { node }
+            | MapPhase::Computing { node, .. }
+            | MapPhase::Done { node, .. } => Some(node),
+        }
+    }
+
+    /// `d_read` at time `t`: input bytes consumed so far.
+    pub fn input_read(&self, t: f64) -> u64 {
+        match self.phase {
+            MapPhase::Unassigned | MapPhase::Fetching { .. } => 0,
+            MapPhase::Computing { start, duration, .. } => {
+                let frac = ((t - start) / duration).clamp(0.0, 1.0);
+                (self.block as f64 * frac) as u64
+            }
+            MapPhase::Done { .. } => self.block,
+        }
+    }
+
+    /// `A_jf` at time `t`: intermediate bytes produced so far for
+    /// partition `f`.
+    pub fn current_bytes_for(&self, f: usize, t: f64) -> f64 {
+        let frac = self.input_read(t) as f64 / self.block.max(1) as f64;
+        self.final_bytes_for(f) * frac
+    }
+
+    /// `I_jf`: final intermediate bytes for partition `f`.
+    pub fn final_bytes_for(&self, f: usize) -> f64 {
+        self.block as f64 * self.selectivity * self.weights[f]
+    }
+
+    /// Whether the task has completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, MapPhase::Done { .. })
+    }
+}
+
+/// Reduce task lifecycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReducePhase {
+    /// Not yet placed.
+    Unassigned,
+    /// Placed; copying map outputs as they become available.
+    Shuffling {
+        /// Execution node.
+        node: NodeId,
+    },
+    /// All inputs local; merging + reducing.
+    Merging {
+        /// Execution node.
+        node: NodeId,
+    },
+    /// Finished.
+    Done {
+        /// Execution node.
+        node: NodeId,
+        /// Completion time.
+        finish: f64,
+    },
+}
+
+/// One reduce task.
+#[derive(Clone, Debug)]
+pub struct ReduceTask {
+    /// Lifecycle phase.
+    pub phase: ReducePhase,
+    /// Fetches not yet started, aggregated per source node.
+    pub pending: VecDeque<(NodeId, f64)>,
+    /// Fetch flows currently in the network.
+    pub active_fetches: usize,
+    /// Shuffle bytes received so far.
+    pub received: f64,
+    /// Bytes received from each source node (locality accounting).
+    pub per_source: Vec<(NodeId, f64)>,
+    /// Assignment time.
+    pub assigned_t: f64,
+}
+
+impl ReduceTask {
+    fn new() -> Self {
+        Self {
+            phase: ReducePhase::Unassigned,
+            pending: VecDeque::new(),
+            active_fetches: 0,
+            received: 0.0,
+            per_source: Vec::new(),
+            assigned_t: 0.0,
+        }
+    }
+
+    /// Execution node, if placed.
+    pub fn node(&self) -> Option<NodeId> {
+        match self.phase {
+            ReducePhase::Unassigned => None,
+            ReducePhase::Shuffling { node }
+            | ReducePhase::Merging { node }
+            | ReducePhase::Done { node, .. } => Some(node),
+        }
+    }
+
+    /// Queue `bytes` from `src`, merging with an existing pending entry.
+    pub fn enqueue(&mut self, src: NodeId, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        if let Some(e) = self.pending.iter_mut().find(|(n, _)| *n == src) {
+            e.1 += bytes;
+        } else {
+            self.pending.push_back((src, bytes));
+        }
+    }
+
+    /// Account received bytes from `src`.
+    pub fn receive(&mut self, src: NodeId, bytes: f64) {
+        self.received += bytes;
+        if let Some(e) = self.per_source.iter_mut().find(|(n, _)| *n == src) {
+            e.1 += bytes;
+        } else {
+            self.per_source.push((src, bytes));
+        }
+    }
+
+    /// The source node contributing the most bytes (reduce locality).
+    pub fn dominant_source(&self) -> Option<NodeId> {
+        self.per_source
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| *n)
+    }
+
+    /// Whether the task has completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, ReducePhase::Done { .. })
+    }
+}
+
+/// One job's full scheduling state.
+pub struct JobState {
+    /// Stable job id (index into the simulation's job table).
+    pub id: JobId,
+    /// Display name.
+    pub name: String,
+    /// Submission time.
+    pub submit: f64,
+    /// Shuffle model.
+    pub shuffle: ShuffleModel,
+    /// Base partition weights `w_f` (drawn once per job).
+    pub base_weights: Vec<f64>,
+    /// Precomputed placement candidates (block size + replicas).
+    pub map_cands: Vec<MapCandidate>,
+    /// Map tasks.
+    pub maps: Vec<MapTask>,
+    /// Reduce tasks.
+    pub reduces: Vec<ReduceTask>,
+    /// Indices of unassigned map tasks (front = next offered).
+    pub unassigned_maps: VecDeque<usize>,
+    /// Per-node index of map tasks with a local replica — Hadoop's
+    /// node-local task cache. Entries are cleaned lazily as tasks assign.
+    pub local_maps: Vec<Vec<u32>>,
+    /// Indices of unassigned reduce tasks.
+    pub unassigned_reduces: VecDeque<usize>,
+    /// Aggregate finished-map output bytes, indexed `[node][partition]`
+    /// (incrementally maintained so reduce contexts build in O(nodes +
+    /// running maps) instead of O(all maps)).
+    pub done_by_node: Vec<Vec<f64>>,
+    /// Indices of currently running (placed, unfinished) map tasks.
+    pub running_maps: Vec<usize>,
+    /// Completed map count.
+    pub maps_finished: usize,
+    /// Completed reduce count.
+    pub reduces_finished: usize,
+    /// Running (assigned, unfinished) task count — fair-share key.
+    pub running_tasks: usize,
+    /// Nodes currently hosting a reduce of this job.
+    pub reduce_nodes: Vec<NodeId>,
+    /// Completion time, once done.
+    pub finished_at: Option<f64>,
+}
+
+impl JobState {
+    /// Build job state from its input spec; replica locations are supplied
+    /// by the runner (which owns the block store).
+    pub fn new(
+        id: JobId,
+        input: &JobInput,
+        replicas_per_block: Vec<Vec<NodeId>>,
+        n_nodes: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert_eq!(replicas_per_block.len(), input.block_sizes.len());
+        let base_weights = input.shuffle.partition_weights(input.n_reduces.max(1), rng);
+        let map_cands: Vec<MapCandidate> = input
+            .block_sizes
+            .iter()
+            .zip(&replicas_per_block)
+            .enumerate()
+            .map(|(j, (size, reps))| MapCandidate {
+                task: MapTaskId { job: id, index: j as u32 },
+                block_size: *size,
+                replicas: reps.clone(),
+            })
+            .collect();
+        let maps = input
+            .block_sizes
+            .iter()
+            .map(|size| MapTask {
+                phase: MapPhase::Unassigned,
+                block: *size,
+                selectivity: 0.0,
+                weights: Vec::new(),
+                assigned_t: 0.0,
+                locality: LocalityClass::Remote,
+            })
+            .collect();
+        let reduces = (0..input.n_reduces).map(|_| ReduceTask::new()).collect();
+        let mut local_maps = vec![Vec::new(); n_nodes];
+        for (j, reps) in replicas_per_block.iter().enumerate() {
+            for r in reps {
+                local_maps[r.idx()].push(j as u32);
+            }
+        }
+        Self {
+            id,
+            name: input.name.clone(),
+            submit: input.submit,
+            shuffle: input.shuffle,
+            base_weights,
+            map_cands,
+            maps,
+            reduces,
+            unassigned_maps: (0..input.block_sizes.len()).collect(),
+            local_maps,
+            unassigned_reduces: (0..input.n_reduces).collect(),
+            done_by_node: vec![Vec::new(); n_nodes],
+            running_maps: Vec::new(),
+            maps_finished: 0,
+            reduces_finished: 0,
+            running_tasks: 0,
+            reduce_nodes: Vec::new(),
+            finished_at: None,
+        }
+    }
+
+    /// Draw a map's effective selectivity and per-partition weights (base
+    /// weights perturbed by per-map noise, renormalized).
+    pub fn materialize_map_output(&mut self, map: usize, noise: f64, rng: &mut SmallRng) {
+        let sel = self.shuffle.sample_selectivity(rng);
+        let mut w: Vec<f64> = self
+            .base_weights
+            .iter()
+            .map(|b| b * (1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0)).max(0.01))
+            .collect();
+        let total: f64 = w.iter().sum();
+        w.iter_mut().for_each(|x| *x /= total);
+        let m = &mut self.maps[map];
+        m.selectivity = sel;
+        m.weights = w;
+    }
+
+    /// Up to `limit` unassigned map tasks with a replica on `node`
+    /// (compacting already-assigned entries out of the index) — the
+    /// node-local candidates Hadoop's per-node task cache would surface.
+    pub fn local_unassigned_on(&mut self, node: NodeId, limit: usize) -> Vec<usize> {
+        let maps = &self.maps;
+        self.local_maps[node.idx()].retain(|&m| {
+            matches!(maps[m as usize].phase, MapPhase::Unassigned)
+        });
+        self.local_maps[node.idx()]
+            .iter()
+            .take(limit)
+            .map(|&m| m as usize)
+            .collect()
+    }
+
+    /// Fraction of total map *work* (input bytes) completed at `t` — the
+    /// `job_map_progress` Coupling's gate reads.
+    pub fn map_work_progress(&self, t: f64) -> f64 {
+        let total: u64 = self.maps.iter().map(|m| m.block).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let read: u64 = self.maps.iter().map(|m| m.input_read(t)).sum();
+        read as f64 / total as f64
+    }
+
+    /// Whether every task has finished.
+    pub fn is_done(&self) -> bool {
+        self.maps_finished == self.maps.len() && self.reduces_finished == self.reduces.len()
+    }
+
+    /// Mark map `map` finished on `node` at `finish`: flips its phase,
+    /// folds its final output into the per-node aggregates and maintains
+    /// the running/finished bookkeeping.
+    pub fn complete_map(&mut self, map: usize, node: NodeId, finish: f64) {
+        debug_assert!(matches!(
+            self.maps[map].phase,
+            MapPhase::Computing { .. } | MapPhase::Fetching { .. }
+        ));
+        self.maps[map].phase = MapPhase::Done { node, finish };
+        if let Some(pos) = self.running_maps.iter().position(|m| *m == map) {
+            self.running_maps.swap_remove(pos);
+        }
+        self.maps_finished += 1;
+        let agg = &mut self.done_by_node[node.idx()];
+        if agg.is_empty() {
+            agg.resize(self.reduces.len(), 0.0);
+        }
+        for (f, slot) in agg.iter_mut().enumerate() {
+            *slot += self.maps[map].final_bytes_for(f);
+        }
+    }
+
+    /// Build the shuffle sources of reduce partition `f` at time `t`:
+    /// exact per the paper's model — one aggregate entry per node holding
+    /// *finished* map output (their extrapolation is exact) plus one entry
+    /// per still-running map (whose progress is what the estimator
+    /// comparison is about).
+    pub fn shuffle_sources(&self, f: usize, t: f64, out: &mut Vec<ShuffleSource>) {
+        out.clear();
+        for (n, agg) in self.done_by_node.iter().enumerate() {
+            if let Some(bytes) = agg.get(f) {
+                if *bytes > 0.0 {
+                    out.push(ShuffleSource {
+                        node: NodeId(n as u32),
+                        current_bytes: *bytes,
+                        input_read: 1,
+                        input_total: 1,
+                    });
+                }
+            }
+        }
+        for &mi in &self.running_maps {
+            let m = &self.maps[mi];
+            if let Some(node) = m.node() {
+                out.push(ShuffleSource {
+                    node,
+                    current_bytes: m.current_bytes_for(f, t),
+                    input_read: m.input_read(t),
+                    input_total: m.block,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_workloads::AppKind;
+    use rand::SeedableRng;
+
+    fn input() -> JobInput {
+        JobInput {
+            name: "t".into(),
+            submit: 0.0,
+            block_sizes: vec![1000, 1000],
+            n_reduces: 4,
+            shuffle: ShuffleModel::for_app(AppKind::Terasort),
+        }
+    }
+
+    fn job() -> JobState {
+        let mut rng = SmallRng::seed_from_u64(3);
+        JobState::new(
+            JobId(0),
+            &input(),
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            4,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn construction() {
+        let j = job();
+        assert_eq!(j.maps.len(), 2);
+        assert_eq!(j.reduces.len(), 4);
+        assert_eq!(j.unassigned_maps.len(), 2);
+        assert_eq!(j.map_cands[1].replicas, vec![NodeId(1)]);
+        assert!(!j.is_done());
+    }
+
+    #[test]
+    fn map_progress_is_linear() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.0, &mut rng);
+        j.maps[0].phase = MapPhase::Computing { node: NodeId(0), start: 10.0, duration: 20.0 };
+        assert_eq!(j.maps[0].input_read(10.0), 0);
+        assert_eq!(j.maps[0].input_read(20.0), 500);
+        assert_eq!(j.maps[0].input_read(30.0), 1000);
+        assert_eq!(j.maps[0].input_read(99.0), 1000);
+        // A_jf scales with progress; I_jf is the full-output value.
+        let half = j.maps[0].current_bytes_for(0, 20.0);
+        let full = j.maps[0].final_bytes_for(0);
+        assert!((half * 2.0 - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_work_progress_aggregates() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.0, &mut rng);
+        j.maps[0].phase = MapPhase::Computing { node: NodeId(0), start: 0.0, duration: 1.0 };
+        j.complete_map(0, NodeId(0), 5.0);
+        assert!((j.map_work_progress(0.0) - 0.5).abs() < 1e-9);
+        assert_eq!(j.maps_finished, 1);
+    }
+
+    #[test]
+    fn complete_map_folds_into_aggregates() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.0, &mut rng);
+        j.maps[0].phase = MapPhase::Computing { node: NodeId(2), start: 0.0, duration: 1.0 };
+        j.running_maps.push(0);
+        j.complete_map(0, NodeId(2), 1.0);
+        assert!(j.running_maps.is_empty());
+        let total: f64 = j.done_by_node[2].iter().sum();
+        let expect = j.maps[0].block as f64 * j.maps[0].selectivity;
+        assert!((total - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn materialized_weights_normalized() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.5, &mut rng);
+        let s: f64 = j.maps[0].weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        assert!(j.maps[0].selectivity > 0.9); // terasort ≈ 1.0
+    }
+
+    #[test]
+    fn shuffle_sources_split_done_and_running() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.0, &mut rng);
+        j.materialize_map_output(1, 0.0, &mut rng);
+        j.maps[0].phase = MapPhase::Computing { node: NodeId(0), start: 0.0, duration: 1.0 };
+        j.complete_map(0, NodeId(0), 1.0);
+        j.maps[1].phase = MapPhase::Computing { node: NodeId(1), start: 0.0, duration: 10.0 };
+        j.running_maps.push(1);
+        let mut out = Vec::new();
+        j.shuffle_sources(2, 5.0, &mut out);
+        assert_eq!(out.len(), 2);
+        // Finished aggregate reports itself as fully read.
+        assert_eq!(out[0].node, NodeId(0));
+        assert_eq!(out[0].input_read, out[0].input_total);
+        // Running map reports true progress.
+        assert_eq!(out[1].node, NodeId(1));
+        assert_eq!(out[1].input_read, 500);
+        assert_eq!(out[1].input_total, 1000);
+    }
+
+    #[test]
+    fn reduce_enqueue_merges_sources() {
+        let mut r = ReduceTask::new();
+        r.enqueue(NodeId(1), 10.0);
+        r.enqueue(NodeId(2), 5.0);
+        r.enqueue(NodeId(1), 7.0);
+        r.enqueue(NodeId(3), 0.0); // dropped
+        assert_eq!(r.pending.len(), 2);
+        assert_eq!(r.pending[0], (NodeId(1), 17.0));
+    }
+
+    #[test]
+    fn reduce_dominant_source() {
+        let mut r = ReduceTask::new();
+        r.receive(NodeId(1), 10.0);
+        r.receive(NodeId(2), 30.0);
+        r.receive(NodeId(1), 5.0);
+        assert_eq!(r.dominant_source(), Some(NodeId(2)));
+        assert_eq!(r.received, 45.0);
+    }
+}

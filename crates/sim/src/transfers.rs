@@ -1,0 +1,321 @@
+//! The transfer manager: byte-accurate tracking of fluid flows.
+//!
+//! [`pnats_net::FlowNetwork`] answers "what rate does each flow get *right
+//! now*"; this layer integrates those rates over time. Every mutation
+//! (start/finish of any flow) first *advances* all in-flight transfers by
+//! the elapsed interval under the old rates, then recomputes rates and
+//! predicts the next completion. The runner schedules a wake-up event for
+//! that prediction, tagged with a version number — any later mutation bumps
+//! the version, turning stale wake-ups into no-ops.
+
+use pnats_net::{FlowId, FlowNetwork, NodeId, RoutingTable, Topology};
+
+/// What a transfer was carrying (returned to the runner on completion).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransferTag {
+    /// A remote map-input fetch.
+    MapFetch {
+        /// Job index.
+        job: usize,
+        /// Map index within the job.
+        map: usize,
+    },
+    /// A shuffle segment feeding a reduce task.
+    Shuffle {
+        /// Job index.
+        job: usize,
+        /// Reduce index within the job.
+        reduce: usize,
+    },
+    /// Configured background traffic (never completes on its own).
+    Background {
+        /// Index into the config's background list.
+        idx: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Active {
+    flow: FlowId,
+    tag: TransferTag,
+    src: NodeId,
+    dst: NodeId,
+    remaining: f64,
+    total: f64,
+    started: f64,
+}
+
+/// A completed transfer, as reported to the runner.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// What finished.
+    pub tag: TransferTag,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bytes moved.
+    pub bytes: f64,
+    /// Average achieved rate (bytes/sec) — fed to the rate monitor.
+    pub avg_rate: f64,
+}
+
+/// Byte-tracked fluid transfers over a routed topology.
+pub struct Transfers {
+    fx: FlowNetwork,
+    routes: RoutingTable,
+    active: Vec<Active>,
+    last_advance: f64,
+    version: u64,
+}
+
+/// Transfers at or below this many remaining bytes count as complete
+/// (absorbs float drift; real transfers are MBs to GBs).
+const DONE_EPSILON: f64 = 1.0;
+
+impl Transfers {
+    /// A manager over `topo`'s links.
+    pub fn new(topo: &Topology) -> Self {
+        Self {
+            fx: FlowNetwork::new(topo),
+            routes: RoutingTable::new(topo),
+            active: Vec::new(),
+            last_advance: 0.0,
+            version: 0,
+        }
+    }
+
+    /// Current version; wake-ups carrying an older version are stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of in-flight transfers (including background).
+    pub fn n_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Integrate all in-flight transfers up to `now` under the rates that
+    /// held since the last mutation.
+    fn advance(&mut self, now: f64) {
+        let dt = now - self.last_advance;
+        debug_assert!(dt >= -1e-9, "time went backwards: {dt}");
+        if dt > 0.0 && !self.active.is_empty() {
+            // Collect rates first (recomputes lazily under old flow set).
+            let rates: Vec<f64> = {
+                let fx = &mut self.fx;
+                self.active.iter().map(|a| fx.rate(a.flow)).collect()
+            };
+            for (a, r) in self.active.iter_mut().zip(rates) {
+                if r.is_finite() {
+                    a.remaining -= r * dt;
+                }
+                // Infinite-rate (local) transfers are completed at start and
+                // never reach here.
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Start a transfer of `bytes` from `src` to `dst` at time `now`.
+    ///
+    /// Local transfers (`src == dst`) complete immediately and are returned
+    /// as `Some(completion)`; remote ones return `None` and will surface
+    /// through [`Transfers::reap`].
+    pub fn start(
+        &mut self,
+        now: f64,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: TransferTag,
+    ) -> Option<Completion> {
+        assert!(bytes >= 0.0);
+        if src == dst || bytes <= DONE_EPSILON {
+            return Some(Completion { tag, src, dst, bytes, avg_rate: f64::INFINITY });
+        }
+        self.advance(now);
+        let flow = self.fx.add_flow(src, dst, self.routes.route(src, dst));
+        self.active.push(Active {
+            flow,
+            tag,
+            src,
+            dst,
+            remaining: bytes,
+            total: bytes,
+            started: now,
+        });
+        self.version += 1;
+        None
+    }
+
+    /// Remove the (unique) active transfer with `tag`, without completing
+    /// it. Used to stop background flows. No-op if absent.
+    pub fn cancel(&mut self, now: f64, tag: TransferTag) {
+        self.advance(now);
+        if let Some(pos) = self.active.iter().position(|a| a.tag == tag) {
+            let a = self.active.swap_remove(pos);
+            self.fx.remove_flow(a.flow);
+            self.version += 1;
+        }
+    }
+
+    /// Advance to `now` and remove every transfer that has finished,
+    /// returning their completions (possibly empty — wake-ups may race).
+    pub fn reap(&mut self, now: f64) -> Vec<Completion> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining <= DONE_EPSILON {
+                let a = self.active.swap_remove(i);
+                self.fx.remove_flow(a.flow);
+                let dt = (now - a.started).max(1e-9);
+                done.push(Completion {
+                    tag: a.tag,
+                    src: a.src,
+                    dst: a.dst,
+                    bytes: a.total,
+                    avg_rate: a.total / dt,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.version += 1;
+        }
+        done
+    }
+
+    /// Predicted absolute time of the next completion under current rates,
+    /// with the version to stamp on the wake-up event. `None` when nothing
+    /// is in flight (or only unbounded background flows are).
+    pub fn next_wake(&mut self) -> Option<(f64, u64)> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let now = self.last_advance;
+        let mut best: Option<f64> = None;
+        let rates: Vec<f64> = {
+            let fx = &mut self.fx;
+            self.active.iter().map(|a| fx.rate(a.flow)).collect()
+        };
+        for (a, r) in self.active.iter().zip(rates) {
+            if !a.remaining.is_finite() {
+                continue; // background flows never complete
+            }
+            let dt = if r > 0.0 { (a.remaining / r).max(0.0) } else { f64::INFINITY };
+            if dt.is_finite() {
+                best = Some(best.map_or(dt, |b: f64| b.min(dt)));
+            }
+        }
+        best.map(|dt| (now + dt.max(1e-9), self.version))
+    }
+
+    /// Current rate of the transfer with `tag` (diagnostics/tests).
+    pub fn rate_of(&mut self, tag: TransferTag) -> Option<f64> {
+        let flow = self.active.iter().find(|a| a.tag == tag)?.flow;
+        Some(self.fx.rate(flow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1e9 / 8.0; // 1 Gbps in bytes/sec
+
+    fn topo3() -> Topology {
+        Topology::single_rack(3, GB)
+    }
+
+    const TAG_A: TransferTag = TransferTag::MapFetch { job: 0, map: 0 };
+    const TAG_B: TransferTag = TransferTag::MapFetch { job: 0, map: 1 };
+
+    #[test]
+    fn local_transfer_completes_inline() {
+        let mut tr = Transfers::new(&topo3());
+        let c = tr.start(0.0, NodeId(1), NodeId(1), 1e9, TAG_A);
+        assert!(c.is_some());
+        assert_eq!(tr.n_active(), 0);
+    }
+
+    #[test]
+    fn single_transfer_finishes_at_bytes_over_rate() {
+        let mut tr = Transfers::new(&topo3());
+        assert!(tr.start(0.0, NodeId(0), NodeId(1), GB, TAG_A).is_none());
+        let (t, v) = tr.next_wake().unwrap();
+        assert!((t - 1.0).abs() < 1e-6, "1 GB over 1 Gbps NIC path = 1 s, got {t}");
+        let done = tr.reap(t);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].avg_rate - GB).abs() < 1.0);
+        assert_eq!(v, tr.version() - 1, "reap bumps version");
+    }
+
+    #[test]
+    fn contention_slows_completion() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.start(0.0, NodeId(2), NodeId(0), GB, TAG_B);
+        // Sharing node 0's NIC: each gets GB/2, finishing at t = 2.
+        let (t, _) = tr.next_wake().unwrap();
+        assert!((t - 2.0).abs() < 1e-6, "{t}");
+        let done = tr.reap(t);
+        assert_eq!(done.len(), 2, "both finish simultaneously");
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A); // 1 GB
+        tr.start(0.0, NodeId(2), NodeId(0), GB / 4.0, TAG_B); // 0.25 GB
+        // Shared at GB/2 each: B finishes at 0.5 with A at 0.75 GB left;
+        // A then runs at full GB: done at 0.5 + 0.75 = 1.25.
+        let (t1, _) = tr.next_wake().unwrap();
+        assert!((t1 - 0.5).abs() < 1e-6, "{t1}");
+        let d1 = tr.reap(t1);
+        assert_eq!(d1.len(), 1);
+        assert_eq!(d1[0].tag, TAG_B);
+        let (t2, _) = tr.next_wake().unwrap();
+        assert!((t2 - 1.25).abs() < 1e-6, "{t2}");
+        assert_eq!(tr.reap(t2).len(), 1);
+        assert_eq!(tr.n_active(), 0);
+    }
+
+    #[test]
+    fn stale_wake_reaps_nothing() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        let (_, v1) = tr.next_wake().unwrap();
+        // A new flow arrives before the wake fires: version moves on.
+        tr.start(0.1, NodeId(2), NodeId(0), GB, TAG_B);
+        assert!(tr.version() > v1);
+        // Reaping at the (now wrong) old completion time finds nothing done.
+        assert!(tr.reap(1.0).is_empty());
+        assert_eq!(tr.n_active(), 2);
+    }
+
+    #[test]
+    fn background_flows_never_wake() {
+        let mut tr = Transfers::new(&topo3());
+        let bg = TransferTag::Background { idx: 0 };
+        tr.start(0.0, NodeId(1), NodeId(2), f64::INFINITY, bg);
+        assert_eq!(tr.n_active(), 1);
+        assert!(tr.next_wake().is_none());
+        // But they do consume bandwidth.
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        let r = tr.rate_of(TAG_A).unwrap();
+        assert!((r - GB / 2.0).abs() < 1e-6, "shares node1 NIC with background: {r}");
+        tr.cancel(0.5, bg);
+        let r = tr.rate_of(TAG_A).unwrap();
+        assert!((r - GB).abs() < 1e-6, "full rate after cancel: {r}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_inline() {
+        let mut tr = Transfers::new(&topo3());
+        let c = tr.start(0.0, NodeId(0), NodeId(1), 0.0, TAG_A);
+        assert!(c.is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! Batch construction.
+//!
+//! The paper "created 3 batches of jobs ... 10 Wordcount jobs, 10 TeraSort
+//! jobs, and 10 Grep jobs ... and run these 3 batches separately". A
+//! [`Batch`] is the unit the simulator executes: job specs plus arrival
+//! times (all zero for the paper's setup — each batch is submitted at
+//! once).
+
+use crate::table2::{batch_of, AppKind, JobSpec, TABLE2};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A set of jobs with submission times.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Batch label for reports (e.g. `"wordcount"`).
+    pub name: String,
+    /// Jobs with their arrival times in seconds.
+    pub jobs: Vec<(JobSpec, f64)>,
+}
+
+impl Batch {
+    /// Total map tasks across the batch.
+    pub fn total_maps(&self) -> u64 {
+        self.jobs.iter().map(|(j, _)| j.maps as u64).sum()
+    }
+
+    /// Total reduce tasks across the batch.
+    pub fn total_reduces(&self) -> u64 {
+        self.jobs.iter().map(|(j, _)| j.reduces as u64).sum()
+    }
+
+    /// Total input bytes across the batch.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.jobs.iter().map(|(j, _)| j.input_bytes()).sum()
+    }
+}
+
+/// The paper's batch for one application: its ten Table II jobs, all
+/// submitted at t = 0.
+pub fn table2_batch(app: AppKind) -> Batch {
+    Batch {
+        name: app.to_string().to_lowercase(),
+        jobs: batch_of(app).into_iter().map(|j| (j, 0.0)).collect(),
+    }
+}
+
+/// A scaled-down batch for fast tests: `take` jobs of `app`, inputs and
+/// task counts divided by `divisor` (minimum one task of each kind).
+pub fn scaled_batch(app: AppKind, take: usize, divisor: u32) -> Batch {
+    assert!(divisor > 0);
+    let jobs = batch_of(app)
+        .into_iter()
+        .take(take)
+        .map(|j| {
+            let scaled = JobSpec {
+                id: j.id,
+                app: j.app,
+                input_gb: (j.input_gb / divisor).max(1),
+                maps: (j.maps / divisor).max(1),
+                reduces: (j.reduces / divisor).max(1),
+            };
+            (scaled, 0.0)
+        })
+        .collect();
+    Batch { name: format!("{}-scaled", app.to_string().to_lowercase()), jobs }
+}
+
+/// A continuous mixed workload: `n_jobs` drawn round-robin from the full
+/// Table II catalogue, arriving as a Poisson process with mean inter-arrival
+/// `mean_gap_s`. Models the shared-cluster steady state the paper's
+/// conclusion targets (instead of the all-at-once batches of §III).
+pub fn poisson_mixed_batch(n_jobs: usize, mean_gap_s: f64, rng: &mut SmallRng) -> Batch {
+    assert!(mean_gap_s > 0.0);
+    let mut jobs = Vec::with_capacity(n_jobs);
+    let mut t = 0.0;
+    for i in 0..n_jobs {
+        let spec = TABLE2[i % TABLE2.len()];
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -mean_gap_s * u.ln();
+        jobs.push((spec, t));
+    }
+    Batch { name: format!("poisson-{n_jobs}"), jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_batches_have_ten_jobs_at_t0() {
+        for app in AppKind::ALL {
+            let b = table2_batch(app);
+            assert_eq!(b.jobs.len(), 10);
+            assert!(b.jobs.iter().all(|(_, t)| *t == 0.0));
+        }
+    }
+
+    #[test]
+    fn batch_totals() {
+        let b = table2_batch(AppKind::Wordcount);
+        assert_eq!(
+            b.total_maps(),
+            88 + 160 + 278 + 502 + 490 + 645 + 598 + 818 + 837 + 930
+        );
+        assert_eq!(b.total_input_bytes(), 550u64 << 30);
+        assert!(b.total_reduces() > 1000);
+    }
+
+    #[test]
+    fn poisson_batch_arrivals_increase() {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let b = poisson_mixed_batch(12, 30.0, &mut rng);
+        assert_eq!(b.jobs.len(), 12);
+        let times: Vec<f64> = b.jobs.iter().map(|(_, t)| *t).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        assert!(times[0] > 0.0);
+        // Mean gap in the right ballpark (loose: 12 samples).
+        let mean = times.last().unwrap() / 12.0;
+        assert!((5.0..200.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn scaled_batch_shrinks() {
+        let b = scaled_batch(AppKind::Terasort, 3, 10);
+        assert_eq!(b.jobs.len(), 3);
+        for (j, _) in &b.jobs {
+            assert!(j.maps <= 50);
+            assert!(j.reduces <= 20);
+            assert!(j.maps >= 1 && j.reduces >= 1);
+        }
+    }
+}

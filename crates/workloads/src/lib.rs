@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # pnats-workloads — the paper's evaluation workloads
+//!
+//! §III of the paper runs three batches of ten jobs each — Wordcount,
+//! TeraSort and Grep, input sizes 10–100 GB — with the exact per-job map
+//! and reduce task counts published in Table II. This crate provides:
+//!
+//! * [`table2`] — that catalogue, verbatim, plus derived block sizes;
+//! * [`shuffle_model`] — per-application shuffle selectivity and partition
+//!   skew (calibrated so the shuffle-size CDF matches Figure 3's shape:
+//!   most WC/TS jobs are shuffle-heavy, Grep jobs are map-intensive);
+//! * [`datagen`] — real synthetic input data (Zipf text standing in for
+//!   BigDataBench's Wikipedia corpus, Teragen-style records) for the
+//!   threaded engine's examples and tests;
+//! * [`batch`] — batch builders, including scaled-down variants for tests.
+
+pub mod batch;
+pub mod datagen;
+pub mod shuffle_model;
+pub mod table2;
+
+pub use batch::{poisson_mixed_batch, scaled_batch, table2_batch, Batch};
+pub use shuffle_model::{PartitionSkew, ShuffleModel};
+pub use table2::{AppKind, JobSpec, TABLE2};

@@ -1,0 +1,179 @@
+//! Table II of the paper: the 30 evaluation jobs.
+//!
+//! Each entry records the job's application, input size and the map/reduce
+//! task counts the authors measured on their Hadoop deployment. We use the
+//! counts verbatim: block sizes are derived as `input / maps` so the
+//! simulated HDFS produces exactly the paper's task population.
+
+use std::fmt;
+
+/// The benchmark application a job runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppKind {
+    /// Word frequency counting over (synthetic) Wikipedia-like text.
+    Wordcount,
+    /// Distributed sort of Teragen records.
+    Terasort,
+    /// Substring search over text; tiny intermediate output.
+    Grep,
+}
+
+impl AppKind {
+    /// All applications, in Table II order.
+    pub const ALL: [AppKind; 3] = [AppKind::Wordcount, AppKind::Terasort, AppKind::Grep];
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AppKind::Wordcount => "Wordcount",
+            AppKind::Terasort => "Terasort",
+            AppKind::Grep => "Grep",
+        })
+    }
+}
+
+/// One row of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Paper JobID (01–30).
+    pub id: u32,
+    /// Application.
+    pub app: AppKind,
+    /// Input size in GB.
+    pub input_gb: u32,
+    /// Number of map tasks.
+    pub maps: u32,
+    /// Number of reduce tasks.
+    pub reduces: u32,
+}
+
+impl JobSpec {
+    /// Input size in bytes (GB = 2³⁰ bytes, as Hadoop reports).
+    pub fn input_bytes(&self) -> u64 {
+        self.input_gb as u64 * (1 << 30)
+    }
+
+    /// Per-map block sizes (near-equal split hitting the exact map count).
+    pub fn block_sizes(&self) -> Vec<u64> {
+        pnats_dfs_split(self.input_bytes(), self.maps as usize)
+    }
+
+    /// Job name in the paper's `App_SizeGB` convention.
+    pub fn name(&self) -> String {
+        format!("{}_{}GB", self.app, self.input_gb)
+    }
+}
+
+// Local re-implementation of the near-equal split to avoid a dependency
+// from workloads onto dfs (kept consistent by the test below and by the
+// integration suite).
+fn pnats_dfs_split(total: u64, n: usize) -> Vec<u64> {
+    assert!(n > 0);
+    let base = total / n as u64;
+    let rem = (total % n as u64) as usize;
+    (0..n)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+/// The 30 jobs of Table II, verbatim.
+pub const TABLE2: [JobSpec; 30] = [
+    JobSpec { id: 1, app: AppKind::Wordcount, input_gb: 10, maps: 88, reduces: 157 },
+    JobSpec { id: 2, app: AppKind::Wordcount, input_gb: 20, maps: 160, reduces: 169 },
+    JobSpec { id: 3, app: AppKind::Wordcount, input_gb: 30, maps: 278, reduces: 159 },
+    JobSpec { id: 4, app: AppKind::Wordcount, input_gb: 40, maps: 502, reduces: 169 },
+    JobSpec { id: 5, app: AppKind::Wordcount, input_gb: 50, maps: 490, reduces: 127 },
+    JobSpec { id: 6, app: AppKind::Wordcount, input_gb: 60, maps: 645, reduces: 187 },
+    JobSpec { id: 7, app: AppKind::Wordcount, input_gb: 70, maps: 598, reduces: 165 },
+    JobSpec { id: 8, app: AppKind::Wordcount, input_gb: 80, maps: 818, reduces: 291 },
+    JobSpec { id: 9, app: AppKind::Wordcount, input_gb: 90, maps: 837, reduces: 157 },
+    JobSpec { id: 10, app: AppKind::Wordcount, input_gb: 100, maps: 930, reduces: 197 },
+    JobSpec { id: 11, app: AppKind::Terasort, input_gb: 10, maps: 143, reduces: 190 },
+    JobSpec { id: 12, app: AppKind::Terasort, input_gb: 20, maps: 199, reduces: 186 },
+    JobSpec { id: 13, app: AppKind::Terasort, input_gb: 30, maps: 364, reduces: 131 },
+    JobSpec { id: 14, app: AppKind::Terasort, input_gb: 40, maps: 320, reduces: 149 },
+    JobSpec { id: 15, app: AppKind::Terasort, input_gb: 50, maps: 490, reduces: 189 },
+    JobSpec { id: 16, app: AppKind::Terasort, input_gb: 60, maps: 480, reduces: 193 },
+    JobSpec { id: 17, app: AppKind::Terasort, input_gb: 70, maps: 560, reduces: 178 },
+    JobSpec { id: 18, app: AppKind::Terasort, input_gb: 80, maps: 648, reduces: 184 },
+    JobSpec { id: 19, app: AppKind::Terasort, input_gb: 90, maps: 753, reduces: 171 },
+    JobSpec { id: 20, app: AppKind::Terasort, input_gb: 100, maps: 824, reduces: 193 },
+    JobSpec { id: 21, app: AppKind::Grep, input_gb: 10, maps: 87, reduces: 148 },
+    JobSpec { id: 22, app: AppKind::Grep, input_gb: 20, maps: 163, reduces: 174 },
+    JobSpec { id: 23, app: AppKind::Grep, input_gb: 30, maps: 188, reduces: 184 },
+    JobSpec { id: 24, app: AppKind::Grep, input_gb: 40, maps: 203, reduces: 158 },
+    JobSpec { id: 25, app: AppKind::Grep, input_gb: 50, maps: 285, reduces: 164 },
+    JobSpec { id: 26, app: AppKind::Grep, input_gb: 60, maps: 389, reduces: 137 },
+    JobSpec { id: 27, app: AppKind::Grep, input_gb: 70, maps: 578, reduces: 179 },
+    JobSpec { id: 28, app: AppKind::Grep, input_gb: 80, maps: 634, reduces: 178 },
+    JobSpec { id: 29, app: AppKind::Grep, input_gb: 90, maps: 815, reduces: 164 },
+    JobSpec { id: 30, app: AppKind::Grep, input_gb: 100, maps: 893, reduces: 184 },
+];
+
+/// The jobs of one application's batch, in input-size order.
+pub fn batch_of(app: AppKind) -> Vec<JobSpec> {
+    TABLE2.iter().filter(|j| j.app == app).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_jobs_ten_per_app() {
+        assert_eq!(TABLE2.len(), 30);
+        for app in AppKind::ALL {
+            assert_eq!(batch_of(app).len(), 10);
+        }
+    }
+
+    #[test]
+    fn ids_match_paper_order() {
+        for (i, j) in TABLE2.iter().enumerate() {
+            assert_eq!(j.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn spot_check_rows() {
+        // Wordcount_10GB: 88 maps, 157 reduces.
+        assert_eq!(TABLE2[0].maps, 88);
+        assert_eq!(TABLE2[0].reduces, 157);
+        // Terasort_100GB: 824 maps, 193 reduces.
+        assert_eq!(TABLE2[19].maps, 824);
+        assert_eq!(TABLE2[19].reduces, 193);
+        // Grep_80GB: 634 maps, 178 reduces.
+        assert_eq!(TABLE2[27].maps, 634);
+        assert_eq!(TABLE2[27].reduces, 178);
+    }
+
+    #[test]
+    fn block_sizes_sum_to_input_and_match_map_count() {
+        for j in TABLE2 {
+            let blocks = j.block_sizes();
+            assert_eq!(blocks.len(), j.maps as usize, "{}", j.name());
+            assert_eq!(blocks.iter().sum::<u64>(), j.input_bytes());
+        }
+    }
+
+    #[test]
+    fn block_sizes_are_plausible() {
+        // Hadoop-style blocks: tens to a couple hundred MB.
+        for j in TABLE2 {
+            let avg = j.input_bytes() / j.maps as u64;
+            assert!(
+                (32 << 20..=256 << 20).contains(&avg),
+                "{}: avg block {} MB",
+                j.name(),
+                avg >> 20
+            );
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TABLE2[0].name(), "Wordcount_10GB");
+        assert_eq!(TABLE2[29].name(), "Grep_100GB");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests of workload generation: weights normalize, splits
+//! conserve bytes, generators respect their targets.
+
+use pnats_workloads::datagen::{teragen_records, zipf_text, Zipf};
+use pnats_workloads::{AppKind, ShuffleModel};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn partition_weights_always_normalized(
+        n_reduces in 1usize..400,
+        seed in 0u64..5000,
+        app_idx in 0usize..3,
+    ) {
+        let m = ShuffleModel::for_app(AppKind::ALL[app_idx]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = m.partition_weights(n_reduces, &mut rng);
+        prop_assert_eq!(w.len(), n_reduces);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|x| *x > 0.0 && *x <= 1.0));
+    }
+
+    #[test]
+    fn selectivity_samples_stay_in_band(seed in 0u64..5000, app_idx in 0usize..3) {
+        let m = ShuffleModel::for_app(AppKind::ALL[app_idx]);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = m.sample_selectivity(&mut rng);
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= m.selectivity * (1.0 + m.jitter) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_in_range(n in 1usize..2000, s in 0.0f64..3.0, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn zipf_text_size_and_charset(bytes in 64usize..20_000, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = zipf_text(bytes, 100, 1.0, &mut rng);
+        prop_assert!(t.len() >= bytes);
+        prop_assert!(t.len() < bytes + 64, "overshoot bounded by one word+newline");
+        prop_assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    fn teragen_record_count_and_shape(n in 1usize..500, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = teragen_records(n, &mut rng);
+        let lines: Vec<&str> = t.lines().collect();
+        prop_assert_eq!(lines.len(), n);
+        for l in lines {
+            prop_assert_eq!(l.len(), 98);
+            prop_assert!(l[..10].bytes().all(|b| b.is_ascii_uppercase() || b.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Compare the paper's scheduler against Coupling and Fair on the
+//! simulated 60-node testbed — a one-job-batch miniature of Figure 4.
+//!
+//! ```sh
+//! cargo run --release -p pnats-bench --example scheduler_comparison
+//! ```
+
+use pnats_bench::harness::{cloud_config, make_placer, mean_jct, PAPER_SCHEDULERS};
+use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_workloads::{table2_batch, AppKind};
+
+fn main() {
+    // The paper's 10 Terasort jobs (shuffle-heavy) on the cloud-layout
+    // cluster with background traffic.
+    let inputs = JobInput::from_batch(&table2_batch(AppKind::Terasort));
+    println!(
+        "simulating {} jobs ({} maps, {} reduces) under 3 schedulers ...\n",
+        inputs.len(),
+        inputs.iter().map(|i| i.block_sizes.len()).sum::<usize>(),
+        inputs.iter().map(|i| i.n_reduces).sum::<usize>(),
+    );
+    println!(
+        "{:<15} {:>10} {:>10} {:>12} {:>14}",
+        "scheduler", "meanJCT(s)", "makespan", "% local maps", "net bytes (GB)"
+    );
+    for kind in PAPER_SCHEDULERS {
+        let cfg = cloud_config(42);
+        let placer = make_placer(kind, &cfg);
+        let report = Simulation::new(cfg, placer).run(&inputs);
+        let maps = report.trace.locality_of(TaskKind::Map);
+        println!(
+            "{:<15} {:>10.0} {:>10.0} {:>12.1} {:>14.0}",
+            kind.label(),
+            mean_jct(&report),
+            report.trace.makespan(),
+            maps.pct_node_local(),
+            report.trace.network_bytes / 1e9,
+        );
+    }
+    println!("\n(the probabilistic scheduler should lead on mean JCT — Figure 4's shape)");
+}

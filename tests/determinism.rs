@@ -1,0 +1,69 @@
+//! Determinism guarantees: identical (config, seed) must produce identical
+//! traces, across every scheduler; different seeds must differ.
+
+use pnats_bench::harness::{cloud_config, make_placer, SchedulerKind, ALL_SCHEDULERS};
+use pnats_sim::config::background_traffic;
+use pnats_sim::{JobInput, SimConfig, SimReport, Simulation};
+use pnats_workloads::{scaled_batch, AppKind};
+
+fn mini(seed: u64) -> SimConfig {
+    let mut c = cloud_config(seed);
+    c.n_nodes = 8;
+    c.background = background_traffic(1, 200.0, 8, seed);
+    c
+}
+
+fn run(kind: SchedulerKind, seed: u64) -> SimReport {
+    let cfg = mini(seed);
+    let inputs = JobInput::from_batch(&scaled_batch(AppKind::Wordcount, 2, 25));
+    let placer = make_placer(kind, &cfg);
+    Simulation::new(cfg, placer).run(&inputs)
+}
+
+fn fingerprint(r: &SimReport) -> Vec<(usize, usize, u64)> {
+    // (job, task index, finish time bits) for every task, sorted.
+    let mut v: Vec<(usize, usize, u64)> = r
+        .trace
+        .tasks
+        .iter()
+        .map(|t| (t.job, t.index, t.finished.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn identical_seeds_replay_exactly_for_every_scheduler() {
+    for kind in ALL_SCHEDULERS {
+        let a = run(kind, 77);
+        let b = run(kind, 77);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{kind:?} not deterministic");
+        assert_eq!(a.sim_end.to_bits(), b.sim_end.to_bits());
+        assert_eq!(
+            a.trace.network_bytes.to_bits(),
+            b.trace.network_bytes.to_bits()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let a = run(SchedulerKind::Probabilistic, 1);
+    let b = run(SchedulerKind::Probabilistic, 2);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn scheduler_choice_changes_the_trace() {
+    let a = run(SchedulerKind::Probabilistic, 7);
+    let b = run(SchedulerKind::Random, 7);
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn reports_identify_their_scheduler() {
+    for kind in [SchedulerKind::Probabilistic, SchedulerKind::Coupling, SchedulerKind::Fair] {
+        let r = run(kind, 3);
+        assert_eq!(r.scheduler, kind.label());
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end simulator runs: scaled-down Table II batches through every
+//! scheduler, checking global invariants of the produced traces.
+
+use pnats_bench::harness::{cloud_config, hdfs_config, make_placer, SchedulerKind, ALL_SCHEDULERS};
+use pnats_sim::config::background_traffic;
+use pnats_sim::{JobInput, SimConfig, Simulation, TaskKind};
+use pnats_workloads::{scaled_batch, AppKind};
+
+fn mini(cfg_base: SimConfig, n_nodes: usize) -> SimConfig {
+    let mut c = cfg_base;
+    c.n_nodes = n_nodes;
+    c.background = background_traffic(1, 300.0, n_nodes, 5);
+    c
+}
+
+fn run(kind: SchedulerKind, cfg: SimConfig, app: AppKind) -> pnats_sim::SimReport {
+    let inputs = JobInput::from_batch(&scaled_batch(app, 3, 20));
+    let placer = make_placer(kind, &cfg);
+    Simulation::new(cfg, placer).run(&inputs)
+}
+
+#[test]
+fn every_scheduler_completes_a_scaled_batch() {
+    for kind in ALL_SCHEDULERS {
+        let r = run(kind, mini(cloud_config(9), 10), AppKind::Wordcount);
+        assert!(r.all_completed(), "{kind:?}: {}/{}", r.jobs_completed, r.jobs_submitted);
+    }
+}
+
+#[test]
+fn trace_accounting_is_complete() {
+    let r = run(SchedulerKind::Probabilistic, mini(cloud_config(1), 8), AppKind::Terasort);
+    let inputs_maps: usize = scaled_batch(AppKind::Terasort, 3, 20)
+        .jobs
+        .iter()
+        .map(|(j, _)| j.maps as usize)
+        .sum();
+    let inputs_reduces: usize = scaled_batch(AppKind::Terasort, 3, 20)
+        .jobs
+        .iter()
+        .map(|(j, _)| j.reduces as usize)
+        .sum();
+    assert_eq!(r.trace.tasks_of(TaskKind::Map).count(), inputs_maps);
+    assert_eq!(r.trace.tasks_of(TaskKind::Reduce).count(), inputs_reduces);
+    assert_eq!(r.trace.jobs.len(), 3);
+    // Every task's interval lies within the run.
+    for t in &r.trace.tasks {
+        assert!(t.assigned >= 0.0 && t.finished > t.assigned);
+        assert!(t.finished <= r.sim_end + 1e-9);
+        assert!(t.node < 8);
+    }
+    // Locality tallies cover exactly the tasks.
+    assert_eq!(r.trace.locality_all().total() as usize, r.trace.tasks.len());
+}
+
+#[test]
+fn single_rack_runs_have_no_remote_tasks() {
+    // The paper's Table III observes zero remote tasks because the testbed
+    // was one rack; our palmetto/single-rack layouts must agree.
+    for kind in [SchedulerKind::Probabilistic, SchedulerKind::Fair, SchedulerKind::Random] {
+        let r = run(kind, mini(hdfs_config(3), 9), AppKind::Grep);
+        assert_eq!(r.trace.locality_all().remote, 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn network_bytes_scale_with_shuffle_volume() {
+    // Terasort (selectivity 1.0) must move more bytes than Grep (0.03)
+    // at equal input scale under the same scheduler.
+    let ts = run(SchedulerKind::Probabilistic, mini(cloud_config(4), 8), AppKind::Terasort);
+    let gr = run(SchedulerKind::Probabilistic, mini(cloud_config(4), 8), AppKind::Grep);
+    assert!(
+        ts.trace.network_bytes > 2.0 * gr.trace.network_bytes,
+        "terasort {} vs grep {}",
+        ts.trace.network_bytes,
+        gr.trace.network_bytes
+    );
+}
+
+#[test]
+fn utilization_within_capacity() {
+    let r = run(SchedulerKind::Fifo, mini(cloud_config(6), 8), AppKind::Wordcount);
+    let end = r.trace.makespan();
+    let mu = r.trace.map_util.mean_utilization(0.0, end);
+    let ru = r.trace.reduce_util.mean_utilization(0.0, end);
+    assert!(mu > 0.0 && mu <= 1.0);
+    assert!(ru > 0.0 && ru <= 1.0);
+    assert!(r.trace.map_util.peak() <= 8 * 4);
+    assert!(r.trace.reduce_util.peak() <= 8 * 2);
+}
+
+#[test]
+fn collocation_constraint_respected_by_probabilistic() {
+    // Algorithm 2 line 1: never two concurrent reduces of one job on a
+    // node. Verify post-hoc: overlapping reduce intervals of the same job
+    // never share a node.
+    let r = run(SchedulerKind::Probabilistic, mini(cloud_config(2), 6), AppKind::Terasort);
+    let reduces: Vec<_> = r.trace.tasks_of(TaskKind::Reduce).collect();
+    for a in &reduces {
+        for b in &reduces {
+            if a.job == b.job
+                && (a.index, a.node) != (b.index, b.node)
+                && a.node == b.node
+                && a.index != b.index
+            {
+                let overlap = a.assigned < b.finished && b.assigned < a.finished;
+                assert!(
+                    !overlap,
+                    "job {} reduces {} and {} overlap on node {}",
+                    a.job, a.index, b.index, a.node
+                );
+            }
+        }
+    }
+}

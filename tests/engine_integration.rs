@@ -1,0 +1,111 @@
+//! The threaded engine end to end: real jobs, real data, every scheduler.
+
+use pnats_baselines::{CouplingPlacer, FairDelayPlacer, FifoGreedyPlacer};
+use pnats_core::placer::TaskPlacer;
+use pnats_core::prob_sched::ProbabilisticPlacer;
+use pnats_engine::engine::Partitioner;
+use pnats_engine::{EngineConfig, EngineJob, GrepJob, MapReduceEngine, TeraSortJob, WordCountJob};
+use pnats_workloads::datagen::{teragen_records, zipf_text};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fast_config() -> EngineConfig {
+    EngineConfig {
+        n_nodes: 4,
+        block_bytes: 2 << 10,
+        heartbeat: Duration::from_millis(1),
+        net_us_per_kib_hop: 5,
+        cpu_us_per_kib: 5,
+        ..EngineConfig::default()
+    }
+}
+
+/// Reference word counts computed sequentially.
+fn reference_counts(text: &str) -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for w in text.split_whitespace() {
+        *m.entry(w.to_string()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn wordcount_matches_sequential_reference_under_all_schedulers() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let input = zipf_text(20 << 10, 300, 1.0, &mut rng);
+    let expect = reference_counts(&input);
+    let engine = MapReduceEngine::new(fast_config());
+    let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 3);
+
+    let placers: Vec<Box<dyn TaskPlacer>> = vec![
+        Box::new(ProbabilisticPlacer::paper()),
+        Box::new(CouplingPlacer::paper()),
+        Box::new(FairDelayPlacer::new(2, 6)),
+        Box::new(FifoGreedyPlacer),
+    ];
+    for placer in placers {
+        let name = placer.name();
+        let report = engine.run(&job, &input, placer);
+        let got: HashMap<String, u64> = report
+            .output
+            .iter()
+            .map(|(k, v)| (k.clone(), v.parse().unwrap()))
+            .collect();
+        assert_eq!(got, expect, "scheduler {name} corrupted the computation");
+    }
+}
+
+#[test]
+fn grep_counts_matching_lines() {
+    let engine = MapReduceEngine::new(fast_config());
+    let mut input = String::new();
+    for i in 0..500 {
+        if i % 5 == 0 {
+            input.push_str(&format!("line {i} with needle inside\n"));
+        } else {
+            input.push_str(&format!("plain line {i}\n"));
+        }
+    }
+    let job = EngineJob::new(
+        "grep",
+        Arc::new(GrepJob { needle: "needle".into() }),
+        Arc::new(GrepJob { needle: "needle".into() }),
+        2,
+    );
+    let report = engine.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+    assert_eq!(report.output.len(), 1, "one key: the needle");
+    assert_eq!(report.output[0].1, "100", "100 of 500 lines match");
+}
+
+#[test]
+fn terasort_produces_globally_sorted_output() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let input = teragen_records(800, &mut rng);
+    let engine = MapReduceEngine::new(EngineConfig {
+        partitioner: Partitioner::RangeByFirstByte,
+        ..fast_config()
+    });
+    let job = EngineJob::new("ts", Arc::new(TeraSortJob), Arc::new(TeraSortJob), 4);
+    let report = engine.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+    assert_eq!(report.output.len(), 800);
+    let keys: Vec<&String> = report.output.iter().map(|(k, _)| k).collect();
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "output must be sorted");
+}
+
+#[test]
+fn engine_reports_placement_statistics() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let input = zipf_text(16 << 10, 200, 1.0, &mut rng);
+    let engine = MapReduceEngine::new(fast_config());
+    let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
+    let report = engine.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+    assert!(report.n_maps >= 4, "expected several blocks, got {}", report.n_maps);
+    assert_eq!(report.map_locality.total() as usize, report.n_maps);
+    assert_eq!(report.reduce_locality.total() as usize, report.n_reduces);
+    // Single-rack engine topology: no remote class possible.
+    assert_eq!(report.map_locality.remote, 0);
+    assert!(report.wall > Duration::ZERO);
+}

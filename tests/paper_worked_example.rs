@@ -1,0 +1,103 @@
+//! The worked example of the paper's §II-B (Figure 2), end to end through
+//! the public API: four nodes, two map tasks, two reduce tasks, the exact
+//! distance matrix, block sizes and intermediate matrix from the text.
+
+use pnats_core::context::{MapCandidate, ReduceCandidate, ShuffleSource};
+use pnats_core::cost::{map_cost, reduce_cost};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::prob::ProbabilityModel;
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{DistanceMatrix, NodeId};
+
+const D1: NodeId = NodeId(0);
+const D2: NodeId = NodeId(1);
+const D3: NodeId = NodeId(2);
+const D4: NodeId = NodeId(3);
+
+fn h() -> DistanceMatrix {
+    DistanceMatrix::paper_figure2()
+}
+
+/// Maps: M1's block on D1, M2's on D2; both 128 MB. In the example M1 is
+/// assigned to D3 and M2 to D2.
+fn m1() -> MapCandidate {
+    MapCandidate { task: MapTaskId { job: JobId(0), index: 0 }, block_size: 128, replicas: vec![D1] }
+}
+
+fn m2() -> MapCandidate {
+    MapCandidate { task: MapTaskId { job: JobId(0), index: 1 }, block_size: 128, replicas: vec![D2] }
+}
+
+#[test]
+fn distance_row_d3_matches_text() {
+    let h = h();
+    // "The distance between M1 (i.e., D3) and D1, D2, D3 and D4 is 2, 10,
+    // 0, and 6, respectively."
+    assert_eq!(h.get(D3, D1), 2.0);
+    assert_eq!(h.get(D3, D2), 10.0);
+    assert_eq!(h.get(D3, D3), 0.0);
+    assert_eq!(h.get(D3, D4), 6.0);
+}
+
+#[test]
+fn map_costs_match_figure_2a() {
+    let h = h();
+    // "the transmission cost for M1 is 128 × 2 = 256 and the cost for M2 is
+    // 128 × 0 = 0"
+    assert_eq!(map_cost(&m1(), D3, &h), 256.0);
+    assert_eq!(map_cost(&m2(), D2, &h), 0.0);
+}
+
+/// The intermediate matrix I (MB): M1 -> (R1: 10, R2: 5); M2 -> (R1: 20,
+/// R2: 10). With M1@D3, M2@D2, R1@D1, R2@D3, Figure 2(b)'s link costs are
+/// 10·2 + 5·0 + 20·4 + 10·10 = 20 + 0 + 80 + 100.
+#[test]
+fn reduce_costs_match_figure_2b() {
+    let h = h();
+    let done = |node, bytes| ShuffleSource {
+        node,
+        current_bytes: bytes,
+        input_read: 128,
+        input_total: 128,
+    };
+    let r1 = ReduceCandidate {
+        task: ReduceTaskId { job: JobId(0), index: 0 },
+        sources: vec![done(D3, 10.0), done(D2, 20.0)],
+    };
+    let r2 = ReduceCandidate {
+        task: ReduceTaskId { job: JobId(0), index: 1 },
+        sources: vec![done(D3, 5.0), done(D2, 10.0)],
+    };
+    let est = IntermediateEstimator::ProgressExtrapolated;
+    let c_r1 = reduce_cost(&r1, D1, &h, est);
+    let c_r2 = reduce_cost(&r2, D3, &h, est);
+    assert_eq!(c_r1, 20.0 + 80.0);
+    assert_eq!(c_r2, 0.0 + 100.0);
+    assert_eq!(c_r1 + c_r2, 200.0, "total of all link costs in Figure 2(b)");
+}
+
+/// §II-B2's estimation example: M2 at 10 % progress with 1 MB emitted beats
+/// M1 at 90 % with 5 MB once extrapolated (10 MB vs ~5.6 MB).
+#[test]
+fn estimation_example_prefers_m2() {
+    let m1 = ShuffleSource { node: D1, current_bytes: 5.0, input_read: 90, input_total: 100 };
+    let m2 = ShuffleSource { node: D2, current_bytes: 1.0, input_read: 10, input_total: 100 };
+    let ext = IntermediateEstimator::ProgressExtrapolated;
+    let cur = IntermediateEstimator::CurrentSize;
+    assert!(ext.estimate(&m2) > ext.estimate(&m1));
+    assert!(cur.estimate(&m2) < cur.estimate(&m1));
+    assert!((ext.estimate(&m2) - 10.0).abs() < 1e-12);
+}
+
+/// The paper's P_min inequality: with the exponential model, a task passes
+/// the threshold iff its cost is at most `C_ave / (−ln(1 − P_min))`.
+#[test]
+fn p_min_inequality_holds() {
+    let model = ProbabilityModel::Exponential;
+    let c_ave = 256.0;
+    let p_min = 0.4;
+    let ceiling = model.cost_ceiling(c_ave, p_min);
+    assert!((ceiling - c_ave / -(1.0f64 - 0.4).ln()).abs() < 1e-9);
+    assert!(model.probability(c_ave, ceiling * 0.999) >= p_min);
+    assert!(model.probability(c_ave, ceiling * 1.001) < p_min);
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the scheduling stack: cost-model invariants,
+//! probability-model laws and placer behaviour under arbitrary cluster
+//! states.
+
+use pnats_core::context::{MapCandidate, MapSchedContext, ReduceCandidate, ShuffleSource};
+use pnats_core::cost::{map_cost, map_cost_avg, reduce_cost};
+use pnats_core::estimate::IntermediateEstimator;
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::prob::ProbabilityModel;
+use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, RackId, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// All probability models stay in [0,1], give certainty to free
+    /// placements, and are monotone in the ratio.
+    #[test]
+    fn probability_models_are_well_formed(
+        c_ave in 0.0f64..1e12,
+        cost in 0.0f64..1e12,
+        scale in 1e-6f64..1e6,
+    ) {
+        for m in ProbabilityModel::ALL {
+            let p = m.probability(c_ave, cost);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(m.probability(c_ave, 0.0), 1.0);
+            // Scale invariance.
+            let p2 = m.probability(c_ave * scale, cost * scale);
+            prop_assert!((p - p2).abs() < 1e-9);
+        }
+    }
+
+    /// Map cost equals block size times the minimum replica distance, for
+    /// any topology shape and replica set.
+    #[test]
+    fn map_cost_is_min_over_replicas(
+        n in 2usize..20,
+        block in 1u64..1_000_000,
+        seed in 0u64..1000,
+    ) {
+        let topo = Topology::multi_rack(2, n.div_ceil(2), 1e9, 1e9);
+        let h = DistanceMatrix::hops(&topo);
+        let total = topo.n_nodes();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let k = rng.gen_range(1..=total.min(3));
+        let mut replicas: Vec<NodeId> = Vec::new();
+        while replicas.len() < k {
+            let cand = NodeId(rng.gen_range(0..total as u32));
+            if !replicas.contains(&cand) {
+                replicas.push(cand);
+            }
+        }
+        let c = MapCandidate {
+            task: MapTaskId { job: JobId(0), index: 0 },
+            block_size: block,
+            replicas: replicas.clone(),
+        };
+        for node in (0..total as u32).map(NodeId) {
+            let expect = replicas
+                .iter()
+                .map(|r| h.get(node, *r))
+                .fold(f64::INFINITY, f64::min) * block as f64;
+            prop_assert_eq!(map_cost(&c, node, &h), expect);
+        }
+        // The average over any free set is between min and max point costs.
+        let frees: Vec<NodeId> = (0..total as u32).map(NodeId).collect();
+        let avg = map_cost_avg(&c, &frees, &h);
+        let costs: Vec<f64> = frees.iter().map(|f| map_cost(&c, *f, &h)).collect();
+        let lo = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = costs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+    }
+
+    /// Reduce cost is linear in the estimated bytes: doubling every
+    /// source's bytes doubles the cost, on any node.
+    #[test]
+    fn reduce_cost_is_linear_in_bytes(
+        n in 2usize..12,
+        srcs in proptest::collection::vec((0u32..12, 0.0f64..1e6), 1..8),
+        node_pick in 0usize..12,
+    ) {
+        let topo = Topology::single_rack(12, 1e9);
+        let h = DistanceMatrix::hops(&topo);
+        let _ = n;
+        let mk = |scale: f64| ReduceCandidate {
+            task: ReduceTaskId { job: JobId(0), index: 0 },
+            sources: srcs
+                .iter()
+                .map(|(nd, b)| ShuffleSource {
+                    node: NodeId(*nd),
+                    current_bytes: b * scale,
+                    input_read: 1,
+                    input_total: 1,
+                })
+                .collect(),
+        };
+        let node = NodeId(node_pick as u32);
+        let est = IntermediateEstimator::ProgressExtrapolated;
+        let c1 = reduce_cost(&mk(1.0), node, &h, est);
+        let c2 = reduce_cost(&mk(2.0), node, &h, est);
+        prop_assert!((c2 - 2.0 * c1).abs() < 1e-6 * c1.abs().max(1.0));
+    }
+
+    /// The progress-extrapolated estimate of a finished map equals its
+    /// current bytes, and estimates scale inversely with progress.
+    #[test]
+    fn estimator_laws(bytes in 0.0f64..1e9, read in 1u64..1_000_000, total in 1u64..1_000_000) {
+        prop_assume!(read <= total);
+        let s = ShuffleSource {
+            node: NodeId(0),
+            current_bytes: bytes,
+            input_read: read,
+            input_total: total,
+        };
+        let ext = IntermediateEstimator::ProgressExtrapolated.estimate(&s);
+        let cur = IntermediateEstimator::CurrentSize.estimate(&s);
+        prop_assert!(ext >= cur - 1e-9, "extrapolation never shrinks the estimate");
+        if read == total {
+            prop_assert!((ext - cur).abs() < 1e-9);
+        }
+    }
+
+    /// Algorithm 1 always assigns a data-local candidate when the offered
+    /// node holds one (its probability is exactly 1).
+    #[test]
+    fn local_candidates_always_win(
+        seed in 0u64..500,
+        n_cands in 1usize..12,
+        local_at in 0usize..12,
+    ) {
+        let n = 6;
+        let topo = Topology::single_rack(n, 1e9);
+        let h = DistanceMatrix::hops(&topo);
+        let layout = topo.layout().clone();
+        let mut cands: Vec<MapCandidate> = (0..n_cands)
+            .map(|i| MapCandidate {
+                task: MapTaskId { job: JobId(0), index: i as u32 },
+                block_size: 100,
+                replicas: vec![NodeId(((i + 1) % n) as u32)],
+            })
+            .collect();
+        let node = NodeId(0);
+        let local_idx = local_at % n_cands;
+        cands[local_idx].replicas = vec![node];
+        let free: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let ctx = MapSchedContext {
+            job: JobId(0),
+            candidates: &cands,
+            free_map_nodes: &free,
+            cost: &h,
+            layout: &layout,
+            now: 0.0,
+        };
+        let mut placer = ProbabilisticPlacer::new(ProbConfig::default());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match placer.place_map(&ctx, node, &mut rng) {
+            Decision::Assign(i) => {
+                prop_assert!(
+                    cands[i].is_local_to(node),
+                    "assigned a non-local candidate while a local one existed"
+                );
+            }
+            Decision::Skip => prop_assert!(false, "P=1 candidates are never skipped"),
+        }
+    }
+}
+
+#[test]
+fn rack_layout_partitions_nodes() {
+    // Deterministic sanity check used by the property tests' fixtures.
+    let layout = ClusterLayout::new(vec![RackId(0), RackId(0), RackId(1)]);
+    assert!(layout.same_rack(NodeId(0), NodeId(1)));
+    assert!(!layout.same_rack(NodeId(0), NodeId(2)));
+}
