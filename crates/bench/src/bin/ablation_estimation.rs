@@ -6,11 +6,11 @@
 //! concentrates on shuffle-heavy batches whose reduces are placed while
 //! many maps are still running.
 
-use pnats_bench::harness::{cloud_config, make_probabilistic, mean_jct};
+use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, PlacerSpec, Run};
 use pnats_core::estimate::IntermediateEstimator;
 use pnats_core::prob::ProbabilityModel;
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation};
+use pnats_sim::JobInput;
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -19,19 +19,31 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
-    let mut rows = Vec::new();
+    // 3 batches × 2 estimators, app-major to match the table rows.
+    let mut runs = Vec::new();
     for app in AppKind::ALL {
         let inputs = JobInput::from_batch(&table2_batch(app));
-        let mut cells = vec![app.to_string()];
         for est in [
             IntermediateEstimator::ProgressExtrapolated,
             IntermediateEstimator::CurrentSize,
         ] {
-            let cfg = cloud_config(seed);
-            let placer = make_probabilistic(0.4, ProbabilityModel::Exponential, est);
-            let r = Simulation::new(cfg, placer).run(&inputs);
-            cells.push(format!("{:.0}", mean_jct(&r)));
+            runs.push(Run {
+                placer: PlacerSpec::Probabilistic {
+                    p_min: 0.4,
+                    model: ProbabilityModel::Exponential,
+                    estimator: est,
+                },
+                cfg: cloud_config(seed),
+                inputs: inputs.clone(),
+            });
         }
+    }
+    let reports = run_matrix(runs);
+
+    let mut rows = Vec::new();
+    for (app, pair) in AppKind::ALL.into_iter().zip(reports.chunks(2)) {
+        let mut cells = vec![app.to_string()];
+        cells.extend(pair.iter().map(|r| format!("{:.0}", mean_jct(r))));
         rows.push(cells);
     }
     print!(

@@ -6,12 +6,12 @@
 //! number of background-traffic lanes and compare hop-based scheduling
 //! against the congestion-scaled matrix.
 
-use pnats_bench::harness::{cloud_config, make_probabilistic, mean_jct};
+use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, PlacerSpec, Run};
 use pnats_core::estimate::IntermediateEstimator;
 use pnats_core::prob::ProbabilityModel;
 use pnats_metrics::render_table;
 use pnats_sim::config::background_traffic;
-use pnats_sim::{JobInput, Simulation};
+use pnats_sim::JobInput;
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -21,21 +21,30 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = JobInput::from_batch(&table2_batch(AppKind::Terasort));
-    let mut rows = Vec::new();
-    for lanes in [0usize, 4, 8, 16] {
-        let mut cells = vec![lanes.to_string()];
+    const LANES: [usize; 4] = [0, 4, 8, 16];
+    let mut runs = Vec::new();
+    for lanes in LANES {
         for netcond in [true, false] {
             let mut cfg = cloud_config(seed);
             cfg.network_condition = netcond;
             cfg.background = background_traffic(lanes, 8_000.0, cfg.n_nodes, 999 + seed);
-            let placer = make_probabilistic(
-                0.4,
-                ProbabilityModel::Exponential,
-                IntermediateEstimator::ProgressExtrapolated,
-            );
-            let r = Simulation::new(cfg, placer).run(&inputs);
-            cells.push(format!("{:.0}", mean_jct(&r)));
+            runs.push(Run {
+                placer: PlacerSpec::Probabilistic {
+                    p_min: 0.4,
+                    model: ProbabilityModel::Exponential,
+                    estimator: IntermediateEstimator::ProgressExtrapolated,
+                },
+                cfg,
+                inputs: inputs.clone(),
+            });
         }
+    }
+    let reports = run_matrix(runs);
+
+    let mut rows = Vec::new();
+    for (lanes, pair) in LANES.into_iter().zip(reports.chunks(2)) {
+        let mut cells = vec![lanes.to_string()];
+        cells.extend(pair.iter().map(|r| format!("{:.0}", mean_jct(r))));
         rows.push(cells);
     }
     print!(

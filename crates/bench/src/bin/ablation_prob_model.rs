@@ -7,11 +7,11 @@
 //! reciprocal, linear and sigmoid, plus the fully deterministic greedy
 //! min-cost placer (the probabilistic relaxation removed entirely).
 
-use pnats_bench::harness::{cloud_config, make_placer, make_probabilistic, mean_jct, SchedulerKind};
+use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, PlacerSpec, Run, SchedulerKind};
 use pnats_core::estimate::IntermediateEstimator;
 use pnats_core::prob::ProbabilityModel;
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_sim::{JobInput, TaskKind};
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -21,29 +21,33 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = JobInput::from_batch(&table2_batch(AppKind::Wordcount));
+    // 4 probability models + the deterministic min-cost strawman.
+    let mut runs: Vec<Run> = ProbabilityModel::ALL
+        .iter()
+        .map(|&model| Run {
+            placer: PlacerSpec::Probabilistic {
+                p_min: 0.4,
+                model,
+                estimator: IntermediateEstimator::ProgressExtrapolated,
+            },
+            cfg: cloud_config(seed),
+            inputs: inputs.clone(),
+        })
+        .collect();
+    runs.push(Run::new(SchedulerKind::MinCost, cloud_config(seed), inputs));
+    let reports = run_matrix(runs);
+
+    let labels = ProbabilityModel::ALL
+        .iter()
+        .map(|m| m.label().to_string())
+        .chain(std::iter::once("deterministic-mincost".to_string()));
     let mut rows = Vec::new();
-    for model in ProbabilityModel::ALL {
-        let cfg = cloud_config(seed);
-        let placer =
-            make_probabilistic(0.4, model, IntermediateEstimator::ProgressExtrapolated);
-        let r = Simulation::new(cfg, placer).run(&inputs);
+    for (label, r) in labels.zip(&reports) {
         let maps = r.trace.locality_of(TaskKind::Map);
         rows.push(vec![
-            model.label().to_string(),
+            label,
             format!("{}/{}", r.jobs_completed, r.jobs_submitted),
-            format!("{:.0}", mean_jct(&r)),
-            format!("{:.1}", maps.pct_node_local()),
-        ]);
-    }
-    {
-        let cfg = cloud_config(seed);
-        let placer = make_placer(SchedulerKind::MinCost, &cfg);
-        let r = Simulation::new(cfg, placer).run(&inputs);
-        let maps = r.trace.locality_of(TaskKind::Map);
-        rows.push(vec![
-            "deterministic-mincost".into(),
-            format!("{}/{}", r.jobs_completed, r.jobs_submitted),
-            format!("{:.0}", mean_jct(&r)),
+            format!("{:.0}", mean_jct(r)),
             format!("{:.1}", maps.pct_node_local()),
         ]);
     }

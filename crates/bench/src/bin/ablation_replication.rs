@@ -4,9 +4,9 @@
 //! locality and shrinking the placement problem; replication 1 is the
 //! stress case where every placement decision is all-or-nothing.
 
-use pnats_bench::harness::{hdfs_config, make_placer, mean_jct, PAPER_SCHEDULERS};
+use pnats_bench::harness::{hdfs_config, mean_jct, run_matrix, Run, PAPER_SCHEDULERS};
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_sim::{JobInput, TaskKind};
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -16,21 +16,29 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = JobInput::from_batch(&table2_batch(AppKind::Wordcount));
-    let mut rows = Vec::new();
-    for replication in [1usize, 2, 3] {
-        for kind in PAPER_SCHEDULERS {
+    let cells: Vec<(usize, _)> = [1usize, 2, 3]
+        .into_iter()
+        .flat_map(|replication| PAPER_SCHEDULERS.into_iter().map(move |kind| (replication, kind)))
+        .collect();
+    let runs = cells
+        .iter()
+        .map(|&(replication, kind)| {
             let mut cfg = hdfs_config(seed);
             cfg.replication = replication;
-            let placer = make_placer(kind, &cfg);
-            let r = Simulation::new(cfg, placer).run(&inputs);
-            let maps = r.trace.locality_of(TaskKind::Map);
-            rows.push(vec![
-                replication.to_string(),
-                kind.label().to_string(),
-                format!("{:.0}", mean_jct(&r)),
-                format!("{:.1}", maps.pct_node_local()),
-            ]);
-        }
+            Run::new(kind, cfg, inputs.clone())
+        })
+        .collect();
+    let reports = run_matrix(runs);
+
+    let mut rows = Vec::new();
+    for ((replication, kind), r) in cells.iter().zip(&reports) {
+        let maps = r.trace.locality_of(TaskKind::Map);
+        rows.push(vec![
+            replication.to_string(),
+            kind.label().to_string(),
+            format!("{:.0}", mean_jct(r)),
+            format!("{:.1}", maps.pct_node_local()),
+        ]);
     }
     print!(
         "{}",

@@ -5,9 +5,9 @@
 //! backup copies. This sweep shows (a) stragglers hurt every scheduler and
 //! (b) speculation claws the tail back, orthogonally to placement policy.
 
-use pnats_bench::harness::{hdfs_config, make_placer, mean_jct, SchedulerKind};
+use pnats_bench::harness::{hdfs_config, mean_jct, run_matrix, Run, SchedulerKind};
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_sim::{JobInput, TaskKind};
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -17,21 +17,30 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = JobInput::from_batch(&table2_batch(AppKind::Grep));
-    let mut rows = Vec::new();
-    for (label, slow, spec) in [
+    // (label, slow nodes as (index, speed factor), speculation lag)
+    type Condition = (&'static str, Vec<(usize, f64)>, f64);
+    let conditions: [Condition; 3] = [
         ("healthy", vec![], 0.0),
         ("3 stragglers", vec![(5usize, 0.15), (23, 0.2), (47, 0.1)], 0.0),
         ("3 stragglers + speculation", vec![(5, 0.15), (23, 0.2), (47, 0.1)], 0.25),
-    ] {
-        let mut cfg = hdfs_config(seed);
-        cfg.slow_nodes = slow;
-        cfg.speculation_lag = spec;
-        let placer = make_placer(SchedulerKind::Probabilistic, &cfg);
-        let r = Simulation::new(cfg, placer).run(&inputs);
+    ];
+    let runs = conditions
+        .iter()
+        .map(|(_, slow, spec)| {
+            let mut cfg = hdfs_config(seed);
+            cfg.slow_nodes = slow.clone();
+            cfg.speculation_lag = *spec;
+            Run::new(SchedulerKind::Probabilistic, cfg, inputs.clone())
+        })
+        .collect();
+    let reports = run_matrix(runs);
+
+    let mut rows = Vec::new();
+    for ((label, _, _), r) in conditions.iter().zip(&reports) {
         let maps = r.trace.task_time_cdf(TaskKind::Map);
         rows.push(vec![
             label.to_string(),
-            format!("{:.0}", mean_jct(&r)),
+            format!("{:.0}", mean_jct(r)),
             format!("{:.0}", r.trace.makespan()),
             format!("{:.1}", maps.quantile(0.99)),
         ]);

@@ -2,9 +2,9 @@
 //! batches — the shared-cluster steady state the conclusion targets.
 //! Sweeps offered load (mean inter-arrival gap) for the three schedulers.
 
-use pnats_bench::harness::{cloud_config, make_placer, mean_jct, PAPER_SCHEDULERS};
+use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, Run, PAPER_SCHEDULERS};
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation};
+use pnats_sim::JobInput;
 use pnats_workloads::poisson_mixed_batch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -15,23 +15,31 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
-    let mut rows = Vec::new();
+    // Arrival sequences are drawn up front (one seeded stream per load
+    // level, exactly as the serial loop did), so the matrix cells stay
+    // independent of execution order.
+    let mut cells = Vec::new();
+    let mut runs = Vec::new();
     for gap_s in [120.0, 60.0, 30.0] {
         let mut rng = SmallRng::seed_from_u64(seed);
         let batch = poisson_mixed_batch(15, gap_s, &mut rng);
         let inputs = JobInput::from_batch(&batch);
         for kind in PAPER_SCHEDULERS {
-            let cfg = cloud_config(seed);
-            let placer = make_placer(kind, &cfg);
-            let r = Simulation::new(cfg, placer).run(&inputs);
-            rows.push(vec![
-                format!("{gap_s:.0}"),
-                kind.label().to_string(),
-                format!("{}/{}", r.jobs_completed, r.jobs_submitted),
-                format!("{:.0}", mean_jct(&r)),
-                format!("{:.0}", r.trace.makespan()),
-            ]);
+            cells.push((gap_s, kind));
+            runs.push(Run::new(kind, cloud_config(seed), inputs.clone()));
         }
+    }
+    let reports = run_matrix(runs);
+
+    let mut rows = Vec::new();
+    for ((gap_s, kind), r) in cells.iter().zip(&reports) {
+        rows.push(vec![
+            format!("{gap_s:.0}"),
+            kind.label().to_string(),
+            format!("{}/{}", r.jobs_completed, r.jobs_submitted),
+            format!("{:.0}", mean_jct(r)),
+            format!("{:.0}", r.trace.makespan()),
+        ]);
     }
     print!(
         "{}",

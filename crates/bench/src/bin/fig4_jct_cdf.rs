@@ -7,7 +7,7 @@
 //! Table II batches separately (as §III does) under the cloud-layout
 //! configuration and pool the 30 jobs per scheduler.
 
-use pnats_bench::harness::{cloud_config, mean_jct, run_batches, PAPER_SCHEDULERS};
+use pnats_bench::harness::{batch_runs, cloud_config, mean_jct, run_matrix, PAPER_SCHEDULERS};
 use pnats_metrics::{render_series, render_table, Cdf};
 
 fn main() {
@@ -16,10 +16,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
+    // One 9-cell matrix (3 schedulers × 3 batches), executed across cores.
+    let runs = PAPER_SCHEDULERS
+        .iter()
+        .flat_map(|kind| batch_runs(*kind, || cloud_config(seed)))
+        .collect();
+    let all_reports = run_matrix(runs);
+
     let mut series = Vec::new();
     let mut summary_rows = Vec::new();
-    for kind in PAPER_SCHEDULERS {
-        let reports = run_batches(kind, || cloud_config(seed));
+    for (reports, kind) in all_reports.chunks(3).zip(PAPER_SCHEDULERS) {
         let jcts: Vec<f64> = reports
             .iter()
             .flat_map(|r| r.trace.jobs.iter().map(|j| j.jct()))

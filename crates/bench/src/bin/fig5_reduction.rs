@@ -5,15 +5,15 @@
 //! ~24 % gain > 43 % vs Fair; average reductions 17 % (Coupling) and 46 %
 //! (Fair). We pair the same 30 jobs across schedulers.
 
-use pnats_bench::harness::{cloud_config, jct_by_name, run_batches, SchedulerKind};
+use pnats_bench::harness::{
+    batch_runs, cloud_config, jct_by_name, run_matrix, SchedulerKind, PAPER_SCHEDULERS,
+};
 use pnats_metrics::stats::paired_reductions;
 use pnats_metrics::{render_series, Cdf};
+use pnats_sim::SimReport;
 
-fn pooled_jcts(kind: SchedulerKind, seed: u64) -> Vec<(String, f64)> {
-    let mut v: Vec<(String, f64)> = run_batches(kind, || cloud_config(seed))
-        .iter()
-        .flat_map(jct_by_name)
-        .collect();
+fn pooled_jcts(reports: &[SimReport]) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = reports.iter().flat_map(jct_by_name).collect();
     v.sort_by(|a, b| a.0.cmp(&b.0));
     v
 }
@@ -24,11 +24,18 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
-    let ours = pooled_jcts(SchedulerKind::Probabilistic, seed);
+    // One 9-cell matrix: [probabilistic, coupling, fair] × 3 batches.
+    let runs = PAPER_SCHEDULERS
+        .iter()
+        .flat_map(|kind| batch_runs(*kind, || cloud_config(seed)))
+        .collect();
+    let all_reports = run_matrix(runs);
+
+    let ours = pooled_jcts(&all_reports[0..3]);
     let mut series = Vec::new();
     let mut means = Vec::new();
-    for base in [SchedulerKind::Coupling, SchedulerKind::Fair] {
-        let theirs = pooled_jcts(base, seed);
+    for (bi, base) in [SchedulerKind::Coupling, SchedulerKind::Fair].into_iter().enumerate() {
+        let theirs = pooled_jcts(&all_reports[3 * (bi + 1)..3 * (bi + 2)]);
         assert_eq!(ours.len(), theirs.len());
         for (a, b) in ours.iter().zip(&theirs) {
             assert_eq!(a.0, b.0, "job pairing mismatch");

@@ -8,7 +8,7 @@
 //! meet. Note Coupling's reduce tail is the worst of the three (its
 //! postponed, current-size-guided launches), which our run reproduces.
 
-use pnats_bench::harness::{cloud_config, run_batches, PAPER_SCHEDULERS};
+use pnats_bench::harness::{batch_runs, cloud_config, run_matrix, PAPER_SCHEDULERS};
 use pnats_metrics::{render_series, render_table, Cdf};
 use pnats_sim::TaskKind;
 
@@ -18,14 +18,19 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
+    let runs = PAPER_SCHEDULERS
+        .iter()
+        .flat_map(|kind| batch_runs(*kind, || cloud_config(seed)))
+        .collect();
+    let all_reports = run_matrix(runs);
+
     let mut map_series = Vec::new();
     let mut red_series = Vec::new();
     let mut rows = Vec::new();
-    for kind in PAPER_SCHEDULERS {
-        let reports = run_batches(kind, || cloud_config(seed));
+    for (reports, kind) in all_reports.chunks(3).zip(PAPER_SCHEDULERS) {
         let mut maps = Vec::new();
         let mut reds = Vec::new();
-        for r in &reports {
+        for r in reports {
             maps.extend(r.trace.tasks_of(TaskKind::Map).map(|t| t.running_time()));
             reds.extend(r.trace.tasks_of(TaskKind::Reduce).map(|t| t.running_time()));
         }

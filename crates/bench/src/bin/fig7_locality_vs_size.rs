@@ -5,7 +5,7 @@
 //! We run the three batches under the stock-HDFS layout and bucket the
 //! pooled map tasks by their job's input size.
 
-use pnats_bench::harness::{hdfs_config, run_batches, PAPER_SCHEDULERS};
+use pnats_bench::harness::{batch_runs, hdfs_config, run_matrix, PAPER_SCHEDULERS};
 use pnats_metrics::{render_table, LocalityCounter};
 use pnats_sim::TaskKind;
 use pnats_workloads::TABLE2;
@@ -21,8 +21,13 @@ fn main() {
     let mut table: Vec<Vec<String>> = Vec::new();
     let mut per_sched: Vec<Vec<LocalityCounter>> = Vec::new();
 
-    for kind in PAPER_SCHEDULERS {
-        let reports = run_batches(kind, || hdfs_config(seed));
+    let runs = PAPER_SCHEDULERS
+        .iter()
+        .flat_map(|kind| batch_runs(*kind, || hdfs_config(seed)))
+        .collect();
+    let all_reports = run_matrix(runs);
+
+    for reports in all_reports.chunks(3) {
         let mut buckets = vec![LocalityCounter::default(); sizes.len()];
         for (bi, report) in reports.iter().enumerate() {
             // Batch bi contains the jobs of one application in Table II

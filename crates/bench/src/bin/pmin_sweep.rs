@@ -8,11 +8,11 @@
 //! stays below the threshold never launch) — the "finished successfully"
 //! cliff the paper used to pick 0.4.
 
-use pnats_bench::harness::{cloud_config, make_probabilistic, mean_jct};
+use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, PlacerSpec, Run};
 use pnats_core::estimate::IntermediateEstimator;
 use pnats_core::prob::ProbabilityModel;
 use pnats_metrics::render_table;
-use pnats_sim::{JobInput, Simulation, TaskKind};
+use pnats_sim::{JobInput, TaskKind};
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
@@ -22,21 +22,32 @@ fn main() {
         .unwrap_or(42);
 
     let inputs = JobInput::from_batch(&table2_batch(AppKind::Wordcount));
+    const P_MINS: [f64; 5] = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let runs = P_MINS
+        .iter()
+        .map(|&p_min| {
+            let mut cfg = cloud_config(seed);
+            cfg.max_sim_time = 1_500.0;
+            Run {
+                placer: PlacerSpec::Probabilistic {
+                    p_min,
+                    model: ProbabilityModel::Exponential,
+                    estimator: IntermediateEstimator::ProgressExtrapolated,
+                },
+                cfg,
+                inputs: inputs.clone(),
+            }
+        })
+        .collect();
+    let reports = run_matrix(runs);
+
     let mut rows = Vec::new();
-    for p_min in [0.0, 0.2, 0.4, 0.6, 0.8] {
-        let mut cfg = cloud_config(seed);
-        cfg.max_sim_time = 1_500.0;
-        let placer = make_probabilistic(
-            p_min,
-            ProbabilityModel::Exponential,
-            IntermediateEstimator::ProgressExtrapolated,
-        );
-        let r = Simulation::new(cfg, placer).run(&inputs);
+    for (p_min, r) in P_MINS.iter().zip(&reports) {
         let maps = r.trace.locality_of(TaskKind::Map);
         rows.push(vec![
             format!("{p_min:.1}"),
             format!("{}/{}", r.jobs_completed, r.jobs_submitted),
-            if r.all_completed() { format!("{:.0}", mean_jct(&r)) } else { "-".into() },
+            if r.all_completed() { format!("{:.0}", mean_jct(r)) } else { "-".into() },
             format!("{:.1}", maps.pct_node_local()),
             format!("{}", r.trace.skipped_offers),
         ]);

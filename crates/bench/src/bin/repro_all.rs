@@ -1,10 +1,78 @@
 //! Run every table/figure reproduction in sequence, printing one
-//! EXPERIMENTS.md-ready report. Equivalent to running each `--bin`
-//! individually; expect several minutes of wall-clock in release mode.
+//! EXPERIMENTS.md-ready report, and write `BENCH_harness.json` with
+//! machine-readable wall-clock accounting per experiment.
+//!
+//! Experiments execute their run matrices across all cores (see
+//! `harness::run_matrix`; `PNATS_THREADS` pins the worker count). Before
+//! the sweep, one calibration experiment is executed twice — serially
+//! (`PNATS_THREADS=1`) and at full width — to record the measured speedup
+//! and to verify the parallel harness is byte-identical to the serial one
+//! on stdout.
 //!
 //! Usage: `cargo run --release -p pnats-bench --bin repro_all [seed]`
 
+use pnats_bench::harness::harness_threads;
+use std::io::Write as _;
 use std::process::Command;
+use std::time::Instant;
+
+/// The experiment whose serial/parallel pair calibrates the speedup: a
+/// 9-run matrix with fully deterministic stdout.
+const CALIBRATION_BIN: &str = "fig4_jct_cdf";
+
+struct ExperimentRecord {
+    name: String,
+    wall_s: f64,
+    matrix_runs: usize,
+}
+
+/// Stdout/stderr of one child plus repro_all's own wall measurement.
+struct ChildRun {
+    stdout: Vec<u8>,
+    stderr: String,
+    wall_s: f64,
+}
+
+fn run_child(dir: &std::path::Path, bin: &str, seed: &str, threads: Option<usize>) -> ChildRun {
+    let mut cmd = Command::new(dir.join(bin));
+    cmd.arg(seed);
+    if let Some(t) = threads {
+        cmd.env("PNATS_THREADS", t.to_string());
+    }
+    let wall = Instant::now();
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    let wall_s = wall.elapsed().as_secs_f64();
+    if !out.status.success() {
+        std::io::stdout().write_all(&out.stdout).ok();
+        eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        eprintln!("{bin} exited with {}", out.status);
+        std::process::exit(1);
+    }
+    ChildRun {
+        stdout: out.stdout,
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+        wall_s,
+    }
+}
+
+/// Total matrix runs reported by a child's `HARNESS runs=…` stderr lines.
+fn total_matrix_runs(stderr: &str) -> usize {
+    stderr
+        .lines()
+        .filter(|l| l.starts_with("HARNESS "))
+        .filter_map(|l| {
+            l.split_whitespace()
+                .find_map(|tok| tok.strip_prefix("runs="))
+                .and_then(|v| v.parse::<usize>().ok())
+        })
+        .sum()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 fn main() {
     let seed = std::env::args().nth(1).unwrap_or_else(|| "42".to_string());
@@ -26,17 +94,71 @@ fn main() {
         "continuous_arrivals",
     ];
     let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin dir");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let threads = harness_threads();
+
+    // Calibration: the same experiment serially and at full width. The
+    // simulations seed their own RNGs, so stdout must match byte for byte.
+    println!("######## calibration: {CALIBRATION_BIN} serial vs {threads} threads ########");
+    let serial = run_child(&dir, CALIBRATION_BIN, &seed, Some(1));
+    let parallel = run_child(&dir, CALIBRATION_BIN, &seed, None);
+    let identical = serial.stdout == parallel.stdout;
+    let speedup = serial.wall_s / parallel.wall_s.max(1e-9);
+    println!(
+        "serial {:.2}s  parallel {:.2}s  speedup {speedup:.2}x  stdout_identical={identical}",
+        serial.wall_s, parallel.wall_s
+    );
+    if !identical {
+        eprintln!("FATAL: parallel stdout differs from serial stdout — determinism broken");
+        std::process::exit(1);
+    }
+
+    let total = Instant::now();
+    let mut records = Vec::new();
     for bin in bins {
         println!("\n############ {bin} ############");
-        let status = Command::new(dir.join(bin))
-            .arg(&seed)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
-        }
+        let child = run_child(&dir, bin, &seed, None);
+        std::io::stdout().write_all(&child.stdout).expect("stdout");
+        records.push(ExperimentRecord {
+            name: bin.to_string(),
+            wall_s: child.wall_s,
+            matrix_runs: total_matrix_runs(&child.stderr),
+        });
     }
-    println!("\nAll experiments completed.");
+    let total_wall_s = total.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"seed\": \"{}\",\n", json_escape(&seed)));
+    json.push_str("  \"calibration\": {\n");
+    json.push_str(&format!("    \"experiment\": \"{CALIBRATION_BIN}\",\n"));
+    json.push_str(&format!("    \"serial_wall_s\": {:.3},\n", serial.wall_s));
+    json.push_str(&format!("    \"parallel_wall_s\": {:.3},\n", parallel.wall_s));
+    json.push_str(&format!("    \"speedup\": {speedup:.3},\n"));
+    json.push_str(&format!("    \"stdout_identical\": {identical}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"experiments\": [\n");
+    for (i, rec) in records.iter().enumerate() {
+        let runs_per_s = if rec.matrix_runs > 0 {
+            format!("{:.3}", rec.matrix_runs as f64 / rec.wall_s.max(1e-9))
+        } else {
+            "null".to_string()
+        };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"matrix_runs\": {}, \"runs_per_s\": {}}}{}\n",
+            json_escape(&rec.name),
+            rec.wall_s,
+            rec.matrix_runs,
+            runs_per_s,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+
+    println!("\nAll experiments completed in {total_wall_s:.1}s ({threads} threads).");
+    println!("Wall-clock accounting written to BENCH_harness.json");
 }

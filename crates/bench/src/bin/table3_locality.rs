@@ -9,7 +9,7 @@
 //! which is stricter than the paper's informal "machine with data for that
 //! task".
 
-use pnats_bench::harness::{hdfs_config, run_batches, PAPER_SCHEDULERS};
+use pnats_bench::harness::{batch_runs, hdfs_config, run_matrix, PAPER_SCHEDULERS};
 use pnats_metrics::render_table;
 use pnats_sim::TaskKind;
 
@@ -19,12 +19,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
 
+    let runs = PAPER_SCHEDULERS
+        .iter()
+        .flat_map(|kind| batch_runs(*kind, || hdfs_config(seed)))
+        .collect();
+    let all_reports = run_matrix(runs);
+
     let mut rows = Vec::new();
-    for kind in PAPER_SCHEDULERS {
-        let reports = run_batches(kind, || hdfs_config(seed));
+    for (reports, kind) in all_reports.chunks(3).zip(PAPER_SCHEDULERS) {
         let mut all = pnats_metrics::LocalityCounter::default();
         let mut maps = pnats_metrics::LocalityCounter::default();
-        for r in &reports {
+        for r in reports {
             all += r.trace.locality_all();
             maps += r.trace.locality_of(TaskKind::Map);
         }

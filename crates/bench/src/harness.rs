@@ -1,4 +1,16 @@
 //! Shared experiment machinery: standard configs, scheduler zoo, runners.
+//!
+//! ## The parallel run matrix
+//!
+//! Every experiment is a matrix of **independent** simulation runs — one
+//! per `(scheduler, config, batch)` cell — whose results are only combined
+//! at print time. [`run_matrix`] executes such a matrix across all cores
+//! with plain `std::thread::scope` workers: each run builds its placer
+//! from a [`PlacerSpec`] *inside* its worker and the simulation seeds its
+//! own `SmallRng` from `cfg.seed`, so no RNG stream is shared and results
+//! are identical to a serial execution regardless of thread interleaving.
+//! Results come back in matrix order; `PNATS_THREADS=1` forces the serial
+//! path (and any other value pins the worker count).
 
 use pnats_baselines::{
     CouplingPlacer, FairDelayPlacer, FifoGreedyPlacer, LartsPlacer, MinCostPlacer, QuincyPlacer,
@@ -11,6 +23,9 @@ use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
 use pnats_sim::config::background_traffic;
 use pnats_sim::{DataLayout, JobInput, SimConfig, SimReport, Simulation};
 use pnats_workloads::{table2_batch, AppKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// The headline configuration for the completion-time experiments
 /// (Figures 4, 5, 6): the paper's testbed scale (60 nodes, 4 map + 2
@@ -100,6 +115,143 @@ impl SchedulerKind {
     }
 }
 
+/// A scheduler description that can cross threads: `Copy + Send`, turned
+/// into a live [`TaskPlacer`] inside the worker that runs it.
+#[derive(Clone, Copy, Debug)]
+pub enum PlacerSpec {
+    /// One of the standard zoo, paper defaults.
+    Kind(SchedulerKind),
+    /// The probabilistic scheduler with explicit knobs (for sweeps).
+    Probabilistic {
+        /// `P_min` threshold.
+        p_min: f64,
+        /// Probability model.
+        model: ProbabilityModel,
+        /// Intermediate-size estimator.
+        estimator: IntermediateEstimator,
+    },
+}
+
+impl PlacerSpec {
+    /// Instantiate the placer (heartbeat-dependent baselines read `cfg`).
+    pub fn build(self, cfg: &SimConfig) -> Box<dyn TaskPlacer> {
+        match self {
+            PlacerSpec::Kind(kind) => make_placer(kind, cfg),
+            PlacerSpec::Probabilistic { p_min, model, estimator } => {
+                make_probabilistic(p_min, model, estimator)
+            }
+        }
+    }
+}
+
+/// One cell of an experiment's run matrix: everything a worker thread
+/// needs to execute the simulation from scratch.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// Which scheduler to instantiate.
+    pub placer: PlacerSpec,
+    /// Full simulation configuration (carries the run's RNG seed).
+    pub cfg: SimConfig,
+    /// The job batch to submit.
+    pub inputs: Vec<JobInput>,
+}
+
+impl Run {
+    /// A run of `kind` with its paper-default knobs.
+    pub fn new(kind: SchedulerKind, cfg: SimConfig, inputs: Vec<JobInput>) -> Self {
+        Self { placer: PlacerSpec::Kind(kind), cfg, inputs }
+    }
+
+    /// Execute the cell (callable from any thread).
+    pub fn execute(self) -> SimReport {
+        let placer = self.placer.build(&self.cfg);
+        Simulation::new(self.cfg, placer).run(&self.inputs)
+    }
+}
+
+/// Worker count for [`run_matrix`]: `PNATS_THREADS` when set (minimum 1;
+/// `1` disables parallelism entirely), otherwise the machine's available
+/// parallelism.
+pub fn harness_threads() -> usize {
+    std::env::var("PNATS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Order-preserving parallel map over owned items.
+///
+/// Workers claim items by atomically incrementing a shared index, so there
+/// is no per-item locking on the hot path and no work-stealing machinery;
+/// results land in their item's slot, preserving input order exactly. With
+/// `threads <= 1` (or a single item) this degenerates to a plain serial
+/// loop on the calling thread.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item claimed once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// Execute a run matrix across [`harness_threads`] workers, returning
+/// reports in matrix order. Results are identical to executing the runs
+/// serially: every cell owns its config (and therefore its RNG seed) and
+/// builds its placer privately, so nothing about the outcome depends on
+/// scheduling.
+///
+/// Emits one `HARNESS runs=…` accounting line on **stderr** (stdout stays
+/// byte-identical across thread counts); `repro_all` aggregates these
+/// lines into `BENCH_harness.json`.
+pub fn run_matrix(runs: Vec<Run>) -> Vec<SimReport> {
+    run_matrix_with(runs, Run::execute)
+}
+
+/// [`run_matrix`] with a custom per-run function — for experiments that
+/// want to derive extra per-run data (e.g. per-run wall-clock) inside the
+/// worker instead of keeping whole reports around.
+pub fn run_matrix_with<R, F>(runs: Vec<Run>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Run) -> R + Sync,
+{
+    let threads = harness_threads();
+    let n = runs.len();
+    let wall = Instant::now();
+    let results = parallel_map(runs, threads, f);
+    let wall_s = wall.elapsed().as_secs_f64();
+    eprintln!(
+        "HARNESS runs={n} threads={threads} wall_s={wall_s:.3} runs_per_s={:.3}",
+        n as f64 / wall_s.max(1e-9)
+    );
+    results
+}
+
 /// Instantiate a fresh placer of the given kind, with heartbeat-dependent
 /// baselines matched to `cfg`.
 pub fn make_placer(kind: SchedulerKind, cfg: &SimConfig) -> Box<dyn TaskPlacer> {
@@ -131,11 +283,18 @@ pub fn run_batch(app: AppKind, kind: SchedulerKind, cfg: SimConfig) -> SimReport
 }
 
 /// Run all three batches separately (as the paper does) under `kind`,
-/// returning reports in [Wordcount, Terasort, Grep] order.
+/// returning reports in [Wordcount, Terasort, Grep] order. Batches run in
+/// parallel via [`run_matrix`].
 pub fn run_batches(kind: SchedulerKind, cfg_for: impl Fn() -> SimConfig) -> Vec<SimReport> {
+    run_matrix(batch_runs(kind, cfg_for))
+}
+
+/// The [Wordcount, Terasort, Grep] cells for `kind` — building block for
+/// experiments that fold several schedulers into one [`run_matrix`] call.
+pub fn batch_runs(kind: SchedulerKind, cfg_for: impl Fn() -> SimConfig) -> Vec<Run> {
     AppKind::ALL
         .iter()
-        .map(|app| run_batch(*app, kind, cfg_for()))
+        .map(|app| Run::new(kind, cfg_for(), JobInput::from_batch(&table2_batch(*app))))
         .collect()
 }
 
@@ -212,6 +371,61 @@ mod tests {
             assert!(r.all_completed(), "{kind:?} failed to finish");
             assert!(r.trace.tasks_of(TaskKind::Map).count() > 0);
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_items() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 64] {
+            assert_eq!(parallel_map(items.clone(), threads, |x| x * x), expect, "{threads} threads");
+        }
+        assert_eq!(parallel_map(Vec::<u64>::new(), 4, |x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn run_matrix_matches_serial_execution() {
+        use pnats_workloads::scaled_batch;
+        // The same matrix executed serially on the calling thread and via
+        // the multi-threaded path must produce identical reports: every
+        // run owns its seeded RNG, so interleaving cannot matter.
+        let mk_runs = || -> Vec<Run> {
+            let mut runs = Vec::new();
+            for (i, kind) in [SchedulerKind::Probabilistic, SchedulerKind::Fair].iter().enumerate()
+            {
+                for (j, app) in [AppKind::Grep, AppKind::Wordcount].iter().enumerate() {
+                    runs.push(Run::new(
+                        *kind,
+                        mini_cloud(10 + (2 * i + j) as u64),
+                        JobInput::from_batch(&scaled_batch(*app, 2, 20)),
+                    ));
+                }
+            }
+            runs.push(Run {
+                placer: PlacerSpec::Probabilistic {
+                    p_min: 0.2,
+                    model: ProbabilityModel::Sigmoid,
+                    estimator: IntermediateEstimator::CurrentSize,
+                },
+                cfg: mini_cloud(99),
+                inputs: JobInput::from_batch(&scaled_batch(AppKind::Terasort, 2, 20)),
+            });
+            runs
+        };
+        let serial: Vec<SimReport> = mk_runs().into_iter().map(Run::execute).collect();
+        let parallel = parallel_map(mk_runs(), 4, Run::execute);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.jobs_completed, p.jobs_completed, "run {i}");
+            assert_eq!(mean_jct(s).to_bits(), mean_jct(p).to_bits(), "run {i}: JCTs diverged");
+            assert_eq!(s.trace.makespan().to_bits(), p.trace.makespan().to_bits(), "run {i}");
+            assert_eq!(jct_by_name(s), jct_by_name(p), "run {i}: per-job times diverged");
+        }
+    }
+
+    #[test]
+    fn harness_threads_is_positive() {
+        assert!(harness_threads() >= 1);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 pub mod harness;
 
 pub use harness::{
-    cloud_config, hdfs_config, make_placer, mean_jct, run_batch, run_batches, SchedulerKind,
-    ALL_SCHEDULERS, PAPER_SCHEDULERS,
+    batch_runs, cloud_config, harness_threads, hdfs_config, make_placer, mean_jct, parallel_map,
+    run_batch, run_batches, run_matrix, run_matrix_with, PlacerSpec, Run, SchedulerKind,
+    ALL_SCHEDULERS,
+    PAPER_SCHEDULERS,
 };

@@ -22,8 +22,11 @@ use crate::context::ShuffleSource;
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum IntermediateEstimator {
     /// The paper's estimator: `A_jf · B_j / d_read^j`. A placed map that
-    /// has not read anything yet contributes its (zero) current size —
-    /// there is nothing to extrapolate from.
+    /// has not read anything yet contributes 0 estimated bytes — there is
+    /// nothing to extrapolate from, and dividing by `d_read = 0` would turn
+    /// one fresh map into a NaN/∞ that poisons the whole candidate cost.
+    /// (A live runtime can report `A_jf > 0` with `d_read = 0` when output
+    /// bytes are published before the read counter.)
     #[default]
     ProgressExtrapolated,
     /// Coupling Scheduler's estimator: the raw current size `A_jf`.
@@ -38,7 +41,7 @@ impl IntermediateEstimator {
             IntermediateEstimator::CurrentSize => s.current_bytes,
             IntermediateEstimator::ProgressExtrapolated => {
                 if s.input_read == 0 {
-                    s.current_bytes
+                    0.0
                 } else {
                     s.current_bytes * (s.input_total as f64 / s.input_read as f64)
                 }
@@ -93,6 +96,17 @@ mod tests {
         let s = src(0.0, 0, 100);
         assert_eq!(IntermediateEstimator::ProgressExtrapolated.estimate(&s), 0.0);
         assert_eq!(IntermediateEstimator::CurrentSize.estimate(&s), 0.0);
+    }
+
+    #[test]
+    fn zero_progress_with_output_estimates_zero_not_nan() {
+        // The race a live runtime exhibits: output bytes published before
+        // the read counter. Extrapolating would be 3/0 = ∞ (or 0/0 = NaN);
+        // the estimate must instead be a harmless 0.
+        let s = src(3.0, 0, 100);
+        let est = IntermediateEstimator::ProgressExtrapolated.estimate(&s);
+        assert_eq!(est, 0.0);
+        assert!(est.is_finite());
     }
 
     #[test]

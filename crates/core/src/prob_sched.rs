@@ -18,7 +18,7 @@
 //! Algorithm 2 additionally refuses to run two reduce tasks of one job on
 //! the same node (I/O contention and downlink congestion; paper §II-D).
 
-use crate::context::{MapSchedContext, ReduceSchedContext};
+use crate::context::{MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext};
 use crate::cost::{map_cost, map_cost_avg, reduce_cost, reduce_cost_avg};
 use crate::estimate::IntermediateEstimator;
 use crate::placer::{Decision, TaskPlacer};
@@ -26,6 +26,7 @@ use crate::prob::ProbabilityModel;
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Tunables of the probabilistic network-aware scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +64,14 @@ impl ProbConfig {
 #[derive(Clone, Debug)]
 pub struct ProbabilisticPlacer {
     config: ProbConfig,
+    /// `cost_ceiling(1, p_min)`: the ceiling is linear in `C_ave`, so a
+    /// candidate satisfies `P ≥ P_min` iff `C ≤ C_ave · ceiling_factor`.
+    /// Precomputed once; `+∞` when no finite cost can miss the threshold.
+    ceiling_factor: f64,
+    /// Memoized `C_ave` per map candidate for the current free-node set.
+    map_avg_cache: AvgCostCache,
+    /// Memoized `C_ave` per reduce candidate for the current free-node set.
+    reduce_avg_cache: AvgCostCache,
     /// Decision statistics (diagnostics; not used for scheduling).
     pub stats: PlacerStats,
 }
@@ -76,12 +85,88 @@ pub struct PlacerStats {
     pub below_p_min: u64,
     /// Slots skipped because the Bernoulli draw failed.
     pub draw_failed: u64,
+    /// Candidates whose probability computation was skipped because their
+    /// cost exceeded the `P_min` cost ceiling (an O(1) comparison).
+    pub pruned: u64,
 }
+
+/// Memoized per-candidate `C_ave` values, valid for one (free-node set,
+/// cost-matrix revision) pair. `C_ave` does not depend on the offered node,
+/// so within one heartbeat round — and across rounds while the free set and
+/// the §II-B3 congestion matrix are unchanged — recomputing it per offer is
+/// pure waste. Keys hash the candidate's full cost-relevant content
+/// (replicas / shuffle-source progress), so a candidate whose inputs moved
+/// simply misses the cache instead of reading a stale value.
+#[derive(Clone, Debug, Default)]
+struct AvgCostCache {
+    free_nodes: Vec<NodeId>,
+    cost_version: u64,
+    values: HashMap<u64, f64>,
+}
+
+impl AvgCostCache {
+    /// Drop every memoized value unless it was computed against exactly
+    /// this free-node set and cost-matrix revision.
+    fn sync(&mut self, free_nodes: &[NodeId], cost_version: u64) {
+        if self.cost_version != cost_version || self.free_nodes.as_slice() != free_nodes {
+            self.values.clear();
+            self.free_nodes.clear();
+            self.free_nodes.extend_from_slice(free_nodes);
+            self.cost_version = cost_version;
+        }
+    }
+}
+
+/// SplitMix64-style word mixer for cache keys.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = (h ^ v).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn map_candidate_key(c: &MapCandidate) -> u64 {
+    let mut h = mix(
+        0x9E37_79B9_7F4A_7C15,
+        ((c.task.job.0 as u64) << 32) | c.task.index as u64,
+    );
+    h = mix(h, c.block_size);
+    for r in &c.replicas {
+        h = mix(h, r.0 as u64);
+    }
+    h
+}
+
+fn reduce_candidate_key(c: &ReduceCandidate) -> u64 {
+    let mut h = mix(
+        0xD1B5_4A32_D192_ED03,
+        ((c.task.job.0 as u64) << 32) | c.task.index as u64,
+    );
+    for s in &c.sources {
+        h = mix(h, s.node.0 as u64);
+        h = mix(h, s.current_bytes.to_bits());
+        h = mix(h, s.input_read);
+        h = mix(h, s.input_total);
+    }
+    h
+}
+
+/// The prune must never reject a candidate the exact probability
+/// computation would accept: compare against the ceiling inflated by one
+/// part in 10¹², so boundary candidates fall through to the full formula.
+const PRUNE_SLACK: f64 = 1.0 + 1e-12;
 
 impl ProbabilisticPlacer {
     /// A placer with the given configuration.
     pub fn new(config: ProbConfig) -> Self {
-        Self { config, stats: PlacerStats::default() }
+        Self {
+            ceiling_factor: config.model.cost_ceiling(1.0, config.p_min),
+            config,
+            map_avg_cache: AvgCostCache::default(),
+            reduce_avg_cache: AvgCostCache::default(),
+            stats: PlacerStats::default(),
+        }
     }
 
     /// A placer with the paper's published configuration
@@ -100,6 +185,12 @@ impl ProbabilisticPlacer {
         let Some((idx, p)) = best else {
             return Decision::Skip;
         };
+        // `argmax_probability` never yields NaN, but guard anyway: a NaN
+        // must not burn an RNG draw or be miscounted as `draw_failed`
+        // (both comparisons below are false for NaN).
+        if p.is_nan() {
+            return Decision::Skip;
+        }
         if p < self.config.p_min {
             self.stats.below_p_min += 1;
             return Decision::Skip;
@@ -115,10 +206,15 @@ impl ProbabilisticPlacer {
 }
 
 /// Select the candidate with the largest probability; ties broken toward
-/// the lower index (stable, deterministic).
+/// the lower index (stable, deterministic). NaN probabilities are never
+/// selected: a NaN arriving first would otherwise survive as "best" because
+/// `p > bp` is false both ways against NaN.
 fn argmax_probability(probs: impl Iterator<Item = f64>) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, p) in probs.enumerate() {
+        if p.is_nan() {
+            continue;
+        }
         if best.is_none_or(|(_, bp)| p > bp) {
             best = Some((i, p));
         }
@@ -138,11 +234,36 @@ impl TaskPlacer for ProbabilisticPlacer {
         node: NodeId,
         rng: &mut SmallRng,
     ) -> Decision {
+        self.map_avg_cache.sync(ctx.free_map_nodes, ctx.cost.version());
+        let model = self.config.model;
+        let prune = self.ceiling_factor * PRUNE_SLACK;
+        let cache = &mut self.map_avg_cache;
+        let stats = &mut self.stats;
+        let mut saw_below_threshold = false;
         let best = argmax_probability(ctx.candidates.iter().map(|c| {
             let c_here = map_cost(c, node, ctx.cost); // line 4
-            let c_ave = map_cost_avg(c, ctx.free_map_nodes, ctx.cost); // line 6
-            self.config.model.probability(c_ave, c_here) // line 7
+            let c_ave = *cache
+                .values
+                .entry(map_candidate_key(c))
+                .or_insert_with(|| map_cost_avg(c, ctx.free_map_nodes, ctx.cost)); // line 6
+            // Cost-ceiling prune: `C > C_ave · ceiling` already implies
+            // `P < P_min`, so skip the probability computation. The NaN
+            // sentinel is invisible to `argmax_probability`; all pruned
+            // candidates are tallied as one below-`P_min` skip after the
+            // argmax, exactly as the unpruned computation would decide.
+            // (A NaN cost never prunes — both comparisons are false — and
+            // falls through to the full formula.)
+            if c_here > c_ave * prune {
+                saw_below_threshold = true;
+                stats.pruned += 1;
+                return f64::NAN;
+            }
+            model.probability(c_ave, c_here) // line 7
         }));
+        if best.is_none() && saw_below_threshold {
+            self.stats.below_p_min += 1;
+            return Decision::Skip;
+        }
         self.gate(best, rng) // lines 9-16
     }
 
@@ -157,12 +278,30 @@ impl TaskPlacer for ProbabilisticPlacer {
         if ctx.job_reduce_nodes.contains(&node) {
             return Decision::Skip;
         }
+        self.reduce_avg_cache.sync(ctx.free_reduce_nodes, ctx.cost.version());
         let est = self.config.estimator;
+        let model = self.config.model;
+        let prune = self.ceiling_factor * PRUNE_SLACK;
+        let cache = &mut self.reduce_avg_cache;
+        let stats = &mut self.stats;
+        let mut saw_below_threshold = false;
         let best = argmax_probability(ctx.candidates.iter().map(|c| {
             let c_here = reduce_cost(c, node, ctx.cost, est); // line 5
-            let c_ave = reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est); // line 7
-            self.config.model.probability(c_ave, c_here) // line 8
+            let c_ave = *cache
+                .values
+                .entry(reduce_candidate_key(c))
+                .or_insert_with(|| reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est)); // line 7
+            if c_here > c_ave * prune {
+                saw_below_threshold = true;
+                stats.pruned += 1;
+                return f64::NAN;
+            }
+            model.probability(c_ave, c_here) // line 8
         }));
+        if best.is_none() && saw_below_threshold {
+            self.stats.below_p_min += 1;
+            return Decision::Skip;
+        }
         self.gate(best, rng) // lines 10-17
     }
 }
@@ -412,5 +551,127 @@ mod tests {
     #[should_panic(expected = "P_min must be in [0,1)")]
     fn bad_p_min_rejected() {
         ProbConfig::with_p_min(1.5);
+    }
+
+    #[test]
+    fn argmax_never_selects_nan() {
+        // NaN first: must not survive as "best".
+        assert_eq!(
+            argmax_probability([f64::NAN, 0.3, 0.7].into_iter()),
+            Some((2, 0.7))
+        );
+        // NaN after a real value: must not displace it.
+        assert_eq!(argmax_probability([0.9, f64::NAN].into_iter()), Some((0, 0.9)));
+        // All NaN: no candidate at all.
+        assert_eq!(argmax_probability([f64::NAN, f64::NAN].into_iter()), None);
+        assert_eq!(argmax_probability(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn gate_skips_nan_without_stats_or_rng_draw() {
+        let mut p = ProbabilisticPlacer::paper();
+        let mut gated = rng();
+        assert_eq!(p.gate(Some((0, f64::NAN)), &mut gated), Decision::Skip);
+        assert_eq!(p.stats.assigned, 0);
+        assert_eq!(p.stats.below_p_min, 0);
+        assert_eq!(p.stats.draw_failed, 0);
+        // The RNG stream must be untouched by the NaN path.
+        let mut fresh = rng();
+        assert_eq!(gated.gen::<f64>(), fresh.gen::<f64>());
+    }
+
+    #[test]
+    fn cached_placer_matches_fresh_placer() {
+        // The C_ave cache must be pure memoization: a placer reused across
+        // calls (warm cache) must make exactly the decisions a fresh placer
+        // (cold cache) makes, including after the free set shrinks and
+        // after the cost matrix is mutated (version bump).
+        let mut h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![
+            mcand(0, 128, vec![NodeId(1)]),
+            mcand(1, 128, vec![NodeId(2)]),
+            mcand(2, 64, vec![NodeId(0), NodeId(3)]),
+        ];
+        let free_all = vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let free_few = vec![NodeId(1), NodeId(2)];
+
+        let mut warm = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.2));
+        let mut warm_rng = rng();
+        let mut phase = 0;
+        loop {
+            let free: &[NodeId] = if phase == 1 { &free_few } else { &free_all };
+            if phase == 2 {
+                // Same free set as phase 0, but the matrix changed: the
+                // version bump must invalidate, not the value equality.
+                h.set(NodeId(1), NodeId(2), 3.0);
+            }
+            let ctx = map_ctx(&cands, free, &h, &layout);
+            for &node in &free_all {
+                let mut fresh = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.2));
+                let mut fresh_rng = warm_rng.clone();
+                let expect = fresh.place_map(&ctx, node, &mut fresh_rng);
+                let got = warm.place_map(&ctx, node, &mut warm_rng);
+                assert_eq!(got, expect, "phase {phase}, node {node:?}");
+                assert_eq!(
+                    warm_rng.gen::<u64>(),
+                    fresh_rng.gen::<u64>(),
+                    "RNG streams diverged: phase {phase}, node {node:?}"
+                );
+            }
+            phase += 1;
+            if phase == 3 {
+                break;
+            }
+        }
+        assert!(warm.stats.assigned > 0, "test never exercised the assign path");
+    }
+
+    #[test]
+    fn prune_preserves_below_p_min_accounting() {
+        // Same scenario as `below_p_min_skips`: the only candidate is over
+        // the cost ceiling, so it is pruned without a probability
+        // computation — yet the skip must still be booked as below-P_min.
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![mcand(0, 128, vec![NodeId(1)])];
+        let free = vec![NodeId(1), NodeId(2)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
+        assert_eq!(p.stats.below_p_min, 1);
+        assert_eq!(p.stats.pruned, 1, "the 1280 > 640·1.96 candidate should be pruned");
+    }
+
+    #[test]
+    fn zero_progress_source_keeps_reduce_placeable() {
+        // Regression: a just-started map (output bytes visible before its
+        // read counter) used to extrapolate to ∞/NaN and poison the whole
+        // candidate. The cost must stay finite and the probability valid.
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let sources = vec![
+            ShuffleSource { node: NodeId(0), current_bytes: 3.0, input_read: 0, input_total: 100 },
+            ShuffleSource { node: NodeId(3), current_bytes: 10.0, input_read: 50, input_total: 100 },
+        ];
+        let est = IntermediateEstimator::ProgressExtrapolated;
+        let cands = vec![rcand(0, sources)];
+        let free = vec![NodeId(0), NodeId(3)];
+        let ctx = reduce_ctx(&cands, &free, &[], &h, &layout);
+
+        let c_here = reduce_cost(&cands[0], NodeId(0), &h, est);
+        assert!(c_here.is_finite(), "cost poisoned: {c_here}");
+        let c_ave = reduce_cost_avg(&cands[0], &free, &h, est);
+        assert!(c_ave.is_finite(), "avg cost poisoned: {c_ave}");
+        let prob = ProbabilityModel::Exponential.probability(c_ave, c_here);
+        assert!(!prob.is_nan(), "probability NaN");
+        assert!((0.0..=1.0).contains(&prob), "probability out of range: {prob}");
+
+        // The zero-progress source is on D0; the real data is on D3, so the
+        // D3 offer must still be accepted (its cost is below average).
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(p.place_reduce(&ctx, NodeId(3), &mut rng), Decision::Assign(0));
     }
 }

@@ -1,0 +1,112 @@
+//! Property test: for every probability model, the derived cost ceiling is
+//! exactly the threshold set of the probability formula —
+//!
+//! ```text
+//! probability(c_ave, c) >= p_min   <=>   c <= cost_ceiling(c_ave, p_min)
+//! ```
+//!
+//! This equivalence is what lets the scheduler use the ceiling as an O(1)
+//! prune in place of the full probability computation, so it must hold for
+//! all four models across the whole parameter space — including `p_min`
+//! pushed toward 0 and 1, and the Sigmoid branch where the threshold is
+//! unreachable (`r <= 0`, every finite cost passes).
+
+use pnats_core::ProbabilityModel;
+use proptest::prelude::*;
+
+fn model_strategy() -> impl Strategy<Value = ProbabilityModel> {
+    (0usize..ProbabilityModel::ALL.len()).prop_map(|i| ProbabilityModel::ALL[i])
+}
+
+/// `p_min` over its legal half-open domain `[0, 1)`, weighted toward the
+/// extremes: exact 0 (ceiling must be infinite), near-0 (huge ceilings),
+/// the Sigmoid `r <= 0` region (`p_min <= 1/(1+e) ≈ 0.269`), and near-1
+/// (tiny ceilings, `-ln(1-p)` blowing up).
+fn p_min_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1 => Just(0.0),
+        4 => 0.0..1.0,
+        2 => 1e-12..1e-6,
+        2 => 0.01..0.26,
+        2 => 0.999_999..0.999_999_999_9,
+    ]
+}
+
+/// Costs spanning several orders of magnitude plus the exact-zero
+/// (data-local / empty-average) edge.
+fn cost_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1 => Just(0.0),
+        4 => 0.0..10.0f64,
+        4 => 0.0..1e7,
+    ]
+}
+
+/// Relative width of the boundary band we refuse to judge: within one part
+/// in 10⁹ of the ceiling, both sides of the equivalence are legitimately
+/// decided by rounding in `exp`/`ln`, so the property is only asserted
+/// outside it. (The scheduler's prune respects the same boundary by
+/// inflating the ceiling with `PRUNE_SLACK` before comparing.)
+const BOUNDARY_BAND: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn ceiling_is_the_probability_threshold(
+        model in model_strategy(),
+        p_min in p_min_strategy(),
+        c_ave in cost_strategy(),
+        c in cost_strategy(),
+    ) {
+        let ceiling = model.cost_ceiling(c_ave, p_min);
+        prop_assert!(ceiling >= 0.0, "{model:?}: ceiling {ceiling} not a non-negative real");
+
+        let p = model.probability(c_ave, c);
+        prop_assert!((0.0..=1.0).contains(&p), "{model:?}: p = {p}");
+
+        if ceiling.is_infinite() {
+            // Unreachable threshold: every finite cost must pass. This is
+            // p_min == 0, or the Sigmoid r <= 0 branch where even a
+            // zero ratio yields P = 1/(1+e) > p_min.
+            prop_assert!(
+                p >= p_min,
+                "{model:?}: ceiling ∞ but P({c_ave}, {c}) = {p} < {p_min}"
+            );
+            return Ok(());
+        }
+
+        // Skip the rounding-ambiguous shell around the boundary.
+        prop_assume!((c - ceiling).abs() > BOUNDARY_BAND * ceiling.max(1.0));
+
+        if c <= ceiling {
+            prop_assert!(
+                p >= p_min - 1e-12,
+                "{model:?}: c {c} <= ceiling {ceiling} but P = {p} < p_min {p_min} (c_ave {c_ave})"
+            );
+        } else {
+            prop_assert!(
+                p < p_min + 1e-12,
+                "{model:?}: c {c} > ceiling {ceiling} but P = {p} >= p_min {p_min} (c_ave {c_ave})"
+            );
+        }
+    }
+
+    /// The ceiling itself, evaluated through the probability formula, lands
+    /// on `p_min` (when finite and non-degenerate) — i.e. it is the exact
+    /// inverse, not merely a conservative bound.
+    #[test]
+    fn finite_ceiling_is_tight(
+        model in model_strategy(),
+        p_min in 0.05..0.95f64,
+        c_ave in 0.1..1e6f64,
+    ) {
+        let ceiling = model.cost_ceiling(c_ave, p_min);
+        prop_assume!(ceiling.is_finite());
+        let p = model.probability(c_ave, ceiling);
+        prop_assert!(
+            (p - p_min).abs() < 1e-9,
+            "{model:?}: P(c_ave, ceiling) = {p}, expected {p_min}"
+        );
+    }
+}

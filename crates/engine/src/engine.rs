@@ -2,7 +2,6 @@
 //! threaded task execution.
 
 use crate::api::{partition_of, EngineJob};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use pnats_core::context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
@@ -11,11 +10,12 @@ use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
 use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
 use pnats_metrics::{LocalityClass, LocalityCounter};
 use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::Scope;
 use std::time::{Duration, Instant};
 
 /// How intermediate keys map to reduce partitions.
@@ -240,18 +240,18 @@ impl MapReduceEngine {
         );
         let outputs: OutputStore = Arc::new(Mutex::new((0..n_maps).map(|_| None).collect()));
         let all_maps_done = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<DoneMsg>, Receiver<DoneMsg>) = unbounded();
+        let (tx, rx): (Sender<DoneMsg>, Receiver<DoneMsg>) = channel();
 
         let mut final_output: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut last_hb = Instant::now() - self.cfg.heartbeat;
             loop {
                 // Drain completions.
                 while let Ok(msg) = rx.try_recv() {
                     match msg {
                         DoneMsg::Map { map, node, partitions, bytes } => {
-                            outputs.lock()[map] = Some((partitions, bytes));
+                            outputs.lock().unwrap()[map] = Some((partitions, bytes));
                             maps_finished += 1;
                             free_map[node.idx()] += 1;
                             if maps_finished == n_maps {
@@ -317,7 +317,7 @@ impl MapReduceEngine {
                             Decision::Assign(i) => {
                                 let map = unassigned_maps.swap_remove(i);
                                 free_map[node.idx()] -= 1;
-                                map_node.lock()[map] = Some(node);
+                                map_node.lock().unwrap()[map] = Some(node);
                                 map_locality.record(if cands[i].is_local_to(node) {
                                     LocalityClass::NodeLocal
                                 } else if cands[i].is_rack_local_to(node, &self.layout) {
@@ -348,7 +348,7 @@ impl MapReduceEngine {
                             .map(|&f| ReduceCandidate {
                                 task: ReduceTaskId { job: jid, index: f as u32 },
                                 sources: self.shuffle_sources(
-                                    f, &map_node.lock(), &progress, &blocks,
+                                    f, &map_node.lock().unwrap(), &progress, &blocks,
                                 ),
                             })
                             .collect();
@@ -396,8 +396,7 @@ impl MapReduceEngine {
                     }
                 }
             }
-        })
-        .expect("engine worker panicked");
+        });
 
         let output: Vec<(String, String)> = final_output.into_iter().flatten().collect();
         EngineReport {
@@ -437,7 +436,7 @@ impl MapReduceEngine {
     #[allow(clippy::too_many_arguments)]
     fn spawn_map<'s>(
         &'s self,
-        scope: &crossbeam::thread::Scope<'s>,
+        scope: &'s Scope<'s, '_>,
         job: &EngineJob,
         map: usize,
         node: NodeId,
@@ -456,7 +455,7 @@ impl MapReduceEngine {
             .expect("blocks have replicas");
         let fetch_delay = self.net_delay(blocks[map].len() as u64, fetch_hops);
         let cpu_us = self.cfg.cpu_us_per_kib;
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             std::thread::sleep(fetch_delay);
             let text = &blocks[map];
             let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
@@ -486,7 +485,7 @@ impl MapReduceEngine {
     #[allow(clippy::too_many_arguments)]
     fn spawn_reduce<'s>(
         &'s self,
-        scope: &crossbeam::thread::Scope<'s>,
+        scope: &'s Scope<'s, '_>,
         job: &EngineJob,
         reduce: usize,
         node: NodeId,
@@ -501,8 +500,8 @@ impl MapReduceEngine {
         let hops = self.hops.clone();
         let net_us = self.cfg.net_us_per_kib_hop;
         let map_node = map_node.clone();
-        let n_maps = map_node.lock().len();
-        scope.spawn(move |_| {
+        let n_maps = map_node.lock().unwrap().len();
+        scope.spawn(move || {
             // Shuffle: wait for the map phase, then pull this partition
             // from every map output (network delay per remote source).
             while !all_maps_done.load(Ordering::SeqCst) {
@@ -510,12 +509,12 @@ impl MapReduceEngine {
             }
             // Every map has been placed and finished by now, so the
             // placement table is fully populated.
-            let map_node: Vec<Option<NodeId>> = map_node.lock().clone();
+            let map_node: Vec<Option<NodeId>> = map_node.lock().unwrap().clone();
             let mut pairs: Vec<(String, String)> = Vec::new();
             let mut per_source: Vec<(NodeId, u64)> = Vec::new();
             for m in 0..n_maps {
                 let (part, sz) = {
-                    let guard = outputs.lock();
+                    let guard = outputs.lock().unwrap();
                     let (parts, bytes) =
                         guard[m].as_ref().expect("map output present after done");
                     (parts[reduce].clone(), bytes[reduce])

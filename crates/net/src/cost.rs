@@ -18,6 +18,15 @@ pub trait PathCost: Sync {
 
     /// Number of nodes the metric is defined over.
     fn n_nodes(&self) -> usize;
+
+    /// Revision tag of the metric. Metrics whose entries change over time
+    /// (e.g. the §II-B3 congestion-scaled matrix, refreshed per heartbeat)
+    /// must return a different value after every change; schedulers use
+    /// this to invalidate cached per-candidate aggregates. Static metrics
+    /// keep the default constant 0.
+    fn version(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: PathCost + ?Sized> PathCost for &T {
@@ -27,6 +36,10 @@ impl<T: PathCost + ?Sized> PathCost for &T {
 
     fn n_nodes(&self) -> usize {
         (**self).n_nodes()
+    }
+
+    fn version(&self) -> u64 {
+        (**self).version()
     }
 }
 

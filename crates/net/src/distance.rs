@@ -14,10 +14,22 @@ use std::collections::VecDeque;
 ///
 /// Entries are `f64` so the same type serves hop counts and the
 /// inverse-rate variant of §II-B3. Diagonal entries are always 0.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The matrix carries a [`PathCost::version`] revision tag so schedulers
+/// can cache values derived from it; `set` bumps the tag automatically and
+/// runtimes that rebuild the matrix wholesale stamp it via `set_version`.
+#[derive(Clone, Debug)]
 pub struct DistanceMatrix {
     n: usize,
     entries: Vec<f64>,
+    version: u64,
+}
+
+/// Value equality ignores the `version` cache tag.
+impl PartialEq for DistanceMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.entries == other.entries
+    }
 }
 
 impl DistanceMatrix {
@@ -31,12 +43,12 @@ impl DistanceMatrix {
                 assert!(entries[i * n + j] >= 0.0, "distances must be non-negative");
             }
         }
-        Self { n, entries }
+        Self { n, entries, version: 0 }
     }
 
     /// An all-zero matrix (every node equidistant at 0); mostly for tests.
     pub fn zero(n: usize) -> Self {
-        Self { n, entries: vec![0.0; n * n] }
+        Self { n, entries: vec![0.0; n * n], version: 0 }
     }
 
     /// Hop counts computed from `topo` by BFS from every node.
@@ -79,12 +91,23 @@ impl DistanceMatrix {
                 }
             }
         }
-        Self { n, entries }
+        Self { n, entries, version: 0 }
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Current revision tag (see [`PathCost::version`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp the revision tag (used by runtimes that rebuild the matrix
+    /// per refresh and need downstream caches to notice).
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Distance between `a` and `b`.
@@ -94,10 +117,11 @@ impl DistanceMatrix {
     }
 
     /// Mutable entry access, e.g. to overwrite hop counts with inverse
-    /// rates per §II-B3.
+    /// rates per §II-B3. Bumps the revision tag.
     pub fn set(&mut self, a: NodeId, b: NodeId, v: f64) {
         assert!(v >= 0.0);
         self.entries[a.idx() * self.n + b.idx()] = v;
+        self.version += 1;
     }
 
     /// The matrix from the paper's Figure 2 worked example (4 nodes).
@@ -140,6 +164,10 @@ impl PathCost for DistanceMatrix {
 
     fn n_nodes(&self) -> usize {
         self.n
+    }
+
+    fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -219,5 +247,17 @@ mod tests {
         let h = DistanceMatrix::paper_figure2();
         assert_eq!(PathCost::path_cost(&h, NodeId(2), NodeId(1)), 10.0);
         assert_eq!(PathCost::n_nodes(&h), 4);
+    }
+
+    #[test]
+    fn version_tracks_mutation_but_not_equality() {
+        let mut h = DistanceMatrix::paper_figure2();
+        let pristine = DistanceMatrix::paper_figure2();
+        assert_eq!(PathCost::version(&h), 0);
+        h.set(NodeId(0), NodeId(1), 4.0); // same value, still a mutation
+        assert_eq!(PathCost::version(&h), 1);
+        assert_eq!(h, pristine, "version is a cache tag, not part of value identity");
+        h.set_version(42);
+        assert_eq!(h.version(), 42);
     }
 }

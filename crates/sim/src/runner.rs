@@ -278,9 +278,13 @@ impl Simulation {
         if self.now - self.sched_matrix_t < self.cfg.heartbeat_s * 0.999 {
             return;
         }
+        let next_version = self.sched_matrix.version() + 1;
         self.sched_matrix = self
             .monitor
             .congestion_scaled_matrix(&self.hops, self.cfg.nic_bps);
+        // Each snapshot gets a fresh revision so placer-side caches keyed on
+        // `PathCost::version` notice the change.
+        self.sched_matrix.set_version(next_version);
         self.sched_matrix_t = self.now;
     }
 
@@ -1077,8 +1081,11 @@ mod tests {
     fn speculation_rescues_stragglers() {
         // One crippled node (5% speed): without speculation its maps hold
         // the job hostage; with speculation a backup finishes elsewhere.
+        // Seed chosen so the crippled node actually receives a map in the
+        // no-speculation run (placement is stochastic; on seeds where node 0
+        // gets no maps, both runs finish fast and the comparison is noise).
         let mk = |lag: f64| {
-            let mut cfg = SimConfig::tiny(5, 23);
+            let mut cfg = SimConfig::tiny(5, 14);
             cfg.slow_nodes = vec![(0, 0.05)];
             cfg.speculation_lag = lag;
             Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))

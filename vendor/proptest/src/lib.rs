@@ -1,0 +1,167 @@
+//! Offline drop-in for the subset of the `proptest` API used by this
+//! workspace. The build environment has no registry access, so the real
+//! crate cannot be downloaded; this vendored shim keeps the macro surface
+//! (`proptest!`, `prop_assert*`, `prop_oneof!`, strategy combinators)
+//! source-compatible.
+//!
+//! Semantics: each property runs `ProptestConfig::cases` random cases drawn
+//! from a deterministic per-test RNG (seeded from the test name, overridable
+//! via `PROPTEST_SEED`). There is no shrinking — a failure reports the case
+//! number and per-test seed so it can be replayed exactly.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+// Used by the `proptest!` macro expansion; consumer crates need not depend
+// on rand themselves.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Deterministic 64-bit FNV-1a hash of the test name, used as the base seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::seed_for(stringify!($name));
+                let mut rng = <$crate::__rand::rngs::SmallRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                let mut passed: u32 = 0;
+                let mut rejected: u64 = 0;
+                let mut case: u64 = 0;
+                while passed < config.cases {
+                    case += 1;
+                    assert!(
+                        rejected < 1024 + 16 * config.cases as u64,
+                        "proptest {}: too many rejected cases ({rejected})",
+                        stringify!($name),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {case} (seed {seed}): {msg}",
+                            stringify!($name),
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}
