@@ -16,7 +16,7 @@
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
 use pnats_core::cost::reduce_cost;
 use pnats_core::estimate::IntermediateEstimator;
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_core::types::ReduceTaskId;
 use pnats_net::{NodeId, RackLadderCost};
 use rand::rngs::SmallRng;
@@ -99,7 +99,7 @@ impl TaskPlacer for CouplingPlacer {
         if rng.gen::<f64>() < p {
             Decision::Assign(i)
         } else {
-            Decision::Skip
+            Decision::Skip(SkipReason::DrawFailed)
         }
     }
 
@@ -111,10 +111,10 @@ impl TaskPlacer for CouplingPlacer {
     ) -> Decision {
         // Same co-location avoidance as the paper's method (their [5, 15]).
         if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::Collocated);
         }
         if !Self::launch_permitted(ctx) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::PostponedReduce);
         }
         // Pick the pending reduce with the largest current shuffle input
         // (the one whose centrality matters most right now); random among
@@ -153,7 +153,7 @@ impl TaskPlacer for CouplingPlacer {
             // it takes whatever slot comes next ("assigns a reduce task to
             // a random slot if it is postponed for a certain time", §III-C).
             let _ = rng;
-            Decision::Skip
+            Decision::Skip(SkipReason::PostponedReduce)
         }
     }
 }
@@ -182,10 +182,7 @@ mod tests {
             replicas: vec![NodeId(0)],
         }];
         let free = vec![NodeId(0)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: topo.layout(), now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         let mut p = CouplingPlacer::paper();
         let mut r = rng();
         for _ in 0..50 {
@@ -203,14 +200,11 @@ mod tests {
             replicas: vec![NodeId(0)], // rack 0
         }];
         let free = vec![NodeId(2)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: topo.layout(), now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         let mut p = CouplingPlacer::new(0.8, 0.4, 3, 1.0);
         let mut r = rng();
         let hits = (0..2000)
-            .filter(|_| p.place_map(&ctx, NodeId(2), &mut r) != Decision::Skip)
+            .filter(|_| p.place_map(&ctx, NodeId(2), &mut r).assigned().is_some())
             .count();
         let rate = hits as f64 / 2000.0;
         assert!((rate - 0.4).abs() < 0.05, "rate {rate}");
@@ -227,12 +221,10 @@ mod tests {
         total: usize,
         now: f64,
     ) -> ReduceSchedContext<'a> {
-        ReduceSchedContext {
-            job: JobId(0), candidates: cands, free_reduce_nodes: free,
-            job_reduce_nodes: &[], cost, layout,
-            job_map_progress: progress, maps_finished: 0, maps_total: 1,
-            reduces_launched: launched, reduces_total: total, now,
-        }
+        ReduceSchedContext::new(JobId(0), cands, free, cost, layout)
+            .map_phase(progress, 0, 1)
+            .reduce_phase(launched, total)
+            .at(now)
     }
 
     #[test]
@@ -248,13 +240,19 @@ mod tests {
         let mut r = rng();
         // 0% map progress, 0 of 4 launched: not permitted.
         let ctx = reduce_ctx(&cands, &free, &h, topo.layout(), 0.0, 0, 4, 0.0);
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut r), Decision::Skip);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut r),
+            Decision::Skip(SkipReason::PostponedReduce)
+        );
         // 30% progress permits ceil(1.2)=2 launches; 1 already running.
         let ctx = reduce_ctx(&cands, &free, &h, topo.layout(), 0.3, 1, 4, 0.0);
         assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut r), Decision::Assign(0));
         // ... but not a third.
         let ctx = reduce_ctx(&cands, &free, &h, topo.layout(), 0.3, 2, 4, 0.0);
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut r), Decision::Skip);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut r),
+            Decision::Skip(SkipReason::PostponedReduce)
+        );
     }
 
     #[test]
@@ -279,7 +277,11 @@ mod tests {
         // (1 s each) are postponed...
         for now in [0.0, 1.0, 2.0] {
             let ctx = reduce_ctx(&cands, &free, &h, topo.layout(), 1.0, 0, 1, now);
-            assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut r), Decision::Skip, "t={now}");
+            assert_eq!(
+                p.place_reduce(&ctx, NodeId(0), &mut r),
+                Decision::Skip(SkipReason::PostponedReduce),
+                "t={now}"
+            );
         }
         // ...after the three-round budget, accepted anywhere.
         let ctx = reduce_ctx(&cands, &free, &h, topo.layout(), 1.0, 0, 1, 3.0);
@@ -316,13 +318,13 @@ mod tests {
         }];
         let free = vec![NodeId(0)];
         let running = vec![NodeId(0)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &running, cost: &h, layout: topo.layout(),
-            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
-            reduces_launched: 0, reduces_total: 1, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .running_on(&running)
+            .map_phase(1.0, 1, 1);
         let mut p = CouplingPlacer::paper();
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng()), Decision::Skip);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut rng()),
+            Decision::Skip(SkipReason::Collocated)
+        );
     }
 }

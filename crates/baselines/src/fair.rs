@@ -14,7 +14,7 @@
 //! task to be assigned to an available reduce slot" (paper §III).
 
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_core::types::JobId;
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
@@ -89,7 +89,7 @@ impl TaskPlacer for FairDelayPlacer {
             return Decision::Assign(0); // any task, FIFO order within the job
         }
         *skips += 1;
-        Decision::Skip
+        Decision::Skip(SkipReason::DelayBound)
     }
 
     fn place_reduce(
@@ -132,14 +132,7 @@ mod tests {
         let h = DistanceMatrix::hops(&topo);
         let cands = vec![mcand(0, vec![NodeId(3)]), mcand(1, vec![NodeId(0)])];
         let free = vec![NodeId(0)];
-        let ctx = MapSchedContext {
-            job: JobId(0),
-            candidates: &cands,
-            free_map_nodes: &free,
-            cost: &h,
-            layout: topo.layout(),
-            now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         let mut p = FairDelayPlacer::new(2, 4);
         assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng()), Decision::Assign(1));
         assert_eq!(p.skips(JobId(0)), 0);
@@ -154,17 +147,15 @@ mod tests {
         let cands = vec![mcand(0, vec![NodeId(1)])];
         let free = vec![NodeId(0), NodeId(2)];
         let layout = topo.layout();
-        let ctx0 = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout, now: 0.0,
-        };
+        let ctx0 = MapSchedContext::new(JobId(0), &cands, &free, &h, layout);
         let mut p = FairDelayPlacer::new(2, 4);
         let mut r = rng();
         //
 
         // Offers on the off-rack node: skip until rack_delay reached.
-        assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), Decision::Skip); // skips=1
-        assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), Decision::Skip); // skips=2
+        let wait = Decision::Skip(SkipReason::DelayBound);
+        assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), wait); // skips=1
+        assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), wait); // skips=2
         // Now node_delay (2) reached: rack-local allowed — node 0 qualifies.
         assert_eq!(p.place_map(&ctx0, NodeId(0), &mut r), Decision::Assign(0));
         assert_eq!(p.skips(JobId(0)), 0, "assignment resets the wait");
@@ -172,7 +163,7 @@ mod tests {
         // Off-rack node only: needs rack_delay (4) skips.
         let mut p = FairDelayPlacer::new(2, 4);
         for _ in 0..4 {
-            assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), Decision::Skip);
+            assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), Decision::Skip(SkipReason::DelayBound));
         }
         assert_eq!(p.place_map(&ctx0, NodeId(2), &mut r), Decision::Assign(0));
     }
@@ -188,19 +179,16 @@ mod tests {
             })
             .collect();
         let free = vec![NodeId(0)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
-            job_map_progress: 0.0, maps_finished: 0, maps_total: 1,
-            reduces_launched: 0, reduces_total: 3, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .map_phase(0.0, 0, 1)
+            .reduce_phase(0, 3);
         let mut p = FairDelayPlacer::default();
         let mut r = rng();
         let mut counts = [0usize; 3];
         for _ in 0..600 {
             match p.place_reduce(&ctx, NodeId(0), &mut r) {
                 Decision::Assign(i) => counts[i] += 1,
-                Decision::Skip => panic!("fair never skips reduces"),
+                Decision::Skip(_) => panic!("fair never skips reduces"),
             }
         }
         for c in counts {

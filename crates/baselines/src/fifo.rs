@@ -3,7 +3,7 @@
 //! preferring the best locality class available *right now*.
 
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
 
@@ -44,7 +44,7 @@ impl TaskPlacer for FifoGreedyPlacer {
         // FIFO order; keep the common-sense co-location guard so comparisons
         // against the paper's method are about placement, not slot packing.
         if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::Collocated);
         }
         Decision::Assign(0)
     }
@@ -75,26 +75,17 @@ mod tests {
 
         // Candidate 2 is local to node 0.
         let cands = vec![mk(0, 2), mk(1, 1), mk(2, 0)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: topo.layout(), now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(2));
 
         // No local: candidate 1 (node 1, same rack as 0) wins.
         let cands = vec![mk(0, 2), mk(1, 1)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: topo.layout(), now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(1));
 
         // Neither: first in FIFO order.
         let cands = vec![mk(0, 2), mk(1, 3)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: topo.layout(), now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
         assert_eq!(p.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(0));
     }
 
@@ -111,15 +102,15 @@ mod tests {
         let free = vec![NodeId(0)];
         let mut p = FifoGreedyPlacer;
         let mut rng = SmallRng::seed_from_u64(0);
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
-            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
-            reduces_launched: 0, reduces_total: 2, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .map_phase(1.0, 1, 1)
+            .reduce_phase(0, 2);
         assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(0));
         let running = vec![NodeId(0)];
-        let ctx = ReduceSchedContext { job_reduce_nodes: &running, ..ctx };
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Skip);
+        let ctx = ctx.running_on(&running);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut rng),
+            Decision::Skip(SkipReason::Collocated)
+        );
     }
 }

@@ -9,7 +9,7 @@
 
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
 use pnats_core::estimate::IntermediateEstimator;
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_core::types::ReduceTaskId;
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
@@ -83,7 +83,7 @@ impl TaskPlacer for LartsPlacer {
         _rng: &mut SmallRng,
     ) -> Decision {
         if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::Collocated);
         }
         // First preference: a candidate whose sweet spot IS this node.
         for (i, c) in ctx.candidates.iter().enumerate() {
@@ -109,7 +109,7 @@ impl TaskPlacer for LartsPlacer {
             Decision::Assign(0)
         } else {
             *w += 1;
-            Decision::Skip
+            Decision::Skip(SkipReason::PostponedReduce)
         }
     }
 }
@@ -145,12 +145,8 @@ mod tests {
         let h = DistanceMatrix::hops(&topo);
         let cands = vec![cand(0, vec![(1, 100.0), (2, 10.0)])];
         let free = vec![NodeId(1)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
-            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
-            reduces_launched: 0, reduces_total: 1, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .map_phase(1.0, 1, 1);
         let mut p = LartsPlacer::default();
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(p.place_reduce(&ctx, NodeId(1), &mut rng), Decision::Assign(0));
@@ -163,16 +159,13 @@ mod tests {
         // Sweet spot is node 0 (rack 0); offer slots on node 2 (rack 1).
         let cands = vec![cand(0, vec![(0, 100.0)])];
         let free = vec![NodeId(2)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
-            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
-            reduces_launched: 0, reduces_total: 1, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .map_phase(1.0, 1, 1);
         let mut p = LartsPlacer::new(2);
         let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(p.place_reduce(&ctx, NodeId(2), &mut rng), Decision::Skip);
-        assert_eq!(p.place_reduce(&ctx, NodeId(2), &mut rng), Decision::Skip);
+        let wait = Decision::Skip(SkipReason::PostponedReduce);
+        assert_eq!(p.place_reduce(&ctx, NodeId(2), &mut rng), wait);
+        assert_eq!(p.place_reduce(&ctx, NodeId(2), &mut rng), wait);
         assert_eq!(p.place_reduce(&ctx, NodeId(2), &mut rng), Decision::Assign(0));
     }
 
@@ -182,12 +175,8 @@ mod tests {
         let h = DistanceMatrix::hops(&topo);
         let cands = vec![cand(0, vec![])];
         let free = vec![NodeId(0)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: topo.layout(),
-            job_map_progress: 0.0, maps_finished: 0, maps_total: 1,
-            reduces_launched: 0, reduces_total: 1, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, topo.layout())
+            .map_phase(0.0, 0, 1);
         let mut p = LartsPlacer::default();
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(0));

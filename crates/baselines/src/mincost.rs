@@ -14,7 +14,7 @@
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
 use pnats_core::cost::{map_cost, reduce_cost};
 use pnats_core::estimate::IntermediateEstimator;
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
 
@@ -59,7 +59,7 @@ impl TaskPlacer for MinCostPlacer {
             .min_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((i, _)) => Decision::Assign(i),
-            None => Decision::Skip,
+            None => Decision::Skip(SkipReason::NoCandidate),
         }
     }
 
@@ -70,7 +70,7 @@ impl TaskPlacer for MinCostPlacer {
         _rng: &mut SmallRng,
     ) -> Decision {
         if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::Collocated);
         }
         let best = ctx
             .candidates
@@ -80,7 +80,7 @@ impl TaskPlacer for MinCostPlacer {
             .min_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((i, _)) => Decision::Assign(i),
-            None => Decision::Skip,
+            None => Decision::Skip(SkipReason::NoCandidate),
         }
     }
 }
@@ -105,10 +105,7 @@ mod tests {
         // From D2: replica D1 costs h=10, replica D0 costs h=2.
         let cands = vec![mk(0, 1), mk(1, 0)];
         let free = vec![NodeId(2)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut p = MinCostPlacer::new();
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(1));
@@ -126,10 +123,7 @@ mod tests {
         // D1 itself is free — the probabilistic scheduler would skip D2;
         // min-cost launches anyway.
         let free = vec![NodeId(1), NodeId(2)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut p = MinCostPlacer::new();
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(0));
@@ -152,18 +146,18 @@ mod tests {
         //        candidate 1 sourced from D2 (h=2, 10 bytes -> 20).
         let cands = vec![mk(0, 1, 10.0), mk(1, 2, 10.0)];
         let free = vec![NodeId(0)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: &layout,
-            job_map_progress: 1.0, maps_finished: 1, maps_total: 1,
-            reduces_launched: 0, reduces_total: 2, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, &layout)
+            .map_phase(1.0, 1, 1)
+            .reduce_phase(0, 2);
         let mut p = MinCostPlacer::new();
         let mut rng = SmallRng::seed_from_u64(0);
         assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(1));
 
         let running = vec![NodeId(0)];
-        let ctx = ReduceSchedContext { job_reduce_nodes: &running, ..ctx };
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Skip);
+        let ctx = ctx.running_on(&running);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut rng),
+            Decision::Skip(SkipReason::Collocated)
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::mcmf::assignment;
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
 use pnats_core::cost::{map_cost, reduce_cost};
 use pnats_core::estimate::IntermediateEstimator;
-use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
 
@@ -59,7 +59,9 @@ impl TaskPlacer for QuincyPlacer {
         let here = slots.iter().position(|&k| k == node).expect("offered node is free");
         match matching.iter().position(|m| *m == Some(here)) {
             Some(task) => Decision::Assign(task),
-            None => Decision::Skip,
+            // The optimum matched every candidate to some *other* free
+            // node: no candidate is chosen for this one.
+            None => Decision::Skip(SkipReason::NoCandidate),
         }
     }
 
@@ -70,7 +72,7 @@ impl TaskPlacer for QuincyPlacer {
         _rng: &mut SmallRng,
     ) -> Decision {
         if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::Collocated);
         }
         let est = IntermediateEstimator::ProgressExtrapolated;
         let slots: Vec<NodeId> = ctx
@@ -80,7 +82,7 @@ impl TaskPlacer for QuincyPlacer {
             .filter(|k| !ctx.job_reduce_nodes.contains(k))
             .collect();
         let Some(here) = slots.iter().position(|&k| k == node) else {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::NoCandidate);
         };
         let costs: Vec<Vec<i64>> = ctx
             .candidates
@@ -96,7 +98,7 @@ impl TaskPlacer for QuincyPlacer {
         let matching = assignment(&costs, &caps);
         match matching.iter().position(|m| *m == Some(here)) {
             Some(task) => Decision::Assign(task),
-            None => Decision::Skip,
+            None => Decision::Skip(SkipReason::NoCandidate),
         }
     }
 }
@@ -136,10 +138,7 @@ mod tests {
         let mut q = QuincyPlacer;
         let mut rng = SmallRng::seed_from_u64(0);
         // Offer on D1: optimum matches task0 -> D1 (0 cost), task1 -> D3.
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         assert_eq!(q.place_map(&ctx, NodeId(1), &mut rng), Decision::Assign(0));
         assert_eq!(q.place_map(&ctx, NodeId(3), &mut rng), Decision::Assign(1));
     }
@@ -152,13 +151,13 @@ mod tests {
         // optimum sends the task to D1, so D2's offer is declined.
         let cands = vec![mk(0, 1)];
         let free = vec![NodeId(1), NodeId(2)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut q = QuincyPlacer;
         let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(q.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
+        assert_eq!(
+            q.place_map(&ctx, NodeId(2), &mut rng),
+            Decision::Skip(SkipReason::NoCandidate)
+        );
         assert_eq!(q.place_map(&ctx, NodeId(1), &mut rng), Decision::Assign(0));
     }
 
@@ -172,10 +171,7 @@ mod tests {
         // spill-over on D0, never D2.
         let cands = vec![mk(0, 1), mk(1, 1)];
         let free = vec![NodeId(0), NodeId(1), NodeId(2)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut q = QuincyPlacer;
         let mut rng = SmallRng::seed_from_u64(0);
         // D1 gets one of the tasks.
@@ -183,6 +179,9 @@ mod tests {
         // D0 gets the other.
         assert!(matches!(q.place_map(&ctx, NodeId(0), &mut rng), Decision::Assign(_)));
         // D2's offer is declined — the optimum never uses the 10-hop node.
-        assert_eq!(q.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
+        assert_eq!(
+            q.place_map(&ctx, NodeId(2), &mut rng),
+            Decision::Skip(SkipReason::NoCandidate)
+        );
     }
 }

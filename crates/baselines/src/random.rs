@@ -54,10 +54,7 @@ mod tests {
             })
             .collect();
         let free = vec![NodeId(0)];
-        let ctx = MapSchedContext {
-            job: JobId(0), candidates: &cands, free_map_nodes: &free,
-            cost: &h, layout: &layout, now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut p = RandomPlacer;
         let mut rng = SmallRng::seed_from_u64(1);
         let mut seen = [false; 4];
@@ -78,12 +75,8 @@ mod tests {
             sources: vec![],
         }];
         let free = vec![NodeId(0)];
-        let ctx = ReduceSchedContext {
-            job: JobId(0), candidates: &cands, free_reduce_nodes: &free,
-            job_reduce_nodes: &[], cost: &h, layout: &layout,
-            job_map_progress: 0.0, maps_finished: 0, maps_total: 1,
-            reduces_launched: 0, reduces_total: 1, now: 0.0,
-        };
+        let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, &layout)
+            .map_phase(0.0, 0, 1);
         let mut p = RandomPlacer;
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Assign(0));

@@ -69,33 +69,18 @@ fn bench_place(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("map_offer", name), name, |b, _| {
             let mut placer = make();
             let mut rng = SmallRng::seed_from_u64(1);
-            let ctx = MapSchedContext {
-                job: JobId(0),
-                candidates: &fx.map_cands,
-                free_map_nodes: &fx.free,
-                cost: &fx.h,
-                layout: &fx.layout,
-                now: 0.0,
-            };
+            let ctx =
+                MapSchedContext::new(JobId(0), &fx.map_cands, &fx.free, &fx.h, &fx.layout);
             b.iter(|| black_box(placer.place_map(&ctx, NodeId(5), &mut rng)));
         });
         group.bench_with_input(BenchmarkId::new("reduce_offer", name), name, |b, _| {
             let mut placer = make();
             let mut rng = SmallRng::seed_from_u64(1);
-            let ctx = ReduceSchedContext {
-                job: JobId(0),
-                candidates: &fx.reduce_cands,
-                free_reduce_nodes: &fx.free,
-                job_reduce_nodes: &[],
-                cost: &fx.h,
-                layout: &fx.layout,
-                job_map_progress: 0.5,
-                maps_finished: 100,
-                maps_total: 200,
-                reduces_launched: 4,
-                reduces_total: 16,
-                now: 10.0,
-            };
+            let ctx =
+                ReduceSchedContext::new(JobId(0), &fx.reduce_cands, &fx.free, &fx.h, &fx.layout)
+                    .map_phase(0.5, 100, 200)
+                    .reduce_phase(4, 16)
+                    .at(10.0);
             b.iter(|| black_box(placer.place_reduce(&ctx, NodeId(5), &mut rng)));
         });
     }

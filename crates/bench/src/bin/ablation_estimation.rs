@@ -27,15 +27,15 @@ fn main() {
             IntermediateEstimator::ProgressExtrapolated,
             IntermediateEstimator::CurrentSize,
         ] {
-            runs.push(Run {
-                placer: PlacerSpec::Probabilistic {
+            runs.push(Run::with_spec(
+                PlacerSpec::Probabilistic {
                     p_min: 0.4,
                     model: ProbabilityModel::Exponential,
                     estimator: est,
                 },
-                cfg: cloud_config(seed),
-                inputs: inputs.clone(),
-            });
+                cloud_config(seed),
+                inputs.clone(),
+            ));
         }
     }
     let reports = run_matrix(runs);

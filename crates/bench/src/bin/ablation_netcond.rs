@@ -28,15 +28,15 @@ fn main() {
             let mut cfg = cloud_config(seed);
             cfg.network_condition = netcond;
             cfg.background = background_traffic(lanes, 8_000.0, cfg.n_nodes, 999 + seed);
-            runs.push(Run {
-                placer: PlacerSpec::Probabilistic {
+            runs.push(Run::with_spec(
+                PlacerSpec::Probabilistic {
                     p_min: 0.4,
                     model: ProbabilityModel::Exponential,
                     estimator: IntermediateEstimator::ProgressExtrapolated,
                 },
                 cfg,
-                inputs: inputs.clone(),
-            });
+                inputs.clone(),
+            ));
         }
     }
     let reports = run_matrix(runs);

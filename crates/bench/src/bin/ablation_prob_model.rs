@@ -24,14 +24,16 @@ fn main() {
     // 4 probability models + the deterministic min-cost strawman.
     let mut runs: Vec<Run> = ProbabilityModel::ALL
         .iter()
-        .map(|&model| Run {
-            placer: PlacerSpec::Probabilistic {
-                p_min: 0.4,
-                model,
-                estimator: IntermediateEstimator::ProgressExtrapolated,
-            },
-            cfg: cloud_config(seed),
-            inputs: inputs.clone(),
+        .map(|&model| {
+            Run::with_spec(
+                PlacerSpec::Probabilistic {
+                    p_min: 0.4,
+                    model,
+                    estimator: IntermediateEstimator::ProgressExtrapolated,
+                },
+                cloud_config(seed),
+                inputs.clone(),
+            )
         })
         .collect();
     runs.push(Run::new(SchedulerKind::MinCost, cloud_config(seed), inputs));

@@ -28,15 +28,15 @@ fn main() {
         .map(|&p_min| {
             let mut cfg = cloud_config(seed);
             cfg.max_sim_time = 1_500.0;
-            Run {
-                placer: PlacerSpec::Probabilistic {
+            Run::with_spec(
+                PlacerSpec::Probabilistic {
                     p_min,
                     model: ProbabilityModel::Exponential,
                     estimator: IntermediateEstimator::ProgressExtrapolated,
                 },
                 cfg,
-                inputs: inputs.clone(),
-            }
+                inputs.clone(),
+            )
         })
         .collect();
     let reports = run_matrix(runs);

@@ -12,6 +12,7 @@
 //! Usage: `cargo run --release -p pnats-bench --bin repro_all [seed]`
 
 use pnats_bench::harness::harness_threads;
+use pnats_obs::SchedCounters;
 use std::io::Write as _;
 use std::process::Command;
 use std::time::Instant;
@@ -54,6 +55,22 @@ fn run_child(dir: &std::path::Path, bin: &str, seed: &str, threads: Option<usize
         stdout: out.stdout,
         stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
         wall_s,
+    }
+}
+
+/// Fold a child's `COUNTERS scheduler=<name> <kv…>` stderr lines into the
+/// cross-experiment per-scheduler aggregate (first-appearance order).
+fn merge_counters(stderr: &str, agg: &mut Vec<(String, SchedCounters)>) {
+    for line in stderr.lines().filter(|l| l.starts_with("COUNTERS ")) {
+        let mut tokens = line.split_whitespace().skip(1);
+        let Some(name) = tokens.next().and_then(|t| t.strip_prefix("scheduler=")) else {
+            continue;
+        };
+        let c = SchedCounters::from_kv(tokens);
+        match agg.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => total.merge(&c),
+            None => agg.push((name.to_string(), c)),
+        }
     }
 }
 
@@ -115,10 +132,12 @@ fn main() {
 
     let total = Instant::now();
     let mut records = Vec::new();
+    let mut counters: Vec<(String, SchedCounters)> = Vec::new();
     for bin in bins {
         println!("\n############ {bin} ############");
         let child = run_child(&dir, bin, &seed, None);
         std::io::stdout().write_all(&child.stdout).expect("stdout");
+        merge_counters(&child.stderr, &mut counters);
         records.push(ExperimentRecord {
             name: bin.to_string(),
             wall_s: child.wall_s,
@@ -126,6 +145,15 @@ fn main() {
         });
     }
     let total_wall_s = total.elapsed().as_secs_f64();
+
+    // Decision accounting must balance: every slot offer became exactly
+    // one assign or one reason-tagged skip.
+    for (name, c) in &counters {
+        if !c.consistent() {
+            eprintln!("FATAL: {name} counters violate offers = assigns + skips: {c:?}");
+            std::process::exit(1);
+        }
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -155,6 +183,16 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"scheduler_counters\": {\n");
+    for (i, (name, c)) in counters.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            c.to_json_object("    "),
+            if i + 1 < counters.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
     json.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3}\n"));
     json.push_str("}\n");
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");

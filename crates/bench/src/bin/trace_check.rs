@@ -1,0 +1,124 @@
+//! CI gate for the decision-tracing pipeline: run a small traced matrix
+//! and verify, end to end, that
+//!
+//! 1. every emitted trace line is well-formed JSON,
+//! 2. the counter identity holds (`offers = assigns + Σ skips`, and one
+//!    record per offer),
+//! 3. the fixed-seed trace is byte-identical across reruns and across
+//!    serial vs. parallel matrix execution.
+//!
+//! Exits non-zero (with a FATAL line) on any violation.
+//!
+//! Usage: `cargo run --release -p pnats-bench --bin trace_check [seed]`
+
+use pnats_bench::harness::{cloud_config, parallel_map, Run, SchedulerKind};
+use pnats_obs::json::validate_json;
+use pnats_obs::SchedCounters;
+use pnats_sim::config::background_traffic;
+use pnats_sim::{JobInput, SimReport};
+use pnats_workloads::{scaled_batch, AppKind};
+
+fn fatal(msg: String) -> ! {
+    eprintln!("FATAL: {msg}");
+    std::process::exit(1);
+}
+
+/// Concatenated trace + merged per-scheduler counters of a traced matrix.
+fn trace_and_counters(reports: &[SimReport]) -> (String, Vec<(String, SchedCounters)>) {
+    let mut text = String::new();
+    let mut agg: Vec<(String, SchedCounters)> = Vec::new();
+    for r in reports {
+        match r.trace_jsonl.as_ref() {
+            Some(t) => text.push_str(t),
+            None => fatal(format!("{}: traced run produced no trace", r.scheduler)),
+        }
+        match agg.iter_mut().find(|(n, _)| *n == r.scheduler) {
+            Some((_, c)) => c.merge(&r.counters),
+            None => agg.push((r.scheduler.clone(), r.counters.clone())),
+        }
+    }
+    (text, agg)
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // A small but non-trivial matrix: three schedulers, two apps, on a
+    // shrunken cloud config with background traffic so skips actually
+    // occur (delay scheduling, probability gates, co-location refusals).
+    let mk_runs = || -> Vec<Run> {
+        let mut runs = Vec::new();
+        for kind in [
+            SchedulerKind::Probabilistic,
+            SchedulerKind::Fair,
+            SchedulerKind::Coupling,
+        ] {
+            for (i, app) in [AppKind::Grep, AppKind::Terasort].iter().enumerate() {
+                let mut cfg = cloud_config(seed + i as u64);
+                cfg.n_nodes = 10;
+                cfg.background = background_traffic(2, 1_000.0, cfg.n_nodes, seed);
+                runs.push(
+                    Run::new(kind, cfg, JobInput::from_batch(&scaled_batch(*app, 2, 24)))
+                        .traced(),
+                );
+            }
+        }
+        runs
+    };
+
+    let serial = parallel_map(mk_runs(), 1, Run::execute);
+    let rerun = parallel_map(mk_runs(), 1, Run::execute);
+    let wide = parallel_map(mk_runs(), 4, Run::execute);
+
+    let (trace, counters) = trace_and_counters(&serial);
+    let (trace_rerun, _) = trace_and_counters(&rerun);
+    let (trace_wide, _) = trace_and_counters(&wide);
+
+    // (3) Determinism: byte-identical across reruns and thread counts.
+    if trace != trace_rerun {
+        fatal("trace differs between two serial executions of the same seed".into());
+    }
+    if trace != trace_wide {
+        fatal("trace differs between serial and parallel matrix execution".into());
+    }
+
+    // (1) Every line parses as JSON.
+    let mut lines = 0u64;
+    for line in trace.lines() {
+        lines += 1;
+        if let Err(e) = validate_json(line) {
+            fatal(format!("invalid JSON trace line: {e}\n{line}"));
+        }
+    }
+    if lines == 0 {
+        fatal("traced matrix emitted no records".into());
+    }
+
+    // (2) Counter identity, per scheduler and in total.
+    let mut offers_total = 0u64;
+    for (name, c) in &counters {
+        if !c.consistent() {
+            fatal(format!("{name}: offers != assigns + skips: {c:?}"));
+        }
+        if c.offers == 0 {
+            fatal(format!("{name}: no slot offers recorded"));
+        }
+        offers_total += c.offers;
+    }
+    if lines != offers_total {
+        fatal(format!(
+            "trace has {lines} records but counters saw {offers_total} offers"
+        ));
+    }
+
+    println!(
+        "TRACE_CHECK ok: {lines} records, {} schedulers, deterministic across reruns and thread counts",
+        counters.len()
+    );
+    for (name, c) in &counters {
+        println!("  {name}: {}", c.to_kv());
+    }
+}

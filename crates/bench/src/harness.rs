@@ -20,6 +20,7 @@ use pnats_core::estimate::IntermediateEstimator;
 use pnats_core::placer::TaskPlacer;
 use pnats_core::prob::ProbabilityModel;
 use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
+use pnats_obs::{InMemorySink, SchedCounters};
 use pnats_sim::config::background_traffic;
 use pnats_sim::{DataLayout, JobInput, SimConfig, SimReport, Simulation};
 use pnats_workloads::{table2_batch, AppKind};
@@ -154,18 +155,36 @@ pub struct Run {
     pub cfg: SimConfig,
     /// The job batch to submit.
     pub inputs: Vec<JobInput>,
+    /// Record the run's decision trace into an in-memory sink (drained
+    /// into [`SimReport::trace_jsonl`]). Counters accumulate either way.
+    pub trace: bool,
 }
 
 impl Run {
     /// A run of `kind` with its paper-default knobs.
     pub fn new(kind: SchedulerKind, cfg: SimConfig, inputs: Vec<JobInput>) -> Self {
-        Self { placer: PlacerSpec::Kind(kind), cfg, inputs }
+        Self::with_spec(PlacerSpec::Kind(kind), cfg, inputs)
+    }
+
+    /// A run with an explicit [`PlacerSpec`] (for sweeps).
+    pub fn with_spec(placer: PlacerSpec, cfg: SimConfig, inputs: Vec<JobInput>) -> Self {
+        Self { placer, cfg, inputs, trace: false }
+    }
+
+    /// Enable decision tracing for this run.
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
     }
 
     /// Execute the cell (callable from any thread).
     pub fn execute(self) -> SimReport {
         let placer = self.placer.build(&self.cfg);
-        Simulation::new(self.cfg, placer).run(&self.inputs)
+        let mut sim = Simulation::new(self.cfg, placer);
+        if self.trace {
+            sim = sim.with_trace(Box::new(InMemorySink::unbounded()));
+        }
+        sim.run(&self.inputs)
     }
 }
 
@@ -219,17 +238,62 @@ where
         .collect()
 }
 
+/// The decision-trace output path requested via the `PNATS_TRACE`
+/// environment variable, if any. When set, [`run_matrix`] traces every run
+/// and writes the concatenated JSONL (matrix order, so byte-identical
+/// across thread counts) to this path.
+pub fn trace_path() -> Option<String> {
+    std::env::var("PNATS_TRACE").ok().filter(|s| !s.is_empty())
+}
+
 /// Execute a run matrix across [`harness_threads`] workers, returning
 /// reports in matrix order. Results are identical to executing the runs
 /// serially: every cell owns its config (and therefore its RNG seed) and
 /// builds its placer privately, so nothing about the outcome depends on
 /// scheduling.
 ///
-/// Emits one `HARNESS runs=…` accounting line on **stderr** (stdout stays
-/// byte-identical across thread counts); `repro_all` aggregates these
-/// lines into `BENCH_harness.json`.
+/// Emits accounting lines on **stderr** (stdout stays byte-identical
+/// across thread counts), aggregated by `repro_all` into
+/// `BENCH_harness.json`:
+///
+/// * one `HARNESS runs=…` wall-clock line per matrix, and
+/// * one `COUNTERS scheduler=<name> offers=… assigns=… skip_*=…` line per
+///   scheduler, merged over the matrix's runs.
+///
+/// With `PNATS_TRACE=<path>` set, every run records its decision trace and
+/// the concatenation (in matrix order) is written to `<path>`.
 pub fn run_matrix(runs: Vec<Run>) -> Vec<SimReport> {
-    run_matrix_with(runs, Run::execute)
+    let trace_to = trace_path();
+    let runs: Vec<Run> = if trace_to.is_some() {
+        runs.into_iter().map(Run::traced).collect()
+    } else {
+        runs
+    };
+    let reports = run_matrix_with(runs, Run::execute);
+    // Per-scheduler counter aggregates, in first-appearance order so the
+    // stderr line order is deterministic.
+    let mut agg: Vec<(String, SchedCounters)> = Vec::new();
+    for r in &reports {
+        match agg.iter_mut().find(|(name, _)| *name == r.scheduler) {
+            Some((_, c)) => c.merge(&r.counters),
+            None => agg.push((r.scheduler.clone(), r.counters.clone())),
+        }
+    }
+    for (name, c) in &agg {
+        eprintln!("COUNTERS scheduler={name} {}", c.to_kv());
+    }
+    if let Some(path) = trace_to {
+        let mut text = String::new();
+        for r in &reports {
+            if let Some(t) = &r.trace_jsonl {
+                text.push_str(t);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("PNATS_TRACE: failed to write {path}: {e}");
+        }
+    }
+    reports
 }
 
 /// [`run_matrix`] with a custom per-run function — for experiments that
@@ -401,15 +465,15 @@ mod tests {
                     ));
                 }
             }
-            runs.push(Run {
-                placer: PlacerSpec::Probabilistic {
+            runs.push(Run::with_spec(
+                PlacerSpec::Probabilistic {
                     p_min: 0.2,
                     model: ProbabilityModel::Sigmoid,
                     estimator: IntermediateEstimator::CurrentSize,
                 },
-                cfg: mini_cloud(99),
-                inputs: JobInput::from_batch(&scaled_batch(AppKind::Terasort, 2, 20)),
-            });
+                mini_cloud(99),
+                JobInput::from_batch(&scaled_batch(AppKind::Terasort, 2, 20)),
+            ));
             runs
         };
         let serial: Vec<SimReport> = mk_runs().into_iter().map(Run::execute).collect();

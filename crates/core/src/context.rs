@@ -47,6 +47,12 @@ pub struct ReduceCandidate {
 }
 
 /// Snapshot handed to [`TaskPlacer::place_map`](crate::placer::TaskPlacer::place_map).
+///
+/// Construct with [`MapSchedContext::new`] plus the chainable setters —
+/// the struct is `#[non_exhaustive]` so every runtime and test assembles
+/// its snapshot through the same audited constructor path.
+#[non_exhaustive]
+#[derive(Clone, Copy)]
 pub struct MapSchedContext<'a> {
     /// Job whose tasks are being scheduled (chosen by job-level scheduling).
     pub job: JobId,
@@ -64,6 +70,12 @@ pub struct MapSchedContext<'a> {
 }
 
 /// Snapshot handed to [`TaskPlacer::place_reduce`](crate::placer::TaskPlacer::place_reduce).
+///
+/// Construct with [`ReduceSchedContext::new`] plus the chainable setters —
+/// the struct is `#[non_exhaustive]` so every runtime and test assembles
+/// its snapshot through the same audited constructor path.
+#[non_exhaustive]
+#[derive(Clone, Copy)]
 pub struct ReduceSchedContext<'a> {
     /// Job whose tasks are being scheduled.
     pub job: JobId,
@@ -92,6 +104,84 @@ pub struct ReduceSchedContext<'a> {
     pub reduces_total: usize,
     /// Current time in seconds.
     pub now: f64,
+}
+
+impl<'a> MapSchedContext<'a> {
+    /// A map-scheduling snapshot at time 0. Chain [`at`](Self::at) to set
+    /// the clock.
+    pub fn new(
+        job: JobId,
+        candidates: &'a [MapCandidate],
+        free_map_nodes: &'a [NodeId],
+        cost: &'a dyn PathCost,
+        layout: &'a ClusterLayout,
+    ) -> Self {
+        Self { job, candidates, free_map_nodes, cost, layout, now: 0.0 }
+    }
+
+    /// Set the current time in seconds.
+    pub fn at(mut self, now: f64) -> Self {
+        self.now = now;
+        self
+    }
+}
+
+impl<'a> ReduceSchedContext<'a> {
+    /// A reduce-scheduling snapshot at time 0 with permissive defaults:
+    /// no reduce of the job running anywhere, map phase complete
+    /// (`job_map_progress = 1`, `maps_finished = maps_total = 0`), no
+    /// reduces launched, `reduces_total = candidates.len()`. Chain the
+    /// setters to model mid-job states.
+    pub fn new(
+        job: JobId,
+        candidates: &'a [ReduceCandidate],
+        free_reduce_nodes: &'a [NodeId],
+        cost: &'a dyn PathCost,
+        layout: &'a ClusterLayout,
+    ) -> Self {
+        Self {
+            job,
+            candidates,
+            free_reduce_nodes,
+            job_reduce_nodes: &[],
+            cost,
+            layout,
+            job_map_progress: 1.0,
+            maps_finished: 0,
+            maps_total: 0,
+            reduces_launched: 0,
+            reduces_total: candidates.len(),
+            now: 0.0,
+        }
+    }
+
+    /// Nodes already running a reduce task of this job.
+    pub fn running_on(mut self, nodes: &'a [NodeId]) -> Self {
+        self.job_reduce_nodes = nodes;
+        self
+    }
+
+    /// Map-phase state: fraction of map *work* done plus finished/total
+    /// task counts.
+    pub fn map_phase(mut self, progress: f64, finished: usize, total: usize) -> Self {
+        self.job_map_progress = progress;
+        self.maps_finished = finished;
+        self.maps_total = total;
+        self
+    }
+
+    /// Reduce-phase launch accounting: tasks launched / total.
+    pub fn reduce_phase(mut self, launched: usize, total: usize) -> Self {
+        self.reduces_launched = launched;
+        self.reduces_total = total;
+        self
+    }
+
+    /// Set the current time in seconds.
+    pub fn at(mut self, now: f64) -> Self {
+        self.now = now;
+        self
+    }
 }
 
 impl MapCandidate {

@@ -47,14 +47,7 @@
 //!     replicas: vec![NodeId(0)],
 //! }];
 //! let free = vec![NodeId(0), NodeId(1)];
-//! let ctx = MapSchedContext {
-//!     job,
-//!     candidates: &cands,
-//!     free_map_nodes: &free,
-//!     cost: &hops,
-//!     layout: topo.layout(),
-//!     now: 0.0,
-//! };
+//! let ctx = MapSchedContext::new(job, &cands, &free, &hops, topo.layout());
 //! let mut placer = ProbabilisticPlacer::new(ProbConfig::default());
 //! let mut rng = SmallRng::seed_from_u64(42);
 //! // Offering the slot on the data-local node always assigns (P = 1).
@@ -74,7 +67,7 @@ pub use context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
 pub use estimate::IntermediateEstimator;
-pub use placer::{Decision, TaskPlacer};
+pub use placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 pub use prob::ProbabilityModel;
 pub use prob_sched::{ProbConfig, ProbabilisticPlacer};
 pub use types::{JobId, MapTaskId, ReduceTaskId};

@@ -17,11 +17,16 @@
 //!
 //! Algorithm 2 additionally refuses to run two reduce tasks of one job on
 //! the same node (I/O contention and downlink congestion; paper §II-D).
+//!
+//! Every decision is booked into a [`PlacerStats`] keyed by
+//! [`SkipReason`], and the intermediates of the last decision (`C_i`,
+//! `C_ave`, `P`) are exposed through
+//! [`TaskPlacer::last_detail`] for the tracing layer.
 
 use crate::context::{MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext};
 use crate::cost::{map_cost, map_cost_avg, reduce_cost, reduce_cost_avg};
 use crate::estimate::IntermediateEstimator;
-use crate::placer::{Decision, TaskPlacer};
+use crate::placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 use crate::prob::ProbabilityModel;
 use pnats_net::NodeId;
 use rand::rngs::SmallRng;
@@ -72,22 +77,10 @@ pub struct ProbabilisticPlacer {
     map_avg_cache: AvgCostCache,
     /// Memoized `C_ave` per reduce candidate for the current free-node set.
     reduce_avg_cache: AvgCostCache,
+    /// Intermediates of the most recent gate evaluation.
+    last_detail: Option<DecisionDetail>,
     /// Decision statistics (diagnostics; not used for scheduling).
     pub stats: PlacerStats,
-}
-
-/// Counters describing how often the probabilistic gates fired.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PlacerStats {
-    /// Assignments made.
-    pub assigned: u64,
-    /// Slots skipped because the best probability was below `P_min`.
-    pub below_p_min: u64,
-    /// Slots skipped because the Bernoulli draw failed.
-    pub draw_failed: u64,
-    /// Candidates whose probability computation was skipped because their
-    /// cost exceeded the `P_min` cost ceiling (an O(1) comparison).
-    pub pruned: u64,
 }
 
 /// Memoized per-candidate `C_ave` values, valid for one (free-node set,
@@ -157,6 +150,31 @@ fn reduce_candidate_key(c: &ReduceCandidate) -> u64 {
 /// part in 10¹², so boundary candidates fall through to the full formula.
 const PRUNE_SLACK: f64 = 1.0 + 1e-12;
 
+/// What the per-candidate scoring loop observed besides the probabilities —
+/// decides the [`SkipReason`] when no candidate survives.
+#[derive(Default)]
+struct ScanFlags {
+    /// Some candidate was pruned by the `P_min` cost ceiling.
+    below_threshold: bool,
+    /// Some candidate's probability evaluated to NaN (non-finite costs).
+    non_finite: bool,
+}
+
+impl ScanFlags {
+    /// The reason to report when `argmax_probability` found nothing.
+    fn empty_scan_reason(&self) -> SkipReason {
+        if self.below_threshold {
+            // All candidates over the cost ceiling: exactly the decision the
+            // unpruned computation would book as a below-`P_min` skip.
+            SkipReason::BelowPMin
+        } else if self.non_finite {
+            SkipReason::NonFiniteCost
+        } else {
+            SkipReason::NoCandidate
+        }
+    }
+}
+
 impl ProbabilisticPlacer {
     /// A placer with the given configuration.
     pub fn new(config: ProbConfig) -> Self {
@@ -165,6 +183,7 @@ impl ProbabilisticPlacer {
             config,
             map_avg_cache: AvgCostCache::default(),
             reduce_avg_cache: AvgCostCache::default(),
+            last_detail: None,
             stats: PlacerStats::default(),
         }
     }
@@ -180,27 +199,161 @@ impl ProbabilisticPlacer {
         self.config
     }
 
-    /// Shared tail of both algorithms: threshold gate + Bernoulli draw.
-    fn gate(&mut self, best: Option<(usize, f64)>, rng: &mut SmallRng) -> Decision {
-        let Some((idx, p)) = best else {
-            return Decision::Skip;
-        };
+    /// Shared tail of both algorithms: threshold gate + Bernoulli draw on
+    /// the winning candidate. Does not touch `stats` — the `place_*`
+    /// wrappers book the final decision exactly once.
+    fn gate(&mut self, idx: usize, p: f64, rng: &mut SmallRng) -> Decision {
         // `argmax_probability` never yields NaN, but guard anyway: a NaN
-        // must not burn an RNG draw or be miscounted as `draw_failed`
+        // must not burn an RNG draw or be miscounted as a failed draw
         // (both comparisons below are false for NaN).
         if p.is_nan() {
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::NonFiniteCost);
         }
         if p < self.config.p_min {
-            self.stats.below_p_min += 1;
-            return Decision::Skip;
+            return Decision::Skip(SkipReason::BelowPMin);
         }
         if rng.gen::<f64>() < p {
-            self.stats.assigned += 1;
             Decision::Assign(idx)
         } else {
-            self.stats.draw_failed += 1;
-            Decision::Skip
+            Decision::Skip(SkipReason::DrawFailed)
+        }
+    }
+
+    /// Algorithm 1 body; the trait wrapper books the decision.
+    fn decide_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        self.map_avg_cache.sync(ctx.free_map_nodes, ctx.cost.version());
+        let model = self.config.model;
+        let prune = self.ceiling_factor * PRUNE_SLACK;
+        let cache = &mut self.map_avg_cache;
+        let stats = &mut self.stats;
+        let mut flags = ScanFlags::default();
+        let best = argmax_probability(ctx.candidates.iter().map(|c| {
+            let c_here = map_cost(c, node, ctx.cost); // line 4
+            let c_ave = cached_avg(cache, stats, map_candidate_key(c), || {
+                map_cost_avg(c, ctx.free_map_nodes, ctx.cost) // line 6
+            });
+            // A NaN cost (poisoned metric) can be neither pruned nor
+            // scored — flag it so the skip is reported as NonFiniteCost.
+            // (±∞ is fine: the probability model maps it to 0 or 1.)
+            if c_here.is_nan() || c_ave.is_nan() {
+                flags.non_finite = true;
+                return f64::NAN;
+            }
+            // Cost-ceiling prune: `C > C_ave · ceiling` already implies
+            // `P < P_min`, so skip the probability computation. The NaN
+            // sentinel is invisible to `argmax_probability`; all pruned
+            // candidates are tallied as one below-`P_min` skip after the
+            // argmax, exactly as the unpruned computation would decide.
+            // (A NaN cost never prunes — both comparisons are false — and
+            // falls through to the full formula.)
+            if c_here > c_ave * prune {
+                flags.below_threshold = true;
+                stats.pruned += 1;
+                return f64::NAN;
+            }
+            model.probability(c_ave, c_here) // line 7
+        }));
+        let Some((idx, p)) = best else {
+            return Decision::Skip(flags.empty_scan_reason());
+        };
+        let winner = &ctx.candidates[idx];
+        self.last_detail = Some(DecisionDetail {
+            cost: map_cost(winner, node, ctx.cost),
+            cost_avg: self.cached_map_avg(winner),
+            probability: p,
+        });
+        self.gate(idx, p, rng) // lines 9-16
+    }
+
+    /// Algorithm 2 body; the trait wrapper books the decision.
+    fn decide_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Decision {
+        // Line 1: refuse a second reduce task of this job on the node.
+        if ctx.job_reduce_nodes.contains(&node) {
+            return Decision::Skip(SkipReason::Collocated);
+        }
+        self.reduce_avg_cache.sync(ctx.free_reduce_nodes, ctx.cost.version());
+        let est = self.config.estimator;
+        let model = self.config.model;
+        let prune = self.ceiling_factor * PRUNE_SLACK;
+        let cache = &mut self.reduce_avg_cache;
+        let stats = &mut self.stats;
+        let mut flags = ScanFlags::default();
+        let best = argmax_probability(ctx.candidates.iter().map(|c| {
+            let c_here = reduce_cost(c, node, ctx.cost, est); // line 5
+            let c_ave = cached_avg(cache, stats, reduce_candidate_key(c), || {
+                reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est) // line 7
+            });
+            if c_here.is_nan() || c_ave.is_nan() {
+                flags.non_finite = true;
+                return f64::NAN;
+            }
+            if c_here > c_ave * prune {
+                flags.below_threshold = true;
+                stats.pruned += 1;
+                return f64::NAN;
+            }
+            model.probability(c_ave, c_here) // line 8
+        }));
+        let Some((idx, p)) = best else {
+            return Decision::Skip(flags.empty_scan_reason());
+        };
+        let winner = &ctx.candidates[idx];
+        self.last_detail = Some(DecisionDetail {
+            cost: reduce_cost(winner, node, ctx.cost, est),
+            cost_avg: self.cached_reduce_avg(winner),
+            probability: p,
+        });
+        self.gate(idx, p, rng) // lines 10-17
+    }
+
+    /// The winner's memoized `C_ave` (always present — the scoring loop
+    /// just inserted it). Not booked as a cache hit: it is a re-read of
+    /// this call's own lookup, not a saved recomputation.
+    fn cached_map_avg(&self, c: &MapCandidate) -> f64 {
+        self.map_avg_cache
+            .values
+            .get(&map_candidate_key(c))
+            .copied()
+            .unwrap_or(f64::NAN)
+    }
+
+    /// See [`Self::cached_map_avg`].
+    fn cached_reduce_avg(&self, c: &ReduceCandidate) -> f64 {
+        self.reduce_avg_cache
+            .values
+            .get(&reduce_candidate_key(c))
+            .copied()
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// One memoized `C_ave` lookup, booking a hit or miss in `stats`.
+fn cached_avg(
+    cache: &mut AvgCostCache,
+    stats: &mut PlacerStats,
+    key: u64,
+    compute: impl FnOnce() -> f64,
+) -> f64 {
+    match cache.values.get(&key) {
+        Some(&v) => {
+            stats.cache_hits += 1;
+            v
+        }
+        None => {
+            stats.cache_misses += 1;
+            let v = compute();
+            cache.values.insert(key, v);
+            v
         }
     }
 }
@@ -234,37 +387,10 @@ impl TaskPlacer for ProbabilisticPlacer {
         node: NodeId,
         rng: &mut SmallRng,
     ) -> Decision {
-        self.map_avg_cache.sync(ctx.free_map_nodes, ctx.cost.version());
-        let model = self.config.model;
-        let prune = self.ceiling_factor * PRUNE_SLACK;
-        let cache = &mut self.map_avg_cache;
-        let stats = &mut self.stats;
-        let mut saw_below_threshold = false;
-        let best = argmax_probability(ctx.candidates.iter().map(|c| {
-            let c_here = map_cost(c, node, ctx.cost); // line 4
-            let c_ave = *cache
-                .values
-                .entry(map_candidate_key(c))
-                .or_insert_with(|| map_cost_avg(c, ctx.free_map_nodes, ctx.cost)); // line 6
-            // Cost-ceiling prune: `C > C_ave · ceiling` already implies
-            // `P < P_min`, so skip the probability computation. The NaN
-            // sentinel is invisible to `argmax_probability`; all pruned
-            // candidates are tallied as one below-`P_min` skip after the
-            // argmax, exactly as the unpruned computation would decide.
-            // (A NaN cost never prunes — both comparisons are false — and
-            // falls through to the full formula.)
-            if c_here > c_ave * prune {
-                saw_below_threshold = true;
-                stats.pruned += 1;
-                return f64::NAN;
-            }
-            model.probability(c_ave, c_here) // line 7
-        }));
-        if best.is_none() && saw_below_threshold {
-            self.stats.below_p_min += 1;
-            return Decision::Skip;
-        }
-        self.gate(best, rng) // lines 9-16
+        self.last_detail = None;
+        let decision = self.decide_map(ctx, node, rng);
+        self.stats.record(decision);
+        decision
     }
 
     /// Algorithm 2.
@@ -274,35 +400,18 @@ impl TaskPlacer for ProbabilisticPlacer {
         node: NodeId,
         rng: &mut SmallRng,
     ) -> Decision {
-        // Line 1: refuse a second reduce task of this job on the node.
-        if ctx.job_reduce_nodes.contains(&node) {
-            return Decision::Skip;
-        }
-        self.reduce_avg_cache.sync(ctx.free_reduce_nodes, ctx.cost.version());
-        let est = self.config.estimator;
-        let model = self.config.model;
-        let prune = self.ceiling_factor * PRUNE_SLACK;
-        let cache = &mut self.reduce_avg_cache;
-        let stats = &mut self.stats;
-        let mut saw_below_threshold = false;
-        let best = argmax_probability(ctx.candidates.iter().map(|c| {
-            let c_here = reduce_cost(c, node, ctx.cost, est); // line 5
-            let c_ave = *cache
-                .values
-                .entry(reduce_candidate_key(c))
-                .or_insert_with(|| reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est)); // line 7
-            if c_here > c_ave * prune {
-                saw_below_threshold = true;
-                stats.pruned += 1;
-                return f64::NAN;
-            }
-            model.probability(c_ave, c_here) // line 8
-        }));
-        if best.is_none() && saw_below_threshold {
-            self.stats.below_p_min += 1;
-            return Decision::Skip;
-        }
-        self.gate(best, rng) // lines 10-17
+        self.last_detail = None;
+        let decision = self.decide_reduce(ctx, node, rng);
+        self.stats.record(decision);
+        decision
+    }
+
+    fn stats(&self) -> Option<&PlacerStats> {
+        Some(&self.stats)
+    }
+
+    fn last_detail(&self) -> Option<DecisionDetail> {
+        self.last_detail
     }
 }
 
@@ -336,7 +445,7 @@ mod tests {
         cost: &'a DistanceMatrix,
         layout: &'a ClusterLayout,
     ) -> MapSchedContext<'a> {
-        MapSchedContext { job: JobId(0), candidates: cands, free_map_nodes: free, cost, layout, now: 0.0 }
+        MapSchedContext::new(JobId(0), cands, free, cost, layout)
     }
 
     #[test]
@@ -353,6 +462,14 @@ mod tests {
             assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(0));
         }
         assert_eq!(p.stats.assigned, 20);
+        // Within one (free set, cost version) epoch the candidate's C_ave
+        // is computed once and re-read 19 times.
+        assert_eq!(p.stats.cache_misses, 1);
+        assert_eq!(p.stats.cache_hits, 19);
+        // The winner's intermediates are exposed for tracing.
+        let d = p.last_detail().expect("detail after an assign");
+        assert_eq!(d.cost, 0.0);
+        assert_eq!(d.probability, 1.0);
     }
 
     #[test]
@@ -382,8 +499,11 @@ mod tests {
         // P = 1 - e^-0.5 ≈ 0.393 < 0.4.
         let mut p = ProbabilisticPlacer::paper();
         let mut rng = rng();
-        assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
-        assert_eq!(p.stats.below_p_min, 1);
+        assert_eq!(
+            p.place_map(&ctx, NodeId(2), &mut rng),
+            Decision::Skip(SkipReason::BelowPMin)
+        );
+        assert_eq!(p.stats.skipped(SkipReason::BelowPMin), 1);
     }
 
     #[test]
@@ -401,11 +521,15 @@ mod tests {
         for _ in 0..500 {
             match p.place_map(&ctx, NodeId(2), &mut rng) {
                 Decision::Assign(_) => assigned += 1,
-                Decision::Skip => skipped += 1,
+                Decision::Skip(r) => {
+                    assert_eq!(r, SkipReason::DrawFailed);
+                    skipped += 1;
+                }
             }
         }
         assert!(assigned > 100, "assigned {assigned}");
         assert!(skipped > 100, "skipped {skipped}");
+        assert_eq!(p.stats.skipped(SkipReason::DrawFailed), skipped);
         // Empirical rate close to 0.393.
         let rate = assigned as f64 / 500.0;
         assert!((rate - 0.393).abs() < 0.08, "rate {rate}");
@@ -427,7 +551,7 @@ mod tests {
         let n = 4000;
         let mut hits = 0;
         for _ in 0..n {
-            if p.place_map(&ctx, NodeId(0), &mut rng) != Decision::Skip {
+            if p.place_map(&ctx, NodeId(0), &mut rng).assigned().is_some() {
                 hits += 1;
             }
         }
@@ -446,20 +570,10 @@ mod tests {
         cost: &'a DistanceMatrix,
         layout: &'a ClusterLayout,
     ) -> ReduceSchedContext<'a> {
-        ReduceSchedContext {
-            job: JobId(0),
-            candidates: cands,
-            free_reduce_nodes: free,
-            job_reduce_nodes: running,
-            cost,
-            layout,
-            job_map_progress: 0.5,
-            maps_finished: 1,
-            maps_total: 2,
-            reduces_launched: 0,
-            reduces_total: 1,
-            now: 0.0,
-        }
+        ReduceSchedContext::new(JobId(0), cands, free, cost, layout)
+            .running_on(running)
+            .map_phase(0.5, 1, 2)
+            .reduce_phase(0, 1)
     }
 
     #[test]
@@ -477,7 +591,11 @@ mod tests {
         let mut rng = rng();
         // D0 would be free and perfect (cost 0) but already runs a reduce
         // of this job.
-        assert_eq!(p.place_reduce(&ctx, NodeId(0), &mut rng), Decision::Skip);
+        assert_eq!(
+            p.place_reduce(&ctx, NodeId(0), &mut rng),
+            Decision::Skip(SkipReason::Collocated)
+        );
+        assert_eq!(p.stats.skipped(SkipReason::Collocated), 1);
     }
 
     #[test]
@@ -544,7 +662,10 @@ mod tests {
             estimator: IntermediateEstimator::CurrentSize,
             ..ProbConfig::default()
         });
-        assert_eq!(cur.place_reduce(&ctx, NodeId(3), &mut rng), Decision::Skip);
+        assert_eq!(
+            cur.place_reduce(&ctx, NodeId(3), &mut rng),
+            Decision::Skip(SkipReason::BelowPMin)
+        );
     }
 
     #[test]
@@ -571,13 +692,46 @@ mod tests {
     fn gate_skips_nan_without_stats_or_rng_draw() {
         let mut p = ProbabilisticPlacer::paper();
         let mut gated = rng();
-        assert_eq!(p.gate(Some((0, f64::NAN)), &mut gated), Decision::Skip);
-        assert_eq!(p.stats.assigned, 0);
-        assert_eq!(p.stats.below_p_min, 0);
-        assert_eq!(p.stats.draw_failed, 0);
+        assert_eq!(
+            p.gate(0, f64::NAN, &mut gated),
+            Decision::Skip(SkipReason::NonFiniteCost)
+        );
+        // `gate` itself never books stats (the `place_*` wrappers do).
+        assert_eq!(p.stats.total_decisions(), 0);
         // The RNG stream must be untouched by the NaN path.
         let mut fresh = rng();
         assert_eq!(gated.gen::<f64>(), fresh.gen::<f64>());
+    }
+
+    /// A poisoned metric: every path cost is NaN.
+    struct NanCost(usize);
+
+    impl pnats_net::PathCost for NanCost {
+        fn path_cost(&self, _: NodeId, _: NodeId) -> f64 {
+            f64::NAN
+        }
+
+        fn n_nodes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn non_finite_costs_reported_as_such() {
+        // Poison every path cost: no candidate can be scored, so the skip
+        // must be booked as NonFiniteCost, not BelowPMin.
+        let h = NanCost(4);
+        let layout = layout4();
+        let cands = vec![mcand(0, 128, vec![NodeId(1)])];
+        let free = vec![NodeId(1), NodeId(2)];
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
+        let mut p = ProbabilisticPlacer::paper();
+        let mut rng = rng();
+        assert_eq!(
+            p.place_map(&ctx, NodeId(2), &mut rng),
+            Decision::Skip(SkipReason::NonFiniteCost)
+        );
+        assert_eq!(p.stats.skipped(SkipReason::NonFiniteCost), 1);
     }
 
     #[test]
@@ -614,6 +768,11 @@ mod tests {
                 let got = warm.place_map(&ctx, node, &mut warm_rng);
                 assert_eq!(got, expect, "phase {phase}, node {node:?}");
                 assert_eq!(
+                    warm.last_detail(),
+                    fresh.last_detail(),
+                    "details diverged: phase {phase}, node {node:?}"
+                );
+                assert_eq!(
                     warm_rng.gen::<u64>(),
                     fresh_rng.gen::<u64>(),
                     "RNG streams diverged: phase {phase}, node {node:?}"
@@ -625,6 +784,7 @@ mod tests {
             }
         }
         assert!(warm.stats.assigned > 0, "test never exercised the assign path");
+        assert!(warm.stats.cache_hits > 0, "warm placer never hit its cache");
     }
 
     #[test]
@@ -639,9 +799,27 @@ mod tests {
         let ctx = map_ctx(&cands, &free, &h, &layout);
         let mut p = ProbabilisticPlacer::paper();
         let mut rng = rng();
-        assert_eq!(p.place_map(&ctx, NodeId(2), &mut rng), Decision::Skip);
-        assert_eq!(p.stats.below_p_min, 1);
+        assert_eq!(
+            p.place_map(&ctx, NodeId(2), &mut rng),
+            Decision::Skip(SkipReason::BelowPMin)
+        );
+        assert_eq!(p.stats.skipped(SkipReason::BelowPMin), 1);
         assert_eq!(p.stats.pruned, 1, "the 1280 > 640·1.96 candidate should be pruned");
+    }
+
+    #[test]
+    fn stats_accessible_through_trait_object() {
+        let h = DistanceMatrix::paper_figure2();
+        let layout = layout4();
+        let cands = vec![mcand(0, 128, vec![NodeId(2)])];
+        let free = vec![NodeId(2)];
+        let ctx = map_ctx(&cands, &free, &h, &layout);
+        let mut boxed: Box<dyn TaskPlacer> = Box::new(ProbabilisticPlacer::paper());
+        let mut rng = rng();
+        assert_eq!(boxed.place_map(&ctx, NodeId(2), &mut rng), Decision::Assign(0));
+        let stats = boxed.stats().expect("probabilistic placer keeps stats");
+        assert_eq!(stats.assigned, 1);
+        assert_eq!(stats.total_decisions(), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
 use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
 use pnats_metrics::{LocalityClass, LocalityCounter};
 use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
+use pnats_obs::{DecisionObserver, SchedCounters, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -106,6 +107,12 @@ pub struct EngineReport {
     pub n_reduces: usize,
     /// Placement offers the scheduler declined.
     pub skipped_offers: u64,
+    /// Decision counters for the run (offers, assigns, skips by reason,
+    /// plus the probabilistic placer's prune/cache tallies).
+    pub counters: SchedCounters,
+    /// The decision trace as JSONL, when [`MapReduceEngine::run_traced`]
+    /// was given an in-memory sink; `None` otherwise.
+    pub trace_jsonl: Option<String>,
 }
 
 /// A map task's partitioned output: per-partition pairs plus byte sizes.
@@ -190,7 +197,32 @@ impl MapReduceEngine {
         &self,
         job: &EngineJob,
         input: &str,
+        placer: Box<dyn TaskPlacer>,
+    ) -> EngineReport {
+        self.run_observed(job, input, placer, DecisionObserver::disabled())
+    }
+
+    /// Like [`run`](Self::run), but routes every placement decision into
+    /// `sink` as a [`pnats_obs::DecisionRecord`]. Note the engine runs on
+    /// wall-clock heartbeats, so traces are *not* byte-reproducible across
+    /// runs the way the simulator's are — use them for inspection, not for
+    /// golden-file comparison.
+    pub fn run_traced(
+        &self,
+        job: &EngineJob,
+        input: &str,
+        placer: Box<dyn TaskPlacer>,
+        sink: Box<dyn TraceSink>,
+    ) -> EngineReport {
+        self.run_observed(job, input, placer, DecisionObserver::with_sink(sink))
+    }
+
+    fn run_observed(
+        &self,
+        job: &EngineJob,
+        input: &str,
         mut placer: Box<dyn TaskPlacer>,
+        mut observer: DecisionObserver,
     ) -> EngineReport {
         let start = Instant::now();
         let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
@@ -244,6 +276,7 @@ impl MapReduceEngine {
 
         let mut final_output: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
 
+        let mut round = 0u64;
         std::thread::scope(|scope| {
             let mut last_hb = Instant::now() - self.cfg.heartbeat;
             loop {
@@ -291,6 +324,9 @@ impl MapReduceEngine {
                     continue;
                 }
                 last_hb = Instant::now();
+                round += 1;
+                placer.on_heartbeat_round(round);
+                observer.begin_round(round);
 
                 // Heartbeat every node; fill slots through the placer.
                 for node_idx in 0..self.cfg.n_nodes {
@@ -305,15 +341,17 @@ impl MapReduceEngine {
                             .filter(|n| free_map[*n] > 0)
                             .map(|n| NodeId(n as u32))
                             .collect();
-                        let ctx = MapSchedContext {
-                            job: jid,
-                            candidates: &cands,
-                            free_map_nodes: &free_nodes,
-                            cost: self.hops.as_ref(),
-                            layout: &self.layout,
-                            now: start.elapsed().as_secs_f64(),
-                        };
-                        match placer.place_map(&ctx, node, &mut rng) {
+                        let ctx = MapSchedContext::new(
+                            jid,
+                            &cands,
+                            &free_nodes,
+                            self.hops.as_ref(),
+                            &self.layout,
+                        )
+                        .at(start.elapsed().as_secs_f64());
+                        let decision = placer.place_map(&ctx, node, &mut rng);
+                        observer.observe_map(&ctx, node, decision, placer.last_detail());
+                        match decision {
                             Decision::Assign(i) => {
                                 let map = unassigned_maps.swap_remove(i);
                                 free_map[node.idx()] -= 1;
@@ -330,7 +368,7 @@ impl MapReduceEngine {
                                     tx.clone(),
                                 );
                             }
-                            Decision::Skip => {
+                            Decision::Skip(_) => {
                                 skipped_offers += 1;
                                 break;
                             }
@@ -362,22 +400,24 @@ impl MapReduceEngine {
                             .sum();
                         let bytes_total: u64 =
                             blocks.iter().map(|b| b.len() as u64).sum();
-                        let ctx = ReduceSchedContext {
-                            job: jid,
-                            candidates: &cands,
-                            free_reduce_nodes: &free_nodes,
-                            job_reduce_nodes: &job_reduce_nodes,
-                            cost: self.hops.as_ref(),
-                            layout: &self.layout,
-                            job_map_progress: read_total as f64
-                                / bytes_total.max(1) as f64,
+                        let ctx = ReduceSchedContext::new(
+                            jid,
+                            &cands,
+                            &free_nodes,
+                            self.hops.as_ref(),
+                            &self.layout,
+                        )
+                        .running_on(&job_reduce_nodes)
+                        .map_phase(
+                            read_total as f64 / bytes_total.max(1) as f64,
                             maps_finished,
-                            maps_total: n_maps,
-                            reduces_launched: n_reduces - unassigned_reduces.len(),
-                            reduces_total: n_reduces,
-                            now: start.elapsed().as_secs_f64(),
-                        };
-                        match placer.place_reduce(&ctx, node, &mut rng) {
+                            n_maps,
+                        )
+                        .reduce_phase(n_reduces - unassigned_reduces.len(), n_reduces)
+                        .at(start.elapsed().as_secs_f64());
+                        let decision = placer.place_reduce(&ctx, node, &mut rng);
+                        observer.observe_reduce(&ctx, node, decision, placer.last_detail());
+                        match decision {
                             Decision::Assign(i) => {
                                 let red = unassigned_reduces.swap_remove(i);
                                 free_reduce[node.idx()] -= 1;
@@ -388,7 +428,7 @@ impl MapReduceEngine {
                                     &all_maps_done, tx.clone(),
                                 );
                             }
-                            Decision::Skip => {
+                            Decision::Skip(_) => {
                                 skipped_offers += 1;
                                 break;
                             }
@@ -398,6 +438,11 @@ impl MapReduceEngine {
             }
         });
 
+        if let Some(stats) = placer.stats() {
+            observer.absorb_placer(stats);
+        }
+        observer.flush();
+        let trace_jsonl = observer.drain_jsonl();
         let output: Vec<(String, String)> = final_output.into_iter().flatten().collect();
         EngineReport {
             output,
@@ -407,6 +452,8 @@ impl MapReduceEngine {
             n_maps,
             n_reduces,
             skipped_offers,
+            counters: observer.counters().clone(),
+            trace_jsonl,
         }
     }
 
@@ -614,5 +661,37 @@ mod tests {
         let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
         let report = eng.run(&job, "", Box::new(ProbabilisticPlacer::paper()));
         assert!(report.output.is_empty());
+    }
+
+    #[test]
+    fn counters_cover_every_offer() {
+        let eng = tiny_engine();
+        let input = "alpha beta gamma\n".repeat(60);
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
+        let report = eng.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+        assert!(report.counters.consistent(), "{:?}", report.counters);
+        assert_eq!(report.counters.total_skips(), report.skipped_offers);
+        // Every task launched exactly once.
+        assert_eq!(
+            report.counters.assigns as usize,
+            report.n_maps + report.n_reduces
+        );
+        assert!(report.trace_jsonl.is_none(), "default run does not trace");
+    }
+
+    #[test]
+    fn traced_run_emits_one_record_per_offer() {
+        let eng = tiny_engine();
+        let input = "alpha beta gamma\n".repeat(60);
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
+        let report = eng.run_traced(
+            &job,
+            &input,
+            Box::new(ProbabilisticPlacer::paper()),
+            Box::new(pnats_obs::InMemorySink::unbounded()),
+        );
+        let trace = report.trace_jsonl.expect("in-memory sink drains");
+        assert_eq!(trace.lines().count() as u64, report.counters.offers);
+        assert!(trace.lines().all(|l| l.starts_with("{\"t\":")), "JSONL shape");
     }
 }

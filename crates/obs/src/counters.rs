@@ -1,0 +1,191 @@
+//! Monotonic per-scheduler decision counters.
+//!
+//! The accounting identity every run must satisfy — checked by tests and
+//! by the CI `trace_check` bin — is
+//! `offers == assigns + Σ_reason skips[reason]`: each heartbeat slot offer
+//! produces exactly one decision.
+
+use pnats_core::placer::{Decision, PlacerStats, SkipReason};
+
+/// Counters over every placement decision a run made, plus the
+/// probabilistic placer's prune/cache extras.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Slot offers made (`place_map` + `place_reduce` calls).
+    pub offers: u64,
+    /// Offers that assigned a task.
+    pub assigns: u64,
+    /// Offers skipped, by [`SkipReason`] (indexed by `reason as usize`).
+    pub skips: [u64; SkipReason::COUNT],
+    /// Candidates cost-ceiling-pruned inside the probabilistic placer.
+    pub pruned: u64,
+    /// `C_ave` cache hits inside the probabilistic placer.
+    pub cache_hits: u64,
+    /// `C_ave` cache misses inside the probabilistic placer.
+    pub cache_misses: u64,
+}
+
+impl SchedCounters {
+    /// Book one decision.
+    pub fn record(&mut self, decision: Decision) {
+        self.offers += 1;
+        match decision {
+            Decision::Assign(_) => self.assigns += 1,
+            Decision::Skip(r) => self.skips[r as usize] += 1,
+        }
+    }
+
+    /// Copy the placer-internal extras (prune and cache counters) out of a
+    /// [`PlacerStats`]. Call once at end of run — placer stats are
+    /// cumulative.
+    pub fn absorb_placer(&mut self, stats: &PlacerStats) {
+        self.pruned += stats.pruned;
+        self.cache_hits += stats.cache_hits;
+        self.cache_misses += stats.cache_misses;
+    }
+
+    /// Add another run's counters into this aggregate.
+    pub fn merge(&mut self, other: &SchedCounters) {
+        self.offers += other.offers;
+        self.assigns += other.assigns;
+        for (a, b) in self.skips.iter_mut().zip(other.skips.iter()) {
+            *a += b;
+        }
+        self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Skip count for one reason.
+    pub fn skipped(&self, reason: SkipReason) -> u64 {
+        self.skips[reason as usize]
+    }
+
+    /// Total skips across all reasons.
+    pub fn total_skips(&self) -> u64 {
+        self.skips.iter().sum()
+    }
+
+    /// The accounting identity: every offer became exactly one decision.
+    pub fn consistent(&self) -> bool {
+        self.offers == self.assigns + self.total_skips()
+    }
+
+    /// Serialize as the space-separated `key=value` tail of a harness
+    /// `COUNTERS` stderr line (everything after the scheduler name).
+    pub fn to_kv(&self) -> String {
+        let mut s = format!("offers={} assigns={}", self.offers, self.assigns);
+        for r in SkipReason::ALL {
+            s.push_str(&format!(" skip_{}={}", r.label(), self.skipped(r)));
+        }
+        s.push_str(&format!(
+            " pruned={} cache_hits={} cache_misses={}",
+            self.pruned, self.cache_hits, self.cache_misses
+        ));
+        s
+    }
+
+    /// Parse the `key=value` fields of [`to_kv`](Self::to_kv) back out of a
+    /// token stream (unknown keys are ignored, so the format can grow).
+    pub fn from_kv<'a>(tokens: impl Iterator<Item = &'a str>) -> SchedCounters {
+        let mut c = SchedCounters::default();
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                continue;
+            };
+            let Ok(v) = value.parse::<u64>() else {
+                continue;
+            };
+            match key {
+                "offers" => c.offers = v,
+                "assigns" => c.assigns = v,
+                "pruned" => c.pruned = v,
+                "cache_hits" => c.cache_hits = v,
+                "cache_misses" => c.cache_misses = v,
+                _ => {
+                    if let Some(label) = key.strip_prefix("skip_") {
+                        if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
+                            c.skips[*r as usize] = v;
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Serialize as a JSON object (hand-rolled; the repo vendors no serde)
+    /// for `BENCH_harness.json`.
+    pub fn to_json_object(&self, indent: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("{indent}  \"offers\": {},\n", self.offers));
+        s.push_str(&format!("{indent}  \"assigns\": {},\n", self.assigns));
+        for r in SkipReason::ALL {
+            s.push_str(&format!(
+                "{indent}  \"skip_{}\": {},\n",
+                r.label(),
+                self.skipped(r)
+            ));
+        }
+        s.push_str(&format!("{indent}  \"pruned\": {},\n", self.pruned));
+        s.push_str(&format!("{indent}  \"cache_hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("{indent}  \"cache_misses\": {}\n", self.cache_misses));
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_preserves_offer_identity() {
+        let mut c = SchedCounters::default();
+        c.record(Decision::Assign(0));
+        c.record(Decision::Skip(SkipReason::DrawFailed));
+        c.record(Decision::Skip(SkipReason::Collocated));
+        assert_eq!(c.offers, 3);
+        assert_eq!(c.assigns, 1);
+        assert_eq!(c.skipped(SkipReason::DrawFailed), 1);
+        assert_eq!(c.total_skips(), 2);
+        assert!(c.consistent());
+    }
+
+    #[test]
+    fn kv_roundtrip() {
+        let mut c = SchedCounters::default();
+        c.record(Decision::Assign(1));
+        c.record(Decision::Skip(SkipReason::BelowPMin));
+        c.pruned = 7;
+        c.cache_hits = 5;
+        c.cache_misses = 2;
+        let kv = c.to_kv();
+        let back = SchedCounters::from_kv(kv.split_whitespace());
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = SchedCounters::default();
+        a.record(Decision::Assign(0));
+        let mut b = SchedCounters::default();
+        b.record(Decision::Skip(SkipReason::DelayBound));
+        b.record(Decision::Skip(SkipReason::DelayBound));
+        a.merge(&b);
+        assert_eq!(a.offers, 3);
+        assert_eq!(a.assigns, 1);
+        assert_eq!(a.skipped(SkipReason::DelayBound), 2);
+        assert!(a.consistent());
+    }
+
+    #[test]
+    fn json_object_is_valid_json() {
+        let mut c = SchedCounters::default();
+        c.record(Decision::Skip(SkipReason::PostponedReduce));
+        let json = c.to_json_object("  ");
+        crate::json::validate_json(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"skip_postponed_reduce\": 1"), "{json}");
+    }
+}

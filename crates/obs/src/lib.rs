@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # pnats-obs — decision tracing and scheduler counters
+//!
+//! The paper's contribution lives in per-heartbeat decisions (Algorithms
+//! 1–2: cost `C_i`, mean `C_ave`, probability `P`, the `P_min` gate, the
+//! Bernoulli draw), yet a scheduler run normally throws those
+//! intermediates away. This crate is the observability pipeline both
+//! runtimes (the discrete-event simulator and the threaded engine) feed:
+//!
+//! * [`record`] — [`DecisionRecord`](record::DecisionRecord), one
+//!   structured line per `place_map`/`place_reduce` call: sim time,
+//!   heartbeat round, node, candidate-set size, the winner's
+//!   `C_i`/`C_ave`/`P`, draw outcome or [`SkipReason`].
+//! * [`sink`] — the [`TraceSink`](sink::TraceSink) trait records flow
+//!   into: [`NullSink`](sink::NullSink) (zero-cost default),
+//!   [`InMemorySink`](sink::InMemorySink) (ring-buffered),
+//!   [`JsonlFileSink`](sink::JsonlFileSink) (streaming JSONL file).
+//! * [`counters`] — [`SchedCounters`](counters::SchedCounters), monotonic
+//!   per-scheduler counters (offers, assigns, skips by reason, prune and
+//!   `C_ave`-cache hits) with the invariant `offers = assigns + Σ skips`.
+//! * [`observer`] — [`DecisionObserver`](observer::DecisionObserver), the
+//!   single instrumented choke point runtimes call after each placement
+//!   decision.
+//! * [`json`] — a dependency-free JSON syntax validator for CI checks of
+//!   emitted trace lines.
+//!
+//! With the default [`NullSink`](sink::NullSink) the per-decision cost is
+//! a handful of counter increments; no record is built unless the sink
+//! reports itself enabled.
+//!
+//! [`SkipReason`]: pnats_core::placer::SkipReason
+
+pub mod counters;
+pub mod json;
+pub mod observer;
+pub mod record;
+pub mod sink;
+
+pub use counters::SchedCounters;
+pub use observer::DecisionObserver;
+pub use record::{DecisionRecord, Phase};
+pub use sink::{InMemorySink, JsonlFileSink, NullSink, TraceSink};

@@ -1,0 +1,202 @@
+//! The instrumented choke point: one observer per run, called after every
+//! placement decision.
+
+use crate::counters::SchedCounters;
+use crate::record::{DecisionRecord, Phase};
+use crate::sink::{NullSink, TraceSink};
+use pnats_core::context::{MapSchedContext, ReduceSchedContext};
+use pnats_core::placer::{Decision, DecisionDetail, PlacerStats};
+use pnats_net::NodeId;
+
+/// Owns the run's [`TraceSink`] and [`SchedCounters`] and turns each
+/// decision into a record (when tracing is enabled) plus counter
+/// increments (always).
+///
+/// Both runtimes call [`observe_map`](Self::observe_map) /
+/// [`observe_reduce`](Self::observe_reduce) immediately after the placer
+/// returns, passing the same context snapshot the placer saw — that is
+/// what makes the observer a single audited choke point instead of a
+/// per-runtime reimplementation.
+pub struct DecisionObserver {
+    sink: Box<dyn TraceSink>,
+    counters: SchedCounters,
+    round: u64,
+}
+
+impl Default for DecisionObserver {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for DecisionObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionObserver")
+            .field("tracing", &self.sink.enabled())
+            .field("counters", &self.counters)
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl DecisionObserver {
+    /// Counters only; records are dropped ([`NullSink`]).
+    pub fn disabled() -> Self {
+        Self::with_sink(Box::new(NullSink))
+    }
+
+    /// Counters plus records delivered to `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Self { sink, counters: SchedCounters::default(), round: 0 }
+    }
+
+    /// Whether records are being built at all.
+    pub fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Set the heartbeat round stamped on subsequent records.
+    pub fn begin_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    /// Book a map-placement decision.
+    pub fn observe_map(
+        &mut self,
+        ctx: &MapSchedContext<'_>,
+        node: NodeId,
+        decision: Decision,
+        detail: Option<DecisionDetail>,
+    ) {
+        self.counters.record(decision);
+        if self.sink.enabled() {
+            let rec = DecisionRecord {
+                t: ctx.now,
+                round: self.round,
+                phase: Phase::Map,
+                job: ctx.job.0,
+                node: node.0,
+                candidates: ctx.candidates.len(),
+                free_nodes: ctx.free_map_nodes.len(),
+                decision,
+                detail,
+            };
+            self.sink.record(&rec);
+        }
+    }
+
+    /// Book a reduce-placement decision.
+    pub fn observe_reduce(
+        &mut self,
+        ctx: &ReduceSchedContext<'_>,
+        node: NodeId,
+        decision: Decision,
+        detail: Option<DecisionDetail>,
+    ) {
+        self.counters.record(decision);
+        if self.sink.enabled() {
+            let rec = DecisionRecord {
+                t: ctx.now,
+                round: self.round,
+                phase: Phase::Reduce,
+                job: ctx.job.0,
+                node: node.0,
+                candidates: ctx.candidates.len(),
+                free_nodes: ctx.free_reduce_nodes.len(),
+                decision,
+                detail,
+            };
+            self.sink.record(&rec);
+        }
+    }
+
+    /// Fold the placer's internal prune/cache tallies into the counters.
+    /// Call once, at end of run.
+    pub fn absorb_placer(&mut self, stats: &PlacerStats) {
+        self.counters.absorb_placer(stats);
+    }
+
+    /// The counters accumulated so far.
+    pub fn counters(&self) -> &SchedCounters {
+        &self.counters
+    }
+
+    /// Take the buffered trace as JSONL, if the sink keeps one in memory.
+    pub fn drain_jsonl(&mut self) -> Option<String> {
+        self.sink.drain_jsonl()
+    }
+
+    /// Flush file-backed sinks.
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::InMemorySink;
+    use pnats_core::context::MapCandidate;
+    use pnats_core::placer::SkipReason;
+    use pnats_core::types::{JobId, MapTaskId};
+    use pnats_net::{ClusterLayout, DistanceMatrix, RackId};
+
+    fn with_ctx(f: impl FnOnce(&MapSchedContext<'_>)) {
+        let h = DistanceMatrix::zero(2);
+        let layout = ClusterLayout::new(vec![RackId(0); 2]);
+        let cands = vec![MapCandidate {
+            task: MapTaskId { job: JobId(3), index: 0 },
+            block_size: 1,
+            replicas: vec![NodeId(0)],
+        }];
+        let free = vec![NodeId(0), NodeId(1)];
+        let ctx = MapSchedContext::new(JobId(3), &cands, &free, &h, &layout).at(2.5);
+        f(&ctx);
+    }
+
+    #[test]
+    fn disabled_observer_still_counts() {
+        with_ctx(|ctx| {
+            let mut obs = DecisionObserver::disabled();
+            assert!(!obs.tracing());
+            obs.observe_map(ctx, NodeId(0), Decision::Assign(0), None);
+            obs.observe_map(ctx, NodeId(1), Decision::Skip(SkipReason::DrawFailed), None);
+            assert_eq!(obs.counters().offers, 2);
+            assert_eq!(obs.counters().assigns, 1);
+            assert!(obs.counters().consistent());
+            assert!(obs.drain_jsonl().is_none());
+        });
+    }
+
+    #[test]
+    fn tracing_observer_stamps_round_and_context() {
+        with_ctx(|ctx| {
+            let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+            obs.begin_round(7);
+            obs.observe_map(ctx, NodeId(1), Decision::Assign(0), None);
+            let text = obs.drain_jsonl().expect("in-memory trace");
+            let line = text.lines().next().expect("one record");
+            assert!(line.contains("\"round\":7"), "{line}");
+            assert!(line.contains("\"t\":2.5"), "{line}");
+            assert!(line.contains("\"job\":3"), "{line}");
+            assert!(line.contains("\"node\":1"), "{line}");
+            assert!(line.contains("\"candidates\":1"), "{line}");
+            assert!(line.contains("\"free\":2"), "{line}");
+        });
+    }
+
+    #[test]
+    fn absorbs_placer_extras() {
+        let mut obs = DecisionObserver::disabled();
+        let stats = PlacerStats {
+            pruned: 4,
+            cache_hits: 9,
+            cache_misses: 3,
+            ..PlacerStats::default()
+        };
+        obs.absorb_placer(&stats);
+        assert_eq!(obs.counters().pruned, 4);
+        assert_eq!(obs.counters().cache_hits, 9);
+        assert_eq!(obs.counters().cache_misses, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! One structured record per placement decision, with deterministic JSONL
+//! serialization.
+//!
+//! Records are written as one JSON object per line. Serialization is
+//! hand-rolled (the build environment vendors no serde) and fully
+//! deterministic: field order is fixed, floats print via Rust's
+//! shortest-roundtrip formatter, and non-finite floats become `null`
+//! (JSON has no NaN/∞).
+
+use pnats_core::placer::{Decision, DecisionDetail};
+
+/// Which of the two placement algorithms produced a record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// `place_map` (Algorithm 1).
+    Map,
+    /// `place_reduce` (Algorithm 2).
+    Reduce,
+}
+
+impl Phase {
+    /// Stable label used in the JSONL `phase` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Map => "map",
+            Phase::Reduce => "reduce",
+        }
+    }
+}
+
+/// Everything known about one `place_map`/`place_reduce` call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// Simulation time (seconds) the heartbeat was processed at.
+    pub t: f64,
+    /// Heartbeat round counter of the run.
+    pub round: u64,
+    /// Map or reduce placement.
+    pub phase: Phase,
+    /// Job whose tasks were offered the slot.
+    pub job: u32,
+    /// Node whose free slot was offered.
+    pub node: u32,
+    /// Size of the candidate set the placer chose from.
+    pub candidates: usize,
+    /// Nodes with free slots of this phase (the `C_ave` denominator).
+    pub free_nodes: usize,
+    /// The placer's verdict (assigned candidate index or skip reason).
+    pub decision: Decision,
+    /// The winner's Algorithm-1/2 intermediates, when the placer computes
+    /// them (`C_i`, `C_ave`, `P`); `None` for baselines without a gate.
+    pub detail: Option<DecisionDetail>,
+}
+
+/// Append `v` as a JSON number, or `null` if non-finite.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest-roundtrip float formatting: deterministic and parseable
+        // as a JSON number (Rust never emits `inf`/`NaN` on this path).
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `1e20` style output is not valid JSON without a fraction; Rust
+        // formats f64 without exponents for typical magnitudes, but guard
+        // anyway: an `e` without `.` is still valid JSON grammar, so
+        // nothing to fix — only ensure integral floats keep a marker.
+        if !s.contains('.') && !s.contains('e') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl DecisionRecord {
+    /// Append this record to `out` as one JSON line (including `\n`).
+    ///
+    /// Field order and formatting are fixed, so identical decisions always
+    /// serialize to identical bytes — the golden-trace determinism tests
+    /// rely on this.
+    pub fn to_jsonl(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        push_f64(out, self.t);
+        out.push_str(",\"round\":");
+        out.push_str(&self.round.to_string());
+        out.push_str(",\"phase\":\"");
+        out.push_str(self.phase.label());
+        out.push_str("\",\"job\":");
+        out.push_str(&self.job.to_string());
+        out.push_str(",\"node\":");
+        out.push_str(&self.node.to_string());
+        out.push_str(",\"candidates\":");
+        out.push_str(&self.candidates.to_string());
+        out.push_str(",\"free\":");
+        out.push_str(&self.free_nodes.to_string());
+        match self.decision {
+            Decision::Assign(i) => {
+                out.push_str(",\"decision\":\"assign\",\"task\":");
+                out.push_str(&i.to_string());
+            }
+            Decision::Skip(r) => {
+                out.push_str(",\"decision\":\"skip\",\"reason\":\"");
+                out.push_str(r.label());
+                out.push('"');
+            }
+        }
+        if let Some(d) = self.detail {
+            out.push_str(",\"cost\":");
+            push_f64(out, d.cost);
+            out.push_str(",\"cost_avg\":");
+            push_f64(out, d.cost_avg);
+            out.push_str(",\"p\":");
+            push_f64(out, d.probability);
+        }
+        out.push_str("}\n");
+    }
+
+    /// This record as a standalone JSON line.
+    pub fn jsonl(&self) -> String {
+        let mut s = String::with_capacity(160);
+        self.to_jsonl(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_core::placer::SkipReason;
+
+    fn record() -> DecisionRecord {
+        DecisionRecord {
+            t: 12.5,
+            round: 3,
+            phase: Phase::Map,
+            job: 1,
+            node: 7,
+            candidates: 4,
+            free_nodes: 12,
+            decision: Decision::Assign(2),
+            detail: Some(DecisionDetail { cost: 256.0, cost_avg: 128.0, probability: 0.75 }),
+        }
+    }
+
+    #[test]
+    fn assign_record_serializes_with_detail() {
+        assert_eq!(
+            record().jsonl(),
+            "{\"t\":12.5,\"round\":3,\"phase\":\"map\",\"job\":1,\"node\":7,\
+             \"candidates\":4,\"free\":12,\"decision\":\"assign\",\"task\":2,\
+             \"cost\":256.0,\"cost_avg\":128.0,\"p\":0.75}\n"
+        );
+    }
+
+    #[test]
+    fn skip_record_names_the_reason() {
+        let rec = DecisionRecord {
+            decision: Decision::Skip(SkipReason::BelowPMin),
+            detail: None,
+            phase: Phase::Reduce,
+            ..record()
+        };
+        let line = rec.jsonl();
+        assert!(line.contains("\"decision\":\"skip\""), "{line}");
+        assert!(line.contains("\"reason\":\"below_p_min\""), "{line}");
+        assert!(line.contains("\"phase\":\"reduce\""), "{line}");
+        assert!(!line.contains("cost"), "{line}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let rec = DecisionRecord {
+            detail: Some(DecisionDetail {
+                cost: f64::INFINITY,
+                cost_avg: f64::NAN,
+                probability: 0.5,
+            }),
+            ..record()
+        };
+        let line = rec.jsonl();
+        assert!(line.contains("\"cost\":null,\"cost_avg\":null,\"p\":0.5"), "{line}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fraction_marker() {
+        let rec = DecisionRecord { t: 3.0, ..record() };
+        assert!(rec.jsonl().starts_with("{\"t\":3.0,"), "{}", rec.jsonl());
+    }
+
+    #[test]
+    fn every_line_is_valid_json() {
+        for decision in [
+            Decision::Assign(0),
+            Decision::Skip(SkipReason::NoCandidate),
+            Decision::Skip(SkipReason::DrawFailed),
+        ] {
+            for detail in [
+                None,
+                Some(DecisionDetail { cost: 1.5, cost_avg: f64::NAN, probability: 1.0 }),
+            ] {
+                let rec = DecisionRecord { decision, detail, ..record() };
+                let line = rec.jsonl();
+                crate::json::validate_json(line.trim_end()).unwrap_or_else(|e| {
+                    panic!("invalid JSON {line:?}: {e}");
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Where decision records go: nowhere, a bounded ring buffer, or a file.
+
+use crate::record::DecisionRecord;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Destination for [`DecisionRecord`]s.
+///
+/// Runtimes check [`enabled`](TraceSink::enabled) *before* building a
+/// record, so a disabled sink costs one virtual call per decision and no
+/// allocation.
+pub trait TraceSink: Send {
+    /// Whether records should be built and delivered at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Deliver one record.
+    fn record(&mut self, rec: &DecisionRecord);
+
+    /// Take the accumulated trace as JSONL text, if this sink buffers one
+    /// (in-memory sinks). File sinks return `None` — their data is already
+    /// on disk.
+    fn drain_jsonl(&mut self) -> Option<String> {
+        None
+    }
+
+    /// Flush buffered output (file sinks).
+    fn flush(&mut self) {}
+}
+
+/// The zero-cost default: drops everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _rec: &DecisionRecord) {}
+}
+
+/// Ring-buffered in-memory sink: keeps the most recent `capacity` records
+/// (unbounded when constructed with [`InMemorySink::unbounded`]) and counts
+/// what it had to drop.
+#[derive(Clone, Debug, Default)]
+pub struct InMemorySink {
+    records: VecDeque<DecisionRecord>,
+    /// 0 = unbounded.
+    capacity: usize,
+    dropped: u64,
+}
+
+impl InMemorySink {
+    /// A sink that retains every record.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A ring buffer retaining the most recent `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "use unbounded() for a limitless sink");
+        Self { records: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// The buffered records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
+        self.records.iter()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered trace as JSONL text, oldest record first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 160);
+        for r in &self.records {
+            r.to_jsonl(&mut out);
+        }
+        out
+    }
+}
+
+impl TraceSink for InMemorySink {
+    fn record(&mut self, rec: &DecisionRecord) {
+        if self.capacity > 0 && self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec.clone());
+    }
+
+    fn drain_jsonl(&mut self) -> Option<String> {
+        let out = self.to_jsonl();
+        self.records.clear();
+        Some(out)
+    }
+}
+
+/// Streams records to a JSONL file through a buffered writer.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: BufWriter<std::fs::File>,
+    buf: String,
+}
+
+impl JsonlFileSink {
+    /// Create (truncate) `path` and stream records into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self { writer: BufWriter::new(file), buf: String::with_capacity(256) })
+    }
+}
+
+impl TraceSink for JsonlFileSink {
+    fn record(&mut self, rec: &DecisionRecord) {
+        self.buf.clear();
+        rec.to_jsonl(&mut self.buf);
+        // Tracing must not abort a run half-way; a full disk surfaces at
+        // flush time via the runtime's explicit flush call.
+        let _ = self.writer.write_all(self.buf.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Phase;
+    use pnats_core::placer::Decision;
+
+    fn rec(round: u64) -> DecisionRecord {
+        DecisionRecord {
+            t: round as f64,
+            round,
+            phase: Phase::Map,
+            job: 0,
+            node: 0,
+            candidates: 1,
+            free_nodes: 1,
+            decision: Decision::Assign(0),
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(&rec(0));
+        assert!(s.drain_jsonl().is_none());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut s = InMemorySink::with_capacity(2);
+        for round in 0..5 {
+            s.record(&rec(round));
+        }
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 3);
+        let rounds: Vec<u64> = s.records().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![3, 4]);
+    }
+
+    #[test]
+    fn unbounded_sink_drains_in_order() {
+        let mut s = InMemorySink::unbounded();
+        for round in 0..3 {
+            s.record(&rec(round));
+        }
+        let text = s.drain_jsonl().expect("in-memory sinks drain");
+        assert_eq!(text.lines().count(), 3);
+        assert!(s.is_empty(), "drain empties the buffer");
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"round\":0"), "{first}");
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let path = std::env::temp_dir().join("pnats_obs_sink_test.jsonl");
+        let mut s = JsonlFileSink::create(&path).expect("create temp trace");
+        s.record(&rec(0));
+        s.record(&rec(1));
+        s.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -31,6 +31,7 @@ use pnats_core::placer::{Decision, TaskPlacer};
 use pnats_core::types::{JobId, ReduceTaskId};
 use pnats_dfs::{RackAware, ReplicaPlacement};
 use pnats_metrics::LocalityClass;
+use pnats_obs::{DecisionObserver, SchedCounters, TraceSink};
 use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, RateMonitor};
 use pnats_workloads::Batch;
 use rand::rngs::SmallRng;
@@ -53,6 +54,13 @@ pub struct SimReport {
     pub jobs_submitted: usize,
     /// Jobs that finished before `max_sim_time`.
     pub jobs_completed: usize,
+    /// Decision counters for the whole run (offers, assigns, skips by
+    /// reason, plus the probabilistic placer's prune/cache tallies).
+    pub counters: SchedCounters,
+    /// The decision trace as JSONL, when the run's sink buffers one in
+    /// memory (see [`Simulation::with_trace`]); `None` for the default
+    /// [`pnats_obs::NullSink`] and for file-backed sinks.
+    pub trace_jsonl: Option<String>,
 }
 
 impl SimReport {
@@ -82,6 +90,7 @@ pub struct Simulation {
     jobs_done: usize,
     round: u64,
     backups: Vec<BackupTask>,
+    observer: DecisionObserver,
 }
 
 /// A speculative copy of a running map task.
@@ -129,8 +138,17 @@ impl Simulation {
             jobs_done: 0,
             round: 0,
             backups: Vec::new(),
+            observer: DecisionObserver::disabled(),
             cfg,
         }
+    }
+
+    /// Route per-decision trace records into `sink`. Counters accumulate
+    /// whether or not tracing is enabled; with the default
+    /// [`pnats_obs::NullSink`] no record is ever built.
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.observer = DecisionObserver::with_sink(sink);
+        self
     }
 
     /// Run the batch to completion (or `max_sim_time`) and report.
@@ -208,12 +226,19 @@ impl Simulation {
             self.dispatch(kind);
         }
 
+        if let Some(stats) = self.placer.stats() {
+            self.observer.absorb_placer(stats);
+        }
+        self.observer.flush();
+        let trace_jsonl = self.observer.drain_jsonl();
         SimReport {
             scheduler: self.placer.name().to_string(),
             sim_end: self.now,
             jobs_submitted: self.jobs.len(),
             jobs_completed: self.jobs_done,
             trace: self.trace,
+            counters: self.observer.counters().clone(),
+            trace_jsonl,
         }
     }
 
@@ -225,6 +250,7 @@ impl Simulation {
             EventKind::Heartbeat { node } => {
                 self.round += 1;
                 self.placer.on_heartbeat_round(self.round);
+                self.observer.begin_round(self.round);
                 self.refresh_sched_matrix();
                 self.schedule_node(node);
                 self.events
@@ -422,17 +448,20 @@ impl Simulation {
         }
         let candidates: Vec<_> = window.iter().map(|&m| job.map_cands[m].clone()).collect();
         let free = self.free_map_nodes();
-        let ctx = MapSchedContext {
-            job: job.id,
-            candidates: &candidates,
-            free_map_nodes: &free,
-            cost: if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
-            layout: &self.layout,
-            now: self.now,
-        };
-        match self.placer.place_map(&ctx, node, &mut self.rng) {
+        let ctx = MapSchedContext::new(
+            job.id,
+            &candidates,
+            &free,
+            if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            &self.layout,
+        )
+        .at(self.now);
+        let decision = self.placer.place_map(&ctx, node, &mut self.rng);
+        self.observer
+            .observe_map(&ctx, node, decision, self.placer.last_detail());
+        match decision {
             Decision::Assign(i) => Some(window[i]),
-            Decision::Skip => {
+            Decision::Skip(_) => {
                 self.trace.skipped_offers += 1;
                 None
             }
@@ -459,23 +488,23 @@ impl Simulation {
         }
         let free = self.free_reduce_nodes();
         let launched = job.reduces.len() - job.unassigned_reduces.len();
-        let ctx = ReduceSchedContext {
-            job: job.id,
-            candidates: &candidates,
-            free_reduce_nodes: &free,
-            job_reduce_nodes: &job.reduce_nodes,
-            cost: if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
-            layout: &self.layout,
-            job_map_progress: job.map_work_progress(self.now),
-            maps_finished: job.maps_finished,
-            maps_total: job.maps.len(),
-            reduces_launched: launched,
-            reduces_total: job.reduces.len(),
-            now: self.now,
-        };
-        match self.placer.place_reduce(&ctx, node, &mut self.rng) {
+        let ctx = ReduceSchedContext::new(
+            job.id,
+            &candidates,
+            &free,
+            if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            &self.layout,
+        )
+        .running_on(&job.reduce_nodes)
+        .map_phase(job.map_work_progress(self.now), job.maps_finished, job.maps.len())
+        .reduce_phase(launched, job.reduces.len())
+        .at(self.now);
+        let decision = self.placer.place_reduce(&ctx, node, &mut self.rng);
+        self.observer
+            .observe_reduce(&ctx, node, decision, self.placer.last_detail());
+        match decision {
             Decision::Assign(i) => Some(window[i]),
-            Decision::Skip => {
+            Decision::Skip(_) => {
                 self.trace.skipped_offers += 1;
                 None
             }
@@ -990,6 +1019,37 @@ mod tests {
         let mu = r.trace.map_util.mean_utilization(0.0, end);
         assert!(mu > 0.0 && mu <= 1.0, "{mu}");
         assert!(r.trace.map_util.peak() <= 12, "6 nodes × 2 slots");
+    }
+
+    #[test]
+    fn counters_satisfy_offer_identity() {
+        let r = run_tiny(Box::new(ProbabilisticPlacer::paper()), 7);
+        assert!(r.counters.consistent(), "{:?}", r.counters);
+        assert!(r.counters.offers > 0);
+        // Every skip the scheduler counted is also a skipped trace offer.
+        assert_eq!(r.counters.total_skips(), r.trace.skipped_offers);
+        // The probabilistic placer exposes stats; cache misses were absorbed.
+        assert!(r.counters.cache_misses > 0, "{:?}", r.counters);
+        // Default sink: no trace text.
+        assert!(r.trace_jsonl.is_none());
+    }
+
+    #[test]
+    fn trace_is_deterministic_under_seed() {
+        let run = || {
+            let cfg = SimConfig::tiny(6, 9);
+            Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+                .with_trace(Box::new(pnats_obs::InMemorySink::unbounded()))
+                .run(&tiny_inputs(2, 8, 3))
+        };
+        let a = run();
+        let b = run();
+        let ta = a.trace_jsonl.expect("tracing enabled");
+        let tb = b.trace_jsonl.expect("tracing enabled");
+        assert!(!ta.is_empty());
+        assert_eq!(ta, tb, "same seed must yield byte-identical traces");
+        // One record per slot offer.
+        assert_eq!(ta.lines().count() as u64, a.counters.offers);
     }
 
     #[test]

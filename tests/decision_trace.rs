@@ -1,0 +1,290 @@
+//! Decision-tracing guarantees, end to end:
+//!
+//! * **Golden trace** — a traced run matrix at a fixed seed serializes to
+//!   byte-identical JSONL across reruns and across serial vs. parallel
+//!   matrix execution (`parallel_map` with 1 and 4 workers).
+//! * **Reachability** — every [`SkipReason`] variant is produced by a real
+//!   placer under a constructible cluster state, lands in the observer's
+//!   counters, and appears in the JSONL under its stable label.
+//! * **Accounting** — `offers = assigns + Σ skips` and one record per
+//!   offer, on full simulations and on the hand-built scenarios alike.
+
+use pnats_baselines::{CouplingPlacer, FairDelayPlacer};
+use pnats_bench::harness::{cloud_config, parallel_map, Run, SchedulerKind};
+use pnats_core::context::{
+    MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
+};
+use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
+use pnats_core::prob_sched::{ProbConfig, ProbabilisticPlacer};
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_net::{DistanceMatrix, NodeId, PathCost, Topology};
+use pnats_obs::json::validate_json;
+use pnats_obs::{DecisionObserver, InMemorySink, SchedCounters};
+use pnats_sim::config::background_traffic;
+use pnats_sim::JobInput;
+use pnats_workloads::{scaled_batch, AppKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------------
+// Golden trace: byte identity across reruns and matrix thread counts.
+// ---------------------------------------------------------------------------
+
+/// A small traced matrix: three schedulers on an 8-node shared cluster with
+/// background traffic, so assigns and several skip families all occur.
+fn traced_matrix(seed: u64) -> Vec<Run> {
+    [
+        SchedulerKind::Probabilistic,
+        SchedulerKind::Fair,
+        SchedulerKind::Coupling,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let mut cfg = cloud_config(seed);
+        cfg.n_nodes = 8;
+        cfg.background = background_traffic(1, 200.0, cfg.n_nodes, seed);
+        let inputs = JobInput::from_batch(&scaled_batch(AppKind::Grep, 2, 16));
+        Run::new(kind, cfg, inputs).traced()
+    })
+    .collect()
+}
+
+/// Concatenated matrix-order trace plus the summed offer count.
+fn trace_of(threads: usize, seed: u64) -> (String, u64, Vec<SchedCounters>) {
+    let reports = parallel_map(traced_matrix(seed), threads, Run::execute);
+    let mut text = String::new();
+    let mut offers = 0;
+    let mut counters = Vec::new();
+    for r in &reports {
+        text.push_str(r.trace_jsonl.as_deref().expect("traced run yields a trace"));
+        offers += r.counters.offers;
+        counters.push(r.counters.clone());
+    }
+    (text, offers, counters)
+}
+
+#[test]
+fn golden_trace_is_byte_identical_across_reruns_and_thread_counts() {
+    let (serial, offers, counters) = trace_of(1, 4242);
+    let (rerun, _, _) = trace_of(1, 4242);
+    let (wide, _, _) = trace_of(4, 4242);
+    assert_eq!(serial, rerun, "same seed, same threads: trace must replay");
+    assert_eq!(serial, wide, "matrix thread count must not alter the trace");
+
+    let lines: Vec<&str> = serial.lines().collect();
+    assert_eq!(lines.len() as u64, offers, "one JSONL record per slot offer");
+    for line in &lines {
+        validate_json(line).unwrap_or_else(|e| panic!("bad trace line: {e}\n{line}"));
+    }
+    for c in &counters {
+        assert!(c.consistent(), "offers != assigns + skips: {c:?}");
+        assert!(c.offers > 0);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let (a, _, _) = trace_of(1, 1);
+    let (b, _, _) = trace_of(1, 2);
+    assert_ne!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// SkipReason reachability: every variant from a real placer, observed.
+// ---------------------------------------------------------------------------
+
+fn rng() -> SmallRng {
+    SmallRng::seed_from_u64(7)
+}
+
+fn mcand(index: u32, replicas: Vec<NodeId>) -> MapCandidate {
+    MapCandidate {
+        task: MapTaskId { job: JobId(0), index },
+        block_size: 64 << 20,
+        replicas,
+    }
+}
+
+fn rcand(index: u32, sources: Vec<ShuffleSource>) -> ReduceCandidate {
+    ReduceCandidate {
+        task: ReduceTaskId { job: JobId(0), index },
+        sources,
+    }
+}
+
+fn source(node: u32) -> ShuffleSource {
+    ShuffleSource {
+        node: NodeId(node),
+        current_bytes: 1e6,
+        input_read: 1,
+        input_total: 1,
+    }
+}
+
+/// A poisoned cost metric: zero on the diagonal, NaN everywhere else.
+struct NanCost(usize);
+
+impl PathCost for NanCost {
+    fn path_cost(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.0
+    }
+}
+
+/// Drives one hand-built scenario per [`SkipReason`] variant through a
+/// tracing [`DecisionObserver`] and returns it for joint assertions.
+fn provoke(reason: SkipReason, obs: &mut DecisionObserver) {
+    let topo = Topology::multi_rack(2, 2, 1e9, 1e9);
+    let h = DistanceMatrix::hops(&topo);
+    let layout = topo.layout();
+    let mut r = rng();
+    match reason {
+        SkipReason::NoCandidate => {
+            // An empty candidate list scores nothing (Algorithm 1 over ∅).
+            let ctx = MapSchedContext::new(JobId(0), &[], &[NodeId(0)], &h, layout);
+            let mut p = ProbabilisticPlacer::paper();
+            let d = p.place_map(&ctx, NodeId(0), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::NoCandidate));
+            obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
+        }
+        SkipReason::DelayBound => {
+            // Delay scheduling holds a non-local offer back: data on node 1,
+            // slot offered by off-rack node 2, zero skips banked so far.
+            let cands = [mcand(0, vec![NodeId(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, layout);
+            let mut p = FairDelayPlacer::new(2, 4);
+            let d = p.place_map(&ctx, NodeId(2), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::DelayBound));
+            obs.observe_map(&ctx, NodeId(2), d, p.last_detail());
+        }
+        SkipReason::BelowPMin => {
+            // Symmetric two-node scenario: C_i = C_ave so P = 1 − e⁻¹ ≈ 0.63,
+            // under a P_min of 0.99.
+            let cands = [mcand(0, vec![NodeId(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, layout);
+            let mut p = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.99));
+            let d = p.place_map(&ctx, NodeId(0), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::BelowPMin));
+            obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
+        }
+        SkipReason::DrawFailed => {
+            // P_min = 0 disables the gate; a non-local offer has P < 1, so
+            // some seed loses the Bernoulli draw.
+            let cands = [mcand(0, vec![NodeId(1)])];
+            let free = [NodeId(0), NodeId(1)];
+            let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, layout);
+            let mut p = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.0));
+            for seed in 0..1000 {
+                let mut r = SmallRng::seed_from_u64(seed);
+                let d = p.place_map(&ctx, NodeId(0), &mut r);
+                if d == Decision::Skip(SkipReason::DrawFailed) {
+                    obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
+                    return;
+                }
+            }
+            panic!("no seed in 0..1000 lost a P < 1 Bernoulli draw");
+        }
+        SkipReason::PostponedReduce => {
+            // Coupling's launch gate: zero map progress permits zero reduces.
+            let cands = [rcand(0, vec![source(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, layout)
+                .map_phase(0.0, 0, 10);
+            let mut p = CouplingPlacer::paper();
+            let d = p.place_reduce(&ctx, NodeId(0), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::PostponedReduce));
+            obs.observe_reduce(&ctx, NodeId(0), d, p.last_detail());
+        }
+        SkipReason::NonFiniteCost => {
+            // A poisoned metric (NaN off-diagonal) makes every candidate
+            // unscoreable.
+            let nan = NanCost(4);
+            let cands = [mcand(0, vec![NodeId(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let ctx = MapSchedContext::new(JobId(0), &cands, &free, &nan, layout);
+            let mut p = ProbabilisticPlacer::paper();
+            let d = p.place_map(&ctx, NodeId(0), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::NonFiniteCost));
+            obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
+        }
+        SkipReason::Collocated => {
+            // Algorithm 2 line 1: the offering node already runs a reduce
+            // of this job.
+            let cands = [rcand(0, vec![source(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let running = [NodeId(0)];
+            let ctx = ReduceSchedContext::new(JobId(0), &cands, &free, &h, layout)
+                .running_on(&running);
+            let mut p = ProbabilisticPlacer::paper();
+            let d = p.place_reduce(&ctx, NodeId(0), &mut r);
+            assert_eq!(d, Decision::Skip(SkipReason::Collocated));
+            obs.observe_reduce(&ctx, NodeId(0), d, p.last_detail());
+        }
+    }
+}
+
+#[test]
+fn every_skip_reason_is_reachable_and_counted() {
+    let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+    for reason in SkipReason::ALL {
+        provoke(reason, &mut obs);
+    }
+    obs.flush();
+
+    // Each scenario produced exactly one offer, booked under its reason.
+    let c = obs.counters().clone();
+    assert!(c.consistent());
+    assert_eq!(c.offers, SkipReason::ALL.len() as u64);
+    assert_eq!(c.assigns, 0);
+    for reason in SkipReason::ALL {
+        assert_eq!(c.skipped(reason), 1, "{reason:?} not counted");
+    }
+
+    // And one JSONL record each, carrying the stable snake_case label.
+    let trace = obs.drain_jsonl().expect("tracing observer yields JSONL");
+    let lines: Vec<&str> = trace.lines().collect();
+    assert_eq!(lines.len(), SkipReason::ALL.len());
+    for (line, reason) in lines.iter().zip(SkipReason::ALL) {
+        validate_json(line).unwrap_or_else(|e| panic!("bad trace line: {e}\n{line}"));
+        let needle = format!("\"decision\":\"skip\",\"reason\":\"{}\"", reason.label());
+        assert!(line.contains(&needle), "{reason:?} label missing in {line}");
+    }
+}
+
+#[test]
+fn skip_records_from_the_gate_carry_winner_detail() {
+    // A failed Bernoulli draw still reports the winner's C_i / C_ave / P —
+    // the intermediates are what make the trace debuggable.
+    let topo = Topology::multi_rack(2, 2, 1e9, 1e9);
+    let h = DistanceMatrix::hops(&topo);
+    let cands = [mcand(0, vec![NodeId(1)])];
+    let free = [NodeId(0), NodeId(1)];
+    let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, topo.layout());
+    let mut p = ProbabilisticPlacer::new(ProbConfig::with_p_min(0.0));
+    let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+    for seed in 0..1000 {
+        let mut r = SmallRng::seed_from_u64(seed);
+        let d = p.place_map(&ctx, NodeId(0), &mut r);
+        if d != Decision::Skip(SkipReason::DrawFailed) {
+            continue;
+        }
+        obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
+        let detail = p.last_detail().expect("gate skips keep the winner's detail");
+        assert!(detail.probability > 0.0 && detail.probability < 1.0);
+        assert!(detail.cost > detail.cost_avg, "non-local offer costs over the mean");
+        let trace = obs.drain_jsonl().expect("trace");
+        assert!(trace.contains(",\"cost\":"), "detail missing: {trace}");
+        assert!(trace.contains(",\"p\":"), "detail missing: {trace}");
+        return;
+    }
+    panic!("no seed in 0..1000 lost a P < 1 Bernoulli draw");
+}

@@ -147,14 +147,7 @@ proptest! {
         let local_idx = local_at % n_cands;
         cands[local_idx].replicas = vec![node];
         let free: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
-        let ctx = MapSchedContext {
-            job: JobId(0),
-            candidates: &cands,
-            free_map_nodes: &free,
-            cost: &h,
-            layout: &layout,
-            now: 0.0,
-        };
+        let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, &layout);
         let mut placer = ProbabilisticPlacer::new(ProbConfig::default());
         let mut rng = SmallRng::seed_from_u64(seed);
         match placer.place_map(&ctx, node, &mut rng) {
@@ -164,7 +157,7 @@ proptest! {
                     "assigned a non-local candidate while a local one existed"
                 );
             }
-            Decision::Skip => prop_assert!(false, "P=1 candidates are never skipped"),
+            Decision::Skip(r) => prop_assert!(false, "P=1 candidates are never skipped ({r:?})"),
         }
     }
 }
