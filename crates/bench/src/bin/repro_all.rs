@@ -107,6 +107,7 @@ fn main() {
         "ablation_prob_model",
         "ablation_replication",
         "ablation_speculation",
+        "fault_sweep",
         "extended_comparison",
         "continuous_arrivals",
     ];

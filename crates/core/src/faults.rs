@@ -1,0 +1,246 @@
+//! Deterministic fault schedules shared by the simulator and the engine.
+//!
+//! A [`FaultPlan`] is a *seeded, fully explicit* description of every fault a
+//! run will experience: node crashes (with optional recovery), per-attempt
+//! transient map failures, heartbeat-loss windows, and link-rate degradation
+//! windows. Because the plan is plain data and every probabilistic choice is
+//! keyed off the run seed, two runs with the same seed and the same plan are
+//! bit-identical — faults are replayable, not sampled live.
+//!
+//! [`FaultPlan::none`] is the default and is guaranteed to be *zero-cost
+//! when unused*: runtimes consult no extra randomness and schedule no extra
+//! events for an empty plan, so a `none()` run is byte-identical to a build
+//! without the fault subsystem in the path.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One node crash (and optional recovery) at a fixed point in the schedule.
+///
+/// In the simulator `at`/`recover_at` are simulated seconds; in the
+/// wall-clock engine they are interpreted as heartbeat round numbers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeCrash {
+    /// Index of the node that dies.
+    pub node: usize,
+    /// When the node dies (seconds in `sim`, heartbeat round in `engine`).
+    pub at: f64,
+    /// When the node comes back — with empty local disks, so any map output
+    /// it held is lost for good. `None` means the node never returns.
+    pub recover_at: Option<f64>,
+}
+
+/// A window during which an otherwise healthy node's heartbeats are dropped.
+///
+/// The node keeps computing; it just receives no new work while the master
+/// cannot hear it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeartbeatLoss {
+    /// Index of the affected node.
+    pub node: usize,
+    /// Start of the loss window (inclusive).
+    pub from: f64,
+    /// End of the loss window (exclusive).
+    pub until: f64,
+}
+
+/// A window during which a node's NIC runs at `factor` × its nominal rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkDegradation {
+    /// Index of the node whose access link degrades.
+    pub node: usize,
+    /// Start of the degradation window.
+    pub from: f64,
+    /// End of the degradation window.
+    pub until: f64,
+    /// Capacity multiplier in `(0, 1]`; `0.1` means the link runs at 10%.
+    pub factor: f64,
+}
+
+/// A deterministic, seeded schedule of faults for one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Node crashes, in no particular order (runtimes sort by time).
+    pub crashes: Vec<NodeCrash>,
+    /// Probability that any single map attempt fails mid-run. Decided per
+    /// `(run seed, map, attempt)` — independent of scheduling order — via
+    /// [`FaultPlan::map_attempt_fails`].
+    pub transient_map_failure_p: f64,
+    /// Attempts allowed per map before the whole job is declared failed.
+    pub max_attempts: u32,
+    /// Windows during which a node's heartbeats are dropped.
+    pub heartbeat_losses: Vec<HeartbeatLoss>,
+    /// Windows during which a node's access link degrades.
+    pub link_degradations: Vec<LinkDegradation>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no crashes, no transient failures, no loss windows.
+    pub fn none() -> Self {
+        Self {
+            crashes: Vec::new(),
+            transient_map_failure_p: 0.0,
+            max_attempts: 4,
+            heartbeat_losses: Vec::new(),
+            link_degradations: Vec::new(),
+        }
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+            && self.transient_map_failure_p <= 0.0
+            && self.heartbeat_losses.is_empty()
+            && self.link_degradations.is_empty()
+    }
+
+    /// Check the plan against a cluster size. Returns the first problem as a
+    /// human-readable message; runtimes assert this before starting.
+    pub fn validate(&self, n_nodes: usize) -> Result<(), String> {
+        for c in &self.crashes {
+            if c.node >= n_nodes {
+                return Err(format!("crash targets node {} of {n_nodes}", c.node));
+            }
+            if !c.at.is_finite() || c.at < 0.0 {
+                return Err(format!("crash time {} is not a valid time", c.at));
+            }
+            if let Some(r) = c.recover_at {
+                if !r.is_finite() || r <= c.at {
+                    return Err(format!("recovery at {r} does not follow crash at {}", c.at));
+                }
+            }
+        }
+        if !(0.0..=1.0).contains(&self.transient_map_failure_p) {
+            return Err(format!("transient_map_failure_p {} outside [0,1]", self.transient_map_failure_p));
+        }
+        if self.transient_map_failure_p > 0.0 && self.max_attempts == 0 {
+            return Err("max_attempts must be >= 1 when transient failures are on".into());
+        }
+        for h in &self.heartbeat_losses {
+            if h.node >= n_nodes {
+                return Err(format!("heartbeat loss targets node {} of {n_nodes}", h.node));
+            }
+            if !h.from.is_finite() || !h.until.is_finite() || h.from < 0.0 || h.until <= h.from {
+                return Err(format!("heartbeat loss window [{}, {}) is invalid", h.from, h.until));
+            }
+        }
+        for d in &self.link_degradations {
+            if d.node >= n_nodes {
+                return Err(format!("link degradation targets node {} of {n_nodes}", d.node));
+            }
+            if !d.from.is_finite() || !d.until.is_finite() || d.from < 0.0 || d.until <= d.from {
+                return Err(format!("degradation window [{}, {}) is invalid", d.from, d.until));
+            }
+            if !(d.factor > 0.0 && d.factor <= 1.0) {
+                return Err(format!("degradation factor {} outside (0, 1]", d.factor));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a plan of `n_crashes` crash/recovery pairs drawn deterministically
+    /// from `seed`: crash times are uniform in `window`, victims are uniform
+    /// over the cluster, and each node recovers `mttr` seconds later
+    /// (`None` = permanent loss).
+    pub fn with_random_crashes(
+        n_crashes: usize,
+        n_nodes: usize,
+        window: (f64, f64),
+        mttr: Option<f64>,
+        seed: u64,
+    ) -> Self {
+        assert!(n_nodes > 0 && window.1 > window.0 && window.0 >= 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa17_0000_0000_0001);
+        let mut plan = Self::none();
+        for _ in 0..n_crashes {
+            let node = rng.gen_range(0..n_nodes);
+            let at = rng.gen_range(window.0..window.1);
+            plan.crashes.push(NodeCrash { node, at, recover_at: mttr.map(|m| at + m) });
+        }
+        plan
+    }
+
+    /// Deterministic transient-failure decision for one map attempt.
+    ///
+    /// Keyed on `(seed, map, attempt)` only, so the verdict does not depend
+    /// on the order in which a runtime happens to launch attempts — this is
+    /// what keeps the wall-clock engine's fault behaviour reproducible.
+    /// `attempt` counts from 0. Callers fail the job once a map has burned
+    /// `max_attempts` attempts.
+    pub fn map_attempt_fails(&self, seed: u64, map: usize, attempt: u32) -> bool {
+        if self.transient_map_failure_p <= 0.0 {
+            return false;
+        }
+        let mut key = seed ^ 0xfa17_7a5c_0000_0000;
+        key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(map as u64);
+        key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(attempt as u64);
+        let mut rng = SmallRng::seed_from_u64(key);
+        rng.gen::<f64>() < self.transient_map_failure_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(p.validate(1).is_ok());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let mut p = FaultPlan::none();
+        p.crashes.push(NodeCrash { node: 9, at: 1.0, recover_at: None });
+        assert!(p.validate(4).is_err());
+        p.crashes[0] = NodeCrash { node: 0, at: 5.0, recover_at: Some(2.0) };
+        assert!(p.validate(4).is_err());
+        p.crashes.clear();
+        p.transient_map_failure_p = 1.5;
+        assert!(p.validate(4).is_err());
+        p.transient_map_failure_p = 0.0;
+        p.link_degradations.push(LinkDegradation { node: 0, from: 0.0, until: 1.0, factor: 0.0 });
+        assert!(p.validate(4).is_err());
+    }
+
+    #[test]
+    fn random_crashes_are_seed_deterministic() {
+        let a = FaultPlan::with_random_crashes(5, 10, (0.0, 100.0), Some(30.0), 7);
+        let b = FaultPlan::with_random_crashes(5, 10, (0.0, 100.0), Some(30.0), 7);
+        let c = FaultPlan::with_random_crashes(5, 10, (0.0, 100.0), Some(30.0), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.validate(10).is_ok());
+        assert!(!a.is_none());
+    }
+
+    #[test]
+    fn attempt_failures_are_order_independent_and_bounded() {
+        let mut p = FaultPlan::none();
+        p.transient_map_failure_p = 0.6;
+        p.max_attempts = 3;
+        // Same key, same verdict, regardless of when we ask.
+        let early = p.map_attempt_fails(42, 3, 1);
+        for _ in 0..4 {
+            assert_eq!(p.map_attempt_fails(42, 3, 1), early);
+        }
+        // With p=1 every attempt fails (callers then fail the job at the
+        // max_attempts bound); with p=0 none do.
+        p.transient_map_failure_p = 1.0;
+        for map in 0..8 {
+            assert!(p.map_attempt_fails(42, map, 0));
+            assert!(p.map_attempt_fails(42, map, 7));
+        }
+        // The empty plan never fails anything.
+        assert!(!FaultPlan::none().map_attempt_fails(42, 0, 0));
+    }
+}

@@ -58,6 +58,7 @@ pub mod analysis;
 pub mod context;
 pub mod cost;
 pub mod estimate;
+pub mod faults;
 pub mod placer;
 pub mod prob;
 pub mod prob_sched;
@@ -67,6 +68,7 @@ pub use context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
 pub use estimate::IntermediateEstimator;
+pub use faults::{FaultPlan, HeartbeatLoss, LinkDegradation, NodeCrash};
 pub use placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 pub use prob::ProbabilityModel;
 pub use prob_sched::{ProbConfig, ProbabilisticPlacer};

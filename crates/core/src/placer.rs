@@ -38,11 +38,15 @@ pub enum SkipReason {
     /// The node already runs a reduce of this job (Algorithm 2 line 1
     /// refuses to co-locate two reduces of one job).
     Collocated,
+    /// Every candidate's input data lives only on crashed nodes, so nothing
+    /// could be offered — the work waits for a replica holder to recover.
+    /// Produced by the runtime's liveness filter, never by a placer.
+    NodeDead,
 }
 
 impl SkipReason {
     /// All variants, in counter order (index = `as usize`).
-    pub const ALL: [SkipReason; 7] = [
+    pub const ALL: [SkipReason; 8] = [
         SkipReason::NoCandidate,
         SkipReason::DelayBound,
         SkipReason::BelowPMin,
@@ -50,6 +54,7 @@ impl SkipReason {
         SkipReason::PostponedReduce,
         SkipReason::NonFiniteCost,
         SkipReason::Collocated,
+        SkipReason::NodeDead,
     ];
 
     /// Number of variants (length of [`PlacerStats::skips`]).
@@ -65,6 +70,7 @@ impl SkipReason {
             SkipReason::PostponedReduce => "postponed_reduce",
             SkipReason::NonFiniteCost => "non_finite_cost",
             SkipReason::Collocated => "collocated",
+            SkipReason::NodeDead => "node_dead",
         }
     }
 }

@@ -5,12 +5,13 @@ use crate::api::{partition_of, EngineJob};
 use pnats_core::context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
+use pnats_core::faults::FaultPlan;
 use pnats_core::placer::{Decision, TaskPlacer};
 use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
 use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
 use pnats_metrics::{LocalityClass, LocalityCounter};
 use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
-use pnats_obs::{DecisionObserver, SchedCounters, TraceSink};
+use pnats_obs::{DecisionObserver, FaultKind, FaultRecord, SchedCounters, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +71,15 @@ pub struct EngineConfig {
     pub partitioner: Partitioner,
     /// Seed for replica placement and placer randomness.
     pub seed: u64,
+    /// Deterministic fault plan. Crash and recovery times are keyed by
+    /// heartbeat *round* (`at as u64` / `recover_at as u64`), since the
+    /// engine runs on wall-clock heartbeats rather than simulated seconds;
+    /// transient map failures reuse the simulator's seeded per-attempt
+    /// draw ([`FaultPlan::map_attempt_fails`]), so retry verdicts match
+    /// across runtimes. Heartbeat-loss windows and link degradations are
+    /// simulator-only and ignored here — the engine's data plane is
+    /// sleep-based, with no links to degrade.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +96,7 @@ impl Default for EngineConfig {
             slowstart: 0.25,
             partitioner: Partitioner::Hash,
             seed: 42,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -113,6 +124,10 @@ pub struct EngineReport {
     /// The decision trace as JSONL, when [`MapReduceEngine::run_traced`]
     /// was given an in-memory sink; `None` otherwise.
     pub trace_jsonl: Option<String>,
+    /// True when the job was aborted: a map exhausted its transient-failure
+    /// retry budget, or every node died with no recovery scheduled. The
+    /// output is then partial (whatever reduces had already completed).
+    pub failed: bool,
 }
 
 /// A map task's partitioned output: per-partition pairs plus byte sizes.
@@ -130,13 +145,22 @@ enum DoneMsg {
     Map {
         map: usize,
         node: NodeId,
+        /// Attempt tag: a message whose tag no longer matches the driver's
+        /// current attempt belongs to a crash-killed attempt and is ignored.
+        attempt: u32,
         /// Per-partition intermediate pairs and their byte sizes.
         partitions: Vec<Vec<(String, String)>>,
         bytes: Vec<u64>,
     },
+    MapFailed {
+        map: usize,
+        node: NodeId,
+        attempt: u32,
+    },
     Reduce {
         reduce: usize,
         node: NodeId,
+        attempt: u32,
         output: Vec<(String, String)>,
         sources: Vec<(NodeId, u64)>,
     },
@@ -261,6 +285,30 @@ impl MapReduceEngine {
         let mut map_locality = LocalityCounter::default();
         let mut reduce_locality = LocalityCounter::default();
 
+        // Fault state. Attempt tags make completions from crash-killed
+        // attempts detectable (threads cannot be killed, so their eventual
+        // messages must go stale instead).
+        self.cfg.faults.validate(self.cfg.n_nodes).expect("invalid fault plan");
+        let mut dead = vec![false; self.cfg.n_nodes];
+        let mut down_depth = vec![0u32; self.cfg.n_nodes];
+        let mut map_attempt: Vec<u32> = vec![0; n_maps];
+        let mut map_starts: Vec<u32> = vec![0; n_maps];
+        let mut reduce_attempt: Vec<u32> = vec![0; n_reduces];
+        let mut reduce_done: Vec<bool> = vec![false; n_reduces];
+        let mut failed = false;
+        let abort = Arc::new(AtomicBool::new(false));
+        // Crash/recover schedule keyed by heartbeat round; within a round,
+        // crashes (tag 0) apply before recoveries (tag 1).
+        let mut fault_events: Vec<(u64, u8, usize)> = Vec::new();
+        for c in &self.cfg.faults.crashes {
+            fault_events.push((c.at as u64, 0, c.node));
+            if let Some(r) = c.recover_at {
+                fault_events.push((r as u64, 1, c.node));
+            }
+        }
+        fault_events.sort_unstable();
+        let mut next_fault = 0usize;
+
         // Cross-thread state.
         let progress: Arc<Vec<MapProgress>> = Arc::new(
             (0..n_maps)
@@ -283,7 +331,10 @@ impl MapReduceEngine {
                 // Drain completions.
                 while let Ok(msg) = rx.try_recv() {
                     match msg {
-                        DoneMsg::Map { map, node, partitions, bytes } => {
+                        DoneMsg::Map { map, node, attempt, partitions, bytes } => {
+                            if attempt != map_attempt[map] {
+                                continue; // crash-killed attempt; output discarded
+                            }
                             outputs.lock().unwrap()[map] = Some((partitions, bytes));
                             maps_finished += 1;
                             free_map[node.idx()] += 1;
@@ -291,7 +342,39 @@ impl MapReduceEngine {
                                 all_maps_done.store(true, Ordering::SeqCst);
                             }
                         }
-                        DoneMsg::Reduce { reduce, node, output, sources } => {
+                        DoneMsg::MapFailed { map, node, attempt } => {
+                            if attempt != map_attempt[map] {
+                                continue;
+                            }
+                            map_attempt[map] += 1;
+                            free_map[node.idx()] += 1;
+                            observer.observe_fault(&FaultRecord {
+                                t: start.elapsed().as_secs_f64(),
+                                kind: FaultKind::TransientFailure,
+                                node: node.0,
+                                job: Some(0),
+                                task: Some(map as u32),
+                            });
+                            if map_starts[map] >= self.cfg.faults.max_attempts {
+                                failed = true;
+                                abort.store(true, Ordering::SeqCst);
+                                observer.observe_fault(&FaultRecord {
+                                    t: start.elapsed().as_secs_f64(),
+                                    kind: FaultKind::JobFailed,
+                                    node: node.0,
+                                    job: Some(0),
+                                    task: Some(map as u32),
+                                });
+                            } else {
+                                map_node.lock().unwrap()[map] = None;
+                                unassigned_maps.push(map);
+                            }
+                        }
+                        DoneMsg::Reduce { reduce, node, attempt, output, sources } => {
+                            if attempt != reduce_attempt[reduce] {
+                                continue;
+                            }
+                            reduce_done[reduce] = true;
                             reduces_finished += 1;
                             free_reduce[node.idx()] += 1;
                             if let Some(pos) =
@@ -315,6 +398,9 @@ impl MapReduceEngine {
                         }
                     }
                 }
+                if failed {
+                    break; // abort flag is set; task threads wind down on their own
+                }
                 if reduces_finished == n_reduces && maps_finished == n_maps {
                     break;
                 }
@@ -328,8 +414,80 @@ impl MapReduceEngine {
                 placer.on_heartbeat_round(round);
                 observer.begin_round(round);
 
+                // Apply due crash/recover events.
+                while next_fault < fault_events.len() && fault_events[next_fault].0 <= round {
+                    let (_, tag, n) = fault_events[next_fault];
+                    next_fault += 1;
+                    if tag == 0 {
+                        down_depth[n] += 1;
+                        if down_depth[n] > 1 {
+                            continue;
+                        }
+                        dead[n] = true;
+                        observer.observe_fault(&FaultRecord {
+                            t: start.elapsed().as_secs_f64(),
+                            kind: FaultKind::NodeCrash,
+                            node: n as u32,
+                            job: None,
+                            task: None,
+                        });
+                        self.on_engine_crash(
+                            n,
+                            start,
+                            n_maps,
+                            n_reduces,
+                            &map_node,
+                            &outputs,
+                            &all_maps_done,
+                            &mut map_attempt,
+                            &mut unassigned_maps,
+                            &mut maps_finished,
+                            &mut reduce_attempt,
+                            &reduce_done,
+                            &mut reduce_node,
+                            &mut unassigned_reduces,
+                            &mut job_reduce_nodes,
+                            &mut observer,
+                        );
+                    } else {
+                        down_depth[n] = down_depth[n].saturating_sub(1);
+                        if down_depth[n] > 0 {
+                            continue;
+                        }
+                        dead[n] = false;
+                        free_map[n] = self.cfg.map_slots;
+                        free_reduce[n] = self.cfg.reduce_slots;
+                        observer.observe_fault(&FaultRecord {
+                            t: start.elapsed().as_secs_f64(),
+                            kind: FaultKind::NodeRecover,
+                            node: n as u32,
+                            job: None,
+                            task: None,
+                        });
+                    }
+                }
+                // A whole-cluster permanent blackout can never finish the
+                // remaining work — fail the job instead of spinning forever.
+                if dead.iter().all(|&d| d)
+                    && !fault_events[next_fault..].iter().any(|e| e.1 == 1)
+                {
+                    failed = true;
+                    abort.store(true, Ordering::SeqCst);
+                    observer.observe_fault(&FaultRecord {
+                        t: start.elapsed().as_secs_f64(),
+                        kind: FaultKind::JobFailed,
+                        node: 0,
+                        job: Some(0),
+                        task: None,
+                    });
+                    break;
+                }
+
                 // Heartbeat every node; fill slots through the placer.
                 for node_idx in 0..self.cfg.n_nodes {
+                    if dead[node_idx] {
+                        continue; // dead nodes neither heartbeat nor host work
+                    }
                     let node = NodeId(node_idx as u32);
                     // Map slots.
                     while free_map[node.idx()] > 0 && !unassigned_maps.is_empty() {
@@ -338,7 +496,7 @@ impl MapReduceEngine {
                             .map(|&m| map_cands[m].clone())
                             .collect();
                         let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
-                            .filter(|n| free_map[*n] > 0)
+                            .filter(|n| !dead[*n] && free_map[*n] > 0)
                             .map(|n| NodeId(n as u32))
                             .collect();
                         let ctx = MapSchedContext::new(
@@ -363,9 +521,18 @@ impl MapReduceEngine {
                                 } else {
                                     LocalityClass::Remote
                                 });
+                                // Same 1-based attempt key as the simulator,
+                                // so retry verdicts agree across runtimes.
+                                map_starts[map] += 1;
+                                let doomed = self.cfg.faults.transient_map_failure_p > 0.0
+                                    && self.cfg.faults.map_attempt_fails(
+                                        self.cfg.seed,
+                                        map,
+                                        map_starts[map],
+                                    );
                                 self.spawn_map(
-                                    scope, job, map, node, &store, &blocks, &progress,
-                                    tx.clone(),
+                                    scope, job, map, node, map_attempt[map], doomed,
+                                    &store, &blocks, &progress, tx.clone(),
                                 );
                             }
                             Decision::Skip(_) => {
@@ -391,7 +558,7 @@ impl MapReduceEngine {
                             })
                             .collect();
                         let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
-                            .filter(|n| free_reduce[*n] > 0)
+                            .filter(|n| !dead[*n] && free_reduce[*n] > 0)
                             .map(|n| NodeId(n as u32))
                             .collect();
                         let read_total: u64 = progress
@@ -424,8 +591,9 @@ impl MapReduceEngine {
                                 reduce_node[red] = Some(node);
                                 job_reduce_nodes.push(node);
                                 self.spawn_reduce(
-                                    scope, job, red, node, &map_node, &outputs,
-                                    &all_maps_done, tx.clone(),
+                                    scope, job, red, node, reduce_attempt[red],
+                                    &map_node, &outputs, &all_maps_done, &abort,
+                                    tx.clone(),
                                 );
                             }
                             Decision::Skip(_) => {
@@ -454,6 +622,95 @@ impl MapReduceEngine {
             skipped_offers,
             counters: observer.counters().clone(),
             trace_jsonl,
+            failed,
+        }
+    }
+
+    /// Apply a node crash to driver state: running map attempts on the node
+    /// are rescheduled (their in-flight messages go stale via the attempt
+    /// tag), completed map outputs on the node are invalidated and re-run,
+    /// and placed-but-unfinished reduces are rescheduled. The two shared
+    /// locks are never held together (the reduce threads take them in
+    /// sequence too).
+    #[allow(clippy::too_many_arguments)]
+    fn on_engine_crash(
+        &self,
+        n: usize,
+        start: Instant,
+        n_maps: usize,
+        n_reduces: usize,
+        map_node: &Arc<Mutex<Vec<Option<NodeId>>>>,
+        outputs: &OutputStore,
+        all_maps_done: &Arc<AtomicBool>,
+        map_attempt: &mut [u32],
+        unassigned_maps: &mut Vec<usize>,
+        maps_finished: &mut usize,
+        reduce_attempt: &mut [u32],
+        reduce_done: &[bool],
+        reduce_node: &mut [Option<NodeId>],
+        unassigned_reduces: &mut Vec<usize>,
+        job_reduce_nodes: &mut Vec<NodeId>,
+        observer: &mut DecisionObserver,
+    ) {
+        let node = NodeId(n as u32);
+        let t = start.elapsed().as_secs_f64();
+        let done: Vec<bool> = {
+            let outs = outputs.lock().unwrap();
+            (0..n_maps).map(|m| outs[m].is_some()).collect()
+        };
+        let on_node: Vec<bool> = {
+            let mn = map_node.lock().unwrap();
+            (0..n_maps).map(|m| mn[m] == Some(node)).collect()
+        };
+        for m in 0..n_maps {
+            if !on_node[m] || unassigned_maps.contains(&m) {
+                continue;
+            }
+            if done[m] {
+                // Completed output lived on the dead node: invalidate and
+                // re-execute, exactly as Hadoop re-runs lost map outputs.
+                outputs.lock().unwrap()[m] = None;
+                *maps_finished -= 1;
+                all_maps_done.store(false, Ordering::SeqCst);
+                observer.observe_fault(&FaultRecord {
+                    t,
+                    kind: FaultKind::MapInvalidated,
+                    node: n as u32,
+                    job: Some(0),
+                    task: Some(m as u32),
+                });
+            } else {
+                observer.observe_fault(&FaultRecord {
+                    t,
+                    kind: FaultKind::TaskRescheduled,
+                    node: n as u32,
+                    job: Some(0),
+                    task: Some(m as u32),
+                });
+            }
+            // No slot to free: the node is dead, and recovery resets its
+            // slot counts wholesale.
+            map_attempt[m] += 1;
+            map_node.lock().unwrap()[m] = None;
+            unassigned_maps.push(m);
+        }
+        for r in 0..n_reduces {
+            if reduce_node[r] != Some(node) || reduce_done[r] {
+                continue; // finished reduce output is driver-held, hence durable
+            }
+            reduce_attempt[r] += 1;
+            reduce_node[r] = None;
+            unassigned_reduces.push(r);
+            if let Some(pos) = job_reduce_nodes.iter().position(|x| *x == node) {
+                job_reduce_nodes.swap_remove(pos);
+            }
+            observer.observe_fault(&FaultRecord {
+                t,
+                kind: FaultKind::TaskRescheduled,
+                node: n as u32,
+                job: Some(0),
+                task: Some(r as u32),
+            });
         }
     }
 
@@ -487,6 +744,8 @@ impl MapReduceEngine {
         job: &EngineJob,
         map: usize,
         node: NodeId,
+        attempt: u32,
+        doomed: bool,
         store: &BlockStore,
         blocks: &Arc<Vec<String>>,
         progress: &Arc<Vec<MapProgress>>,
@@ -504,6 +763,14 @@ impl MapReduceEngine {
         let cpu_us = self.cfg.cpu_us_per_kib;
         scope.spawn(move || {
             std::thread::sleep(fetch_delay);
+            if doomed {
+                // A transient failure (the seeded draw doomed this attempt):
+                // burn a little compute, then report the failure. Progress
+                // gauges are left untouched.
+                std::thread::sleep(Duration::from_micros(cpu_us * 4));
+                let _ = tx.send(DoneMsg::MapFailed { map, node, attempt });
+                return;
+            }
             let text = &blocks[map];
             let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
             let mut bytes = vec![0u64; n_reduces];
@@ -525,7 +792,7 @@ impl MapReduceEngine {
                 }
             }
             p.d_read.store(text.len() as u64, Ordering::Relaxed);
-            let _ = tx.send(DoneMsg::Map { map, node, partitions, bytes });
+            let _ = tx.send(DoneMsg::Map { map, node, attempt, partitions, bytes });
         });
     }
 
@@ -536,14 +803,17 @@ impl MapReduceEngine {
         job: &EngineJob,
         reduce: usize,
         node: NodeId,
+        attempt: u32,
         map_node: &Arc<Mutex<Vec<Option<NodeId>>>>,
         outputs: &OutputStore,
         all_maps_done: &Arc<AtomicBool>,
+        abort: &Arc<AtomicBool>,
         tx: Sender<DoneMsg>,
     ) {
         let reducer = job.reducer.clone();
         let outputs = outputs.clone();
         let all_maps_done = all_maps_done.clone();
+        let abort = abort.clone();
         let hops = self.hops.clone();
         let net_us = self.cfg.net_us_per_kib_hop;
         let map_node = map_node.clone();
@@ -552,21 +822,35 @@ impl MapReduceEngine {
             // Shuffle: wait for the map phase, then pull this partition
             // from every map output (network delay per remote source).
             while !all_maps_done.load(Ordering::SeqCst) {
+                if abort.load(Ordering::SeqCst) {
+                    return; // the job failed; unblock the driver's join
+                }
                 std::thread::sleep(Duration::from_micros(500));
             }
-            // Every map has been placed and finished by now, so the
-            // placement table is fully populated.
-            let map_node: Vec<Option<NodeId>> = map_node.lock().unwrap().clone();
             let mut pairs: Vec<(String, String)> = Vec::new();
             let mut per_source: Vec<(NodeId, u64)> = Vec::new();
             for m in 0..n_maps {
-                let (part, sz) = {
-                    let guard = outputs.lock().unwrap();
-                    let (parts, bytes) =
-                        guard[m].as_ref().expect("map output present after done");
-                    (parts[reduce].clone(), bytes[reduce])
+                // Per-map wait: a crash can invalidate an output even after
+                // the map phase once looked complete — re-fetch from the
+                // re-executed attempt. The two locks are taken in sequence,
+                // never nested (same discipline as the driver).
+                let (part, sz, src) = loop {
+                    if abort.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let snap = {
+                        let guard = outputs.lock().unwrap();
+                        guard[m]
+                            .as_ref()
+                            .map(|(parts, bytes)| (parts[reduce].clone(), bytes[reduce]))
+                    };
+                    if let Some((part, sz)) = snap {
+                        if let Some(src) = map_node.lock().unwrap()[m] {
+                            break (part, sz, src);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
                 };
-                let src = map_node[m].expect("map phase complete implies placement");
                 let h = hops.get(src, NodeId(node.0));
                 if h > 0.0 && sz > 0 {
                     std::thread::sleep(Duration::from_micros(
@@ -595,7 +879,8 @@ impl MapReduceEngine {
                 reducer.reduce(&pairs[i].0, &values, &mut |k, v| output.push((k, v)));
                 i = j;
             }
-            let _ = tx.send(DoneMsg::Reduce { reduce, node, output, sources: per_source });
+            let _ =
+                tx.send(DoneMsg::Reduce { reduce, node, attempt, output, sources: per_source });
         });
     }
 }
@@ -677,6 +962,103 @@ mod tests {
             report.n_maps + report.n_reduces
         );
         assert!(report.trace_jsonl.is_none(), "default run does not trace");
+    }
+
+    #[test]
+    fn transient_failures_retry_to_completion() {
+        let mut cfg = EngineConfig {
+            n_nodes: 4,
+            block_bytes: 512,
+            heartbeat: Duration::from_millis(1),
+            net_us_per_kib_hop: 5,
+            cpu_us_per_kib: 5,
+            ..EngineConfig::default()
+        };
+        cfg.faults.transient_map_failure_p = 0.5;
+        cfg.faults.max_attempts = 16;
+        let seed = cfg.seed;
+        let plan = cfg.faults.clone();
+        let eng = MapReduceEngine::new(cfg);
+        let input = "apple banana apple\ncherry banana apple\n".repeat(40);
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 3);
+        let report = eng.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+        assert!(!report.failed);
+        let counts: HashMap<String, u64> = report
+            .output
+            .iter()
+            .map(|(k, v)| (k.clone(), v.parse().unwrap()))
+            .collect();
+        assert_eq!(counts["apple"], 120);
+        assert_eq!(counts["banana"], 80);
+        assert_eq!(counts["cherry"], 40);
+        assert!(report.counters.consistent(), "{:?}", report.counters);
+        // No crashes, so each map's attempts run strictly in sequence and
+        // the retry count is exactly recomputable from the seeded draw.
+        let expected: u64 = (0..report.n_maps)
+            .map(|m| {
+                (1..).take_while(|&a| plan.map_attempt_fails(seed, m, a)).count() as u64
+            })
+            .sum();
+        assert!(expected > 0, "p=0.5 over several maps should doom some attempt");
+        assert_eq!(report.counters.retries, expected);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_engine_job() {
+        let mut cfg = EngineConfig {
+            n_nodes: 4,
+            block_bytes: 512,
+            heartbeat: Duration::from_millis(1),
+            net_us_per_kib_hop: 5,
+            cpu_us_per_kib: 5,
+            ..EngineConfig::default()
+        };
+        cfg.faults.transient_map_failure_p = 1.0;
+        cfg.faults.max_attempts = 2;
+        let eng = MapReduceEngine::new(cfg);
+        let input = "alpha beta gamma\n".repeat(60);
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 2);
+        let report = eng.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+        assert!(report.failed, "p=1.0 must exhaust every retry budget");
+        assert!(report.output.is_empty(), "no reduce can have run");
+        assert!(report.counters.retries >= 2, "{:?}", report.counters);
+        assert!(report.counters.consistent(), "{:?}", report.counters);
+    }
+
+    #[test]
+    fn crash_and_recovery_preserves_output_correctness() {
+        use pnats_core::faults::NodeCrash;
+        let mut cfg = EngineConfig {
+            n_nodes: 4,
+            // Blocks past the 8 KiB pacing boundary with slow compute: each
+            // map sleeps ~12 ms mid-task, so the driver loop is still
+            // heart-beating when rounds 5 and 8 fire — the crashes land
+            // mid-run, whatever the thread timing.
+            block_bytes: 8192,
+            heartbeat: Duration::from_millis(1),
+            net_us_per_kib_hop: 5,
+            cpu_us_per_kib: 1500,
+            ..EngineConfig::default()
+        };
+        cfg.faults.crashes = vec![
+            NodeCrash { node: 1, at: 5.0, recover_at: Some(60.0) },
+            NodeCrash { node: 2, at: 8.0, recover_at: None },
+        ];
+        let eng = MapReduceEngine::new(cfg);
+        let input = "apple banana apple\ncherry banana apple\n".repeat(1000);
+        let job = EngineJob::new("wc", Arc::new(WordCountJob), Arc::new(WordCountJob), 3);
+        let report = eng.run(&job, &input, Box::new(ProbabilisticPlacer::paper()));
+        assert!(!report.failed);
+        let counts: HashMap<String, u64> = report
+            .output
+            .iter()
+            .map(|(k, v)| (k.clone(), v.parse().unwrap()))
+            .collect();
+        assert_eq!(counts["apple"], 3000);
+        assert_eq!(counts["banana"], 2000);
+        assert_eq!(counts["cherry"], 1000);
+        assert_eq!(report.counters.node_crashes, 2, "{:?}", report.counters);
+        assert!(report.counters.consistent(), "{:?}", report.counters);
     }
 
     #[test]

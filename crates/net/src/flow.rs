@@ -180,6 +180,20 @@ impl FlowNetwork {
         }
     }
 
+    /// Override the capacity of one link (fault injection: link-rate
+    /// degradation windows scale a node's NIC down and back up). Rates are
+    /// lazily recomputed on the next query. Panics on unknown link.
+    pub fn set_capacity(&mut self, link: LinkId, capacity_bps: f64) {
+        assert!(capacity_bps > 0.0, "link capacity must stay positive");
+        self.capacities[link.idx()] = capacity_bps;
+        self.clean = false;
+    }
+
+    /// Current configured capacity of `link` in bytes/second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.idx()]
+    }
+
     /// Sum of current rates crossing `link` (diagnostics / tests).
     pub fn link_load(&mut self, link: LinkId) -> f64 {
         self.ensure_rates();
@@ -309,6 +323,22 @@ mod tests {
             let load = fx.link_load(LinkId(i as u32));
             assert!(load <= l.capacity_bps + 1e-6, "link {i} overloaded: {load}");
         }
+    }
+
+    #[test]
+    fn degrading_a_link_rescales_active_flows() {
+        let (t, rt) = star(3);
+        let mut fx = FlowNetwork::new(&t);
+        let f = fx.add_flow(NodeId(1), NodeId(0), rt.route(NodeId(1), NodeId(0)));
+        assert!((fx.rate(f) - GB).abs() < 1e-6);
+        // Node 0's NIC is the first link in a single-rack topology's
+        // incident list; find it through the topology rather than guessing.
+        let nic = t.incident(crate::topology::Vertex::Node(NodeId(0)))[0].0;
+        fx.set_capacity(nic, GB / 10.0);
+        assert!((fx.rate(f) - GB / 10.0).abs() < 1e-6, "flow follows the degraded link");
+        fx.set_capacity(nic, GB);
+        assert!((fx.rate(f) - GB).abs() < 1e-6, "restore brings the rate back");
+        assert!((fx.capacity(nic) - GB).abs() < 1e-9);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `offers == assigns + Σ_reason skips[reason]`: each heartbeat slot offer
 //! produces exactly one decision.
 
+use crate::record::FaultKind;
 use pnats_core::placer::{Decision, PlacerStats, SkipReason};
 
 /// Counters over every placement decision a run made, plus the
@@ -23,6 +24,16 @@ pub struct SchedCounters {
     pub cache_hits: u64,
     /// `C_ave` cache misses inside the probabilistic placer.
     pub cache_misses: u64,
+    /// Node crashes injected by the run's fault plan.
+    pub node_crashes: u64,
+    /// Task attempts killed and put back in the queue (crash reschedules +
+    /// transient failures).
+    pub retries: u64,
+    /// Completed maps whose output died with its node and had to re-run in a
+    /// fresh epoch.
+    pub reexecuted_maps: u64,
+    /// Heartbeats dropped by loss windows (node alive, master deaf).
+    pub lost_heartbeats: u64,
 }
 
 impl SchedCounters {
@@ -32,6 +43,21 @@ impl SchedCounters {
         match decision {
             Decision::Assign(_) => self.assigns += 1,
             Decision::Skip(r) => self.skips[r as usize] += 1,
+        }
+    }
+
+    /// Book one fault/recovery action. Kinds that are pure annotations
+    /// (recoveries, link windows, job failures) leave the counters alone.
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeCrash => self.node_crashes += 1,
+            FaultKind::HeartbeatLost => self.lost_heartbeats += 1,
+            FaultKind::MapInvalidated => self.reexecuted_maps += 1,
+            FaultKind::TaskRescheduled | FaultKind::TransientFailure => self.retries += 1,
+            FaultKind::NodeRecover
+            | FaultKind::JobFailed
+            | FaultKind::LinkDegraded
+            | FaultKind::LinkRestored => {}
         }
     }
 
@@ -54,6 +80,10 @@ impl SchedCounters {
         self.pruned += other.pruned;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.node_crashes += other.node_crashes;
+        self.retries += other.retries;
+        self.reexecuted_maps += other.reexecuted_maps;
+        self.lost_heartbeats += other.lost_heartbeats;
     }
 
     /// Skip count for one reason.
@@ -82,6 +112,10 @@ impl SchedCounters {
             " pruned={} cache_hits={} cache_misses={}",
             self.pruned, self.cache_hits, self.cache_misses
         ));
+        s.push_str(&format!(
+            " node_crashes={} retries={} reexecuted_maps={} lost_heartbeats={}",
+            self.node_crashes, self.retries, self.reexecuted_maps, self.lost_heartbeats
+        ));
         s
     }
 
@@ -102,6 +136,10 @@ impl SchedCounters {
                 "pruned" => c.pruned = v,
                 "cache_hits" => c.cache_hits = v,
                 "cache_misses" => c.cache_misses = v,
+                "node_crashes" => c.node_crashes = v,
+                "retries" => c.retries = v,
+                "reexecuted_maps" => c.reexecuted_maps = v,
+                "lost_heartbeats" => c.lost_heartbeats = v,
                 _ => {
                     if let Some(label) = key.strip_prefix("skip_") {
                         if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
@@ -130,7 +168,11 @@ impl SchedCounters {
         }
         s.push_str(&format!("{indent}  \"pruned\": {},\n", self.pruned));
         s.push_str(&format!("{indent}  \"cache_hits\": {},\n", self.cache_hits));
-        s.push_str(&format!("{indent}  \"cache_misses\": {}\n", self.cache_misses));
+        s.push_str(&format!("{indent}  \"cache_misses\": {},\n", self.cache_misses));
+        s.push_str(&format!("{indent}  \"node_crashes\": {},\n", self.node_crashes));
+        s.push_str(&format!("{indent}  \"retries\": {},\n", self.retries));
+        s.push_str(&format!("{indent}  \"reexecuted_maps\": {},\n", self.reexecuted_maps));
+        s.push_str(&format!("{indent}  \"lost_heartbeats\": {}\n", self.lost_heartbeats));
         s.push_str(&format!("{indent}}}"));
         s
     }
@@ -161,6 +203,13 @@ mod tests {
         c.pruned = 7;
         c.cache_hits = 5;
         c.cache_misses = 2;
+        c.record_fault(FaultKind::NodeCrash);
+        c.record_fault(FaultKind::MapInvalidated);
+        c.record_fault(FaultKind::TaskRescheduled);
+        c.record_fault(FaultKind::TransientFailure);
+        c.record_fault(FaultKind::HeartbeatLost);
+        c.record_fault(FaultKind::NodeRecover);
+        assert_eq!((c.node_crashes, c.retries, c.reexecuted_maps, c.lost_heartbeats), (1, 2, 1, 1));
         let kv = c.to_kv();
         let back = SchedCounters::from_kv(kv.split_whitespace());
         assert_eq!(back, c);

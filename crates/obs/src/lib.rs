@@ -10,7 +10,9 @@
 //! * [`record`] — [`DecisionRecord`](record::DecisionRecord), one
 //!   structured line per `place_map`/`place_reduce` call: sim time,
 //!   heartbeat round, node, candidate-set size, the winner's
-//!   `C_i`/`C_ave`/`P`, draw outcome or [`SkipReason`].
+//!   `C_i`/`C_ave`/`P`, draw outcome or [`SkipReason`]. Fault injection
+//!   adds [`FaultRecord`](record::FaultRecord) lines (crashes, recoveries,
+//!   invalidated map outputs, retries) interleaved in the same stream.
 //! * [`sink`] — the [`TraceSink`](sink::TraceSink) trait records flow
 //!   into: [`NullSink`](sink::NullSink) (zero-cost default),
 //!   [`InMemorySink`](sink::InMemorySink) (ring-buffered),
@@ -38,5 +40,5 @@ pub mod sink;
 
 pub use counters::SchedCounters;
 pub use observer::DecisionObserver;
-pub use record::{DecisionRecord, Phase};
+pub use record::{DecisionRecord, FaultKind, FaultRecord, Phase};
 pub use sink::{InMemorySink, JsonlFileSink, NullSink, TraceSink};

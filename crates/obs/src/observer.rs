@@ -2,7 +2,7 @@
 //! placement decision.
 
 use crate::counters::SchedCounters;
-use crate::record::{DecisionRecord, Phase};
+use crate::record::{DecisionRecord, FaultRecord, Phase};
 use crate::sink::{NullSink, TraceSink};
 use pnats_core::context::{MapSchedContext, ReduceSchedContext};
 use pnats_core::placer::{Decision, DecisionDetail, PlacerStats};
@@ -110,6 +110,15 @@ impl DecisionObserver {
         }
     }
 
+    /// Book one fault-injection/recovery action: counter increments always,
+    /// a trace line when the sink is enabled.
+    pub fn observe_fault(&mut self, rec: &FaultRecord) {
+        self.counters.record_fault(rec.kind);
+        if self.sink.enabled() {
+            self.sink.record_fault(rec);
+        }
+    }
+
     /// Fold the placer's internal prune/cache tallies into the counters.
     /// Call once, at end of run.
     pub fn absorb_placer(&mut self, stats: &PlacerStats) {
@@ -183,6 +192,33 @@ mod tests {
             assert!(line.contains("\"candidates\":1"), "{line}");
             assert!(line.contains("\"free\":2"), "{line}");
         });
+    }
+
+    #[test]
+    fn fault_observation_counts_and_traces() {
+        use crate::record::FaultKind;
+        let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+        obs.observe_fault(&FaultRecord {
+            t: 9.0,
+            kind: FaultKind::NodeCrash,
+            node: 4,
+            job: None,
+            task: None,
+        });
+        obs.observe_fault(&FaultRecord {
+            t: 9.0,
+            kind: FaultKind::TaskRescheduled,
+            node: 4,
+            job: Some(0),
+            task: Some(2),
+        });
+        assert_eq!(obs.counters().node_crashes, 1);
+        assert_eq!(obs.counters().retries, 1);
+        assert_eq!(obs.counters().offers, 0, "faults are not offers");
+        assert!(obs.counters().consistent());
+        let text = obs.drain_jsonl().expect("in-memory trace");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"fault\":\"task_rescheduled\""), "{text}");
     }
 
     #[test]

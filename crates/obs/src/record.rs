@@ -122,6 +122,93 @@ impl DecisionRecord {
     }
 }
 
+/// What kind of fault or recovery action a [`FaultRecord`] describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// A node died; its slots, running tasks, and stored map outputs are gone.
+    NodeCrash,
+    /// A previously crashed node rejoined with empty disks.
+    NodeRecover,
+    /// An alive node's heartbeat was dropped (loss window) — no work offered.
+    HeartbeatLost,
+    /// A completed map's output was lost with its node; the map re-runs in a
+    /// new epoch.
+    MapInvalidated,
+    /// A running task was killed (node crash) and put back in the queue.
+    TaskRescheduled,
+    /// A map attempt failed transiently and will be retried.
+    TransientFailure,
+    /// A map burned its attempt budget; the whole job is failed.
+    JobFailed,
+    /// A node's access link dropped to a fraction of its nominal rate.
+    LinkDegraded,
+    /// A link-degradation window ended; nominal rate restored.
+    LinkRestored,
+}
+
+impl FaultKind {
+    /// Stable snake_case label used in the JSONL `fault` field.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::NodeCrash => "node_crash",
+            FaultKind::NodeRecover => "node_recover",
+            FaultKind::HeartbeatLost => "heartbeat_lost",
+            FaultKind::MapInvalidated => "map_invalidated",
+            FaultKind::TaskRescheduled => "task_rescheduled",
+            FaultKind::TransientFailure => "transient_failure",
+            FaultKind::JobFailed => "job_failed",
+            FaultKind::LinkDegraded => "link_degraded",
+            FaultKind::LinkRestored => "link_restored",
+        }
+    }
+}
+
+/// One fault-injection or recovery action, interleaved chronologically with
+/// [`DecisionRecord`]s in a trace. Distinguished from decision lines by the
+/// `"fault"` key (decision lines carry `"phase"`/`"decision"` instead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRecord {
+    /// Time the action happened (simulated seconds, or engine round number).
+    pub t: f64,
+    /// What happened.
+    pub kind: FaultKind,
+    /// The node involved (victim, recovered node, or task host).
+    pub node: u32,
+    /// The affected job, when the action is task-scoped.
+    pub job: Option<u32>,
+    /// The affected task index within the job, when task-scoped.
+    pub task: Option<u32>,
+}
+
+impl FaultRecord {
+    /// Append this record to `out` as one JSON line (including `\n`),
+    /// with the same fixed-field-order determinism as [`DecisionRecord`].
+    pub fn to_jsonl(&self, out: &mut String) {
+        out.push_str("{\"t\":");
+        push_f64(out, self.t);
+        out.push_str(",\"fault\":\"");
+        out.push_str(self.kind.label());
+        out.push_str("\",\"node\":");
+        out.push_str(&self.node.to_string());
+        if let Some(j) = self.job {
+            out.push_str(",\"job\":");
+            out.push_str(&j.to_string());
+        }
+        if let Some(x) = self.task {
+            out.push_str(",\"task\":");
+            out.push_str(&x.to_string());
+        }
+        out.push_str("}\n");
+    }
+
+    /// This record as a standalone JSON line.
+    pub fn jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.to_jsonl(&mut s);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +271,35 @@ mod tests {
     fn integral_floats_keep_a_fraction_marker() {
         let rec = DecisionRecord { t: 3.0, ..record() };
         assert!(rec.jsonl().starts_with("{\"t\":3.0,"), "{}", rec.jsonl());
+    }
+
+    #[test]
+    fn fault_record_serializes_deterministically() {
+        let rec = FaultRecord {
+            t: 40.0,
+            kind: FaultKind::MapInvalidated,
+            node: 3,
+            job: Some(1),
+            task: Some(6),
+        };
+        assert_eq!(rec.jsonl(), "{\"t\":40.0,\"fault\":\"map_invalidated\",\"node\":3,\"job\":1,\"task\":6}\n");
+        let bare = FaultRecord { t: 2.5, kind: FaultKind::NodeCrash, node: 0, job: None, task: None };
+        assert_eq!(bare.jsonl(), "{\"t\":2.5,\"fault\":\"node_crash\",\"node\":0}\n");
+        for kind in [
+            FaultKind::NodeCrash,
+            FaultKind::NodeRecover,
+            FaultKind::HeartbeatLost,
+            FaultKind::MapInvalidated,
+            FaultKind::TaskRescheduled,
+            FaultKind::TransientFailure,
+            FaultKind::JobFailed,
+            FaultKind::LinkDegraded,
+            FaultKind::LinkRestored,
+        ] {
+            let line = FaultRecord { kind, ..rec }.jsonl();
+            crate::json::validate_json(line.trim_end())
+                .unwrap_or_else(|e| panic!("invalid JSON {line:?}: {e}"));
+        }
     }
 
     #[test]

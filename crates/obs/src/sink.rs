@@ -1,11 +1,11 @@
 //! Where decision records go: nowhere, a bounded ring buffer, or a file.
 
-use crate::record::DecisionRecord;
+use crate::record::{DecisionRecord, FaultRecord};
 use std::collections::VecDeque;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Destination for [`DecisionRecord`]s.
+/// Destination for [`DecisionRecord`]s and [`FaultRecord`]s.
 ///
 /// Runtimes check [`enabled`](TraceSink::enabled) *before* building a
 /// record, so a disabled sink costs one virtual call per decision and no
@@ -18,6 +18,11 @@ pub trait TraceSink: Send {
 
     /// Deliver one record.
     fn record(&mut self, rec: &DecisionRecord);
+
+    /// Deliver one fault/recovery record, interleaved chronologically with
+    /// decisions. Default: dropped (sinks that predate fault injection keep
+    /// working).
+    fn record_fault(&mut self, _rec: &FaultRecord) {}
 
     /// Take the accumulated trace as JSONL text, if this sink buffers one
     /// (in-memory sinks). File sinks return `None` — their data is already
@@ -42,12 +47,20 @@ impl TraceSink for NullSink {
     fn record(&mut self, _rec: &DecisionRecord) {}
 }
 
+/// One buffered trace line: a placement decision or a fault action.
+#[derive(Clone, Debug)]
+enum SinkItem {
+    Decision(DecisionRecord),
+    Fault(FaultRecord),
+}
+
 /// Ring-buffered in-memory sink: keeps the most recent `capacity` records
 /// (unbounded when constructed with [`InMemorySink::unbounded`]) and counts
-/// what it had to drop.
+/// what it had to drop. Decision and fault records share one buffer so the
+/// drained JSONL preserves chronological interleaving.
 #[derive(Clone, Debug, Default)]
 pub struct InMemorySink {
-    records: VecDeque<DecisionRecord>,
+    records: VecDeque<SinkItem>,
     /// 0 = unbounded.
     capacity: usize,
     dropped: u64,
@@ -65,12 +78,16 @@ impl InMemorySink {
         Self { records: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
     }
 
-    /// The buffered records, oldest first.
+    /// The buffered decision records, oldest first (fault records are
+    /// buffered too but only surface through [`InMemorySink::to_jsonl`]).
     pub fn records(&self) -> impl Iterator<Item = &DecisionRecord> {
-        self.records.iter()
+        self.records.iter().filter_map(|item| match item {
+            SinkItem::Decision(rec) => Some(rec),
+            SinkItem::Fault(_) => None,
+        })
     }
 
-    /// Number of buffered records.
+    /// Number of buffered records (decisions + faults).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -89,19 +106,30 @@ impl InMemorySink {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.records.len() * 160);
         for r in &self.records {
-            r.to_jsonl(&mut out);
+            match r {
+                SinkItem::Decision(rec) => rec.to_jsonl(&mut out),
+                SinkItem::Fault(rec) => rec.to_jsonl(&mut out),
+            }
         }
         out
+    }
+
+    fn push(&mut self, item: SinkItem) {
+        if self.capacity > 0 && self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(item);
     }
 }
 
 impl TraceSink for InMemorySink {
     fn record(&mut self, rec: &DecisionRecord) {
-        if self.capacity > 0 && self.records.len() == self.capacity {
-            self.records.pop_front();
-            self.dropped += 1;
-        }
-        self.records.push_back(rec.clone());
+        self.push(SinkItem::Decision(rec.clone()));
+    }
+
+    fn record_fault(&mut self, rec: &FaultRecord) {
+        self.push(SinkItem::Fault(*rec));
     }
 
     fn drain_jsonl(&mut self) -> Option<String> {
@@ -132,6 +160,12 @@ impl TraceSink for JsonlFileSink {
         rec.to_jsonl(&mut self.buf);
         // Tracing must not abort a run half-way; a full disk surfaces at
         // flush time via the runtime's explicit flush call.
+        let _ = self.writer.write_all(self.buf.as_bytes());
+    }
+
+    fn record_fault(&mut self, rec: &FaultRecord) {
+        self.buf.clear();
+        rec.to_jsonl(&mut self.buf);
         let _ = self.writer.write_all(self.buf.as_bytes());
     }
 
@@ -197,6 +231,26 @@ mod tests {
         assert!(s.is_empty(), "drain empties the buffer");
         let first = text.lines().next().unwrap();
         assert!(first.contains("\"round\":0"), "{first}");
+    }
+
+    #[test]
+    fn fault_records_interleave_in_arrival_order() {
+        use crate::record::FaultKind;
+        let mut s = InMemorySink::unbounded();
+        s.record(&rec(0));
+        s.record_fault(&FaultRecord {
+            t: 1.0,
+            kind: FaultKind::NodeCrash,
+            node: 2,
+            job: None,
+            task: None,
+        });
+        s.record(&rec(2));
+        assert_eq!(s.records().count(), 2, "decision iterator skips faults");
+        let text = s.drain_jsonl().expect("in-memory sinks drain");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"fault\":\"node_crash\""), "{}", lines[1]);
     }
 
     #[test]

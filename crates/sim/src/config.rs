@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use pnats_core::faults::FaultPlan;
 use pnats_net::Topology;
 use pnats_workloads::{Batch, ShuffleModel};
 
@@ -119,6 +120,11 @@ pub struct SimConfig {
     pub speculation_lag: f64,
     /// Background transfers.
     pub background: Vec<BackgroundFlow>,
+    /// Deterministic fault schedule (node crashes/recoveries, transient map
+    /// failures, heartbeat-loss windows, link degradation).
+    /// [`FaultPlan::none`] — the default — injects nothing and leaves the
+    /// run byte-identical to a fault-free build.
+    pub faults: FaultPlan,
     /// Master seed for all randomness.
     pub seed: u64,
     /// Hard wall on simulated time; runs exceeding it report unfinished
@@ -162,6 +168,7 @@ impl SimConfig {
             slow_nodes: Vec::new(),
             speculation_lag: 0.0,
             background: Vec::new(),
+            faults: FaultPlan::none(),
             seed: 42,
             max_sim_time: 200_000.0,
         }

@@ -26,24 +26,62 @@ pub enum EventKind {
         /// Transfer-manager version this prediction was made against.
         version: u64,
     },
-    /// A map task finishes its compute phase.
+    /// A map task finishes its compute phase. Stale (and ignored) if the
+    /// attempt was killed meanwhile — `run` no longer matches the task's
+    /// current attempt id.
     MapDone {
         /// Job index.
         job: usize,
         /// Map index within the job.
         map: usize,
+        /// Attempt id this completion belongs to.
+        run: u32,
+    },
+    /// A map attempt dies with a transient (retryable) failure mid-compute.
+    /// Stale if `run` no longer matches.
+    MapFailed {
+        /// Job index.
+        job: usize,
+        /// Map index within the job.
+        map: usize,
+        /// Attempt id this failure belongs to.
+        run: u32,
     },
     /// A speculative map backup finishes (may be stale if cancelled).
     BackupDone {
         /// Index into the simulation's backup table.
         idx: usize,
     },
-    /// A reduce task finishes its merge+reduce phase.
+    /// A reduce task finishes its merge+reduce phase. Stale if `run` no
+    /// longer matches (the reduce was killed or sent back to shuffling).
     ReduceDone {
         /// Job index.
         job: usize,
         /// Reduce index within the job.
         reduce: usize,
+        /// Attempt id this completion belongs to.
+        run: u32,
+    },
+    /// A node dies per the fault plan: slots vanish, running tasks are
+    /// rescheduled, completed map outputs stored there are invalidated.
+    NodeCrash {
+        /// Index into `FaultPlan::crashes`.
+        fault: usize,
+    },
+    /// A crashed node rejoins with empty disks and full free slots.
+    NodeRecover {
+        /// Index into `FaultPlan::crashes`.
+        fault: usize,
+    },
+    /// A link-degradation window opens (node NIC scaled down).
+    LinkDegradeStart {
+        /// Index into `FaultPlan::link_degradations`.
+        idx: usize,
+    },
+    /// A link-degradation window closes (node NIC restored).
+    LinkDegradeEnd {
+        /// Index into `FaultPlan::link_degradations`.
+        idx: usize,
     },
     /// Start a configured background flow.
     BackgroundStart {
@@ -139,9 +177,9 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(1.0, EventKind::MapDone { job: 0, map: 0 });
-        q.push(1.0, EventKind::MapDone { job: 0, map: 1 });
-        q.push(1.0, EventKind::MapDone { job: 0, map: 2 });
+        q.push(1.0, EventKind::MapDone { job: 0, map: 0, run: 0 });
+        q.push(1.0, EventKind::MapDone { job: 0, map: 1, run: 0 });
+        q.push(1.0, EventKind::MapDone { job: 0, map: 2, run: 0 });
         let maps: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|(_, k)| match k {
                 EventKind::MapDone { map, .. } => map,

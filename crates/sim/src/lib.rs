@@ -29,19 +29,25 @@
 //!   [`pnats_net::RateMonitor`]; with
 //!   [`SimConfig::network_condition`](config::SimConfig) enabled the
 //!   scheduler sees congestion-scaled costs (§II-B3).
-//! * **Fault knobs** ([`config`]) — per-node slowdown factors and
-//!   background traffic, for the robustness/ablation experiments.
+//! * **Fault knobs** ([`config`]) — per-node slowdown factors, background
+//!   traffic and a seeded [`pnats_core::FaultPlan`] (node crashes with
+//!   MapReduce recovery semantics, transient map failures with bounded
+//!   retries, heartbeat loss, link degradation), for the
+//!   robustness/ablation experiments. The [`oracle`] module checks any
+//!   finished report against the conservation laws faulty runs must keep.
 //!
 //! Determinism: one seed drives every stochastic choice; identical config +
 //! seed ⇒ identical traces.
 
 pub mod config;
 pub mod events;
+pub mod oracle;
 pub mod runner;
 pub mod state;
 pub mod trace;
 pub mod transfers;
 
 pub use config::{background_traffic, BackgroundFlow, DataLayout, JobInput, SimConfig, TopologyKind};
+pub use oracle::{check_makespan_monotone, check_report};
 pub use runner::{job_inputs_from_batch, SimReport, Simulation};
 pub use trace::{JobRecord, TaskKind, TaskRecord, Trace};

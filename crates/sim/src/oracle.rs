@@ -1,0 +1,238 @@
+//! Invariant oracle: conservation laws any simulation report must satisfy.
+//!
+//! Fault injection multiplies the ways a scheduler can silently go wrong —
+//! a map counted done twice after an invalidation, a slot leaked by a
+//! crash, a completion credited to a dead node. The oracle replays a
+//! finished [`SimReport`] against the laws that hold for *every* correct
+//! MapReduce execution, faulty or not:
+//!
+//! 1. **Offer conservation** — `offers = assigns + Σ skips` (delegated to
+//!    [`SchedCounters::consistent`](pnats_obs::SchedCounters::consistent)).
+//! 2. **Map exactly-once per valid epoch** — for every completed job, each
+//!    map index has exactly one completion record per epoch `0..=E`, with
+//!    epochs contiguous from zero (an epoch is born only by invalidating
+//!    the previous completion).
+//! 3. **Reduce exactly-once** — each reduce of a completed job completes
+//!    exactly once (reduce output is durable; crashes re-run the attempt,
+//!    never the completion).
+//! 4. **Liveness of execution spans** — no completion's `[assigned,
+//!    finished]` span overlaps a down interval of its node: a crash would
+//!    have killed the attempt instead of letting it complete.
+//! 5. **Re-execution accounting** — when every job completed, the number
+//!    of `epoch > 0` map records equals `counters.reexecuted_maps`.
+//!
+//! A separate helper, [`check_makespan_monotone`], checks the macro
+//! property the `fault_sweep` bench leans on: for a fixed seed and nested
+//! fault plans, more crashes should not make the batch *faster* (within a
+//! slack for scheduling noise).
+
+use crate::config::JobInput;
+use crate::runner::SimReport;
+use crate::trace::TaskKind;
+use pnats_obs::FaultKind;
+
+/// Per-node down intervals reconstructed from the fault log.
+fn down_intervals(report: &SimReport, n_nodes: usize) -> Vec<Vec<(f64, f64)>> {
+    let mut down: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_nodes];
+    let mut open: Vec<Option<f64>> = vec![None; n_nodes];
+    for f in &report.faults {
+        let n = f.node as usize;
+        match f.kind {
+            FaultKind::NodeCrash if n < n_nodes && open[n].is_none() => {
+                open[n] = Some(f.t);
+            }
+            FaultKind::NodeRecover if n < n_nodes => {
+                if let Some(start) = open[n].take() {
+                    down[n].push((start, f.t));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (n, o) in open.into_iter().enumerate() {
+        if let Some(start) = o {
+            down[n].push((start, f64::INFINITY));
+        }
+    }
+    down
+}
+
+/// Check every conservation law against a finished report. Returns the
+/// first violation as a human-readable message.
+pub fn check_report(report: &SimReport, inputs: &[JobInput]) -> Result<(), String> {
+    if !report.counters.consistent() {
+        return Err(format!(
+            "offer identity violated: offers={} assigns={} skips={}",
+            report.counters.offers,
+            report.counters.assigns,
+            report.counters.total_skips()
+        ));
+    }
+    if report.jobs_completed + report.jobs_failed > report.jobs_submitted {
+        return Err(format!(
+            "job accounting: {} completed + {} failed > {} submitted",
+            report.jobs_completed, report.jobs_failed, report.jobs_submitted
+        ));
+    }
+
+    let n_nodes = report
+        .trace
+        .tasks
+        .iter()
+        .map(|t| t.node + 1)
+        .chain(report.faults.iter().map(|f| f.node as usize + 1))
+        .max()
+        .unwrap_or(0);
+    let down = down_intervals(report, n_nodes);
+
+    // Law 4: completion spans never overlap their node's down time.
+    for t in &report.trace.tasks {
+        if t.finished < t.assigned {
+            return Err(format!("task finished before assignment: {t:?}"));
+        }
+        for &(from, until) in &down[t.node] {
+            if t.assigned < until && from < t.finished {
+                return Err(format!(
+                    "task span [{}, {}] overlaps node {} downtime [{from}, {until}]: {t:?}",
+                    t.assigned, t.finished, t.node
+                ));
+            }
+        }
+    }
+
+    // Laws 2 + 3: exactly-once per valid epoch, for completed jobs.
+    for jr in &report.trace.jobs {
+        let ji = jr.job;
+        let input = inputs.get(ji).ok_or_else(|| {
+            format!("job record {ji} has no matching input (inputs len {})", inputs.len())
+        })?;
+        for mi in 0..input.block_sizes.len() {
+            let mut epochs: Vec<u32> = report
+                .trace
+                .tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Map && t.job == ji && t.index == mi)
+                .map(|t| t.epoch)
+                .collect();
+            epochs.sort_unstable();
+            if epochs.is_empty() {
+                return Err(format!("completed job {ji} has no record for map {mi}"));
+            }
+            for (want, got) in epochs.iter().enumerate() {
+                if *got != want as u32 {
+                    return Err(format!(
+                        "job {ji} map {mi}: epochs {epochs:?} not exactly-once-contiguous"
+                    ));
+                }
+            }
+        }
+        for ri in 0..input.n_reduces {
+            let n = report
+                .trace
+                .tasks
+                .iter()
+                .filter(|t| t.kind == TaskKind::Reduce && t.job == ji && t.index == ri)
+                .count();
+            if n != 1 {
+                return Err(format!("job {ji} reduce {ri}: {n} completions (want 1)"));
+            }
+        }
+    }
+
+    // Law 5: global re-execution accounting when nothing was cut short.
+    if report.all_completed() {
+        let reexec = report
+            .trace
+            .tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::Map && t.epoch > 0)
+            .count() as u64;
+        if reexec != report.counters.reexecuted_maps {
+            return Err(format!(
+                "re-execution mismatch: {} epoch>0 records vs reexecuted_maps={}",
+                reexec, report.counters.reexecuted_maps
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check a makespan series is monotone non-decreasing up to a relative
+/// `slack` (each value must reach `(1 - slack)` of the running maximum).
+/// The `fault_sweep` bench feeds this the makespans of nested fault plans.
+pub fn check_makespan_monotone(makespans: &[f64], slack: f64) -> Result<(), String> {
+    let mut peak = f64::NEG_INFINITY;
+    for (i, &m) in makespans.iter().enumerate() {
+        if m < peak * (1.0 - slack) {
+            return Err(format!(
+                "makespan not monotone in fault count: step {i} fell to {m} (peak {peak}, slack {slack})"
+            ));
+        }
+        peak = peak.max(m);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnats_core::prob_sched::ProbabilisticPlacer;
+    use pnats_workloads::{AppKind, ShuffleModel};
+
+    fn inputs() -> Vec<JobInput> {
+        (0..2)
+            .map(|i| JobInput {
+                name: format!("job{i}"),
+                submit: 0.0,
+                block_sizes: vec![64 << 20; 8],
+                n_reduces: 3,
+                shuffle: ShuffleModel::for_app(AppKind::Terasort),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let cfg = crate::SimConfig::tiny(6, 9);
+        let ins = inputs();
+        let r = crate::Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&ins);
+        assert!(r.all_completed());
+        check_report(&r, &ins).unwrap();
+    }
+
+    #[test]
+    fn duplicate_map_completion_detected() {
+        let cfg = crate::SimConfig::tiny(6, 9);
+        let ins = inputs();
+        let mut r = crate::Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&ins);
+        let dup = r.trace.tasks.iter().find(|t| t.kind == TaskKind::Map).unwrap().clone();
+        r.trace.tasks.push(dup);
+        let err = check_report(&r, &ins).unwrap_err();
+        assert!(err.contains("not exactly-once"), "{err}");
+    }
+
+    #[test]
+    fn completion_on_downed_node_detected() {
+        let cfg = crate::SimConfig::tiny(6, 9);
+        let ins = inputs();
+        let mut r = crate::Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&ins);
+        // Forge a crash window covering some task's whole span.
+        let t = r.trace.tasks[0].clone();
+        r.faults.push(pnats_obs::FaultRecord {
+            t: t.assigned,
+            kind: FaultKind::NodeCrash,
+            node: t.node as u32,
+            job: None,
+            task: None,
+        });
+        let err = check_report(&r, &ins).unwrap_err();
+        assert!(err.contains("downtime"), "{err}");
+    }
+
+    #[test]
+    fn monotone_with_slack() {
+        check_makespan_monotone(&[100.0, 99.5, 120.0, 180.0], 0.02).unwrap();
+        let err = check_makespan_monotone(&[100.0, 80.0], 0.05).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+}

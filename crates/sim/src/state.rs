@@ -25,6 +25,9 @@ pub struct NodeState {
     pub free_reduce: u32,
     /// Compute speed factor (1.0 = nominal).
     pub speed: f64,
+    /// Whether the node is up. Dead nodes hold no slots, receive no
+    /// assignments and their stored map outputs are unreadable.
+    pub alive: bool,
 }
 
 /// Map task lifecycle.
@@ -71,6 +74,15 @@ pub struct MapTask {
     pub assigned_t: f64,
     /// Locality of its placement.
     pub locality: LocalityClass,
+    /// Attempt id; bumped whenever the current attempt is killed so
+    /// in-flight completion events for it become stale.
+    pub run: u32,
+    /// Output epoch; bumped when a *completed* output is invalidated by a
+    /// node crash and the map must re-execute.
+    pub epoch: u32,
+    /// Execution attempts started so far (bounds transient-failure
+    /// retries).
+    pub attempts: u32,
 }
 
 impl MapTask {
@@ -153,6 +165,9 @@ pub struct ReduceTask {
     pub per_source: Vec<(NodeId, f64)>,
     /// Assignment time.
     pub assigned_t: f64,
+    /// Attempt id; bumped whenever the current attempt is killed or sent
+    /// back to shuffling, so in-flight `ReduceDone` events become stale.
+    pub run: u32,
 }
 
 impl ReduceTask {
@@ -164,6 +179,7 @@ impl ReduceTask {
             received: 0.0,
             per_source: Vec::new(),
             assigned_t: 0.0,
+            run: 0,
         }
     }
 
@@ -254,6 +270,8 @@ pub struct JobState {
     pub reduce_nodes: Vec<NodeId>,
     /// Completion time, once done.
     pub finished_at: Option<f64>,
+    /// Whether the job was aborted (a task exhausted its retry budget).
+    pub failed: bool,
 }
 
 impl JobState {
@@ -289,6 +307,9 @@ impl JobState {
                 weights: Vec::new(),
                 assigned_t: 0.0,
                 locality: LocalityClass::Remote,
+                run: 0,
+                epoch: 0,
+                attempts: 0,
             })
             .collect();
         let reduces = (0..input.n_reduces).map(|_| ReduceTask::new()).collect();
@@ -317,7 +338,14 @@ impl JobState {
             running_tasks: 0,
             reduce_nodes: Vec::new(),
             finished_at: None,
+            failed: false,
         }
+    }
+
+    /// Whether the job is out of the scheduler's hands — finished or
+    /// aborted.
+    pub fn terminated(&self) -> bool {
+        self.finished_at.is_some() || self.failed
     }
 
     /// Draw a map's effective selectivity and per-partition weights (base

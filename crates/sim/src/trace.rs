@@ -31,6 +31,9 @@ pub struct TaskRecord {
     /// Bytes moved over the network on this task's behalf (input fetch for
     /// maps, shuffle for reduces).
     pub net_bytes: f64,
+    /// Output epoch of the completion (maps only; 0 unless a node crash
+    /// invalidated an earlier completed output and forced a re-execution).
+    pub epoch: u32,
 }
 
 impl TaskRecord {
@@ -44,6 +47,9 @@ impl TaskRecord {
 /// One completed job.
 #[derive(Clone, Debug)]
 pub struct JobRecord {
+    /// Job index within the run (stable key for trace joins; names can
+    /// repeat across jobs).
+    pub job: usize,
     /// Job name (e.g. `Wordcount_10GB`).
     pub name: String,
     /// Submission time.
@@ -73,6 +79,14 @@ pub struct Trace {
     pub network_bytes: f64,
     /// Placement offers the task-level scheduler declined.
     pub skipped_offers: u64,
+    /// Speculative map backups launched.
+    pub backups_launched: u64,
+    /// Backups that finished before their primary (and killed it).
+    pub backups_won: u64,
+    /// Backups cancelled because the primary finished (or died) first.
+    pub backups_cancelled: u64,
+    /// Primary attempts killed because their backup won the race.
+    pub losers_killed: u64,
 }
 
 impl Trace {
@@ -85,6 +99,10 @@ impl Trace {
             reduce_util: UtilizationTimeline::new(reduce_slot_capacity),
             network_bytes: 0.0,
             skipped_offers: 0,
+            backups_launched: 0,
+            backups_won: 0,
+            backups_cancelled: 0,
+            losers_killed: 0,
         }
     }
 
@@ -128,11 +146,11 @@ impl Trace {
     /// analysis/plotting.
     pub fn tasks_csv(&self) -> String {
         let mut out = String::from(
-            "job,kind,index,node,assigned_s,finished_s,running_s,locality,net_bytes\n",
+            "job,kind,index,node,assigned_s,finished_s,running_s,locality,net_bytes,epoch\n",
         );
         for t in &self.tasks {
             out.push_str(&format!(
-                "{},{},{},{},{:.3},{:.3},{:.3},{},{:.0}\n",
+                "{},{},{},{},{:.3},{:.3},{:.3},{},{:.0},{}\n",
                 t.job,
                 match t.kind {
                     TaskKind::Map => "map",
@@ -145,6 +163,7 @@ impl Trace {
                 t.running_time(),
                 t.locality,
                 t.net_bytes,
+                t.epoch,
             ));
         }
         out
@@ -169,7 +188,7 @@ mod tests {
     use super::*;
 
     fn rec(kind: TaskKind, assigned: f64, finished: f64, loc: LocalityClass) -> TaskRecord {
-        TaskRecord { job: 0, kind, index: 0, node: 0, assigned, finished, locality: loc, net_bytes: 0.0 }
+        TaskRecord { job: 0, kind, index: 0, node: 0, assigned, finished, locality: loc, net_bytes: 0.0, epoch: 0 }
     }
 
     #[test]
@@ -198,7 +217,7 @@ mod tests {
     fn csv_exports() {
         let mut t = Trace::new(1, 1);
         t.tasks.push(rec(TaskKind::Map, 0.0, 2.0, LocalityClass::NodeLocal));
-        t.jobs.push(JobRecord { name: "wc".into(), submit: 0.0, finished: 9.0 });
+        t.jobs.push(JobRecord { job: 0, name: "wc".into(), submit: 0.0, finished: 9.0 });
         let csv = t.tasks_csv();
         assert!(csv.starts_with("job,kind"));
         assert!(csv.contains("0,map,0,0,0.000,2.000,2.000,local,0"));
@@ -210,8 +229,8 @@ mod tests {
     #[test]
     fn jct_and_makespan() {
         let mut t = Trace::new(1, 1);
-        t.jobs.push(JobRecord { name: "a".into(), submit: 0.0, finished: 100.0 });
-        t.jobs.push(JobRecord { name: "b".into(), submit: 50.0, finished: 80.0 });
+        t.jobs.push(JobRecord { job: 0, name: "a".into(), submit: 0.0, finished: 100.0 });
+        t.jobs.push(JobRecord { job: 1, name: "b".into(), submit: 50.0, finished: 80.0 });
         assert_eq!(t.jct_cdf().max(), Some(100.0));
         assert_eq!(t.makespan(), 100.0);
         assert_eq!(t.jobs[1].jct(), 30.0);

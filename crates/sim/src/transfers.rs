@@ -8,7 +8,8 @@
 //! that prediction, tagged with a version number — any later mutation bumps
 //! the version, turning stale wake-ups into no-ops.
 
-use pnats_net::{FlowId, FlowNetwork, NodeId, RoutingTable, Topology};
+use pnats_net::topology::Vertex;
+use pnats_net::{FlowId, FlowNetwork, LinkId, NodeId, RoutingTable, Topology};
 
 /// What a transfer was carrying (returned to the runner on completion).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -67,6 +68,10 @@ pub struct Transfers {
     active: Vec<Active>,
     last_advance: f64,
     version: u64,
+    /// Per-node access links (for fault-injected NIC degradation).
+    node_links: Vec<Vec<LinkId>>,
+    /// Nominal capacity of every link, to restore after degradation.
+    base_caps: Vec<f64>,
 }
 
 /// Transfers at or below this many remaining bytes count as complete
@@ -76,12 +81,18 @@ const DONE_EPSILON: f64 = 1.0;
 impl Transfers {
     /// A manager over `topo`'s links.
     pub fn new(topo: &Topology) -> Self {
+        let node_links = topo
+            .nodes()
+            .map(|n| topo.incident(Vertex::Node(n)).iter().map(|(l, _)| *l).collect())
+            .collect();
         Self {
             fx: FlowNetwork::new(topo),
             routes: RoutingTable::new(topo),
             active: Vec::new(),
             last_advance: 0.0,
             version: 0,
+            node_links,
+            base_caps: topo.links().iter().map(|l| l.capacity_bps).collect(),
         }
     }
 
@@ -158,6 +169,73 @@ impl Transfers {
             self.fx.remove_flow(a.flow);
             self.version += 1;
         }
+    }
+
+    /// Cancel every non-background transfer that touches `node` (as source
+    /// or destination) — the node just crashed, so in-flight fetches and
+    /// shuffle segments die with it. Returns the `(tag, src, dst)` of each
+    /// cancelled transfer so the runner can fix task state. Background flows
+    /// are left alone: they model co-tenant traffic, not this node's work.
+    pub fn cancel_involving(&mut self, now: f64, node: NodeId) -> Vec<(TransferTag, NodeId, NodeId)> {
+        self.advance(now);
+        let mut cancelled = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let a = &self.active[i];
+            let involved = (a.src == node || a.dst == node)
+                && !matches!(a.tag, TransferTag::Background { .. });
+            if involved {
+                let a = self.active.swap_remove(i);
+                self.fx.remove_flow(a.flow);
+                cancelled.push((a.tag, a.src, a.dst));
+            } else {
+                i += 1;
+            }
+        }
+        if !cancelled.is_empty() {
+            self.version += 1;
+        }
+        cancelled
+    }
+
+    /// Cancel every transfer belonging to job `job` (the job failed; its
+    /// fetches and shuffles stop consuming bandwidth). Returns the cancelled
+    /// tags.
+    pub fn cancel_job(&mut self, now: f64, job: usize) -> Vec<TransferTag> {
+        self.advance(now);
+        let mut cancelled = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let owned = match self.active[i].tag {
+                TransferTag::MapFetch { job: j, .. } | TransferTag::Shuffle { job: j, .. } => {
+                    j == job
+                }
+                TransferTag::Background { .. } => false,
+            };
+            if owned {
+                let a = self.active.swap_remove(i);
+                self.fx.remove_flow(a.flow);
+                cancelled.push(a.tag);
+            } else {
+                i += 1;
+            }
+        }
+        if !cancelled.is_empty() {
+            self.version += 1;
+        }
+        cancelled
+    }
+
+    /// Scale `node`'s access link(s) to `scale` × nominal capacity
+    /// (link-degradation fault windows; `1.0` restores). Active flows
+    /// re-share bandwidth from `now` on.
+    pub fn scale_node_links(&mut self, now: f64, node: NodeId, scale: f64) {
+        assert!(scale > 0.0, "link scale must stay positive");
+        self.advance(now);
+        for &l in &self.node_links[node.idx()] {
+            self.fx.set_capacity(l, self.base_caps[l.idx()] * scale);
+        }
+        self.version += 1;
     }
 
     /// Advance to `now` and remove every transfer that has finished,
@@ -310,6 +388,44 @@ mod tests {
         tr.cancel(0.5, bg);
         let r = tr.rate_of(TAG_A).unwrap();
         assert!((r - GB).abs() < 1e-6, "full rate after cancel: {r}");
+    }
+
+    #[test]
+    fn cancel_involving_removes_only_the_dead_nodes_transfers() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.start(0.0, NodeId(2), NodeId(1), GB, TAG_B);
+        let bg = TransferTag::Background { idx: 0 };
+        tr.start(0.0, NodeId(1), NodeId(2), f64::INFINITY, bg);
+        let gone = tr.cancel_involving(0.1, NodeId(1));
+        // Both task transfers touch node 1; the background flow survives.
+        assert_eq!(gone.len(), 2);
+        assert!(gone.iter().all(|(t, _, _)| *t == TAG_A || *t == TAG_B));
+        assert_eq!(tr.n_active(), 1);
+        assert!(tr.rate_of(bg).is_some());
+    }
+
+    #[test]
+    fn cancel_job_drops_that_jobs_transfers() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A); // job 0
+        let other = TransferTag::Shuffle { job: 1, reduce: 0 };
+        tr.start(0.0, NodeId(2), NodeId(0), GB, other);
+        let gone = tr.cancel_job(0.1, 0);
+        assert_eq!(gone, vec![TAG_A]);
+        assert_eq!(tr.n_active(), 1);
+    }
+
+    #[test]
+    fn nic_degradation_slows_and_restore_recovers() {
+        let mut tr = Transfers::new(&topo3());
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.scale_node_links(0.0, NodeId(0), 0.25);
+        let r = tr.rate_of(TAG_A).unwrap();
+        assert!((r - GB / 4.0).abs() < 1e-6, "degraded dst NIC caps the flow: {r}");
+        tr.scale_node_links(0.5, NodeId(0), 1.0);
+        let r = tr.rate_of(TAG_A).unwrap();
+        assert!((r - GB).abs() < 1e-6, "restored: {r}");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests of the fault-injection subsystem: for *arbitrary* seeded
+//! fault plans — crash/recover schedules (including whole-cluster
+//! blackouts), transient map failures, heartbeat loss windows and link
+//! degradations — the simulation must terminate and the invariant oracle
+//! must accept the report. The case count honors `PROPTEST_CASES`, which
+//! CI pins for a fixed budget.
+
+use pnats_core::faults::{FaultPlan, HeartbeatLoss, LinkDegradation, NodeCrash};
+use pnats_core::prob_sched::ProbabilisticPlacer;
+use pnats_sim::{check_report, JobInput, SimConfig, Simulation};
+use pnats_workloads::{AppKind, ShuffleModel};
+use proptest::prelude::*;
+
+const N_NODES: usize = 5;
+
+fn crash_strategy() -> impl Strategy<Value = NodeCrash> {
+    // `rec < 0` encodes "never recovers"; otherwise recovery follows the
+    // crash by 5..205 seconds (strictly after `at`, as validate() demands).
+    (0usize..N_NODES, 1.0f64..120.0, -50.0f64..200.0).prop_map(|(node, at, rec)| NodeCrash {
+        node,
+        at,
+        recover_at: (rec >= 0.0).then_some(at + 5.0 + rec),
+    })
+}
+
+fn loss_strategy() -> impl Strategy<Value = HeartbeatLoss> {
+    (0usize..N_NODES, 0.0f64..100.0, 1.0f64..100.0)
+        .prop_map(|(node, from, dur)| HeartbeatLoss { node, from, until: from + dur })
+}
+
+fn degr_strategy() -> impl Strategy<Value = LinkDegradation> {
+    (0usize..N_NODES, 0.0f64..100.0, 1.0f64..150.0, 0.05f64..1.0).prop_map(
+        |(node, from, dur, factor)| LinkDegradation { node, from, until: from + dur, factor },
+    )
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(crash_strategy(), 0..4),
+        0.0f64..0.4,
+        3u32..8,
+        proptest::collection::vec(loss_strategy(), 0..2),
+        proptest::collection::vec(degr_strategy(), 0..2),
+    )
+        .prop_map(|(crashes, p, max_attempts, losses, degrs)| FaultPlan {
+            crashes,
+            transient_map_failure_p: p,
+            max_attempts,
+            heartbeat_losses: losses,
+            link_degradations: degrs,
+        })
+}
+
+fn inputs() -> Vec<JobInput> {
+    vec![JobInput {
+        name: "prop".into(),
+        submit: 0.0,
+        block_sizes: vec![48 << 20; 6],
+        n_reduces: 2,
+        shuffle: ShuffleModel::for_app(AppKind::Terasort),
+    }]
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_plans_terminate_and_satisfy_the_oracle(
+        plan in plan_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = SimConfig::tiny(N_NODES, seed);
+        // Bound the walk so permanently-dead clusters stop promptly.
+        cfg.max_sim_time = 3_000.0;
+        plan.validate(N_NODES).expect("strategy builds valid plans");
+        cfg.faults = plan;
+        let ins = inputs();
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&ins);
+        // Terminated (run returned) — now every conservation law must hold,
+        // completed or not, failed or not.
+        prop_assert!(check_report(&r, &ins).is_ok(), "{:?}", check_report(&r, &ins));
+        prop_assert!(r.jobs_completed + r.jobs_failed <= r.jobs_submitted);
+    }
+
+    #[test]
+    fn blackout_with_full_recovery_always_finishes(
+        at in 5.0f64..40.0,
+        gap in 50.0f64..150.0,
+        seed in 0u64..500,
+    ) {
+        // Every node (hence every replica set) dies, then every node
+        // recovers: the scheduler must ride out the blackout on NodeDead
+        // skips and dead heartbeats — no deadlock, batch completes.
+        let mut cfg = SimConfig::tiny(N_NODES, seed);
+        cfg.max_sim_time = 10_000.0;
+        cfg.faults = FaultPlan {
+            crashes: (0..N_NODES)
+                .map(|n| NodeCrash { node: n, at: at + n as f64 * 0.1, recover_at: Some(at + gap) })
+                .collect(),
+            ..FaultPlan::none()
+        };
+        let ins = inputs();
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&ins);
+        prop_assert!(r.all_completed(), "stalled at {}/{}", r.jobs_completed, r.jobs_submitted);
+        prop_assert!(check_report(&r, &ins).is_ok(), "{:?}", check_report(&r, &ins));
+    }
+}

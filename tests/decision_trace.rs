@@ -216,6 +216,17 @@ fn provoke(reason: SkipReason, obs: &mut DecisionObserver) {
             assert_eq!(d, Decision::Skip(SkipReason::NonFiniteCost));
             obs.observe_map(&ctx, NodeId(0), d, p.last_detail());
         }
+        SkipReason::NodeDead => {
+            // Emitted by the simulation runner, not a placer: when fault
+            // injection has downed every replica of every pending map, the
+            // offer is skipped above the placer (the paper's algorithms
+            // assume live data sources). Mirror that emission exactly —
+            // original candidates in the context, no placer detail.
+            let cands = [mcand(0, vec![NodeId(1)])];
+            let free = [NodeId(0), NodeId(2)];
+            let ctx = MapSchedContext::new(JobId(0), &cands, &free, &h, layout);
+            obs.observe_map(&ctx, NodeId(0), Decision::Skip(SkipReason::NodeDead), None);
+        }
         SkipReason::Collocated => {
             // Algorithm 2 line 1: the offering node already runs a reduce
             // of this job.
