@@ -14,6 +14,7 @@ use pnats_sim::JobInput;
 use pnats_workloads::{table2_batch, AppKind};
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -31,6 +31,7 @@ const CRASH_WINDOW: (f64, f64) = (100.0, 600.0);
 const MONOTONE_SLACK: f64 = 0.25;
 
 fn main() {
+    pnats_bench::usage_on_help("[--smoke] [seed]");
     let mut seed: u64 = 42;
     let mut smoke = false;
     for arg in std::env::args().skip(1) {

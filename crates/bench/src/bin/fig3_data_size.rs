@@ -8,6 +8,7 @@ use pnats_metrics::{render_series, Cdf};
 use pnats_workloads::{ShuffleModel, TABLE2};
 
 fn main() {
+    pnats_bench::usage_on_help("");
     const GB: f64 = (1u64 << 30) as f64;
     let inputs: Vec<f64> = TABLE2.iter().map(|j| j.input_bytes() as f64 / GB).collect();
     let shuffles: Vec<f64> = TABLE2

@@ -11,6 +11,7 @@ use pnats_bench::harness::{batch_runs, cloud_config, mean_jct, run_matrix, PAPER
 use pnats_metrics::{render_series, render_table, Cdf};
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -19,6 +19,7 @@ fn pooled_jcts(reports: &[SimReport]) -> Vec<(String, f64)> {
 }
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

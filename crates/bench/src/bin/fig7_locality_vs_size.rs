@@ -11,6 +11,7 @@ use pnats_sim::TaskKind;
 use pnats_workloads::TABLE2;
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -92,6 +92,7 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed = std::env::args().nth(1).unwrap_or_else(|| "42".to_string());
     let bins = [
         "table2",

@@ -7,6 +7,7 @@ use pnats_metrics::render_table;
 use pnats_workloads::TABLE2;
 
 fn main() {
+    pnats_bench::usage_on_help("");
     let rows: Vec<Vec<String>> = TABLE2
         .iter()
         .map(|j| {

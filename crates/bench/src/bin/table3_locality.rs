@@ -14,6 +14,7 @@ use pnats_metrics::render_table;
 use pnats_sim::TaskKind;
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

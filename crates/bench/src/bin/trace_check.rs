@@ -41,6 +41,7 @@ fn trace_and_counters(reports: &[SimReport]) -> (String, Vec<(String, SchedCount
 }
 
 fn main() {
+    pnats_bench::usage_on_help("[seed]");
     let seed: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -188,6 +188,24 @@ impl Run {
     }
 }
 
+/// Print a one-line usage summary and exit successfully when `--help` (or
+/// `-h`) appears anywhere in the process arguments. Every experiment
+/// binary calls this first thing in `main`, passing just its argument
+/// synopsis (e.g. `"[seed]"`); the binary name is taken from `argv[0]`.
+pub fn usage_on_help(synopsis: &str) {
+    let mut argv = std::env::args();
+    let argv0 = argv.next().unwrap_or_default();
+    if !argv.any(|a| a == "--help" || a == "-h") {
+        return;
+    }
+    let name = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("pnats-bench");
+    println!("usage: {}", format!("{name} {synopsis}").trim_end());
+    std::process::exit(0);
+}
+
 /// Worker count for [`run_matrix`]: `PNATS_THREADS` when set (minimum 1;
 /// `1` disables parallelism entirely), otherwise the machine's available
 /// parallelism.

@@ -1,0 +1,99 @@
+//! Cluster runtime configuration — the distributed twin of
+//! [`pnats_engine::EngineConfig`], plus the knobs only a real network
+//! needs: liveness expiry, IO deadlines, RPC retry budgets.
+
+use pnats_core::faults::FaultPlan;
+use pnats_core::partition::Partitioner;
+use pnats_engine::EngineConfig;
+use pnats_rpc::RetryPolicy;
+use std::time::Duration;
+
+/// Configuration for a tracker + worker fleet. Fields shared with
+/// [`EngineConfig`] carry identical semantics so a cluster run and an
+/// engine run over the same seed are comparable task-for-task; the extras
+/// (`expire_after`, `io_timeout`, `retry`, `max_wall`) govern the real
+/// TCP plane the engine does not have.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Worker (TaskTracker) count. Node ids are `0..n_nodes`.
+    pub n_nodes: usize,
+    /// Map slots per worker.
+    pub map_slots: u32,
+    /// Reduce slots per worker.
+    pub reduce_slots: u32,
+    /// Input split size in bytes.
+    pub block_bytes: usize,
+    /// Replication factor for input blocks.
+    pub replication: usize,
+    /// Heartbeat period (worker send interval and tracker round length).
+    pub heartbeat: Duration,
+    /// Simulated map compute cost: microseconds per KiB of input. Drives
+    /// the pacing sleeps inside map attempts, exactly as in the engine.
+    pub cpu_us_per_kib: u64,
+    /// Fraction of maps that must finish before reduces launch.
+    pub slowstart: f64,
+    /// Shuffle-partition choice.
+    pub partitioner: Partitioner,
+    /// Seed for replica placement and placer randomness.
+    pub seed: u64,
+    /// Deterministic fault plan, keyed by heartbeat round like the
+    /// engine's: crashes at `at as u64`, heartbeat-loss windows over
+    /// `[from as u64, until as u64)` rounds. Loss windows are *honored*
+    /// here (the engine ignores them): an in-window heartbeat is observed
+    /// as lost and not applied.
+    pub faults: FaultPlan,
+    /// Liveness threshold `k`: a registered worker silent for more than
+    /// `k` rounds is declared dead, its map outputs invalidated.
+    pub expire_after: u64,
+    /// Read/write deadline on every TCP stream (tracker and workers).
+    pub io_timeout: Duration,
+    /// Retry budget + backoff for worker→tracker and worker→worker calls.
+    pub retry: RetryPolicy,
+    /// Hard wall-clock cap on a job; exceeded means a failed report
+    /// instead of a hung test run.
+    pub max_wall: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            n_nodes: 4,
+            map_slots: 2,
+            reduce_slots: 1,
+            block_bytes: 4 << 10,
+            replication: 2,
+            heartbeat: Duration::from_millis(5),
+            cpu_us_per_kib: 30,
+            slowstart: 0.25,
+            partitioner: Partitioner::Hash,
+            seed: 42,
+            faults: FaultPlan::none(),
+            expire_after: 8,
+            io_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            max_wall: Duration::from_secs(120),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The engine configuration that produces the *same job* — identical
+    /// splits, replicas, partitions and fault verdicts — for parity
+    /// comparisons. Network/compute pacing fields only shape timing, never
+    /// output, so the engine defaults are kept there.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            n_nodes: self.n_nodes,
+            map_slots: self.map_slots,
+            reduce_slots: self.reduce_slots,
+            block_bytes: self.block_bytes,
+            replication: self.replication,
+            cpu_us_per_kib: self.cpu_us_per_kib,
+            slowstart: self.slowstart,
+            partitioner: self.partitioner,
+            seed: self.seed,
+            faults: self.faults.clone(),
+            ..EngineConfig::default()
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Job selection over the wire. The tracker tells each registering worker
+//! *which* built-in job to run as a short string; both sides construct the
+//! same mapper/reducer from it, so user code never crosses the network.
+
+use pnats_engine::{EngineJob, GrepJob, TeraSortJob, WordCountJob};
+use std::sync::Arc;
+
+/// A built-in MapReduce job the cluster runtime can run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Count word occurrences.
+    WordCount,
+    /// Count lines containing a needle.
+    Grep(String),
+    /// Sort 10-byte-key records.
+    TeraSort,
+}
+
+impl JobSpec {
+    /// Wire form carried in `RegisterAck` (`wordcount`, `grep:<needle>`,
+    /// `terasort`).
+    pub fn to_wire(&self) -> String {
+        match self {
+            JobSpec::WordCount => "wordcount".to_string(),
+            JobSpec::Grep(needle) => format!("grep:{needle}"),
+            JobSpec::TeraSort => "terasort".to_string(),
+        }
+    }
+
+    /// Parse the wire form; `None` for an unknown job name.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s {
+            "wordcount" => Some(JobSpec::WordCount),
+            "terasort" => Some(JobSpec::TeraSort),
+            _ => s.strip_prefix("grep:").map(|n| JobSpec::Grep(n.to_string())),
+        }
+    }
+
+    /// Materialize the engine job both runtimes execute.
+    pub fn job(&self, n_reduces: usize) -> EngineJob {
+        match self {
+            JobSpec::WordCount => {
+                EngineJob::new("wordcount", Arc::new(WordCountJob), Arc::new(WordCountJob), n_reduces)
+            }
+            JobSpec::Grep(needle) => EngineJob::new(
+                "grep",
+                Arc::new(GrepJob { needle: needle.clone() }),
+                Arc::new(GrepJob { needle: needle.clone() }),
+                n_reduces,
+            ),
+            JobSpec::TeraSort => {
+                EngineJob::new("terasort", Arc::new(TeraSortJob), Arc::new(TeraSortJob), n_reduces)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for spec in [
+            JobSpec::WordCount,
+            JobSpec::TeraSort,
+            JobSpec::Grep("needle with spaces".to_string()),
+            JobSpec::Grep(String::new()),
+        ] {
+            assert_eq!(JobSpec::from_wire(&spec.to_wire()), Some(spec));
+        }
+        assert_eq!(JobSpec::from_wire("sort"), None);
+    }
+}

@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+//! # pnats-cluster — a real TCP JobTracker/TaskTracker runtime
+//!
+//! The third runtime behind the paper's scheduling contract, after the
+//! discrete-event simulator and the threaded engine: a JobTracker daemon
+//! and TaskTracker workers exchanging [`pnats_rpc`] frames over real
+//! `std::net` sockets. Workers can be threads in one process (tests,
+//! [`run_cluster`]) or separate OS processes (the `pnats-cluster` binary)
+//! — the protocol is identical.
+//!
+//! The tracker runs the *unmodified* [`pnats_core::placer::TaskPlacer`]
+//! implementations. Because both runtimes execute tasks through
+//! [`pnats_engine::exec`]'s pure primitives, split blocks the same way,
+//! and collect reduce inputs in map-index order, a cluster run's output is
+//! **byte-identical** to an engine run with the same seed — placement and
+//! timing shape who computes where, never what comes out. The parity
+//! tests in this crate hold that line.
+//!
+//! Liveness is real here: a worker silent for more than `expire_after`
+//! heartbeat rounds (lost heartbeats, a SIGKILLed process) is declared
+//! dead, its completed map outputs are invalidated and re-executed under
+//! crash-epoch semantics, and the worker — if it is actually alive —
+//! wipes and re-registers under a bumped epoch when it learns of its
+//! demise.
+
+pub mod config;
+pub mod jobspec;
+pub mod report;
+pub mod tracker;
+pub mod worker;
+
+pub use config::ClusterConfig;
+pub use jobspec::JobSpec;
+pub use report::{check_cluster_report, ClusterReport, ReportSummary};
+pub use tracker::JobTracker;
+pub use worker::{run_worker, WorkerConfig};
+
+use pnats_core::placer::TaskPlacer;
+use pnats_obs::{DecisionObserver, TraceSink};
+
+/// Scheduler selection by name for the `pnats-cluster` binary and the
+/// smoke tests: the paper's probabilistic placer plus the baseline suite.
+pub fn placer_by_name(name: &str, heartbeat_s: f64) -> Option<Box<dyn TaskPlacer>> {
+    use pnats_baselines::{
+        CouplingPlacer, FairDelayPlacer, FifoGreedyPlacer, LartsPlacer, MinCostPlacer,
+        QuincyPlacer, RandomPlacer,
+    };
+    use pnats_core::prob_sched::ProbabilisticPlacer;
+    Some(match name {
+        "paper" | "probabilistic" => Box::new(ProbabilisticPlacer::paper()),
+        "fifo" => Box::new(FifoGreedyPlacer),
+        "random" => Box::new(RandomPlacer),
+        "fair" => Box::new(FairDelayPlacer::hadoop_defaults()),
+        "mincost" => Box::new(MinCostPlacer::new()),
+        "larts" => Box::new(LartsPlacer::default()),
+        "quincy" => Box::new(QuincyPlacer),
+        "coupling" => Box::new(CouplingPlacer::new(0.8, 0.4, 3, heartbeat_s)),
+        _ => return None,
+    })
+}
+
+/// Run one job on an in-process cluster: a tracker plus `cfg.n_nodes`
+/// worker threads, all speaking real TCP over loopback. Blocks until the
+/// job completes (or `cfg.max_wall` fires) and returns the report.
+pub fn run_cluster(
+    cfg: &ClusterConfig,
+    spec: &JobSpec,
+    n_reduces: usize,
+    input: &str,
+    placer: Box<dyn TaskPlacer>,
+) -> ClusterReport {
+    run_cluster_observed(cfg, spec, n_reduces, input, placer, DecisionObserver::disabled())
+}
+
+/// Like [`run_cluster`] but routing every decision and fault into `sink`.
+pub fn run_cluster_traced(
+    cfg: &ClusterConfig,
+    spec: &JobSpec,
+    n_reduces: usize,
+    input: &str,
+    placer: Box<dyn TaskPlacer>,
+    sink: Box<dyn TraceSink>,
+) -> ClusterReport {
+    run_cluster_observed(cfg, spec, n_reduces, input, placer, DecisionObserver::with_sink(sink))
+}
+
+fn run_cluster_observed(
+    cfg: &ClusterConfig,
+    spec: &JobSpec,
+    n_reduces: usize,
+    input: &str,
+    placer: Box<dyn TaskPlacer>,
+    observer: DecisionObserver,
+) -> ClusterReport {
+    let tracker = JobTracker::start(
+        "127.0.0.1:0",
+        cfg.clone(),
+        spec.clone(),
+        n_reduces,
+        input,
+        placer,
+        observer,
+    )
+    .expect("bind tracker on loopback");
+    let addr = tracker.addr().to_string();
+    let workers: Vec<_> = (0..cfg.n_nodes)
+        .map(|i| {
+            let wc = WorkerConfig {
+                node: i as u32,
+                tracker_addr: addr.clone(),
+                map_slots: cfg.map_slots,
+                reduce_slots: cfg.reduce_slots,
+                heartbeat: cfg.heartbeat,
+                io_timeout: cfg.io_timeout,
+                retry: cfg.retry.clone(),
+            };
+            std::thread::spawn(move || {
+                let _ = run_worker(wc);
+            })
+        })
+        .collect();
+    let report = tracker.wait();
+    for w in workers {
+        let _ = w.join();
+    }
+    report
+}

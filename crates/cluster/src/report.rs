@@ -1,0 +1,219 @@
+//! What a cluster run produces, the oracle that validates it, and a flat
+//! text serialization so the `pnats-cluster` binary can hand results to a
+//! parent process (the smoke test, the kill test, CI).
+
+use pnats_metrics::LocalityCounter;
+use pnats_obs::SchedCounters;
+use std::time::Duration;
+
+/// Result of one cluster job — the distributed twin of
+/// [`pnats_engine::EngineReport`].
+pub struct ClusterReport {
+    /// Final key/value pairs, partition-major (within a partition, sorted
+    /// by key). Byte-identical to the engine's output for the same seed.
+    pub output: Vec<(String, String)>,
+    /// Where each map assignment ran relative to its block replicas.
+    pub map_locality: LocalityCounter,
+    /// Where each reduce ran relative to its dominant shuffle source.
+    pub reduce_locality: LocalityCounter,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Map task count.
+    pub n_maps: usize,
+    /// Reduce task count.
+    pub n_reduces: usize,
+    /// Placement offers the scheduler declined.
+    pub skipped_offers: u64,
+    /// Decision + fault counters for the run.
+    pub counters: SchedCounters,
+    /// The decision trace as JSONL when an in-memory sink was attached.
+    pub trace_jsonl: Option<String>,
+    /// True when the job was aborted (retry budget exhausted, the whole
+    /// fleet permanently down, or the `max_wall` deadline fired).
+    pub failed: bool,
+}
+
+/// The cluster oracle. Checks the accounting identities that must hold for
+/// any run, completed or failed:
+///
+/// * every offer became exactly one decision (`counters.consistent`),
+/// * the report's skip tally matches the counters',
+///
+/// and for completed runs additionally:
+///
+/// * assignment conservation — every map and reduce was assigned exactly
+///   once, plus once more per retry/re-execution:
+///   `assigns == n_maps + n_reduces + retries + reexecuted_maps`,
+/// * every reduce completion recorded a locality class,
+/// * every map was assigned at least once.
+pub fn check_cluster_report(r: &ClusterReport) -> Result<(), String> {
+    if !r.counters.consistent() {
+        return Err(format!(
+            "offer conservation violated: offers={} assigns={} skips={}",
+            r.counters.offers,
+            r.counters.assigns,
+            r.counters.total_skips()
+        ));
+    }
+    if r.counters.total_skips() != r.skipped_offers {
+        return Err(format!(
+            "skip tally mismatch: counters={} report={}",
+            r.counters.total_skips(),
+            r.skipped_offers
+        ));
+    }
+    if r.counters.peers_expired > r.counters.node_crashes {
+        return Err(format!(
+            "expiries ({}) exceed recorded crashes ({})",
+            r.counters.peers_expired, r.counters.node_crashes
+        ));
+    }
+    if r.failed {
+        return Ok(()); // partial runs only owe the offer identities
+    }
+    let expected = (r.n_maps + r.n_reduces) as u64 + r.counters.retries + r.counters.reexecuted_maps;
+    if r.counters.assigns != expected {
+        return Err(format!(
+            "assignment conservation violated: assigns={} expected {} \
+             (n_maps={} n_reduces={} retries={} reexecuted={})",
+            r.counters.assigns,
+            expected,
+            r.n_maps,
+            r.n_reduces,
+            r.counters.retries,
+            r.counters.reexecuted_maps
+        ));
+    }
+    if r.reduce_locality.total() != r.n_reduces as u64 {
+        return Err(format!(
+            "reduce locality total {} != n_reduces {}",
+            r.reduce_locality.total(),
+            r.n_reduces
+        ));
+    }
+    if r.map_locality.total() < r.n_maps as u64 {
+        return Err(format!(
+            "map locality total {} < n_maps {}",
+            r.map_locality.total(),
+            r.n_maps
+        ));
+    }
+    Ok(())
+}
+
+impl ClusterReport {
+    /// Flat text form: a `status` line, a `counters` line (the
+    /// [`SchedCounters::to_kv`] form), then one tab-separated line per
+    /// output pair. Keys/values containing tabs or newlines are not
+    /// representable — the built-in jobs never emit them.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "status failed={} n_maps={} n_reduces={} skipped={} wall_ms={}\n",
+            u8::from(self.failed),
+            self.n_maps,
+            self.n_reduces,
+            self.skipped_offers,
+            self.wall.as_millis()
+        );
+        s.push_str(&format!("counters {}\n", self.counters.to_kv()));
+        for (k, v) in &self.output {
+            s.push_str(k);
+            s.push('\t');
+            s.push_str(v);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A [`ClusterReport`] read back from its [`to_text`](ClusterReport::to_text)
+/// form — what a parent process learns from a tracker it spawned.
+pub struct ReportSummary {
+    /// Whether the run failed.
+    pub failed: bool,
+    /// Map task count.
+    pub n_maps: usize,
+    /// Reduce task count.
+    pub n_reduces: usize,
+    /// Skipped offers.
+    pub skipped_offers: u64,
+    /// Counter block.
+    pub counters: SchedCounters,
+    /// Output pairs in partition-major order.
+    pub output: Vec<(String, String)>,
+}
+
+impl ReportSummary {
+    /// Parse the flat text form. Returns `None` on a malformed header.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut lines = text.lines();
+        let status = lines.next()?.strip_prefix("status ")?;
+        let mut failed = false;
+        let mut n_maps = 0usize;
+        let mut n_reduces = 0usize;
+        let mut skipped = 0u64;
+        for tok in status.split_whitespace() {
+            let (k, v) = tok.split_once('=')?;
+            match k {
+                "failed" => failed = v == "1",
+                "n_maps" => n_maps = v.parse().ok()?,
+                "n_reduces" => n_reduces = v.parse().ok()?,
+                "skipped" => skipped = v.parse().ok()?,
+                _ => {}
+            }
+        }
+        let counters_line = lines.next()?.strip_prefix("counters ")?;
+        let counters = SchedCounters::from_kv(counters_line.split_whitespace());
+        let output = lines
+            .filter_map(|l| l.split_once('\t').map(|(k, v)| (k.to_string(), v.to_string())))
+            .collect();
+        Some(Self { failed, n_maps, n_reduces, skipped_offers: skipped, counters, output })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterReport {
+        let mut counters = SchedCounters { offers: 7, assigns: 5, ..SchedCounters::default() };
+        counters.skips[0] = 2;
+        ClusterReport {
+            output: vec![("a".into(), "1".into()), ("b".into(), "2".into())],
+            map_locality: LocalityCounter { node_local: 3, rack_local: 0, remote: 0 },
+            reduce_locality: LocalityCounter { node_local: 2, rack_local: 0, remote: 0 },
+            wall: Duration::from_millis(12),
+            n_maps: 3,
+            n_reduces: 2,
+            skipped_offers: 2,
+            counters,
+            trace_jsonl: None,
+            failed: false,
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_conserved_report() {
+        assert!(check_cluster_report(&sample()).is_ok());
+    }
+
+    #[test]
+    fn oracle_rejects_assignment_leak() {
+        let mut r = sample();
+        r.counters.assigns = 6;
+        r.counters.offers = 8; // keep offer conservation so the leak is the finding
+        assert!(check_cluster_report(&r).unwrap_err().contains("assignment conservation"));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let r = sample();
+        let s = ReportSummary::parse(&r.to_text()).expect("parses");
+        assert_eq!(s.failed, r.failed);
+        assert_eq!(s.n_maps, r.n_maps);
+        assert_eq!(s.n_reduces, r.n_reduces);
+        assert_eq!(s.skipped_offers, r.skipped_offers);
+        assert_eq!(s.counters, r.counters);
+        assert_eq!(s.output, r.output);
+    }
+}

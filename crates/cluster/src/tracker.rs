@@ -1,0 +1,823 @@
+//! The JobTracker: one RPC server, one shared state mutex, one tick
+//! thread. Every scheduling decision runs through the *unmodified*
+//! [`TaskPlacer`] the simulator and engine use — the tracker is a third
+//! runtime behind the same scheduling contract, with real TCP in between.
+//!
+//! Placement flows through heartbeats exactly as in the engine driver:
+//! a worker's heartbeat syncs its free slots, applies its completed work,
+//! then fills its slots through the placer. Liveness is the tracker's own
+//! problem here (the engine *knows* when a virtual node dies): a
+//! registered worker silent for more than `expire_after` rounds is
+//! declared dead and its completed map outputs are invalidated, which
+//! re-queues those maps under a bumped attempt tag — stale completions
+//! and duplicate deliveries (the client retries calls) are deduplicated
+//! by `(task, attempt, holder)`.
+
+use crate::config::ClusterConfig;
+use crate::jobspec::JobSpec;
+use crate::report::ClusterReport;
+use pnats_core::context::{
+    MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
+};
+use pnats_core::placer::{Decision, TaskPlacer};
+use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
+use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
+use pnats_engine::exec::{slowstart_gate, split_blocks};
+use pnats_metrics::{LocalityClass, LocalityCounter};
+use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
+use pnats_obs::{DecisionObserver, FaultKind, FaultRecord};
+use pnats_rpc::{Assignment, MapDone, MapFailed, Msg, ProgressReport, ReduceDone, RpcServer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many rounds an assignment may stay unacknowledged (absent from the
+/// owner's reported running/completed work) before the tracker concludes
+/// the reply carrying it was lost and requeues the task. Covers the
+/// at-least-once gap: a heartbeat the tracker applied whose reply never
+/// reached the worker.
+const ASSIGNMENT_ACK_GRACE: u64 = 3;
+
+struct NodeState {
+    registered: bool,
+    epoch: u32,
+    data_addr: String,
+    last_heard: u64,
+    /// Fault-plan crash window nesting depth; > 0 means scripted-down.
+    down_depth: u32,
+    free_map: u32,
+    free_reduce: u32,
+}
+
+struct TrackerState {
+    cfg: ClusterConfig,
+    spec: JobSpec,
+    blocks: Vec<String>,
+    replicas: Vec<Vec<NodeId>>,
+    map_cands: Vec<MapCandidate>,
+    n_maps: usize,
+    n_reduces: usize,
+    hops: Arc<DistanceMatrix>,
+    layout: ClusterLayout,
+    placer: Box<dyn TaskPlacer>,
+    observer: DecisionObserver,
+    rng: SmallRng,
+    start: Instant,
+    round: u64,
+    nodes: Vec<NodeState>,
+    // Per-map bookkeeping (indices parallel `blocks`).
+    map_holder: Vec<Option<u32>>,
+    map_attempt: Vec<u32>,
+    map_starts: Vec<u32>,
+    map_finished: Vec<bool>,
+    map_assigned_round: Vec<u64>,
+    /// Snapshot of each map's gauges: `(d_read, per-partition bytes)`.
+    progress: Vec<(u64, Vec<u64>)>,
+    maps_finished: usize,
+    // Per-reduce bookkeeping.
+    reduce_holder: Vec<Option<u32>>,
+    reduce_attempt: Vec<u32>,
+    reduce_finished: Vec<bool>,
+    reduce_assigned_round: Vec<u64>,
+    reduces_finished: usize,
+    job_reduce_nodes: Vec<NodeId>,
+    final_output: Vec<Vec<(String, String)>>,
+    unassigned_maps: Vec<usize>,
+    unassigned_reduces: Vec<usize>,
+    skipped_offers: u64,
+    map_locality: LocalityCounter,
+    reduce_locality: LocalityCounter,
+    /// `(round, tag, node)`; tag 0 = crash, 1 = recover. Sorted.
+    fault_events: Vec<(u64, u8, usize)>,
+    next_fault: usize,
+    failed: bool,
+    done: bool,
+}
+
+impl TrackerState {
+    fn fault(&mut self, kind: FaultKind, node: u32, task: Option<u32>) {
+        let job = if task.is_some() || kind == FaultKind::JobFailed { Some(0) } else { None };
+        self.observer.observe_fault(&FaultRecord {
+            t: self.start.elapsed().as_secs_f64(),
+            kind,
+            node,
+            job,
+            task,
+        });
+    }
+
+    /// A node is a placement target when it is registered and not
+    /// scripted down (death — scripted or detected — clears `registered`).
+    fn alive(&self, n: usize) -> bool {
+        self.nodes[n].registered && self.nodes[n].down_depth == 0
+    }
+
+    /// Kill a node's contribution to the job: invalidate its completed map
+    /// outputs (they died with its data server), requeue its running work
+    /// under bumped attempt tags, and zero its slots. Mirrors the engine's
+    /// `on_engine_crash`.
+    fn invalidate_node(&mut self, n: usize) {
+        self.nodes[n].registered = false;
+        self.nodes[n].free_map = 0;
+        self.nodes[n].free_reduce = 0;
+        let node = NodeId(n as u32);
+        for m in 0..self.n_maps {
+            if self.map_holder[m] != Some(n as u32) || self.unassigned_maps.contains(&m) {
+                continue;
+            }
+            if self.map_finished[m] {
+                self.map_finished[m] = false;
+                self.maps_finished -= 1;
+                self.fault(FaultKind::MapInvalidated, n as u32, Some(m as u32));
+            } else {
+                self.fault(FaultKind::TaskRescheduled, n as u32, Some(m as u32));
+            }
+            self.map_attempt[m] += 1;
+            self.map_holder[m] = None;
+            self.progress[m] = (0, vec![0; self.n_reduces]);
+            self.unassigned_maps.push(m);
+        }
+        for r in 0..self.n_reduces {
+            if self.reduce_holder[r] != Some(n as u32) || self.reduce_finished[r] {
+                continue; // finished reduce output is tracker-held, hence durable
+            }
+            self.reduce_attempt[r] += 1;
+            self.reduce_holder[r] = None;
+            self.unassigned_reduces.push(r);
+            if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == node) {
+                self.job_reduce_nodes.swap_remove(pos);
+            }
+            self.fault(FaultKind::TaskRescheduled, n as u32, Some(r as u32));
+        }
+    }
+
+    /// One heartbeat round: fault-plan events, liveness expiry, the
+    /// whole-fleet-blackout check. Runs on the tick thread.
+    fn tick(&mut self) {
+        self.round += 1;
+        let round = self.round;
+        self.placer.on_heartbeat_round(round);
+        self.observer.begin_round(round);
+
+        while self.next_fault < self.fault_events.len()
+            && self.fault_events[self.next_fault].0 <= round
+        {
+            let (_, tag, n) = self.fault_events[self.next_fault];
+            self.next_fault += 1;
+            if tag == 0 {
+                self.nodes[n].down_depth += 1;
+                if self.nodes[n].down_depth > 1 {
+                    continue;
+                }
+                self.fault(FaultKind::NodeCrash, n as u32, None);
+                self.invalidate_node(n);
+            } else {
+                self.nodes[n].down_depth = self.nodes[n].down_depth.saturating_sub(1);
+                if self.nodes[n].down_depth == 0 {
+                    // The worker re-registers on its own (its heartbeats
+                    // were answered `dead`); slots refill at registration.
+                    self.fault(FaultKind::NodeRecover, n as u32, None);
+                }
+            }
+        }
+
+        // Liveness: a registered worker silent beyond the threshold is as
+        // dead as a scripted crash — same invalidation, plus the expiry
+        // marker that distinguishes detection from script.
+        for n in 0..self.cfg.n_nodes {
+            if self.nodes[n].registered
+                && self.nodes[n].down_depth == 0
+                && round.saturating_sub(self.nodes[n].last_heard) > self.cfg.expire_after
+            {
+                self.fault(FaultKind::PeerExpired, n as u32, None);
+                self.fault(FaultKind::NodeCrash, n as u32, None);
+                self.invalidate_node(n);
+            }
+        }
+
+        // A whole-fleet scripted blackout with no recovery ahead cannot
+        // finish the job. (Expired-but-live workers re-register on their
+        // own, so expiry alone never triggers this; the wall-clock cap in
+        // `wait` bounds every other stall.)
+        if !self.done
+            && (0..self.cfg.n_nodes).all(|n| self.nodes[n].down_depth > 0)
+            && !self.fault_events[self.next_fault..].iter().any(|e| e.1 == 1)
+        {
+            self.failed = true;
+            self.done = true;
+            self.fault(FaultKind::JobFailed, 0, None);
+        }
+    }
+
+    fn on_register(&mut self, node: u32, epoch: u32, data_addr: String) -> Msg {
+        let n = node as usize;
+        if n >= self.cfg.n_nodes || self.done {
+            return Msg::Shutdown;
+        }
+        if self.nodes[n].down_depth > 0 {
+            return Msg::NotReady; // scripted-down: hold the worker off
+        }
+        self.nodes[n].registered = true;
+        self.nodes[n].epoch = epoch;
+        self.nodes[n].data_addr = data_addr;
+        self.nodes[n].last_heard = self.round;
+        self.nodes[n].free_map = self.cfg.map_slots;
+        self.nodes[n].free_reduce = self.cfg.reduce_slots;
+        let shard: Vec<(u32, String)> = (0..self.n_maps)
+            .filter(|&b| self.replicas[b].contains(&NodeId(node)))
+            .map(|b| (b as u32, self.blocks[b].clone()))
+            .collect();
+        Msg::RegisterAck {
+            node,
+            job: self.spec.to_wire(),
+            n_reduces: self.n_reduces as u32,
+            partitioner: self.cfg.partitioner.tag(),
+            cpu_us_per_kib: self.cfg.cpu_us_per_kib,
+            blocks: shard,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_heartbeat(
+        &mut self,
+        node: u32,
+        epoch: u32,
+        free_map_slots: u32,
+        free_reduce_slots: u32,
+        progress: Vec<ProgressReport>,
+        map_done: Vec<MapDone>,
+        map_failed: Vec<MapFailed>,
+        reduce_done: Vec<ReduceDone>,
+        running_reduces: Vec<(u32, u32)>,
+        rpc_retries: u64,
+    ) -> Msg {
+        let reply = |assignments, invalidate, ignored, dead, shutdown| Msg::HeartbeatReply {
+            assignments,
+            invalidate,
+            ignored,
+            dead,
+            shutdown,
+        };
+        let n = node as usize;
+        if n >= self.cfg.n_nodes {
+            return reply(Vec::new(), Vec::new(), false, true, false);
+        }
+        if self.done {
+            return reply(Vec::new(), Vec::new(), false, false, true);
+        }
+        if !self.nodes[n].registered || self.nodes[n].epoch != epoch || self.nodes[n].down_depth > 0
+        {
+            // Unknown epoch or declared-dead worker: make it wipe and
+            // re-register so both sides agree on a fresh attempt space.
+            return reply(Vec::new(), Vec::new(), false, true, false);
+        }
+        let round = self.round;
+        if self
+            .cfg
+            .faults
+            .heartbeat_losses
+            .iter()
+            .any(|h| h.node == n && (h.from as u64) <= round && round < h.until as u64)
+        {
+            // The fault plan eats this heartbeat: nothing is applied, the
+            // worker keeps its pending statuses, `last_heard` stays stale
+            // so a long enough window expires the node.
+            self.fault(FaultKind::HeartbeatLost, node, None);
+            return reply(Vec::new(), Vec::new(), true, false, false);
+        }
+        self.nodes[n].last_heard = round;
+        self.nodes[n].free_map = free_map_slots;
+        self.nodes[n].free_reduce = free_reduce_slots;
+        for _ in 0..rpc_retries.min(10_000) {
+            self.fault(FaultKind::RpcRetry, node, None);
+        }
+
+        let mut invalidate: Vec<u32> = Vec::new();
+
+        for p in &progress {
+            let m = p.map as usize;
+            if m < self.n_maps
+                && self.map_holder[m] == Some(node)
+                && self.map_attempt[m] == p.attempt
+                && !self.map_finished[m]
+            {
+                self.progress[m] = (p.d_read, p.part_bytes.clone());
+            }
+        }
+        for d in &map_done {
+            let m = d.map as usize;
+            if m >= self.n_maps {
+                continue;
+            }
+            if self.map_holder[m] == Some(node) && self.map_attempt[m] == d.attempt {
+                if !self.map_finished[m] {
+                    self.map_finished[m] = true;
+                    self.maps_finished += 1;
+                    self.progress[m] = (self.blocks[m].len() as u64, d.bytes.clone());
+                }
+                // else: duplicate delivery of an applied completion — the
+                // held output is still the valid one; accept silently.
+            } else {
+                // Stale attempt (invalidated or rescheduled since): the
+                // worker must drop the bytes it is holding for this map.
+                invalidate.push(d.map);
+            }
+        }
+        for f in &map_failed {
+            let m = f.map as usize;
+            if m >= self.n_maps
+                || self.map_holder[m] != Some(node)
+                || self.map_attempt[m] != f.attempt
+                || self.map_finished[m]
+            {
+                continue; // stale or duplicate failure report
+            }
+            self.map_attempt[m] += 1;
+            self.fault(FaultKind::TransientFailure, node, Some(f.map));
+            if self.map_starts[m] >= self.cfg.faults.max_attempts {
+                self.failed = true;
+                self.fault(FaultKind::JobFailed, node, Some(f.map));
+            } else {
+                self.map_holder[m] = None;
+                self.progress[m] = (0, vec![0; self.n_reduces]);
+                self.unassigned_maps.push(m);
+            }
+        }
+        for r in &reduce_done {
+            let red = r.reduce as usize;
+            if red >= self.n_reduces
+                || self.reduce_holder[red] != Some(node)
+                || self.reduce_attempt[red] != r.attempt
+                || self.reduce_finished[red]
+            {
+                continue; // stale or duplicate completion
+            }
+            self.reduce_finished[red] = true;
+            self.reduces_finished += 1;
+            self.final_output[red] = r.output.clone();
+            let nid = NodeId(node);
+            if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == nid) {
+                self.job_reduce_nodes.swap_remove(pos);
+            }
+            let dominant = r.sources.iter().max_by_key(|(_, b)| *b).map(|(s, _)| NodeId(*s));
+            self.reduce_locality.record(match dominant {
+                Some(d) if d == nid => LocalityClass::NodeLocal,
+                Some(d) if self.layout.same_rack(d, nid) => LocalityClass::RackLocal,
+                Some(_) => LocalityClass::Remote,
+                None => LocalityClass::NodeLocal,
+            });
+        }
+
+        self.requeue_unacked(node, &progress, &map_done, &map_failed, &running_reduces, &reduce_done);
+
+        if self.failed
+            || (self.maps_finished == self.n_maps && self.reduces_finished == self.n_reduces)
+        {
+            self.done = true;
+            return reply(Vec::new(), invalidate, false, false, true);
+        }
+
+        let assignments = self.schedule(NodeId(node));
+        reply(assignments, invalidate, false, false, false)
+    }
+
+    /// Detect assignments this worker never heard about (the reply that
+    /// carried them was lost after the tracker applied the heartbeat) and
+    /// requeue them. A task the tracker booked on the node that appears in
+    /// none of the worker's reported running or completed work past the
+    /// ack grace is unknown to the worker and will never run there.
+    fn requeue_unacked(
+        &mut self,
+        node: u32,
+        progress: &[ProgressReport],
+        map_done: &[MapDone],
+        map_failed: &[MapFailed],
+        running_reduces: &[(u32, u32)],
+        reduce_done: &[ReduceDone],
+    ) {
+        let round = self.round;
+        for m in 0..self.n_maps {
+            if self.map_holder[m] != Some(node)
+                || self.map_finished[m]
+                || round < self.map_assigned_round[m] + ASSIGNMENT_ACK_GRACE
+            {
+                continue;
+            }
+            let id = m as u32;
+            let known = progress.iter().any(|p| p.map == id)
+                || map_done.iter().any(|d| d.map == id)
+                || map_failed.iter().any(|f| f.map == id);
+            if !known {
+                self.fault(FaultKind::TaskRescheduled, node, Some(id));
+                self.map_attempt[m] += 1;
+                self.map_holder[m] = None;
+                self.progress[m] = (0, vec![0; self.n_reduces]);
+                self.unassigned_maps.push(m);
+            }
+        }
+        for r in 0..self.n_reduces {
+            if self.reduce_holder[r] != Some(node)
+                || self.reduce_finished[r]
+                || round < self.reduce_assigned_round[r] + ASSIGNMENT_ACK_GRACE
+            {
+                continue;
+            }
+            let id = r as u32;
+            let known = running_reduces.iter().any(|(red, _)| *red == id)
+                || reduce_done.iter().any(|d| d.reduce == id);
+            if !known {
+                self.fault(FaultKind::TaskRescheduled, node, Some(id));
+                self.reduce_attempt[r] += 1;
+                self.reduce_holder[r] = None;
+                self.unassigned_reduces.push(r);
+                let nid = NodeId(node);
+                if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == nid) {
+                    self.job_reduce_nodes.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Fill `node`'s free slots through the placer — the same offer loop,
+    /// candidate construction and slowstart gate as the engine driver.
+    fn schedule(&mut self, node: NodeId) -> Vec<Assignment> {
+        let jid = JobId(0);
+        let mut out = Vec::new();
+        let n = node.idx();
+        let now = self.start.elapsed().as_secs_f64();
+
+        while self.nodes[n].free_map > 0 && !self.unassigned_maps.is_empty() {
+            let cands: Vec<MapCandidate> =
+                self.unassigned_maps.iter().map(|&m| self.map_cands[m].clone()).collect();
+            let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
+                .filter(|&i| self.alive(i) && self.nodes[i].free_map > 0)
+                .map(|i| NodeId(i as u32))
+                .collect();
+            let decision = {
+                let TrackerState { placer, rng, observer, hops, layout, .. } = self;
+                let ctx =
+                    MapSchedContext::new(jid, &cands, &free_nodes, hops.as_ref(), layout).at(now);
+                let decision = placer.place_map(&ctx, node, rng);
+                observer.observe_map(&ctx, node, decision, placer.last_detail());
+                decision
+            };
+            match decision {
+                Decision::Assign(i) => {
+                    let m = self.unassigned_maps.swap_remove(i);
+                    self.nodes[n].free_map -= 1;
+                    self.map_holder[m] = Some(node.0);
+                    self.map_assigned_round[m] = self.round;
+                    self.map_locality.record(if cands[i].is_local_to(node) {
+                        LocalityClass::NodeLocal
+                    } else if cands[i].is_rack_local_to(node, &self.layout) {
+                        LocalityClass::RackLocal
+                    } else {
+                        LocalityClass::Remote
+                    });
+                    // Same 1-based attempt key as the simulator and the
+                    // engine, so transient-failure verdicts agree.
+                    self.map_starts[m] += 1;
+                    let doomed = self.cfg.faults.transient_map_failure_p > 0.0
+                        && self.cfg.faults.map_attempt_fails(self.cfg.seed, m, self.map_starts[m]);
+                    let sources: Vec<String> = self.replicas[m]
+                        .iter()
+                        .filter(|r| **r != node && self.alive(r.idx()))
+                        .map(|r| self.nodes[r.idx()].data_addr.clone())
+                        .collect();
+                    out.push(Assignment::Map {
+                        map: m as u32,
+                        attempt: self.map_attempt[m],
+                        doomed,
+                        sources,
+                    });
+                }
+                Decision::Skip(_) => {
+                    self.skipped_offers += 1;
+                    break;
+                }
+            }
+        }
+
+        if self.maps_finished < slowstart_gate(self.cfg.slowstart, self.n_maps) {
+            return out;
+        }
+        while self.nodes[n].free_reduce > 0 && !self.unassigned_reduces.is_empty() {
+            let cands: Vec<ReduceCandidate> = self
+                .unassigned_reduces
+                .iter()
+                .map(|&f| ReduceCandidate {
+                    task: ReduceTaskId { job: jid, index: f as u32 },
+                    sources: self.shuffle_sources(f),
+                })
+                .collect();
+            let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
+                .filter(|&i| self.alive(i) && self.nodes[i].free_reduce > 0)
+                .map(|i| NodeId(i as u32))
+                .collect();
+            let read_total: u64 = self.progress.iter().map(|p| p.0).sum();
+            let bytes_total: u64 = self.blocks.iter().map(|b| b.len() as u64).sum();
+            let launched = self.n_reduces - self.unassigned_reduces.len();
+            let (maps_finished, n_maps, n_reduces) = (self.maps_finished, self.n_maps, self.n_reduces);
+            let decision = {
+                let TrackerState { placer, rng, observer, hops, layout, job_reduce_nodes, .. } =
+                    self;
+                let ctx = ReduceSchedContext::new(jid, &cands, &free_nodes, hops.as_ref(), layout)
+                    .running_on(job_reduce_nodes)
+                    .map_phase(read_total as f64 / bytes_total.max(1) as f64, maps_finished, n_maps)
+                    .reduce_phase(launched, n_reduces)
+                    .at(now);
+                let decision = placer.place_reduce(&ctx, node, rng);
+                observer.observe_reduce(&ctx, node, decision, placer.last_detail());
+                decision
+            };
+            match decision {
+                Decision::Assign(i) => {
+                    let red = self.unassigned_reduces.swap_remove(i);
+                    self.nodes[n].free_reduce -= 1;
+                    self.reduce_holder[red] = Some(node.0);
+                    self.reduce_assigned_round[red] = self.round;
+                    self.job_reduce_nodes.push(node);
+                    out.push(Assignment::Reduce {
+                        reduce: red as u32,
+                        attempt: self.reduce_attempt[red],
+                        n_maps: self.n_maps as u32,
+                    });
+                }
+                Decision::Skip(_) => {
+                    self.skipped_offers += 1;
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Live shuffle sources for one reduce partition, from heartbeat
+    /// progress snapshots — the cluster analogue of the engine's
+    /// gauge-backed version.
+    fn shuffle_sources(&self, partition: usize) -> Vec<ShuffleSource> {
+        (0..self.n_maps)
+            .filter_map(|m| {
+                self.map_holder[m].map(|h| ShuffleSource {
+                    node: NodeId(h),
+                    current_bytes: self.progress[m].1.get(partition).copied().unwrap_or(0) as f64,
+                    input_read: self.progress[m].0,
+                    input_total: self.blocks[m].len() as u64,
+                })
+            })
+            .collect()
+    }
+
+    fn on_where_is(&self, map: u32) -> Msg {
+        let m = map as usize;
+        if m < self.n_maps && self.map_finished[m] {
+            if let Some(h) = self.map_holder[m] {
+                if self.alive(h as usize) {
+                    return Msg::MapAt {
+                        node: h,
+                        addr: self.nodes[h as usize].data_addr.clone(),
+                        attempt: self.map_attempt[m],
+                    };
+                }
+            }
+        }
+        Msg::NotReady
+    }
+}
+
+/// A running JobTracker: RPC server + tick thread around shared state.
+/// Dropping without [`wait`](Self::wait) aborts the job and tears the
+/// threads down.
+pub struct JobTracker {
+    server: Option<RpcServer>,
+    state: Arc<Mutex<TrackerState>>,
+    tick: Option<JoinHandle<()>>,
+}
+
+impl JobTracker {
+    /// Bind `listen` (port 0 for an ephemeral port), split `input` into
+    /// blocks, place replicas with the same seeded sequence as the engine,
+    /// and start serving registrations. The job begins as workers join.
+    pub fn start(
+        listen: &str,
+        cfg: ClusterConfig,
+        spec: JobSpec,
+        n_reduces: usize,
+        input: &str,
+        placer: Box<dyn TaskPlacer>,
+        observer: DecisionObserver,
+    ) -> io::Result<JobTracker> {
+        assert!(n_reduces > 0, "jobs need at least one reduce partition");
+        cfg.faults.validate(cfg.n_nodes).expect("invalid fault plan");
+        let topo = Topology::single_rack(cfg.n_nodes, 1e9);
+        let hops = Arc::new(DistanceMatrix::hops(&topo));
+        let layout = topo.layout().clone();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let blocks = split_blocks(input, cfg.block_bytes);
+        let n_maps = blocks.len();
+        let mut store = BlockStore::new();
+        let mut replicas = Vec::with_capacity(n_maps);
+        for b in 0..n_maps {
+            let writer = pnats_dfs::placement::random_writer(&layout, &mut rng);
+            let reps = RackAware.place(writer, cfg.replication, &layout, &mut rng);
+            store.set_replicas(BlockId(b as u32), reps.clone());
+            replicas.push(reps);
+        }
+        let jid = JobId(0);
+        let map_cands: Vec<MapCandidate> = (0..n_maps)
+            .map(|j| MapCandidate {
+                task: MapTaskId { job: jid, index: j as u32 },
+                block_size: blocks[j].len() as u64,
+                replicas: replicas[j].clone(),
+            })
+            .collect();
+        let mut fault_events: Vec<(u64, u8, usize)> = Vec::new();
+        for c in &cfg.faults.crashes {
+            fault_events.push((c.at as u64, 0, c.node));
+            if let Some(r) = c.recover_at {
+                fault_events.push((r as u64, 1, c.node));
+            }
+        }
+        fault_events.sort_unstable();
+        let heartbeat = cfg.heartbeat;
+        let n_nodes = cfg.n_nodes;
+        let state = TrackerState {
+            spec,
+            replicas,
+            map_cands,
+            n_maps,
+            n_reduces,
+            hops,
+            layout,
+            placer,
+            observer,
+            rng,
+            start: Instant::now(),
+            round: 0,
+            nodes: (0..n_nodes)
+                .map(|_| NodeState {
+                    registered: false,
+                    epoch: 0,
+                    data_addr: String::new(),
+                    last_heard: 0,
+                    down_depth: 0,
+                    free_map: 0,
+                    free_reduce: 0,
+                })
+                .collect(),
+            map_holder: vec![None; n_maps],
+            map_attempt: vec![0; n_maps],
+            map_starts: vec![0; n_maps],
+            map_finished: vec![false; n_maps],
+            map_assigned_round: vec![0; n_maps],
+            progress: (0..n_maps).map(|_| (0, vec![0; n_reduces])).collect(),
+            maps_finished: 0,
+            reduce_holder: vec![None; n_reduces],
+            reduce_attempt: vec![0; n_reduces],
+            reduce_finished: vec![false; n_reduces],
+            reduce_assigned_round: vec![0; n_reduces],
+            reduces_finished: 0,
+            job_reduce_nodes: Vec::new(),
+            final_output: vec![Vec::new(); n_reduces],
+            unassigned_maps: (0..n_maps).collect(),
+            unassigned_reduces: (0..n_reduces).collect(),
+            skipped_offers: 0,
+            map_locality: LocalityCounter::default(),
+            reduce_locality: LocalityCounter::default(),
+            fault_events,
+            next_fault: 0,
+            failed: false,
+            done: false,
+            blocks,
+            cfg,
+        };
+        let state = Arc::new(Mutex::new(state));
+
+        let handler_state = state.clone();
+        let handler: pnats_rpc::Handler = Arc::new(move |msg| {
+            let mut s = handler_state.lock().unwrap();
+            match msg {
+                Msg::Register { node, epoch, data_addr } => s.on_register(node, epoch, data_addr),
+                Msg::Heartbeat {
+                    node,
+                    epoch,
+                    free_map_slots,
+                    free_reduce_slots,
+                    progress,
+                    map_done,
+                    map_failed,
+                    reduce_done,
+                    running_reduces,
+                    rpc_retries,
+                } => s.on_heartbeat(
+                    node,
+                    epoch,
+                    free_map_slots,
+                    free_reduce_slots,
+                    progress,
+                    map_done,
+                    map_failed,
+                    reduce_done,
+                    running_reduces,
+                    rpc_retries,
+                ),
+                Msg::WhereIs { map } => s.on_where_is(map),
+                Msg::FetchBlock { block } => match s.blocks.get(block as usize) {
+                    Some(b) => Msg::BlockData { block, data: b.clone() },
+                    None => Msg::NotHere,
+                },
+                Msg::Shutdown => {
+                    // External stop: whatever is incomplete stays incomplete.
+                    if !(s.maps_finished == s.n_maps && s.reduces_finished == s.n_reduces) {
+                        s.failed = true;
+                    }
+                    s.done = true;
+                    Msg::Ack
+                }
+                _ => Msg::Ack,
+            }
+        });
+        let server = RpcServer::bind(listen, handler, Duration::from_millis(50))?;
+        let tick_state = state.clone();
+        let tick = std::thread::spawn(move || loop {
+            std::thread::sleep(heartbeat);
+            let mut s = tick_state.lock().unwrap();
+            if s.done {
+                break;
+            }
+            s.tick();
+        });
+        Ok(JobTracker { server: Some(server), state, tick: Some(tick) })
+    }
+
+    /// The tracker's bound address.
+    pub fn addr(&self) -> &str {
+        self.server.as_ref().expect("server runs until wait()").addr()
+    }
+
+    /// Block until the job completes (or the config's `max_wall` fires, in
+    /// which case the report is marked failed), give departing workers a
+    /// grace window of shutdown replies, then tear down and assemble the
+    /// report.
+    pub fn wait(mut self) -> ClusterReport {
+        let (deadline, heartbeat) = {
+            let s = self.state.lock().unwrap();
+            (s.start + s.cfg.max_wall, s.cfg.heartbeat)
+        };
+        loop {
+            std::thread::sleep(heartbeat);
+            let mut s = self.state.lock().unwrap();
+            if s.done {
+                break;
+            }
+            if Instant::now() > deadline {
+                s.failed = true;
+                s.done = true;
+                break;
+            }
+        }
+        // Grace: let workers hear `shutdown` in their next heartbeat reply.
+        std::thread::sleep(heartbeat * 20);
+        self.teardown();
+        let mut s = self.state.lock().unwrap();
+        if let Some(stats) = s.placer.stats() {
+            let stats = stats.clone();
+            s.observer.absorb_placer(&stats);
+        }
+        s.observer.flush();
+        let trace_jsonl = s.observer.drain_jsonl();
+        let output: Vec<(String, String)> =
+            std::mem::take(&mut s.final_output).into_iter().flatten().collect();
+        ClusterReport {
+            output,
+            map_locality: s.map_locality,
+            reduce_locality: s.reduce_locality,
+            wall: s.start.elapsed(),
+            n_maps: s.n_maps,
+            n_reduces: s.n_reduces,
+            skipped_offers: s.skipped_offers,
+            counters: s.observer.counters().clone(),
+            trace_jsonl,
+            failed: s.failed,
+        }
+    }
+
+    fn teardown(&mut self) {
+        if let Some(mut server) = self.server.take() {
+            server.stop();
+        }
+        if let Some(t) = self.tick.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for JobTracker {
+    fn drop(&mut self) {
+        self.state.lock().unwrap().done = true; // stops the tick thread
+        self.teardown();
+    }
+}

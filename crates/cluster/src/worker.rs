@@ -1,0 +1,448 @@
+//! The TaskTracker: one worker process/thread owning a dfs shard, a data
+//! server for peers, and map/reduce slots. It heartbeats the tracker every
+//! `T` ms over TCP, executes assignments on task threads via the engine's
+//! shared execution primitives ([`execute_map`]/[`execute_reduce`] — so
+//! output bytes are identical to the engine's), and serves its finished
+//! map partitions to reducers.
+//!
+//! Crash-epoch semantics: when the tracker answers a heartbeat with
+//! `dead`, the worker wipes all held state (its map outputs are gone from
+//! the cluster's perspective), bumps its epoch, and re-registers from
+//! scratch. Task threads from the wiped epoch keep running — threads
+//! cannot be killed — but their channel went away with the epoch, so
+//! their completions evaporate instead of corrupting the next epoch.
+
+use crate::jobspec::JobSpec;
+use pnats_core::partition::Partitioner;
+use pnats_engine::exec::{execute_map, execute_reduce, MapProgressGauges};
+use pnats_engine::EngineJob;
+use pnats_rpc::{
+    Assignment, MapDone, MapFailed, Msg, ProgressReport, ReduceDone, RetryPolicy, RpcClient,
+    RpcError, RpcServer,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Everything a worker needs to join a cluster.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// This worker's node id (`0..n_nodes` of the tracker's config).
+    pub node: u32,
+    /// The tracker's RPC address.
+    pub tracker_addr: String,
+    /// Map slots to offer.
+    pub map_slots: u32,
+    /// Reduce slots to offer.
+    pub reduce_slots: u32,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// Read/write deadline on every TCP stream.
+    pub io_timeout: Duration,
+    /// Retry budget + backoff for tracker and peer calls.
+    pub retry: RetryPolicy,
+}
+
+/// One finished map output: the attempt that produced it plus one pair
+/// list per reduce partition.
+type MapOutput = (u32, Vec<Vec<(String, String)>>);
+
+/// Shard + finished map outputs, shared between the heartbeat loop, task
+/// threads, and the data server.
+#[derive(Default)]
+struct DataState {
+    /// Input blocks this worker holds replicas of.
+    blocks: HashMap<u32, String>,
+    /// Finished map outputs keyed by map index.
+    outputs: HashMap<u32, MapOutput>,
+}
+
+enum TaskEvent {
+    MapDone(MapDone),
+    MapFailed(MapFailed),
+    ReduceDone(ReduceDone),
+}
+
+enum EpochEnd {
+    /// The tracker said shutdown (or went away): exit the worker.
+    Shutdown,
+    /// The tracker declared us dead: wipe and re-register under a new epoch.
+    Wiped,
+}
+
+/// Run a worker until the tracker shuts it down. Each `dead` verdict from
+/// the tracker starts a fresh epoch (wiped state, re-registration).
+pub fn run_worker(cfg: WorkerConfig) -> Result<(), RpcError> {
+    let mut epoch = 0u32;
+    loop {
+        match run_epoch(&cfg, epoch)? {
+            EpochEnd::Shutdown => return Ok(()),
+            EpochEnd::Wiped => epoch += 1,
+        }
+    }
+}
+
+fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
+    let data: Arc<Mutex<DataState>> = Arc::new(Mutex::new(DataState::default()));
+
+    // Data plane: serve blocks and finished partitions to peers.
+    let data_handler: pnats_rpc::Handler = {
+        let data = data.clone();
+        Arc::new(move |msg| {
+            let d = data.lock().unwrap();
+            match msg {
+                Msg::FetchBlock { block } => match d.blocks.get(&block) {
+                    Some(b) => Msg::BlockData { block, data: b.clone() },
+                    None => Msg::NotHere,
+                },
+                Msg::FetchPartition { map, attempt, reduce } => match d.outputs.get(&map) {
+                    Some((a, parts)) if *a == attempt => match parts.get(reduce as usize) {
+                        Some(p) => Msg::PartitionData { pairs: p.clone() },
+                        None => Msg::NotHere,
+                    },
+                    _ => Msg::NotHere,
+                },
+                _ => Msg::NotHere,
+            }
+        })
+    };
+    let _data_server = RpcServer::bind("127.0.0.1:0", data_handler, Duration::from_millis(50))
+        .map_err(|e| RpcError::Frame(e.into()))?;
+    let data_addr = _data_server.addr().to_string();
+
+    // Control plane: register (politely waiting out scripted-down windows).
+    let mut control = RpcClient::connect(&cfg.tracker_addr, cfg.retry.clone(), cfg.io_timeout)?;
+    let control_retries = control.retry_counter();
+    let ack = loop {
+        match control.call(&Msg::Register {
+            node: cfg.node,
+            epoch,
+            data_addr: data_addr.clone(),
+        })? {
+            ack @ Msg::RegisterAck { .. } => break ack,
+            Msg::Shutdown => return Ok(EpochEnd::Shutdown),
+            _ => std::thread::sleep(cfg.heartbeat), // NotReady: down window
+        }
+    };
+    let Msg::RegisterAck { job, n_reduces, partitioner, cpu_us_per_kib, blocks, .. } = ack else {
+        unreachable!("loop breaks on RegisterAck only")
+    };
+    let n_reduces = n_reduces as usize;
+    let partitioner = Partitioner::from_tag(partitioner).unwrap_or(Partitioner::Hash);
+    let spec = match JobSpec::from_wire(&job) {
+        Some(s) => s,
+        None => return Ok(EpochEnd::Shutdown), // tracker speaks a job we don't know
+    };
+    let engine_job = Arc::new(spec.job(n_reduces));
+    data.lock().unwrap().blocks = blocks.into_iter().collect();
+
+    // Shared resolver client for task threads (WhereIs + block fallback).
+    let resolver = Arc::new(Mutex::new(RpcClient::connect(
+        &cfg.tracker_addr,
+        cfg.retry.clone(),
+        cfg.io_timeout,
+    )?));
+    let resolver_retries = resolver.lock().unwrap().retry_counter();
+
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::<TaskEvent>();
+    let mut free_map = cfg.map_slots;
+    let mut free_reduce = cfg.reduce_slots;
+    let mut running_maps: HashMap<u32, (u32, Arc<MapProgressGauges>)> = HashMap::new();
+    let mut running_reduces: Vec<(u32, u32)> = Vec::new();
+    let mut pend_done: Vec<MapDone> = Vec::new();
+    let mut pend_failed: Vec<MapFailed> = Vec::new();
+    let mut pend_reduce: Vec<ReduceDone> = Vec::new();
+    let mut reported_retries = 0u64;
+
+    loop {
+        while let Ok(ev) = rx.try_recv() {
+            match ev {
+                TaskEvent::MapDone(d) => {
+                    running_maps.remove(&d.map);
+                    free_map += 1;
+                    pend_done.push(d);
+                }
+                TaskEvent::MapFailed(f) => {
+                    running_maps.remove(&f.map);
+                    free_map += 1;
+                    pend_failed.push(f);
+                }
+                TaskEvent::ReduceDone(r) => {
+                    running_reduces.retain(|(id, _)| *id != r.reduce);
+                    free_reduce += 1;
+                    pend_reduce.push(r);
+                }
+            }
+        }
+        let progress: Vec<ProgressReport> = running_maps
+            .iter()
+            .map(|(m, (a, g))| ProgressReport {
+                map: *m,
+                attempt: *a,
+                d_read: g.d_read.load(Ordering::Relaxed),
+                part_bytes: g.part_bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            })
+            .collect();
+        let total_retries =
+            control_retries.load(Ordering::Relaxed) + resolver_retries.load(Ordering::Relaxed);
+        let hb = Msg::Heartbeat {
+            node: cfg.node,
+            epoch,
+            free_map_slots: free_map,
+            free_reduce_slots: free_reduce,
+            progress,
+            map_done: pend_done.clone(),
+            map_failed: pend_failed.clone(),
+            reduce_done: pend_reduce.clone(),
+            running_reduces: running_reduces.clone(),
+            rpc_retries: total_retries - reported_retries,
+        };
+        match control.call(&hb) {
+            // Retry budget exhausted: the tracker is gone, and with it the job.
+            Err(_) => return Ok(EpochEnd::Shutdown),
+            Ok(Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown }) => {
+                if dead {
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Wiped);
+                }
+                if !ignored {
+                    pend_done.clear();
+                    pend_failed.clear();
+                    pend_reduce.clear();
+                    reported_retries = total_retries;
+                    let mut d = data.lock().unwrap();
+                    for m in &invalidate {
+                        d.outputs.remove(m);
+                    }
+                }
+                if shutdown {
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Shutdown);
+                }
+                for a in assignments {
+                    match a {
+                        Assignment::Map { map, attempt, doomed, sources } => {
+                            free_map = free_map.saturating_sub(1);
+                            let gauges = Arc::new(MapProgressGauges::new(n_reduces));
+                            running_maps.insert(map, (attempt, gauges.clone()));
+                            spawn_map_task(MapTask {
+                                map,
+                                attempt,
+                                doomed,
+                                sources,
+                                gauges,
+                                data: data.clone(),
+                                resolver: resolver.clone(),
+                                job: engine_job.clone(),
+                                partitioner,
+                                cpu_us_per_kib,
+                                cancel: cancel.clone(),
+                                tx: tx.clone(),
+                                io_timeout: cfg.io_timeout,
+                            });
+                        }
+                        Assignment::Reduce { reduce, attempt, n_maps } => {
+                            free_reduce = free_reduce.saturating_sub(1);
+                            running_reduces.push((reduce, attempt));
+                            spawn_reduce_task(ReduceTask {
+                                reduce,
+                                attempt,
+                                n_maps,
+                                data: data.clone(),
+                                resolver: resolver.clone(),
+                                my_addr: data_addr.clone(),
+                                job: engine_job.clone(),
+                                cancel: cancel.clone(),
+                                tx: tx.clone(),
+                                heartbeat: cfg.heartbeat,
+                                io_timeout: cfg.io_timeout,
+                                retry: cfg.retry.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(_) => {} // protocol noise; try again next round
+        }
+        std::thread::sleep(cfg.heartbeat);
+    }
+}
+
+struct MapTask {
+    map: u32,
+    attempt: u32,
+    doomed: bool,
+    sources: Vec<String>,
+    gauges: Arc<MapProgressGauges>,
+    data: Arc<Mutex<DataState>>,
+    resolver: Arc<Mutex<RpcClient>>,
+    job: Arc<EngineJob>,
+    partitioner: Partitioner,
+    cpu_us_per_kib: u64,
+    cancel: Arc<AtomicBool>,
+    tx: Sender<TaskEvent>,
+    io_timeout: Duration,
+}
+
+fn spawn_map_task(t: MapTask) {
+    std::thread::spawn(move || {
+        let Some(text) = fetch_block_text(&t) else {
+            // No replica holder nor the tracker could produce the block:
+            // report a failure so the attempt is retried elsewhere.
+            let _ = t.tx.send(TaskEvent::MapFailed(MapFailed { map: t.map, attempt: t.attempt }));
+            return;
+        };
+        if t.doomed {
+            // The seeded fault draw doomed this attempt: burn a little
+            // compute, then report the transient failure.
+            std::thread::sleep(Duration::from_micros(t.cpu_us_per_kib * 4));
+            let _ = t.tx.send(TaskEvent::MapFailed(MapFailed { map: t.map, attempt: t.attempt }));
+            return;
+        }
+        let pace_us = t.cpu_us_per_kib * 8;
+        let cancel = t.cancel.clone();
+        let (partitions, bytes) = execute_map(
+            t.job.mapper.as_ref(),
+            &text,
+            t.job.n_reduces,
+            t.partitioner,
+            &t.gauges,
+            || {
+                if !cancel.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_micros(pace_us));
+                }
+            },
+        );
+        if t.cancel.load(Ordering::SeqCst) {
+            return;
+        }
+        t.data.lock().unwrap().outputs.insert(t.map, (t.attempt, partitions));
+        let _ = t.tx.send(TaskEvent::MapDone(MapDone { map: t.map, attempt: t.attempt, bytes }));
+    });
+}
+
+/// Local shard first, then the replica holders the tracker suggested, then
+/// the tracker itself (which holds every block) as the fallback of last
+/// resort.
+fn fetch_block_text(t: &MapTask) -> Option<String> {
+    if let Some(b) = t.data.lock().unwrap().blocks.get(&t.map) {
+        return Some(b.clone());
+    }
+    for addr in &t.sources {
+        let Ok(mut peer) = RpcClient::connect(
+            addr.clone(),
+            RetryPolicy { max_attempts: 1, ..RetryPolicy::default() },
+            t.io_timeout,
+        ) else {
+            continue;
+        };
+        if let Ok(Msg::BlockData { data, .. }) = peer.call(&Msg::FetchBlock { block: t.map }) {
+            return Some(data);
+        }
+    }
+    match t.resolver.lock().unwrap().call(&Msg::FetchBlock { block: t.map }) {
+        Ok(Msg::BlockData { data, .. }) => Some(data),
+        _ => None,
+    }
+}
+
+struct ReduceTask {
+    reduce: u32,
+    attempt: u32,
+    n_maps: u32,
+    data: Arc<Mutex<DataState>>,
+    resolver: Arc<Mutex<RpcClient>>,
+    my_addr: String,
+    job: Arc<EngineJob>,
+    cancel: Arc<AtomicBool>,
+    tx: Sender<TaskEvent>,
+    heartbeat: Duration,
+    io_timeout: Duration,
+    retry: RetryPolicy,
+}
+
+fn spawn_reduce_task(t: ReduceTask) {
+    std::thread::spawn(move || {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        let mut per_source: Vec<(u32, u64)> = Vec::new();
+        let mut peers: HashMap<String, RpcClient> = HashMap::new();
+        // Fetch every map's partition *in map-index order* — together with
+        // the stable sort inside execute_reduce this pins the value order,
+        // making output independent of placement and timing.
+        for m in 0..t.n_maps {
+            let fetched = loop {
+                if t.cancel.load(Ordering::SeqCst) {
+                    return;
+                }
+                let located = t.resolver.lock().unwrap().call(&Msg::WhereIs { map: m });
+                match located {
+                    Ok(Msg::MapAt { node, addr, attempt }) => {
+                        let part = fetch_partition(&t, &mut peers, m, attempt, &addr);
+                        if let Some(p) = part {
+                            break (node, p);
+                        }
+                        // Holder went away between resolve and fetch (or
+                        // invalidation raced us): re-resolve next round.
+                    }
+                    Ok(Msg::Shutdown) | Err(_) => return,
+                    _ => {} // NotReady: map not finished (or re-executing)
+                }
+                std::thread::sleep(t.heartbeat);
+            };
+            let (src, part) = fetched;
+            let sz: u64 = part.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+            if sz > 0 {
+                match per_source.iter_mut().find(|(n, _)| *n == src) {
+                    Some(e) => e.1 += sz,
+                    None => per_source.push((src, sz)),
+                }
+            }
+            pairs.extend(part);
+        }
+        let output = execute_reduce(t.job.reducer.as_ref(), pairs);
+        if t.cancel.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = t.tx.send(TaskEvent::ReduceDone(ReduceDone {
+            reduce: t.reduce,
+            attempt: t.attempt,
+            output,
+            sources: per_source,
+        }));
+    });
+}
+
+/// One partition fetch: straight out of our own store when we are the
+/// holder, over a (cached) peer connection otherwise. `None` means the
+/// holder could not produce the attempt — the caller re-resolves.
+fn fetch_partition(
+    t: &ReduceTask,
+    peers: &mut HashMap<String, RpcClient>,
+    map: u32,
+    attempt: u32,
+    addr: &str,
+) -> Option<Vec<(String, String)>> {
+    if addr == t.my_addr {
+        let d = t.data.lock().unwrap();
+        return d
+            .outputs
+            .get(&map)
+            .filter(|(a, _)| *a == attempt)
+            .map(|(_, parts)| parts[t.reduce as usize].clone());
+    }
+    if !peers.contains_key(addr) {
+        let client = RpcClient::connect(addr.to_string(), t.retry.clone(), t.io_timeout).ok()?;
+        peers.insert(addr.to_string(), client);
+    }
+    let peer = peers.get_mut(addr).expect("just inserted");
+    match peer.call(&Msg::FetchPartition { map, attempt, reduce: t.reduce }) {
+        Ok(Msg::PartitionData { pairs }) => Some(pairs),
+        _ => {
+            peers.remove(addr); // dead or confused peer: drop the connection
+            None
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub mod context;
 pub mod cost;
 pub mod estimate;
 pub mod faults;
+pub mod partition;
 pub mod placer;
 pub mod prob;
 pub mod prob_sched;
@@ -69,6 +70,7 @@ pub use context::{
 };
 pub use estimate::IntermediateEstimator;
 pub use faults::{FaultPlan, HeartbeatLoss, LinkDegradation, NodeCrash};
+pub use partition::{partition_of, Partitioner};
 pub use placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 pub use prob::ProbabilityModel;
 pub use prob_sched::{ProbConfig, ProbabilisticPlacer};

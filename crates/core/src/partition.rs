@@ -1,0 +1,140 @@
+//! The shuffle-partition function shared by every runtime.
+//!
+//! A MapReduce computation's *output bytes* are determined by which reduce
+//! partition each intermediate key lands in, so every runtime — the
+//! threaded engine, the discrete-event simulator's shuffle model and the
+//! TCP cluster runtime — must agree on one definition. This module is that
+//! definition; the golden-hash test below pins its outputs so the mapping
+//! can never drift silently across platforms or PRs (drifting would break
+//! the engine-vs-cluster byte-parity gate and invalidate archived traces).
+
+/// Hadoop's default partitioner: stable hash of the key modulo partitions.
+///
+/// FNV-1a (64-bit): stable across runs and platforms, unlike std's
+/// `DefaultHasher` whose output is randomized per process.
+pub fn partition_of(key: &str, n_reduces: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n_reduces as u64) as usize
+}
+
+/// How intermediate keys map to reduce partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Partitioner {
+    /// Stable FNV-1a hash of the key (Hadoop default) — [`partition_of`].
+    #[default]
+    Hash,
+    /// Range partition by the key's first byte — gives globally sorted
+    /// output for uniformly distributed keys (TeraSort's sampler, scaled
+    /// down).
+    RangeByFirstByte,
+}
+
+impl Partitioner {
+    /// The partition `key` belongs to, out of `n` (`n > 0`).
+    pub fn of(self, key: &str, n: usize) -> usize {
+        match self {
+            Partitioner::Hash => partition_of(key, n),
+            Partitioner::RangeByFirstByte => {
+                let b = key.as_bytes().first().copied().unwrap_or(0) as usize;
+                (b * n / 256).min(n - 1)
+            }
+        }
+    }
+
+    /// Stable one-byte wire tag (the cluster runtime ships the partitioner
+    /// choice to its workers in `RegisterAck`).
+    pub fn tag(self) -> u8 {
+        match self {
+            Partitioner::Hash => 0,
+            Partitioner::RangeByFirstByte => 1,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Partitioner::Hash),
+            1 => Some(Partitioner::RangeByFirstByte),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values computed independently from the FNV-1a reference
+    /// parameters (offset basis 0xcbf29ce484222325, prime 0x100000001b3).
+    /// If this test fails, the partition function changed — which breaks
+    /// byte-parity between runtimes and invalidates every archived trace.
+    /// Do not update the constants without bumping the RPC protocol version.
+    #[test]
+    fn golden_hash_pins_partition_of() {
+        let cases: [(&str, usize, usize); 10] = [
+            ("", 7, 2),
+            ("", 157, 28),
+            ("a", 7, 5),
+            ("a", 16, 12),
+            ("hello", 16, 11),
+            ("hello", 157, 117),
+            ("apple", 3, 0),
+            ("Zebra-12", 157, 101),
+            ("the", 16, 12),
+            ("pnats", 7, 6),
+        ];
+        for (key, n, expect) in cases {
+            assert_eq!(partition_of(key, n), expect, "partition_of({key:?}, {n})");
+        }
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for n in [1usize, 7, 157] {
+            for key in ["", "a", "hello", "Zebra-12"] {
+                let p = partition_of(key, n);
+                assert!(p < n);
+                assert_eq!(p, partition_of(key, n), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        let n = 16;
+        let mut seen = vec![false; n];
+        for i in 0..1000 {
+            seen[partition_of(&format!("key{i}"), n)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "every partition hit");
+    }
+
+    #[test]
+    fn range_partitioner_is_monotone_and_bounded() {
+        let p = Partitioner::RangeByFirstByte;
+        let n = 4;
+        let mut last = 0;
+        for b in 0u8..=255 {
+            let key = String::from_utf8_lossy(&[b]).to_string();
+            if !key.is_empty() && key.as_bytes()[0] == b {
+                let part = p.of(&key, n);
+                assert!(part < n);
+                assert!(part >= last, "range partition must be monotone in the first byte");
+                last = part;
+            }
+        }
+        assert_eq!(p.of("", n), 0, "empty key goes to partition 0");
+    }
+
+    #[test]
+    fn wire_tags_round_trip() {
+        for p in [Partitioner::Hash, Partitioner::RangeByFirstByte] {
+            assert_eq!(Partitioner::from_tag(p.tag()), Some(p));
+        }
+        assert_eq!(Partitioner::from_tag(2), None);
+    }
+}

@@ -44,16 +44,9 @@ impl EngineJob {
     }
 }
 
-/// Hadoop's default partitioner: stable hash of the key modulo partitions.
-pub fn partition_of(key: &str, n_reduces: usize) -> usize {
-    // FNV-1a: stable across runs/platforms (std's hasher is not).
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    (h % n_reduces as u64) as usize
-}
+/// Re-exported from [`pnats_core::partition`] — one definition shared by
+/// every runtime (engine, simulator shuffle model, cluster).
+pub use pnats_core::partition::partition_of;
 
 #[cfg(test)]
 mod tests {
@@ -72,24 +65,8 @@ mod tests {
     }
 
     #[test]
-    fn partition_is_stable_and_in_range() {
-        for n in [1usize, 7, 157] {
-            for key in ["", "a", "hello", "Zebra-12"] {
-                let p = partition_of(key, n);
-                assert!(p < n);
-                assert_eq!(p, partition_of(key, n), "stable");
-            }
-        }
-    }
-
-    #[test]
-    fn partition_spreads_keys() {
-        let n = 16;
-        let mut seen = vec![false; n];
-        for i in 0..1000 {
-            seen[partition_of(&format!("key{i}"), n)] = true;
-        }
-        assert!(seen.iter().all(|s| *s), "every partition hit");
+    fn partition_reexport_is_the_core_definition() {
+        assert_eq!(partition_of("hello", 157), pnats_core::partition_of("hello", 157));
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! The engine runtime: virtual nodes, slots, heartbeat-driven placement,
 //! threaded task execution.
 
-use crate::api::{partition_of, EngineJob};
+use crate::api::EngineJob;
+use crate::exec::{execute_map, execute_reduce, slowstart_gate, MapProgressGauges};
 use pnats_core::context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
 use pnats_core::faults::FaultPlan;
+/// Re-exported from [`pnats_core::partition`] — one definition shared by
+/// every runtime (engine, simulator shuffle model, cluster).
+pub use pnats_core::partition::Partitioner;
 use pnats_core::placer::{Decision, TaskPlacer};
 use pnats_core::types::{JobId, MapTaskId, ReduceTaskId};
 use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
@@ -14,35 +18,11 @@ use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
 use pnats_obs::{DecisionObserver, FaultKind, FaultRecord, SchedCounters, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::Scope;
 use std::time::{Duration, Instant};
-
-/// How intermediate keys map to reduce partitions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Partitioner {
-    /// Stable hash of the key (Hadoop default).
-    #[default]
-    Hash,
-    /// Range partition by the key's first byte — gives globally sorted
-    /// output for uniformly distributed keys (TeraSort's sampler, scaled
-    /// down).
-    RangeByFirstByte,
-}
-
-impl Partitioner {
-    fn of(self, key: &str, n: usize) -> usize {
-        match self {
-            Partitioner::Hash => partition_of(key, n),
-            Partitioner::RangeByFirstByte => {
-                let b = key.as_bytes().first().copied().unwrap_or(0) as usize;
-                (b * n / 256).min(n - 1)
-            }
-        }
-    }
-}
 
 /// Engine configuration. The defaults make examples finish in seconds while
 /// keeping remote reads visibly slower than local ones.
@@ -135,12 +115,6 @@ type MapOutput = (Vec<Vec<(String, String)>>, Vec<u64>);
 /// Shared store of finished map outputs, filled by the driver.
 type OutputStore = Arc<Mutex<Vec<Option<MapOutput>>>>;
 
-/// Published progress of one running map task (the heartbeat report).
-struct MapProgress {
-    d_read: AtomicU64,
-    part_bytes: Vec<AtomicU64>,
-}
-
 enum DoneMsg {
     Map {
         map: usize,
@@ -193,22 +167,7 @@ impl MapReduceEngine {
 
     /// Split text into blocks of roughly `block_bytes` on line boundaries.
     fn split_blocks(&self, input: &str) -> Vec<String> {
-        let mut blocks = Vec::new();
-        let mut cur = String::new();
-        for line in input.lines() {
-            cur.push_str(line);
-            cur.push('\n');
-            if cur.len() >= self.cfg.block_bytes {
-                blocks.push(std::mem::take(&mut cur));
-            }
-        }
-        if !cur.is_empty() {
-            blocks.push(cur);
-        }
-        if blocks.is_empty() {
-            blocks.push(String::new());
-        }
-        blocks
+        crate::exec::split_blocks(input, self.cfg.block_bytes)
     }
 
     fn net_delay(&self, bytes: u64, hops: f64) -> Duration {
@@ -310,14 +269,8 @@ impl MapReduceEngine {
         let mut next_fault = 0usize;
 
         // Cross-thread state.
-        let progress: Arc<Vec<MapProgress>> = Arc::new(
-            (0..n_maps)
-                .map(|_| MapProgress {
-                    d_read: AtomicU64::new(0),
-                    part_bytes: (0..n_reduces).map(|_| AtomicU64::new(0)).collect(),
-                })
-                .collect(),
-        );
+        let progress: Arc<Vec<MapProgressGauges>> =
+            Arc::new((0..n_maps).map(|_| MapProgressGauges::new(n_reduces)).collect());
         let outputs: OutputStore = Arc::new(Mutex::new((0..n_maps).map(|_| None).collect()));
         let all_maps_done = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<DoneMsg>, Receiver<DoneMsg>) = channel();
@@ -542,9 +495,7 @@ impl MapReduceEngine {
                         }
                     }
                     // Reduce slots (after slowstart).
-                    let gate =
-                        (self.cfg.slowstart * n_maps as f64).ceil() as usize;
-                    if maps_finished < gate.min(n_maps) {
+                    if maps_finished < slowstart_gate(self.cfg.slowstart, n_maps) {
                         continue;
                     }
                     while free_reduce[node.idx()] > 0 && !unassigned_reduces.is_empty() {
@@ -719,7 +670,7 @@ impl MapReduceEngine {
         &self,
         partition: usize,
         map_node: &[Option<NodeId>],
-        progress: &Arc<Vec<MapProgress>>,
+        progress: &Arc<Vec<MapProgressGauges>>,
         blocks: &Arc<Vec<String>>,
     ) -> Vec<ShuffleSource> {
         map_node
@@ -748,7 +699,7 @@ impl MapReduceEngine {
         doomed: bool,
         store: &BlockStore,
         blocks: &Arc<Vec<String>>,
-        progress: &Arc<Vec<MapProgress>>,
+        progress: &Arc<Vec<MapProgressGauges>>,
         tx: Sender<DoneMsg>,
     ) {
         let mapper = job.mapper.clone();
@@ -771,27 +722,16 @@ impl MapReduceEngine {
                 let _ = tx.send(DoneMsg::MapFailed { map, node, attempt });
                 return;
             }
-            let text = &blocks[map];
-            let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
-            let mut bytes = vec![0u64; n_reduces];
-            let mut offset = 0u64;
-            let p = &progress[map];
-            for line in text.lines() {
-                mapper.map(offset, line, &mut |k, v| {
-                    let part = partitioner.of(&k, n_reduces);
-                    let sz = (k.len() + v.len()) as u64;
-                    bytes[part] += sz;
-                    p.part_bytes[part].fetch_add(sz, Ordering::Relaxed);
-                    partitions[part].push((k, v));
-                });
-                offset += line.len() as u64 + 1;
-                p.d_read.store(offset.min(text.len() as u64), Ordering::Relaxed);
-                // Pace the task so progress is observable by the scheduler.
-                if offset % 8192 < line.len() as u64 + 1 {
-                    std::thread::sleep(Duration::from_micros(cpu_us * 8));
-                }
-            }
-            p.d_read.store(text.len() as u64, Ordering::Relaxed);
+            // Pace the task at 8 KiB boundaries so progress is observable
+            // by the scheduler between heartbeats.
+            let (partitions, bytes) = execute_map(
+                mapper.as_ref(),
+                &blocks[map],
+                n_reduces,
+                partitioner,
+                &progress[map],
+                || std::thread::sleep(Duration::from_micros(cpu_us * 8)),
+            );
             let _ = tx.send(DoneMsg::Map { map, node, attempt, partitions, bytes });
         });
     }
@@ -865,20 +805,7 @@ impl MapReduceEngine {
                 }
                 pairs.extend(part);
             }
-            // Sort + group + reduce.
-            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut output = Vec::new();
-            let mut i = 0;
-            while i < pairs.len() {
-                let mut j = i + 1;
-                while j < pairs.len() && pairs[j].0 == pairs[i].0 {
-                    j += 1;
-                }
-                let values: Vec<String> =
-                    pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
-                reducer.reduce(&pairs[i].0, &values, &mut |k, v| output.push((k, v)));
-                i = j;
-            }
+            let output = execute_reduce(reducer.as_ref(), pairs);
             let _ =
                 tx.send(DoneMsg::Reduce { reduce, node, attempt, output, sources: per_source });
         });

@@ -1,0 +1,206 @@
+//! Runtime-agnostic task execution.
+//!
+//! The threaded engine and the TCP cluster runtime must produce
+//! *byte-identical* final outputs for the same job, input and seed — that
+//! is the parity gate that lets the cluster's distributed control plane be
+//! validated against the engine's in-process one. Output bytes are fully
+//! determined by three things, all of which live here so the two runtimes
+//! cannot drift:
+//!
+//! * how input text splits into blocks ([`split_blocks`]);
+//! * how a mapper's emissions partition across reducers ([`execute_map`],
+//!   via [`pnats_core::Partitioner`]);
+//! * how a reducer's input is ordered and grouped ([`execute_reduce`]:
+//!   pairs are collected in map-index order, then stably sorted by key, so
+//!   values within a key always arrive in map-index emission order).
+//!
+//! Placement decisions, message timing and fault recovery affect *when*
+//! work runs and *where* bytes travel — never what they are.
+
+use crate::api::{Emit, Mapper, Reducer};
+use pnats_core::partition::Partitioner;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Published progress of one running map task — the live counters a
+/// heartbeat reports (`d_read` and per-partition `A_jf` in the paper's
+/// notation). The engine reads them in-process; a cluster worker snapshots
+/// them into its next heartbeat message.
+pub struct MapProgressGauges {
+    /// Input bytes consumed so far (`d_read`).
+    pub d_read: AtomicU64,
+    /// Intermediate bytes emitted per reduce partition so far (`A_jf`).
+    pub part_bytes: Vec<AtomicU64>,
+}
+
+impl MapProgressGauges {
+    /// Zeroed gauges for a job with `n_reduces` partitions.
+    pub fn new(n_reduces: usize) -> Self {
+        Self {
+            d_read: AtomicU64::new(0),
+            part_bytes: (0..n_reduces).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Reset to zero (a re-executed attempt starts over).
+    pub fn reset(&self) {
+        self.d_read.store(0, Ordering::Relaxed);
+        for b in &self.part_bytes {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Split text into blocks of roughly `block_bytes` on line boundaries.
+/// Every input — even empty — yields at least one block, so every job has
+/// at least one map task.
+pub fn split_blocks(input: &str, block_bytes: usize) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut cur = String::new();
+    for line in input.lines() {
+        cur.push_str(line);
+        cur.push('\n');
+        if cur.len() >= block_bytes {
+            blocks.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        blocks.push(cur);
+    }
+    if blocks.is_empty() {
+        blocks.push(String::new());
+    }
+    blocks
+}
+
+/// Run one map attempt over a block: per-line mapper calls, partitioned
+/// emission, live gauge updates. `pace` fires roughly every 8 KiB of input
+/// consumed — the engine sleeps there to make progress observable between
+/// heartbeats; a cluster worker can use it as a cancellation point.
+///
+/// Returns per-partition intermediate pairs and their byte sizes. The
+/// result is a pure function of `(text, mapper, partitioner, n_reduces)` —
+/// gauges and pacing affect observability, never output.
+pub fn execute_map(
+    mapper: &dyn Mapper,
+    text: &str,
+    n_reduces: usize,
+    partitioner: Partitioner,
+    gauges: &MapProgressGauges,
+    mut pace: impl FnMut(),
+) -> (Vec<Vec<(String, String)>>, Vec<u64>) {
+    let mut partitions: Vec<Vec<(String, String)>> = vec![Vec::new(); n_reduces];
+    let mut bytes = vec![0u64; n_reduces];
+    let mut offset = 0u64;
+    for line in text.lines() {
+        let emit: &mut Emit<'_> = &mut |k: String, v: String| {
+            let part = partitioner.of(&k, n_reduces);
+            let sz = (k.len() + v.len()) as u64;
+            bytes[part] += sz;
+            gauges.part_bytes[part].fetch_add(sz, Ordering::Relaxed);
+            partitions[part].push((k, v));
+        };
+        mapper.map(offset, line, emit);
+        offset += line.len() as u64 + 1;
+        gauges.d_read.store(offset.min(text.len() as u64), Ordering::Relaxed);
+        if offset % 8192 < line.len() as u64 + 1 {
+            pace();
+        }
+    }
+    gauges.d_read.store(text.len() as u64, Ordering::Relaxed);
+    (partitions, bytes)
+}
+
+/// Run one reduce attempt: stable sort by key, group, reduce. `pairs` must
+/// be the task's partition from every map output concatenated in
+/// *map-index order* — the stable sort then yields a deterministic value
+/// order within each key, independent of fetch timing or placement.
+pub fn execute_reduce(
+    reducer: &dyn Reducer,
+    mut pairs: Vec<(String, String)>,
+) -> Vec<(String, String)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut output = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let values: Vec<String> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+        reducer.reduce(&pairs[i].0, &values, &mut |k, v| output.push((k, v)));
+        i = j;
+    }
+    output
+}
+
+/// Maps that must finish before reduces launch (Hadoop's
+/// `mapreduce.job.reduce.slowstart.completedmaps`).
+pub fn slowstart_gate(slowstart: f64, n_maps: usize) -> usize {
+    ((slowstart * n_maps as f64).ceil() as usize).min(n_maps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::WordCountJob;
+
+    #[test]
+    fn split_blocks_round_trips_and_never_empty() {
+        let input = (0..100).map(|i| format!("line-{i}")).collect::<Vec<_>>().join("\n");
+        let blocks = split_blocks(&input, 128);
+        assert!(blocks.len() > 1);
+        assert_eq!(blocks.concat().lines().count(), 100);
+        assert_eq!(split_blocks("", 128), vec![String::new()]);
+    }
+
+    #[test]
+    fn execute_map_is_deterministic_and_updates_gauges() {
+        let text = "apple banana apple\ncherry banana apple\n".repeat(300);
+        let gauges = MapProgressGauges::new(3);
+        let mut paced = 0u32;
+        let (parts, bytes) =
+            execute_map(&WordCountJob, &text, 3, Partitioner::Hash, &gauges, || paced += 1);
+        let (parts2, bytes2) = execute_map(
+            &WordCountJob,
+            &text,
+            3,
+            Partitioner::Hash,
+            &MapProgressGauges::new(3),
+            || {},
+        );
+        assert_eq!(parts, parts2, "output independent of pacing/gauges");
+        assert_eq!(bytes, bytes2);
+        assert_eq!(gauges.d_read.load(Ordering::Relaxed), text.len() as u64);
+        for (p, b) in bytes.iter().enumerate() {
+            assert_eq!(gauges.part_bytes[p].load(Ordering::Relaxed), *b);
+        }
+        assert!(paced > 0, "a {}-byte block crosses 8 KiB boundaries", text.len());
+        gauges.reset();
+        assert_eq!(gauges.d_read.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn execute_reduce_groups_in_stable_order() {
+        // Duplicate keys: values must keep their concatenation order.
+        let pairs = vec![
+            ("b".to_string(), "1".to_string()),
+            ("a".to_string(), "1".to_string()),
+            ("b".to_string(), "1".to_string()),
+            ("a".to_string(), "1".to_string()),
+        ];
+        let out = execute_reduce(&WordCountJob, pairs);
+        assert_eq!(
+            out,
+            vec![("a".to_string(), "2".to_string()), ("b".to_string(), "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn slowstart_gate_bounds() {
+        assert_eq!(slowstart_gate(0.25, 8), 2);
+        assert_eq!(slowstart_gate(0.25, 1), 1);
+        assert_eq!(slowstart_gate(0.0, 8), 0);
+        assert_eq!(slowstart_gate(1.0, 8), 8);
+        assert_eq!(slowstart_gate(2.0, 8), 8, "clamped to n_maps");
+    }
+}

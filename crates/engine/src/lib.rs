@@ -28,6 +28,7 @@
 
 pub mod api;
 pub mod engine;
+pub mod exec;
 pub mod jobs;
 
 pub use api::{EngineJob, Mapper, Reducer};

@@ -34,6 +34,11 @@ pub struct SchedCounters {
     pub reexecuted_maps: u64,
     /// Heartbeats dropped by loss windows (node alive, master deaf).
     pub lost_heartbeats: u64,
+    /// RPC calls that failed and were retried (cluster runtime only).
+    pub rpc_retries: u64,
+    /// Peers the tracker expired after `k` missed heartbeats (cluster
+    /// runtime's crash detections).
+    pub peers_expired: u64,
 }
 
 impl SchedCounters {
@@ -54,6 +59,8 @@ impl SchedCounters {
             FaultKind::HeartbeatLost => self.lost_heartbeats += 1,
             FaultKind::MapInvalidated => self.reexecuted_maps += 1,
             FaultKind::TaskRescheduled | FaultKind::TransientFailure => self.retries += 1,
+            FaultKind::RpcRetry => self.rpc_retries += 1,
+            FaultKind::PeerExpired => self.peers_expired += 1,
             FaultKind::NodeRecover
             | FaultKind::JobFailed
             | FaultKind::LinkDegraded
@@ -84,6 +91,8 @@ impl SchedCounters {
         self.retries += other.retries;
         self.reexecuted_maps += other.reexecuted_maps;
         self.lost_heartbeats += other.lost_heartbeats;
+        self.rpc_retries += other.rpc_retries;
+        self.peers_expired += other.peers_expired;
     }
 
     /// Skip count for one reason.
@@ -116,6 +125,10 @@ impl SchedCounters {
             " node_crashes={} retries={} reexecuted_maps={} lost_heartbeats={}",
             self.node_crashes, self.retries, self.reexecuted_maps, self.lost_heartbeats
         ));
+        s.push_str(&format!(
+            " rpc_retries={} peers_expired={}",
+            self.rpc_retries, self.peers_expired
+        ));
         s
     }
 
@@ -140,6 +153,8 @@ impl SchedCounters {
                 "retries" => c.retries = v,
                 "reexecuted_maps" => c.reexecuted_maps = v,
                 "lost_heartbeats" => c.lost_heartbeats = v,
+                "rpc_retries" => c.rpc_retries = v,
+                "peers_expired" => c.peers_expired = v,
                 _ => {
                     if let Some(label) = key.strip_prefix("skip_") {
                         if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
@@ -172,7 +187,9 @@ impl SchedCounters {
         s.push_str(&format!("{indent}  \"node_crashes\": {},\n", self.node_crashes));
         s.push_str(&format!("{indent}  \"retries\": {},\n", self.retries));
         s.push_str(&format!("{indent}  \"reexecuted_maps\": {},\n", self.reexecuted_maps));
-        s.push_str(&format!("{indent}  \"lost_heartbeats\": {}\n", self.lost_heartbeats));
+        s.push_str(&format!("{indent}  \"lost_heartbeats\": {},\n", self.lost_heartbeats));
+        s.push_str(&format!("{indent}  \"rpc_retries\": {},\n", self.rpc_retries));
+        s.push_str(&format!("{indent}  \"peers_expired\": {}\n", self.peers_expired));
         s.push_str(&format!("{indent}}}"));
         s
     }
@@ -209,7 +226,11 @@ mod tests {
         c.record_fault(FaultKind::TransientFailure);
         c.record_fault(FaultKind::HeartbeatLost);
         c.record_fault(FaultKind::NodeRecover);
+        c.record_fault(FaultKind::RpcRetry);
+        c.record_fault(FaultKind::RpcRetry);
+        c.record_fault(FaultKind::PeerExpired);
         assert_eq!((c.node_crashes, c.retries, c.reexecuted_maps, c.lost_heartbeats), (1, 2, 1, 1));
+        assert_eq!((c.rpc_retries, c.peers_expired), (2, 1));
         let kv = c.to_kv();
         let back = SchedCounters::from_kv(kv.split_whitespace());
         assert_eq!(back, c);

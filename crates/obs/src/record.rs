@@ -144,6 +144,13 @@ pub enum FaultKind {
     LinkDegraded,
     /// A link-degradation window ended; nominal rate restored.
     LinkRestored,
+    /// An RPC call failed and was retried (cluster runtime: connection
+    /// refused/reset, deadline hit).
+    RpcRetry,
+    /// A registered peer missed `k` consecutive heartbeats and was expired
+    /// by the tracker — the cluster runtime's crash *detection*, as opposed
+    /// to [`NodeCrash`] which records the crash itself.
+    PeerExpired,
 }
 
 impl FaultKind {
@@ -159,6 +166,8 @@ impl FaultKind {
             FaultKind::JobFailed => "job_failed",
             FaultKind::LinkDegraded => "link_degraded",
             FaultKind::LinkRestored => "link_restored",
+            FaultKind::RpcRetry => "rpc_retry",
+            FaultKind::PeerExpired => "peer_expired",
         }
     }
 }
@@ -295,6 +304,8 @@ mod tests {
             FaultKind::JobFailed,
             FaultKind::LinkDegraded,
             FaultKind::LinkRestored,
+            FaultKind::RpcRetry,
+            FaultKind::PeerExpired,
         ] {
             let line = FaultRecord { kind, ..rec }.jsonl();
             crate::json::validate_json(line.trim_end())

@@ -1,0 +1,278 @@
+//! The RPC client: one persistent connection, versioned handshake,
+//! deadline-bounded calls, bounded reconnect with seeded backoff + jitter.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::msg::{Msg, MAGIC, PROTOCOL_VERSION};
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a call (or connect) ultimately failed.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport or framing failure after the retry budget was exhausted.
+    Frame(FrameError),
+    /// The peer rejected the handshake (version skew) — not retried, a
+    /// mismatched peer stays mismatched.
+    HandshakeRejected {
+        /// Version the peer speaks.
+        expected: u32,
+        /// Version we declared.
+        got: u32,
+    },
+    /// The peer answered the handshake with something other than
+    /// `HelloAck`/`HelloReject`.
+    BadHandshake,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Frame(e) => write!(f, "{e}"),
+            RpcError::HandshakeRejected { expected, got } => {
+                write!(f, "handshake rejected: peer speaks v{expected}, we sent v{got}")
+            }
+            RpcError::BadHandshake => write!(f, "peer broke the handshake protocol"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<FrameError> for RpcError {
+    fn from(e: FrameError) -> Self {
+        RpcError::Frame(e)
+    }
+}
+
+/// Bounded exponential backoff with deterministic (seeded) jitter.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Jitter seed — same seed, same jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 42,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry `n` (0-based): `min(cap, base·2ⁿ)` plus up to
+    /// 50 % deterministic jitter, so a herd of retrying workers de-syncs
+    /// reproducibly.
+    pub fn delay(&self, n: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << n.min(16)).min(self.cap);
+        let jitter_frac = (splitmix64(jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+        exp + exp.mul_f64(0.5 * jitter_frac)
+    }
+}
+
+/// SplitMix64 step — tiny seeded PRNG so this crate stays dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A persistent connection to one RPC server, re-established transparently
+/// (within the retry budget) when a call fails mid-flight.
+pub struct RpcClient {
+    addr: String,
+    policy: RetryPolicy,
+    timeout: Duration,
+    conn: Option<TcpStream>,
+    jitter_state: u64,
+    retries: Arc<AtomicU64>,
+}
+
+impl RpcClient {
+    /// Connect to `addr` and perform the versioned handshake. `timeout`
+    /// bounds every read and write on the connection (a hung peer fails
+    /// the call instead of hanging the worker).
+    pub fn connect(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        timeout: Duration,
+    ) -> Result<Self, RpcError> {
+        let mut c = Self {
+            addr: addr.into(),
+            jitter_state: policy.seed,
+            policy,
+            timeout,
+            conn: None,
+            retries: Arc::new(AtomicU64::new(0)),
+        };
+        c.ensure_connected()?;
+        Ok(c)
+    }
+
+    /// Cumulative reconnect/retry count (shared handle — clone it into a
+    /// heartbeat loop to report retries without borrowing the client).
+    pub fn retry_counter(&self) -> Arc<AtomicU64> {
+        self.retries.clone()
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn dial(&self) -> Result<TcpStream, RpcError> {
+        let stream = TcpStream::connect(&self.addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(FrameError::Io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(FrameError::Io)?;
+        let mut stream = stream;
+        write_frame(
+            &mut stream,
+            &Msg::Hello { magic: MAGIC, version: PROTOCOL_VERSION }.encode(),
+        )?;
+        let reply = Msg::decode(&read_frame(&mut stream)?).map_err(FrameError::Wire)?;
+        match reply {
+            Msg::HelloAck { .. } => Ok(stream),
+            Msg::HelloReject { expected, got } => {
+                Err(RpcError::HandshakeRejected { expected, got })
+            }
+            _ => Err(RpcError::BadHandshake),
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), RpcError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut last: Option<RpcError> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let d = self.policy.delay(attempt - 1, &mut self.jitter_state);
+                std::thread::sleep(d);
+            }
+            match self.dial() {
+                Ok(s) => {
+                    self.conn = Some(s);
+                    return Ok(());
+                }
+                // Version skew is permanent: retrying cannot fix it.
+                Err(e @ RpcError::HandshakeRejected { .. }) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(RpcError::BadHandshake))
+    }
+
+    /// One request/response exchange. A transport failure drops the
+    /// connection and retries the whole call (fresh dial + handshake)
+    /// within the retry budget; wire errors from the peer are not retried
+    /// — a peer that frames garbage will frame garbage again.
+    pub fn call(&mut self, msg: &Msg) -> Result<Msg, RpcError> {
+        let payload = msg.encode();
+        let mut last: Option<RpcError> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let d = self.policy.delay(attempt - 1, &mut self.jitter_state);
+                std::thread::sleep(d);
+            }
+            if let Err(e) = self.ensure_connected() {
+                match e {
+                    RpcError::HandshakeRejected { .. } => return Err(e),
+                    e => {
+                        last = Some(e);
+                        continue;
+                    }
+                }
+            }
+            let stream = self.conn.as_mut().expect("just connected");
+            let result = write_frame(stream, &payload)
+                .and_then(|()| read_frame(stream))
+                .map_err(RpcError::from)
+                .and_then(|bytes| {
+                    Msg::decode(&bytes).map_err(|e| RpcError::Frame(FrameError::Wire(e)))
+                });
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(RpcError::Frame(FrameError::Io(e))) => {
+                    // Connection-level failure: reconnect and retry.
+                    self.conn = None;
+                    last = Some(RpcError::Frame(FrameError::Io(e)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(RpcError::BadHandshake))
+    }
+
+    /// Like [`call`](Self::call) but maps "server gone" (every retry
+    /// exhausted) to `None` — for shutdown paths where a dead server is
+    /// success.
+    pub fn call_opt(&mut self, msg: &Msg) -> Option<Msg> {
+        self.call(msg).ok()
+    }
+}
+
+/// `true` when an io error is a timeout (the read/write deadline fired).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_to_cap_and_jitter_is_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        let mut s1 = p.seed;
+        let mut s2 = p.seed;
+        let mut prev = Duration::ZERO;
+        for n in 0..6 {
+            let d1 = p.delay(n, &mut s1);
+            let d2 = p.delay(n, &mut s2);
+            assert_eq!(d1, d2, "same seed, same jitter");
+            let exp = (p.base * (1 << n)).min(p.cap);
+            assert!(d1 >= exp && d1 <= exp + exp.mul_f64(0.5), "attempt {n}: {d1:?}");
+            if exp < p.cap {
+                assert!(d1 > prev, "backoff grows until capped");
+            }
+            prev = d1;
+        }
+    }
+
+    #[test]
+    fn connect_to_nothing_exhausts_retries() {
+        // Port 1 is essentially never listening; tiny budget keeps it fast.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 1,
+        };
+        let err = RpcClient::connect("127.0.0.1:1", policy, Duration::from_millis(100))
+            .err()
+            .expect("nothing listens on port 1");
+        assert!(matches!(err, RpcError::Frame(FrameError::Io(_))), "{err}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! A frame is a 4-byte big-endian payload length followed by the payload
+//! (one encoded [`crate::Msg`]). The length is checked against
+//! [`MAX_FRAME`](crate::wire::MAX_FRAME) on both sides before any
+//! allocation.
+
+use crate::wire::{WireError, MAX_FRAME};
+use std::io::{self, Read, Write};
+
+/// Errors a framed read/write can produce.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (connection reset, timeout, EOF mid-frame…).
+    Io(io::Error),
+    /// The peer sent a malformed frame or message.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Write one frame. Oversize payloads are refused locally — a bug here
+/// must not become a peer's problem.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::OversizeFrame(payload.len() as u64).into());
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame. A length prefix beyond [`MAX_FRAME`] is rejected before
+/// any buffer is reserved.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::OversizeFrame(len as u64).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))), "EOF");
+    }
+
+    #[test]
+    fn oversize_length_prefix_rejected_without_allocation() {
+        let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"xx");
+        let mut cur = io::Cursor::new(bytes);
+        match read_frame(&mut cur) {
+            Err(FrameError::Wire(WireError::OversizeFrame(n))) => {
+                assert_eq!(n, u32::MAX as u64)
+            }
+            other => panic!("expected oversize error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut bytes = 10u32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"only4");
+        let mut cur = io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+}

@@ -1,0 +1,724 @@
+//! The cluster control- and data-plane message set.
+//!
+//! One tag byte selects the message, then fixed-order fields. Decoding is
+//! total (see [`crate::wire`]); a proptest in `tests/decode_total.rs`
+//! feeds the decoder arbitrary byte strings and asserts it never panics.
+
+use crate::wire::{Reader, WireError, Writer};
+
+/// Handshake magic: `"PNAT"` as a big-endian u32. A peer that opens with
+/// anything else is not speaking this protocol at all.
+pub const MAGIC: u32 = 0x504E_4154;
+
+/// Protocol version. Bump on any wire-format change — including a change
+/// to the partition function (see `pnats_core::partition`), since peers on
+/// different partitionings would silently corrupt the shuffle.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Live progress of one running map attempt (`d_read` and per-partition
+/// `A_jf` — the counters the paper's Î_jf estimator consumes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Map task index.
+    pub map: u32,
+    /// Attempt tag of the running attempt.
+    pub attempt: u32,
+    /// Input bytes consumed so far.
+    pub d_read: u64,
+    /// Intermediate bytes emitted per reduce partition so far.
+    pub part_bytes: Vec<u64>,
+}
+
+/// A map attempt completed; the worker holds its partitioned output and
+/// reports only the per-partition byte sizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapDone {
+    /// Map task index.
+    pub map: u32,
+    /// Attempt tag of the completed attempt.
+    pub attempt: u32,
+    /// Intermediate bytes per reduce partition.
+    pub bytes: Vec<u64>,
+}
+
+/// A map attempt failed transiently and its slot is free again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MapFailed {
+    /// Map task index.
+    pub map: u32,
+    /// Attempt tag of the failed attempt.
+    pub attempt: u32,
+}
+
+/// A reduce attempt completed; final output rides the heartbeat (the
+/// driver-held reduce output is durable, exactly as in the engine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReduceDone {
+    /// Reduce task index.
+    pub reduce: u32,
+    /// Attempt tag of the completed attempt.
+    pub attempt: u32,
+    /// Final key/value pairs of this partition.
+    pub output: Vec<(String, String)>,
+    /// Shuffle bytes pulled per source node (for locality accounting).
+    pub sources: Vec<(u32, u64)>,
+}
+
+/// One task assignment in a heartbeat reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Assignment {
+    /// Run a map attempt over `block`.
+    Map {
+        /// Map task index (== block index).
+        map: u32,
+        /// Attempt tag the completion must carry.
+        attempt: u32,
+        /// Whether the seeded fault draw dooms this attempt to fail
+        /// transiently (the tracker rolls the dice; workers just obey, so
+        /// verdicts match the engine's exactly).
+        doomed: bool,
+        /// Data-server addresses of replica holders to fetch the block
+        /// from when it is not in the local shard (empty ⇒ local).
+        sources: Vec<String>,
+    },
+    /// Run a reduce attempt.
+    Reduce {
+        /// Reduce task index.
+        reduce: u32,
+        /// Attempt tag the completion must carry.
+        attempt: u32,
+        /// Total map count — the attempt must fetch this many partitions.
+        n_maps: u32,
+    },
+}
+
+/// Everything that travels between tracker, workers and peers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Connection opener, both directions of any pnats-rpc connection.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Sender's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Handshake accepted.
+    HelloAck {
+        /// Responder's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Handshake rejected: version skew. The connection closes after this.
+    HelloReject {
+        /// Version the responder speaks.
+        expected: u32,
+        /// Version the peer declared.
+        got: u32,
+    },
+    /// Worker → tracker: join the cluster (or rejoin after a crash).
+    Register {
+        /// The worker's node id.
+        node: u32,
+        /// Crash epoch: 0 at first boot, +1 per wipe-and-rejoin.
+        epoch: u32,
+        /// Address of the worker's data server (peers fetch blocks and
+        /// map partitions from it).
+        data_addr: String,
+    },
+    /// Tracker → worker: registration accepted, here is the job and your
+    /// DFS shard.
+    RegisterAck {
+        /// Echoed node id.
+        node: u32,
+        /// Job spec string (`wordcount`, `grep:<needle>`, `terasort`).
+        job: String,
+        /// Reduce partition count.
+        n_reduces: u32,
+        /// [`pnats_core::Partitioner`] wire tag.
+        partitioner: u8,
+        /// Simulated map compute cost (µs per KiB), for execution pacing.
+        cpu_us_per_kib: u64,
+        /// This node's block shard: `(block id, block text)`.
+        blocks: Vec<(u32, String)>,
+    },
+    /// Worker → tracker, every `T` ms: status + free slots, implicitly
+    /// requesting work.
+    Heartbeat {
+        /// Sender's node id.
+        node: u32,
+        /// Sender's crash epoch.
+        epoch: u32,
+        /// Free map slots right now.
+        free_map_slots: u32,
+        /// Free reduce slots right now.
+        free_reduce_slots: u32,
+        /// Live progress of running map attempts.
+        progress: Vec<ProgressReport>,
+        /// Map attempts completed since the last accepted heartbeat.
+        map_done: Vec<MapDone>,
+        /// Map attempts failed since the last accepted heartbeat.
+        map_failed: Vec<MapFailed>,
+        /// Reduce attempts completed since the last accepted heartbeat.
+        reduce_done: Vec<ReduceDone>,
+        /// Reduce attempts currently running, as `(reduce, attempt)`. With
+        /// at-least-once heartbeat delivery a reply carrying assignments can
+        /// be lost after the tracker applied it; the tracker compares this
+        /// list (and `progress`) against its own book to requeue
+        /// assignments the worker never heard about.
+        running_reduces: Vec<(u32, u32)>,
+        /// RPC retries the worker performed since the last heartbeat.
+        rpc_retries: u64,
+    },
+    /// Tracker → worker: the scheduling answer.
+    HeartbeatReply {
+        /// New work for the worker's free slots.
+        assignments: Vec<Assignment>,
+        /// Map indexes whose outputs the worker must drop (invalidated by
+        /// a crash elsewhere — a reduce re-fetch would be stale).
+        invalidate: Vec<u32>,
+        /// The heartbeat fell in a loss window: the tracker acted as if it
+        /// never arrived, and the worker must re-report its statuses.
+        ignored: bool,
+        /// The tracker considers this worker dead (expired or in a crash
+        /// window). The worker must wipe all state, bump its epoch, and
+        /// re-register when the tracker stops saying `dead`.
+        dead: bool,
+        /// The job is over; the worker should exit its loops.
+        shutdown: bool,
+    },
+    /// Peer/tracker data plane: fetch an input block.
+    FetchBlock {
+        /// Block id.
+        block: u32,
+    },
+    /// Reply to [`Msg::FetchBlock`].
+    BlockData {
+        /// Echoed block id.
+        block: u32,
+        /// Block text.
+        data: String,
+    },
+    /// Peer data plane: fetch one reduce partition of a completed map.
+    FetchPartition {
+        /// Map task index.
+        map: u32,
+        /// Attempt tag the fetcher believes is current.
+        attempt: u32,
+        /// Reduce partition index.
+        reduce: u32,
+    },
+    /// Reply to [`Msg::FetchPartition`]: the partition's pairs.
+    PartitionData {
+        /// Intermediate pairs, in map emission order.
+        pairs: Vec<(String, String)>,
+    },
+    /// The addressee does not hold what was asked for (block not in shard,
+    /// map output wiped or attempt-stale). The fetcher re-resolves via the
+    /// tracker.
+    NotHere,
+    /// Worker → tracker: where is map `map`'s output?
+    WhereIs {
+        /// Map task index.
+        map: u32,
+    },
+    /// Reply to [`Msg::WhereIs`]: fetch from this data server.
+    MapAt {
+        /// Node id of the worker holding the output (for locality
+        /// accounting in the fetcher's `ReduceDone` report).
+        node: u32,
+        /// Data-server address of the worker holding the output.
+        addr: String,
+        /// Current attempt tag (stale fetches are refused).
+        attempt: u32,
+    },
+    /// Reply to [`Msg::WhereIs`]: the output does not currently exist
+    /// (running, invalidated, or rescheduled) — retry later.
+    NotReady,
+    /// Graceful stop (tracker → worker out-of-band, or test → daemon).
+    Shutdown,
+    /// Generic acknowledgement.
+    Ack,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_HELLO_REJECT: u8 = 3;
+const TAG_REGISTER: u8 = 4;
+const TAG_REGISTER_ACK: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
+const TAG_HEARTBEAT_REPLY: u8 = 7;
+const TAG_FETCH_BLOCK: u8 = 8;
+const TAG_BLOCK_DATA: u8 = 9;
+const TAG_FETCH_PARTITION: u8 = 10;
+const TAG_PARTITION_DATA: u8 = 11;
+const TAG_NOT_HERE: u8 = 12;
+const TAG_WHERE_IS: u8 = 13;
+const TAG_MAP_AT: u8 = 14;
+const TAG_NOT_READY: u8 = 15;
+const TAG_SHUTDOWN: u8 = 16;
+const TAG_ACK: u8 = 17;
+
+const ASSIGN_MAP: u8 = 0;
+const ASSIGN_REDUCE: u8 = 1;
+
+fn encode_pairs(w: &mut Writer, pairs: &[(String, String)]) {
+    w.count(pairs.len());
+    for (k, v) in pairs {
+        w.string(k);
+        w.string(v);
+    }
+}
+
+fn decode_pairs(r: &mut Reader<'_>) -> Result<Vec<(String, String)>, WireError> {
+    let n = r.count(8)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((r.string()?, r.string()?));
+    }
+    Ok(pairs)
+}
+
+fn encode_u64s(w: &mut Writer, xs: &[u64]) {
+    w.count(xs.len());
+    for x in xs {
+        w.u64(*x);
+    }
+}
+
+fn decode_u64s(r: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let n = r.count(8)?;
+    (0..n).map(|_| r.u64()).collect()
+}
+
+impl Assignment {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Assignment::Map { map, attempt, doomed, sources } => {
+                w.u8(ASSIGN_MAP);
+                w.u32(*map);
+                w.u32(*attempt);
+                w.bool(*doomed);
+                w.count(sources.len());
+                for s in sources {
+                    w.string(s);
+                }
+            }
+            Assignment::Reduce { reduce, attempt, n_maps } => {
+                w.u8(ASSIGN_REDUCE);
+                w.u32(*reduce);
+                w.u32(*attempt);
+                w.u32(*n_maps);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            ASSIGN_MAP => {
+                let map = r.u32()?;
+                let attempt = r.u32()?;
+                let doomed = r.bool()?;
+                let n = r.count(4)?;
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sources.push(r.string()?);
+                }
+                Ok(Assignment::Map { map, attempt, doomed, sources })
+            }
+            ASSIGN_REDUCE => Ok(Assignment::Reduce {
+                reduce: r.u32()?,
+                attempt: r.u32()?,
+                n_maps: r.u32()?,
+            }),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+impl Msg {
+    /// Encode into a payload (the frame layer adds the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Hello { magic, version } => {
+                w.u8(TAG_HELLO);
+                w.u32(*magic);
+                w.u32(*version);
+            }
+            Msg::HelloAck { version } => {
+                w.u8(TAG_HELLO_ACK);
+                w.u32(*version);
+            }
+            Msg::HelloReject { expected, got } => {
+                w.u8(TAG_HELLO_REJECT);
+                w.u32(*expected);
+                w.u32(*got);
+            }
+            Msg::Register { node, epoch, data_addr } => {
+                w.u8(TAG_REGISTER);
+                w.u32(*node);
+                w.u32(*epoch);
+                w.string(data_addr);
+            }
+            Msg::RegisterAck { node, job, n_reduces, partitioner, cpu_us_per_kib, blocks } => {
+                w.u8(TAG_REGISTER_ACK);
+                w.u32(*node);
+                w.string(job);
+                w.u32(*n_reduces);
+                w.u8(*partitioner);
+                w.u64(*cpu_us_per_kib);
+                w.count(blocks.len());
+                for (id, data) in blocks {
+                    w.u32(*id);
+                    w.string(data);
+                }
+            }
+            Msg::Heartbeat {
+                node,
+                epoch,
+                free_map_slots,
+                free_reduce_slots,
+                progress,
+                map_done,
+                map_failed,
+                reduce_done,
+                running_reduces,
+                rpc_retries,
+            } => {
+                w.u8(TAG_HEARTBEAT);
+                w.u32(*node);
+                w.u32(*epoch);
+                w.u32(*free_map_slots);
+                w.u32(*free_reduce_slots);
+                w.count(progress.len());
+                for p in progress {
+                    w.u32(p.map);
+                    w.u32(p.attempt);
+                    w.u64(p.d_read);
+                    encode_u64s(&mut w, &p.part_bytes);
+                }
+                w.count(map_done.len());
+                for m in map_done {
+                    w.u32(m.map);
+                    w.u32(m.attempt);
+                    encode_u64s(&mut w, &m.bytes);
+                }
+                w.count(map_failed.len());
+                for m in map_failed {
+                    w.u32(m.map);
+                    w.u32(m.attempt);
+                }
+                w.count(reduce_done.len());
+                for rd in reduce_done {
+                    w.u32(rd.reduce);
+                    w.u32(rd.attempt);
+                    encode_pairs(&mut w, &rd.output);
+                    w.count(rd.sources.len());
+                    for (n, b) in &rd.sources {
+                        w.u32(*n);
+                        w.u64(*b);
+                    }
+                }
+                w.count(running_reduces.len());
+                for (red, a) in running_reduces {
+                    w.u32(*red);
+                    w.u32(*a);
+                }
+                w.u64(*rpc_retries);
+            }
+            Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown } => {
+                w.u8(TAG_HEARTBEAT_REPLY);
+                w.count(assignments.len());
+                for a in assignments {
+                    a.encode(&mut w);
+                }
+                w.count(invalidate.len());
+                for m in invalidate {
+                    w.u32(*m);
+                }
+                w.bool(*ignored);
+                w.bool(*dead);
+                w.bool(*shutdown);
+            }
+            Msg::FetchBlock { block } => {
+                w.u8(TAG_FETCH_BLOCK);
+                w.u32(*block);
+            }
+            Msg::BlockData { block, data } => {
+                w.u8(TAG_BLOCK_DATA);
+                w.u32(*block);
+                w.string(data);
+            }
+            Msg::FetchPartition { map, attempt, reduce } => {
+                w.u8(TAG_FETCH_PARTITION);
+                w.u32(*map);
+                w.u32(*attempt);
+                w.u32(*reduce);
+            }
+            Msg::PartitionData { pairs } => {
+                w.u8(TAG_PARTITION_DATA);
+                encode_pairs(&mut w, pairs);
+            }
+            Msg::NotHere => w.u8(TAG_NOT_HERE),
+            Msg::WhereIs { map } => {
+                w.u8(TAG_WHERE_IS);
+                w.u32(*map);
+            }
+            Msg::MapAt { node, addr, attempt } => {
+                w.u8(TAG_MAP_AT);
+                w.u32(*node);
+                w.string(addr);
+                w.u32(*attempt);
+            }
+            Msg::NotReady => w.u8(TAG_NOT_READY),
+            Msg::Shutdown => w.u8(TAG_SHUTDOWN),
+            Msg::Ack => w.u8(TAG_ACK),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a full payload. Total: every byte string yields `Ok` or a
+    /// typed [`WireError`]. Trailing bytes after a valid message are an
+    /// error (a frame holds exactly one message).
+    pub fn decode(bytes: &[u8]) -> Result<Msg, WireError> {
+        let mut r = Reader::new(bytes);
+        let msg = Self::decode_inner(&mut r)?;
+        r.finish()?;
+        Ok(msg)
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Msg, WireError> {
+        match r.u8()? {
+            TAG_HELLO => Ok(Msg::Hello { magic: r.u32()?, version: r.u32()? }),
+            TAG_HELLO_ACK => Ok(Msg::HelloAck { version: r.u32()? }),
+            TAG_HELLO_REJECT => Ok(Msg::HelloReject { expected: r.u32()?, got: r.u32()? }),
+            TAG_REGISTER => Ok(Msg::Register {
+                node: r.u32()?,
+                epoch: r.u32()?,
+                data_addr: r.string()?,
+            }),
+            TAG_REGISTER_ACK => {
+                let node = r.u32()?;
+                let job = r.string()?;
+                let n_reduces = r.u32()?;
+                let partitioner = r.u8()?;
+                let cpu_us_per_kib = r.u64()?;
+                let n = r.count(8)?;
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push((r.u32()?, r.string()?));
+                }
+                Ok(Msg::RegisterAck { node, job, n_reduces, partitioner, cpu_us_per_kib, blocks })
+            }
+            TAG_HEARTBEAT => {
+                let node = r.u32()?;
+                let epoch = r.u32()?;
+                let free_map_slots = r.u32()?;
+                let free_reduce_slots = r.u32()?;
+                let n = r.count(20)?;
+                let mut progress = Vec::with_capacity(n);
+                for _ in 0..n {
+                    progress.push(ProgressReport {
+                        map: r.u32()?,
+                        attempt: r.u32()?,
+                        d_read: r.u64()?,
+                        part_bytes: decode_u64s(r)?,
+                    });
+                }
+                let n = r.count(12)?;
+                let mut map_done = Vec::with_capacity(n);
+                for _ in 0..n {
+                    map_done.push(MapDone {
+                        map: r.u32()?,
+                        attempt: r.u32()?,
+                        bytes: decode_u64s(r)?,
+                    });
+                }
+                let n = r.count(8)?;
+                let mut map_failed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    map_failed.push(MapFailed { map: r.u32()?, attempt: r.u32()? });
+                }
+                let n = r.count(16)?;
+                let mut reduce_done = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let reduce = r.u32()?;
+                    let attempt = r.u32()?;
+                    let output = decode_pairs(r)?;
+                    let ns = r.count(12)?;
+                    let mut sources = Vec::with_capacity(ns);
+                    for _ in 0..ns {
+                        sources.push((r.u32()?, r.u64()?));
+                    }
+                    reduce_done.push(ReduceDone { reduce, attempt, output, sources });
+                }
+                let n = r.count(8)?;
+                let mut running_reduces = Vec::with_capacity(n);
+                for _ in 0..n {
+                    running_reduces.push((r.u32()?, r.u32()?));
+                }
+                let rpc_retries = r.u64()?;
+                Ok(Msg::Heartbeat {
+                    node,
+                    epoch,
+                    free_map_slots,
+                    free_reduce_slots,
+                    progress,
+                    map_done,
+                    map_failed,
+                    reduce_done,
+                    running_reduces,
+                    rpc_retries,
+                })
+            }
+            TAG_HEARTBEAT_REPLY => {
+                let n = r.count(1)?;
+                let mut assignments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    assignments.push(Assignment::decode(r)?);
+                }
+                let n = r.count(4)?;
+                let mut invalidate = Vec::with_capacity(n);
+                for _ in 0..n {
+                    invalidate.push(r.u32()?);
+                }
+                Ok(Msg::HeartbeatReply {
+                    assignments,
+                    invalidate,
+                    ignored: r.bool()?,
+                    dead: r.bool()?,
+                    shutdown: r.bool()?,
+                })
+            }
+            TAG_FETCH_BLOCK => Ok(Msg::FetchBlock { block: r.u32()? }),
+            TAG_BLOCK_DATA => Ok(Msg::BlockData { block: r.u32()?, data: r.string()? }),
+            TAG_FETCH_PARTITION => Ok(Msg::FetchPartition {
+                map: r.u32()?,
+                attempt: r.u32()?,
+                reduce: r.u32()?,
+            }),
+            TAG_PARTITION_DATA => Ok(Msg::PartitionData { pairs: decode_pairs(r)? }),
+            TAG_NOT_HERE => Ok(Msg::NotHere),
+            TAG_WHERE_IS => Ok(Msg::WhereIs { map: r.u32()? }),
+            TAG_MAP_AT => Ok(Msg::MapAt { node: r.u32()?, addr: r.string()?, attempt: r.u32()? }),
+            TAG_NOT_READY => Ok(Msg::NotReady),
+            TAG_SHUTDOWN => Ok(Msg::Shutdown),
+            TAG_ACK => Ok(Msg::Ack),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Hello { magic: MAGIC, version: PROTOCOL_VERSION },
+            Msg::HelloAck { version: 1 },
+            Msg::HelloReject { expected: 1, got: 9 },
+            Msg::Register { node: 3, epoch: 2, data_addr: "127.0.0.1:9001".into() },
+            Msg::RegisterAck {
+                node: 3,
+                job: "grep:needle".into(),
+                n_reduces: 4,
+                partitioner: 1,
+                cpu_us_per_kib: 30,
+                blocks: vec![(0, "line one\n".into()), (7, String::new())],
+            },
+            Msg::Heartbeat {
+                node: 1,
+                epoch: 0,
+                free_map_slots: 2,
+                free_reduce_slots: 1,
+                progress: vec![ProgressReport {
+                    map: 5,
+                    attempt: 1,
+                    d_read: 4096,
+                    part_bytes: vec![10, 0, 99],
+                }],
+                map_done: vec![MapDone { map: 4, attempt: 0, bytes: vec![1, 2] }],
+                map_failed: vec![MapFailed { map: 9, attempt: 2 }],
+                reduce_done: vec![ReduceDone {
+                    reduce: 0,
+                    attempt: 0,
+                    output: vec![("k".into(), "v".into())],
+                    sources: vec![(2, 4096)],
+                }],
+                running_reduces: vec![(2, 0), (3, 1)],
+                rpc_retries: 3,
+            },
+            Msg::HeartbeatReply {
+                assignments: vec![
+                    Assignment::Map {
+                        map: 1,
+                        attempt: 0,
+                        doomed: true,
+                        sources: vec!["127.0.0.1:9002".into()],
+                    },
+                    Assignment::Reduce { reduce: 2, attempt: 1, n_maps: 8 },
+                ],
+                invalidate: vec![1, 4],
+                ignored: false,
+                dead: true,
+                shutdown: false,
+            },
+            Msg::FetchBlock { block: 12 },
+            Msg::BlockData { block: 12, data: "text\n".into() },
+            Msg::FetchPartition { map: 1, attempt: 0, reduce: 2 },
+            Msg::PartitionData { pairs: vec![("a".into(), "1".into())] },
+            Msg::NotHere,
+            Msg::WhereIs { map: 6 },
+            Msg::MapAt { node: 4, addr: "127.0.0.1:9003".into(), attempt: 2 },
+            Msg::NotReady,
+            Msg::Shutdown,
+            Msg::Ack,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let back = Msg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                match Msg::decode(&bytes[..cut]) {
+                    Err(_) => {}
+                    // A prefix of one message can decode as a complete
+                    // smaller message only if it consumes every byte —
+                    // decode() rejects trailing bytes, so prefixes of the
+                    // *same* message must error.
+                    Ok(m) => panic!("{msg:?} cut at {cut} decoded as {m:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Msg::Ack.encode();
+        bytes.push(0);
+        assert_eq!(Msg::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        assert_eq!(Msg::decode(&[0xEE]), Err(WireError::UnknownTag(0xEE)));
+        assert_eq!(Msg::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        for msg in samples() {
+            assert_eq!(msg.encode(), msg.encode());
+        }
+    }
+}

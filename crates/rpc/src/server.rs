@@ -1,0 +1,246 @@
+//! The RPC server: a TCP listener, a thread per connection, a handler
+//! closure per message. The handshake rejects peers with version skew
+//! before any application message is exchanged.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::msg::{Msg, MAGIC, PROTOCOL_VERSION};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The per-message application handler. Returns the reply to frame back.
+pub type Handler = Arc<dyn Fn(Msg) -> Msg + Send + Sync>;
+
+/// A running RPC server. Dropping it (or calling [`stop`](Self::stop))
+/// shuts the accept loop down and joins it; in-flight connection threads
+/// notice the stop flag at their next read deadline.
+pub struct RpcServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Bind `addr` (use port 0 for an OS-assigned port — the actual
+    /// address is [`addr`](Self::addr)) and serve each decoded message
+    /// through `handler`. `read_timeout` doubles as the stop-flag poll
+    /// interval for idle connections.
+    pub fn bind(
+        addr: &str,
+        handler: Handler,
+        read_timeout: Duration,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let handler = handler.clone();
+                        let stop = stop2.clone();
+                        conns.push(std::thread::spawn(move || {
+                            let _ = serve_conn(stream, handler, stop, read_timeout);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+                conns.retain(|c| !c.is_finished());
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(Self { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stop accepting, wake idle connections, join all threads.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_conn(
+    mut stream: TcpStream,
+    handler: Handler,
+    stop: Arc<AtomicBool>,
+    read_timeout: Duration,
+) -> Result<(), FrameError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(read_timeout))?;
+
+    // Handshake: first frame must be a well-versed Hello.
+    let hello = Msg::decode(&read_frame(&mut stream)?)?;
+    match hello {
+        Msg::Hello { magic, version }
+            if magic == MAGIC && version == PROTOCOL_VERSION =>
+        {
+            write_frame(&mut stream, &Msg::HelloAck { version: PROTOCOL_VERSION }.encode())?;
+        }
+        Msg::Hello { version, .. } => {
+            // Wrong magic or version: tell the peer what we speak, close.
+            write_frame(
+                &mut stream,
+                &Msg::HelloReject { expected: PROTOCOL_VERSION, got: version }.encode(),
+            )?;
+            return Ok(());
+        }
+        _ => return Ok(()), // not even a Hello; drop silently
+    }
+
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue; // idle; poll the stop flag and keep listening
+            }
+            Err(_) => return Ok(()), // peer hung up (or framed garbage)
+        };
+        let msg = match Msg::decode(&payload) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // garbage message: close the connection
+        };
+        let reply = handler(msg);
+        write_frame(&mut stream, &reply.encode())?;
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{RetryPolicy, RpcClient, RpcError};
+
+    fn echo_server() -> RpcServer {
+        RpcServer::bind(
+            "127.0.0.1:0",
+            Arc::new(|msg| match msg {
+                Msg::WhereIs { map } => Msg::MapAt { node: map, addr: format!("echo:{map}"), attempt: 0 },
+                other => other,
+            }),
+            Duration::from_millis(20),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn handshake_then_calls_round_trip() {
+        let server = echo_server();
+        let mut client = RpcClient::connect(
+            server.addr(),
+            RetryPolicy::default(),
+            Duration::from_secs(2),
+        )
+        .expect("connect");
+        for map in 0..5 {
+            let reply = client.call(&Msg::WhereIs { map }).expect("call");
+            assert_eq!(reply, Msg::MapAt { node: map, addr: format!("echo:{map}"), attempt: 0 });
+        }
+        assert_eq!(client.retry_counter().load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let server = echo_server();
+        // Speak the raw protocol with a wrong version.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Msg::Hello { magic: MAGIC, version: PROTOCOL_VERSION + 1 }.encode(),
+        )
+        .unwrap();
+        let reply = Msg::decode(&read_frame(&mut stream).unwrap()).unwrap();
+        assert_eq!(
+            reply,
+            Msg::HelloReject { expected: PROTOCOL_VERSION, got: PROTOCOL_VERSION + 1 }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Msg::Hello { magic: 0xBAD0_BAD0, version: PROTOCOL_VERSION }.encode(),
+        )
+        .unwrap();
+        let reply = Msg::decode(&read_frame(&mut stream).unwrap()).unwrap();
+        assert!(matches!(reply, Msg::HelloReject { .. }));
+    }
+
+    #[test]
+    fn client_reconnects_after_server_restart() {
+        let mut server = echo_server();
+        let addr = server.addr().to_string();
+        let mut client =
+            RpcClient::connect(&addr, RetryPolicy::default(), Duration::from_secs(2))
+                .expect("connect");
+        assert!(client.call(&Msg::Ack).is_ok());
+        server.stop();
+        drop(server);
+        // Rebind on the same port so the client's redial can succeed.
+        let server2 = RpcServer::bind(
+            &addr,
+            Arc::new(|msg| msg),
+            Duration::from_millis(20),
+        )
+        .expect("rebind");
+        let reply = client.call(&Msg::Shutdown).expect("retried call");
+        assert_eq!(reply, Msg::Shutdown);
+        assert!(client.retry_counter().load(Ordering::Relaxed) >= 1);
+        drop(server2);
+    }
+
+    #[test]
+    fn call_to_stopped_server_exhausts_budget() {
+        let mut server = echo_server();
+        let addr = server.addr().to_string();
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 3,
+        };
+        let mut client =
+            RpcClient::connect(&addr, policy, Duration::from_millis(200)).expect("connect");
+        server.stop();
+        drop(server);
+        let err = client.call(&Msg::Ack).expect_err("server is gone");
+        assert!(matches!(err, RpcError::Frame(_)), "{err}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Primitive binary encode/decode.
+//!
+//! All integers are big-endian. Strings are a `u32` byte length followed by
+//! UTF-8 bytes; vectors are a `u32` element count followed by elements.
+//! Decoding is *total*: any byte string produces either a value or a typed
+//! [`WireError`] — never a panic, never an allocation proportional to a
+//! length prefix that the remaining input cannot back (a declared length is
+//! validated against the bytes actually present before any reservation).
+
+use std::fmt;
+
+/// Frames larger than this are rejected on both send and receive: a
+/// corrupt or malicious length prefix must not make the peer allocate
+/// gigabytes. 64 MiB comfortably holds the largest legitimate message
+/// (a worker's block shard at registration).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A decode (or frame) error. Every malformed input maps to one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value it declared.
+    Truncated,
+    /// A frame length prefix exceeded [`MAX_FRAME`].
+    OversizeFrame(u64),
+    /// An unknown message (or enum) tag byte.
+    UnknownTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// Bytes remained after the message was fully decoded.
+    TrailingBytes(usize),
+    /// The peer's handshake magic was wrong (not a pnats-rpc peer).
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version this side speaks.
+        ours: u32,
+        /// Version the peer declared.
+        theirs: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::OversizeFrame(n) => {
+                write!(f, "frame of {n} bytes exceeds max {MAX_FRAME}")
+            }
+            WireError::UnknownTag(t) => write!(f, "unknown tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::BadBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadMagic(m) => write!(f, "bad handshake magic {m:#010x}"),
+            WireError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, theirs {theirs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append a `u32` element count (callers then append each element).
+    pub fn count(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the input was consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a bool byte; anything but 0/1 is an error.
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string. The declared length is checked
+    /// against the remaining input before anything is copied.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read a `u32` element count, sanity-bounded by the remaining input:
+    /// every element occupies at least `min_elem_bytes` on the wire, so a
+    /// count the input cannot back fails *before* any allocation.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.bool(true);
+        w.bool(false);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.string("hello");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert_eq!(r.string(), Err(WireError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversize_count_fails_before_allocating() {
+        // A count of u32::MAX with 4-byte elements over a 4-byte input
+        // must fail without reserving anything.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.count(4), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_utf8_and_bad_bool_are_typed() {
+        let bytes = [0, 0, 0, 2, 0xFF, 0xFE];
+        assert_eq!(Reader::new(&bytes).string(), Err(WireError::BadUtf8));
+        assert_eq!(Reader::new(&[9]).bool(), Err(WireError::BadBool(9)));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes(3)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Decode totality: arbitrary byte strings must never panic the decoder —
+//! truncated frames, oversize length prefixes, unknown tags and corrupted
+//! fields all map to typed errors. This is the robustness gate for the
+//! wire format: a malicious or corrupt peer can only produce a clean
+//! connection close, never a worker crash.
+
+use pnats_rpc::{read_frame, FrameError, Msg, WireError, MAX_FRAME};
+use proptest::prelude::*;
+
+proptest! {
+    /// Fully arbitrary bytes: decode returns Ok or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        match Msg::decode(&bytes) {
+            Ok(_) => {}
+            Err(
+                WireError::Truncated
+                | WireError::OversizeFrame(_)
+                | WireError::UnknownTag(_)
+                | WireError::BadUtf8
+                | WireError::BadBool(_)
+                | WireError::TrailingBytes(_),
+            ) => {}
+            Err(e) => prop_assert!(false, "decode produced a non-decode error: {e:?}"),
+        }
+    }
+
+    /// Bytes that start with a plausible tag (the harder paths: collection
+    /// counts and string lengths get interpreted).
+    #[test]
+    fn tagged_garbage_never_panics(
+        tag in 0u8..=20,
+        rest in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&rest);
+        let _ = Msg::decode(&bytes); // must return, not panic
+    }
+
+    /// Valid messages survive arbitrary truncation + bit corruption
+    /// without panicking, and pristine encodings still round-trip.
+    #[test]
+    fn mutated_valid_messages_never_panic(
+        map in 0u32..1000,
+        addr_len in 0usize..64,
+        cut in 0usize..64,
+        flip_at in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let msg = Msg::MapAt { node: map, addr: "x".repeat(addr_len), attempt: map % 7 };
+        let bytes = msg.encode();
+        prop_assert_eq!(Msg::decode(&bytes).unwrap(), msg);
+        // Truncate.
+        let cut = cut.min(bytes.len());
+        let _ = Msg::decode(&bytes[..cut]);
+        // Flip one bit.
+        let mut corrupt = bytes.clone();
+        let i = flip_at % corrupt.len();
+        corrupt[i] ^= 1 << flip_bit;
+        let _ = Msg::decode(&corrupt);
+    }
+
+    /// Framed reads reject oversize length prefixes before allocating.
+    #[test]
+    fn oversize_frame_prefix_is_rejected(len in (MAX_FRAME as u64 + 1)..=u32::MAX as u64) {
+        let mut bytes = (len as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"payload");
+        match read_frame(&mut std::io::Cursor::new(bytes)) {
+            Err(FrameError::Wire(WireError::OversizeFrame(n))) => prop_assert_eq!(n, len),
+            other => prop_assert!(false, "expected oversize rejection, got {other:?}"),
+        }
+    }
+
+    /// A declared frame length the stream cannot back is an io error (EOF
+    /// mid-frame), not a hang or panic.
+    #[test]
+    fn truncated_frame_is_io_error(declared in 1u32..10_000, actual in 0usize..100) {
+        let mut bytes = declared.to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAB, actual.min(declared as usize - 1)));
+        match read_frame(&mut std::io::Cursor::new(bytes)) {
+            Err(FrameError::Io(_)) => {}
+            other => prop_assert!(false, "expected io error, got {other:?}"),
+        }
+    }
+}

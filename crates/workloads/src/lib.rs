@@ -20,5 +20,5 @@ pub mod shuffle_model;
 pub mod table2;
 
 pub use batch::{poisson_mixed_batch, scaled_batch, table2_batch, Batch};
-pub use shuffle_model::{PartitionSkew, ShuffleModel};
+pub use shuffle_model::{empirical_partition_weights, PartitionSkew, ShuffleModel};
 pub use table2::{AppKind, JobSpec, TABLE2};

@@ -109,6 +109,30 @@ impl ShuffleModel {
     }
 }
 
+/// Empirical partition weights from a concrete key sample, using the *same*
+/// [`pnats_core::Partitioner`] the execution runtimes (threaded engine, TCP
+/// cluster) hash with. Where [`ShuffleModel::partition_weights`] draws a
+/// synthetic skew, this measures the real one — calibrating the simulator's
+/// `I_jf` split against actual intermediate keys. Weights are proportional
+/// to the sampled key+value bytes landing in each partition and sum to 1;
+/// an empty sample degenerates to uniform.
+pub fn empirical_partition_weights<'a>(
+    keys: impl IntoIterator<Item = &'a str>,
+    n_reduces: usize,
+    partitioner: pnats_core::Partitioner,
+) -> Vec<f64> {
+    assert!(n_reduces > 0);
+    let mut bytes = vec![0u64; n_reduces];
+    for key in keys {
+        bytes[partitioner.of(key, n_reduces)] += key.len() as u64 + 1;
+    }
+    let total: u64 = bytes.iter().sum();
+    if total == 0 {
+        return vec![1.0 / n_reduces as f64; n_reduces];
+    }
+    bytes.iter().map(|b| *b as f64 / total as f64).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +199,28 @@ mod tests {
         assert!((10..=20).contains(&over_50), "jobs > 50GB shuffle: {over_50}");
         assert!((3..=9).contains(&over_100), "jobs > 100GB shuffle: {over_100}");
         assert!((5..=10).contains(&under_10), "jobs < 10GB shuffle: {under_10}");
+    }
+
+    #[test]
+    fn empirical_weights_match_runtime_hash() {
+        use pnats_core::{partition_of, Partitioner};
+        let keys = ["the", "quick", "brown", "fox", "the", "the"];
+        let n = 4;
+        let w = empirical_partition_weights(keys, n, Partitioner::Hash);
+        assert_eq!(w.len(), n);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The weight mass lands exactly where the runtimes hash the keys.
+        let mut expect = vec![0u64; n];
+        for k in keys {
+            expect[partition_of(k, n)] += k.len() as u64 + 1;
+        }
+        let total: u64 = expect.iter().sum();
+        for (i, e) in expect.iter().enumerate() {
+            assert!((w[i] - *e as f64 / total as f64).abs() < 1e-12, "partition {i}");
+        }
+        // Empty sample degenerates to uniform.
+        let uni = empirical_partition_weights([], 3, Partitioner::Hash);
+        assert_eq!(uni, vec![1.0 / 3.0; 3]);
     }
 
     #[test]
