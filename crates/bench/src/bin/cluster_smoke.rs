@@ -53,6 +53,10 @@ fn heartbeat_rtt_us(rounds: usize) -> (f64, f64) {
         reduce_done: vec![],
         running_reduces: vec![],
         rpc_retries: 0,
+        breaker_trips: 0,
+        breaker_closes: 0,
+        alt_fetches: 0,
+        corrupt_frames: 0,
     };
     for _ in 0..16 {
         client.call(&hb).expect("warmup call");
@@ -130,5 +134,21 @@ fn main() -> ExitCode {
         report.n_reduces,
         wall.elapsed().as_secs_f64()
     );
+
+    // The machine-readable trail CI diffs across commits, mirroring
+    // repro_all's BENCH_harness.json.
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_smoke\",\n  \"seed\": {seed},\n  \"n_nodes\": {},\n  \
+         \"n_maps\": {},\n  \"n_reduces\": {},\n  \"engine_ms\": {engine_ms:.1},\n  \
+         \"cluster_ms\": {cluster_ms:.1},\n  \"hb_rtt_mean_us\": {rtt_mean:.1},\n  \
+         \"hb_rtt_p99_us\": {rtt_p99:.1}\n}}\n",
+        cfg.n_nodes, report.n_maps, report.n_reduces
+    );
+    if let Err(e) = pnats_obs::json::validate_json(&json) {
+        eprintln!("cluster_smoke: malformed BENCH_cluster.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    println!("Heartbeat RTT written to BENCH_cluster.json");
     ExitCode::SUCCESS
 }

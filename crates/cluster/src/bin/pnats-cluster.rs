@@ -180,6 +180,8 @@ fn run_worker_cmd(args: &[String]) -> ExitCode {
             .unwrap_or(defaults.heartbeat),
         io_timeout: defaults.io_timeout,
         retry: defaults.retry,
+        breaker: defaults.breaker,
+        chaos: None,
     };
     match pnats_cluster::run_worker(cfg) {
         Ok(()) => ExitCode::SUCCESS,

@@ -5,7 +5,7 @@
 use pnats_core::faults::FaultPlan;
 use pnats_core::partition::Partitioner;
 use pnats_engine::EngineConfig;
-use pnats_rpc::RetryPolicy;
+use pnats_rpc::{BreakerPolicy, RetryPolicy};
 use std::time::Duration;
 
 /// Configuration for a tracker + worker fleet. Fields shared with
@@ -52,6 +52,18 @@ pub struct ClusterConfig {
     /// Hard wall-clock cap on a job; exceeded means a failed report
     /// instead of a hung test run.
     pub max_wall: Duration,
+    /// Per-peer circuit breaker for worker partition fetches: after
+    /// `threshold` consecutive failures the peer is skipped for `cooldown`
+    /// checks, and a breaker that stays tripped escalates to the tracker
+    /// as a `SourceUnreachable` report (re-executing the map elsewhere).
+    pub breaker: BreakerPolicy,
+    /// Tracker safe-mode threshold: when the fraction of workers still
+    /// heartbeating falls *below* this value, the tracker stops expiring
+    /// the silent ones (a mass silence is more likely the tracker's own
+    /// partition than a simultaneous fleet death) and emits a
+    /// `degraded_mode` fault record. `0.0` disables safe-mode entirely —
+    /// the default, so fault-plan parity with the engine is untouched.
+    pub safe_mode_below: f64,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +84,8 @@ impl Default for ClusterConfig {
             io_timeout: Duration::from_secs(2),
             retry: RetryPolicy::default(),
             max_wall: Duration::from_secs(120),
+            breaker: BreakerPolicy::default(),
+            safe_mode_below: 0.0,
         }
     }
 }

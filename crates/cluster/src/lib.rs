@@ -34,9 +34,12 @@ pub use jobspec::JobSpec;
 pub use report::{check_cluster_report, ClusterReport, ReportSummary};
 pub use tracker::JobTracker;
 pub use worker::{run_worker, WorkerConfig};
+pub use pnats_rpc::{BreakerPolicy, ChaosFault, LinkRule};
 
 use pnats_core::placer::TaskPlacer;
 use pnats_obs::{DecisionObserver, TraceSink};
+use pnats_rpc::{ChaosNet, ChaosPlan};
+use std::sync::Arc;
 
 /// Scheduler selection by name for the `pnats-cluster` binary and the
 /// smoke tests: the paper's probabilistic placer plus the baseline suite.
@@ -84,6 +87,64 @@ pub fn run_cluster_traced(
     run_cluster_observed(cfg, spec, n_reduces, input, placer, DecisionObserver::with_sink(sink))
 }
 
+/// Like [`run_cluster`], but with every wire the job depends on routed
+/// through seeded chaos proxies on `plan`: each worker's control plane
+/// (heartbeats, registrations, resolver calls) crosses link `ctl:w<i>`
+/// and its advertised data plane (peer block/partition fetches) crosses
+/// link `data:w<i>`. With [`ChaosPlan::none`] every proxy is transparent
+/// and the run is behaviorally identical to [`run_cluster`].
+///
+/// Returns the report plus the [`ChaosNet`] so callers can audit the
+/// injected-fault event log.
+pub fn run_cluster_chaos(
+    cfg: &ClusterConfig,
+    spec: &JobSpec,
+    n_reduces: usize,
+    input: &str,
+    placer: Box<dyn TaskPlacer>,
+    plan: ChaosPlan,
+) -> (ClusterReport, Arc<ChaosNet>) {
+    let net = ChaosNet::new(plan);
+    let tracker = JobTracker::start(
+        "127.0.0.1:0",
+        cfg.clone(),
+        spec.clone(),
+        n_reduces,
+        input,
+        placer,
+        DecisionObserver::disabled(),
+    )
+    .expect("bind tracker on loopback");
+    let addr = tracker.addr().to_string();
+    let mut ctl_proxies = Vec::new();
+    let workers: Vec<_> = (0..cfg.n_nodes)
+        .map(|i| {
+            let ctl =
+                net.proxy(&format!("ctl:w{i}"), &addr).expect("bind chaos proxy on loopback");
+            let wc = WorkerConfig {
+                node: i as u32,
+                tracker_addr: ctl.addr().to_string(),
+                map_slots: cfg.map_slots,
+                reduce_slots: cfg.reduce_slots,
+                heartbeat: cfg.heartbeat,
+                io_timeout: cfg.io_timeout,
+                retry: cfg.retry.clone(),
+                breaker: cfg.breaker,
+                chaos: Some(net.clone()),
+            };
+            ctl_proxies.push(ctl);
+            std::thread::spawn(move || {
+                let _ = run_worker(wc);
+            })
+        })
+        .collect();
+    let report = tracker.wait();
+    for w in workers {
+        let _ = w.join();
+    }
+    (report, net)
+}
+
 fn run_cluster_observed(
     cfg: &ClusterConfig,
     spec: &JobSpec,
@@ -113,6 +174,8 @@ fn run_cluster_observed(
                 heartbeat: cfg.heartbeat,
                 io_timeout: cfg.io_timeout,
                 retry: cfg.retry.clone(),
+                breaker: cfg.breaker,
+                chaos: None,
             };
             std::thread::spawn(move || {
                 let _ = run_worker(wc);

@@ -3,7 +3,7 @@
 //! parent process (the smoke test, the kill test, CI).
 
 use pnats_metrics::LocalityCounter;
-use pnats_obs::SchedCounters;
+use pnats_obs::{SchedCounters, TaskCompletion};
 use std::time::Duration;
 
 /// Result of one cluster job — the distributed twin of
@@ -28,6 +28,11 @@ pub struct ClusterReport {
     pub counters: SchedCounters,
     /// The decision trace as JSONL when an in-memory sink was attached.
     pub trace_jsonl: Option<String>,
+    /// Every completion the tracker accepted, in acceptance order — the
+    /// exactly-once ledger `pnats_sim::check_cluster_run` audits. Not
+    /// carried by the flat text form ([`to_text`](Self::to_text)); the
+    /// oracle runs in-process where the full report is available.
+    pub completions: Vec<TaskCompletion>,
     /// True when the job was aborted (retry budget exhausted, the whole
     /// fleet permanently down, or the `max_wall` deadline fired).
     pub failed: bool,
@@ -188,6 +193,7 @@ mod tests {
             skipped_offers: 2,
             counters,
             trace_jsonl: None,
+            completions: Vec::new(),
             failed: false,
         }
     }

@@ -25,7 +25,7 @@ use pnats_dfs::{BlockId, BlockStore, RackAware, ReplicaPlacement};
 use pnats_engine::exec::{slowstart_gate, split_blocks};
 use pnats_metrics::{LocalityClass, LocalityCounter};
 use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, Topology};
-use pnats_obs::{DecisionObserver, FaultKind, FaultRecord};
+use pnats_obs::{DecisionObserver, FaultKind, FaultRecord, TaskCompletion, TaskKind};
 use pnats_rpc::{Assignment, MapDone, MapFailed, Msg, ProgressReport, ReduceDone, RpcServer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -74,6 +74,14 @@ struct TrackerState {
     map_starts: Vec<u32>,
     map_finished: Vec<bool>,
     map_assigned_round: Vec<u64>,
+    /// Crash epoch per map: bumped each time a *completed* output is
+    /// invalidated, so the completion ledger can prove exactly-once per
+    /// epoch (the runtime face of the simulator's oracle law 2).
+    map_epoch: Vec<u32>,
+    /// The node a map must not be re-placed on after a `SourceUnreachable`
+    /// escalation — re-executing on the holder reducers cannot reach would
+    /// reproduce the partition instead of routing around it.
+    map_banned: Vec<Option<u32>>,
     /// Snapshot of each map's gauges: `(d_read, per-partition bytes)`.
     progress: Vec<(u64, Vec<u64>)>,
     maps_finished: usize,
@@ -93,6 +101,14 @@ struct TrackerState {
     /// `(round, tag, node)`; tag 0 = crash, 1 = recover. Sorted.
     fault_events: Vec<(u64, u8, usize)>,
     next_fault: usize,
+    /// Every completion the tracker *accepted*, in acceptance order — the
+    /// ledger `pnats_sim::check_runtime_completions` audits.
+    completions: Vec<TaskCompletion>,
+    /// Whether any worker ever registered; safe-mode cannot trigger on a
+    /// fleet that has not shown up yet.
+    ever_registered: bool,
+    /// Currently in safe-mode (too few reachable workers to trust expiry).
+    degraded: bool,
     failed: bool,
     done: bool,
 }
@@ -131,6 +147,7 @@ impl TrackerState {
             if self.map_finished[m] {
                 self.map_finished[m] = false;
                 self.maps_finished -= 1;
+                self.map_epoch[m] += 1;
                 self.fault(FaultKind::MapInvalidated, n as u32, Some(m as u32));
             } else {
                 self.fault(FaultKind::TaskRescheduled, n as u32, Some(m as u32));
@@ -184,17 +201,38 @@ impl TrackerState {
             }
         }
 
+        // Safe-mode: when too few workers are still reachable, silence is
+        // more plausibly *our* partition than a simultaneous fleet death.
+        // Expiring (and invalidating) everyone would throw away work that
+        // is still materializing on the far side; instead hold all expiry,
+        // keep queued work queued, and record the degradation.
+        let reachable = (0..self.cfg.n_nodes)
+            .filter(|&n| {
+                self.nodes[n].registered
+                    && round.saturating_sub(self.nodes[n].last_heard) <= self.cfg.expire_after
+            })
+            .count();
+        let degraded = self.cfg.safe_mode_below > 0.0
+            && self.ever_registered
+            && (reachable as f64) < self.cfg.safe_mode_below * self.cfg.n_nodes as f64;
+        if degraded && !self.degraded {
+            self.fault(FaultKind::DegradedMode, reachable as u32, None);
+        }
+        self.degraded = degraded;
+
         // Liveness: a registered worker silent beyond the threshold is as
         // dead as a scripted crash — same invalidation, plus the expiry
         // marker that distinguishes detection from script.
-        for n in 0..self.cfg.n_nodes {
-            if self.nodes[n].registered
-                && self.nodes[n].down_depth == 0
-                && round.saturating_sub(self.nodes[n].last_heard) > self.cfg.expire_after
-            {
-                self.fault(FaultKind::PeerExpired, n as u32, None);
-                self.fault(FaultKind::NodeCrash, n as u32, None);
-                self.invalidate_node(n);
+        if !self.degraded {
+            for n in 0..self.cfg.n_nodes {
+                if self.nodes[n].registered
+                    && self.nodes[n].down_depth == 0
+                    && round.saturating_sub(self.nodes[n].last_heard) > self.cfg.expire_after
+                {
+                    self.fault(FaultKind::PeerExpired, n as u32, None);
+                    self.fault(FaultKind::NodeCrash, n as u32, None);
+                    self.invalidate_node(n);
+                }
             }
         }
 
@@ -221,6 +259,7 @@ impl TrackerState {
             return Msg::NotReady; // scripted-down: hold the worker off
         }
         self.nodes[n].registered = true;
+        self.ever_registered = true;
         self.nodes[n].epoch = epoch;
         self.nodes[n].data_addr = data_addr;
         self.nodes[n].last_heard = self.round;
@@ -253,6 +292,10 @@ impl TrackerState {
         reduce_done: Vec<ReduceDone>,
         running_reduces: Vec<(u32, u32)>,
         rpc_retries: u64,
+        breaker_trips: u64,
+        breaker_closes: u64,
+        alt_fetches: u64,
+        corrupt_frames: u64,
     ) -> Msg {
         let reply = |assignments, invalidate, ignored, dead, shutdown| Msg::HeartbeatReply {
             assignments,
@@ -294,6 +337,18 @@ impl TrackerState {
         for _ in 0..rpc_retries.min(10_000) {
             self.fault(FaultKind::RpcRetry, node, None);
         }
+        for _ in 0..breaker_trips.min(10_000) {
+            self.fault(FaultKind::CircuitOpen, node, None);
+        }
+        for _ in 0..breaker_closes.min(10_000) {
+            self.fault(FaultKind::CircuitClose, node, None);
+        }
+        for _ in 0..alt_fetches.min(10_000) {
+            self.fault(FaultKind::AltSourceFetch, node, None);
+        }
+        for _ in 0..corrupt_frames.min(10_000) {
+            self.fault(FaultKind::FrameCorrupted, node, None);
+        }
 
         let mut invalidate: Vec<u32> = Vec::new();
 
@@ -317,6 +372,11 @@ impl TrackerState {
                     self.map_finished[m] = true;
                     self.maps_finished += 1;
                     self.progress[m] = (self.blocks[m].len() as u64, d.bytes.clone());
+                    self.completions.push(TaskCompletion {
+                        kind: TaskKind::Map,
+                        index: d.map,
+                        epoch: self.map_epoch[m],
+                    });
                 }
                 // else: duplicate delivery of an applied completion — the
                 // held output is still the valid one; accept silently.
@@ -358,6 +418,7 @@ impl TrackerState {
             self.reduce_finished[red] = true;
             self.reduces_finished += 1;
             self.final_output[red] = r.output.clone();
+            self.completions.push(TaskCompletion { kind: TaskKind::Reduce, index: r.reduce, epoch: 0 });
             let nid = NodeId(node);
             if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == nid) {
                 self.job_reduce_nodes.swap_remove(pos);
@@ -441,6 +502,33 @@ impl TrackerState {
         }
     }
 
+    /// A worker's partition-fetch breaker for `map`'s holder stayed open
+    /// past its budget: the finished output exists but the cluster cannot
+    /// read it, which is as fatal as the holder crashing. Un-finish the
+    /// map under a bumped attempt and epoch, ban the unreachable holder
+    /// from the re-execution, and requeue. Stale escalations (a newer
+    /// attempt, or a crash invalidated the output first) are ignored — the
+    /// attempt tag makes the message idempotent across duplicate senders.
+    fn on_source_unreachable(&mut self, map: u32, attempt: u32) -> Msg {
+        let m = map as usize;
+        if self.done || m >= self.n_maps || self.map_attempt[m] != attempt || !self.map_finished[m]
+        {
+            return Msg::Ack;
+        }
+        let holder = self.map_holder[m];
+        self.map_finished[m] = false;
+        self.maps_finished -= 1;
+        self.map_epoch[m] += 1;
+        self.map_attempt[m] += 1;
+        self.map_holder[m] = None;
+        self.map_banned[m] = holder;
+        self.progress[m] = (0, vec![0; self.n_reduces]);
+        self.unassigned_maps.push(m);
+        self.fault(FaultKind::LinkPartitioned, holder.unwrap_or(u32::MAX), Some(map));
+        self.fault(FaultKind::MapInvalidated, holder.unwrap_or(u32::MAX), Some(map));
+        Msg::Ack
+    }
+
     /// Fill `node`'s free slots through the placer — the same offer loop,
     /// candidate construction and slowstart gate as the engine driver.
     fn schedule(&mut self, node: NodeId) -> Vec<Assignment> {
@@ -449,9 +537,25 @@ impl TrackerState {
         let n = node.idx();
         let now = self.start.elapsed().as_secs_f64();
 
-        while self.nodes[n].free_map > 0 && !self.unassigned_maps.is_empty() {
+        loop {
+            if self.nodes[n].free_map == 0 {
+                break;
+            }
+            // Maps banned on this node (their last holder is unreachable
+            // from some reducer) are withheld from its offers; with no
+            // bans this is exactly the old unassigned list, so parity
+            // runs see identical offers.
+            let offerable: Vec<usize> = self
+                .unassigned_maps
+                .iter()
+                .copied()
+                .filter(|&m| self.map_banned[m] != Some(node.0))
+                .collect();
+            if offerable.is_empty() {
+                break;
+            }
             let cands: Vec<MapCandidate> =
-                self.unassigned_maps.iter().map(|&m| self.map_cands[m].clone()).collect();
+                offerable.iter().map(|&m| self.map_cands[m].clone()).collect();
             let free_nodes: Vec<NodeId> = (0..self.cfg.n_nodes)
                 .filter(|&i| self.alive(i) && self.nodes[i].free_map > 0)
                 .map(|i| NodeId(i as u32))
@@ -466,7 +570,13 @@ impl TrackerState {
             };
             match decision {
                 Decision::Assign(i) => {
-                    let m = self.unassigned_maps.swap_remove(i);
+                    let m = offerable[i];
+                    let pos = self
+                        .unassigned_maps
+                        .iter()
+                        .position(|&x| x == m)
+                        .expect("offerable is a subset of unassigned");
+                    self.unassigned_maps.swap_remove(pos);
                     self.nodes[n].free_map -= 1;
                     self.map_holder[m] = Some(node.0);
                     self.map_assigned_round[m] = self.round;
@@ -673,6 +783,8 @@ impl JobTracker {
             map_starts: vec![0; n_maps],
             map_finished: vec![false; n_maps],
             map_assigned_round: vec![0; n_maps],
+            map_epoch: vec![0; n_maps],
+            map_banned: vec![None; n_maps],
             progress: (0..n_maps).map(|_| (0, vec![0; n_reduces])).collect(),
             maps_finished: 0,
             reduce_holder: vec![None; n_reduces],
@@ -689,6 +801,9 @@ impl JobTracker {
             reduce_locality: LocalityCounter::default(),
             fault_events,
             next_fault: 0,
+            completions: Vec::new(),
+            ever_registered: false,
+            degraded: false,
             failed: false,
             done: false,
             blocks,
@@ -712,6 +827,10 @@ impl JobTracker {
                     reduce_done,
                     running_reduces,
                     rpc_retries,
+                    breaker_trips,
+                    breaker_closes,
+                    alt_fetches,
+                    corrupt_frames,
                 } => s.on_heartbeat(
                     node,
                     epoch,
@@ -723,7 +842,12 @@ impl JobTracker {
                     reduce_done,
                     running_reduces,
                     rpc_retries,
+                    breaker_trips,
+                    breaker_closes,
+                    alt_fetches,
+                    corrupt_frames,
                 ),
+                Msg::SourceUnreachable { map, attempt } => s.on_source_unreachable(map, attempt),
                 Msg::WhereIs { map } => s.on_where_is(map),
                 Msg::FetchBlock { block } => match s.blocks.get(block as usize) {
                     Some(b) => Msg::BlockData { block, data: b.clone() },
@@ -801,6 +925,7 @@ impl JobTracker {
             skipped_offers: s.skipped_offers,
             counters: s.observer.counters().clone(),
             trace_jsonl,
+            completions: std::mem::take(&mut s.completions),
             failed: s.failed,
         }
     }

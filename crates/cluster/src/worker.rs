@@ -17,17 +17,17 @@ use pnats_core::partition::Partitioner;
 use pnats_engine::exec::{execute_map, execute_reduce, MapProgressGauges};
 use pnats_engine::EngineJob;
 use pnats_rpc::{
-    Assignment, MapDone, MapFailed, Msg, ProgressReport, ReduceDone, RetryPolicy, RpcClient,
-    RpcError, RpcServer,
+    Assignment, BreakerPolicy, ChaosNet, CircuitBreaker, MapDone, MapFailed, Msg, ProgressReport,
+    ReduceDone, RetryPolicy, RpcClient, RpcError, RpcServer,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Everything a worker needs to join a cluster.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct WorkerConfig {
     /// This worker's node id (`0..n_nodes` of the tracker's config).
     pub node: u32,
@@ -43,6 +43,39 @@ pub struct WorkerConfig {
     pub io_timeout: Duration,
     /// Retry budget + backoff for tracker and peer calls.
     pub retry: RetryPolicy,
+    /// Per-peer circuit breaker policy for partition fetches.
+    pub breaker: BreakerPolicy,
+    /// When set, the worker routes its *advertised* data plane through a
+    /// chaos proxy on this net (link `data:w<node>`): peers reach its map
+    /// outputs only through whatever faults the plan injects, while local
+    /// reads bypass the network exactly as a real co-located read would.
+    pub chaos: Option<Arc<ChaosNet>>,
+}
+
+impl std::fmt::Debug for WorkerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerConfig")
+            .field("node", &self.node)
+            .field("tracker_addr", &self.tracker_addr)
+            .field("map_slots", &self.map_slots)
+            .field("reduce_slots", &self.reduce_slots)
+            .field("heartbeat", &self.heartbeat)
+            .field("io_timeout", &self.io_timeout)
+            .field("retry", &self.retry)
+            .field("breaker", &self.breaker)
+            .field("chaos", &self.chaos.as_ref().map(|n| n.plan().seed))
+            .finish()
+    }
+}
+
+/// Breaker/alt-fetch tallies shared between reduce task threads and the
+/// heartbeat loop, which reports them to the tracker as deltas (the same
+/// scheme as `rpc_retries`).
+#[derive(Default)]
+struct NetHealth {
+    breaker_trips: AtomicU64,
+    breaker_closes: AtomicU64,
+    alt_fetches: AtomicU64,
 }
 
 /// One finished map output: the attempt that produced it plus one pair
@@ -110,11 +143,24 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
     };
     let _data_server = RpcServer::bind("127.0.0.1:0", data_handler, Duration::from_millis(50))
         .map_err(|e| RpcError::Frame(e.into()))?;
-    let data_addr = _data_server.addr().to_string();
+    // Under chaos, peers get the proxy's address; the real server stays
+    // reachable only to ourselves (the local-read shortcut).
+    let _data_proxy = match &cfg.chaos {
+        Some(net) => Some(
+            net.proxy(&format!("data:w{}", cfg.node), _data_server.addr())
+                .map_err(|e| RpcError::Frame(e.into()))?,
+        ),
+        None => None,
+    };
+    let data_addr = _data_proxy
+        .as_ref()
+        .map(|p| p.addr().to_string())
+        .unwrap_or_else(|| _data_server.addr().to_string());
 
     // Control plane: register (politely waiting out scripted-down windows).
     let mut control = RpcClient::connect(&cfg.tracker_addr, cfg.retry.clone(), cfg.io_timeout)?;
     let control_retries = control.retry_counter();
+    let control_corrupt = control.corrupt_counter();
     let ack = loop {
         match control.call(&Msg::Register {
             node: cfg.node,
@@ -145,8 +191,10 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
         cfg.io_timeout,
     )?));
     let resolver_retries = resolver.lock().unwrap().retry_counter();
+    let resolver_corrupt = resolver.lock().unwrap().corrupt_counter();
 
     let cancel = Arc::new(AtomicBool::new(false));
+    let health = Arc::new(NetHealth::default());
     let (tx, rx) = channel::<TaskEvent>();
     let mut free_map = cfg.map_slots;
     let mut free_reduce = cfg.reduce_slots;
@@ -156,6 +204,7 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
     let mut pend_failed: Vec<MapFailed> = Vec::new();
     let mut pend_reduce: Vec<ReduceDone> = Vec::new();
     let mut reported_retries = 0u64;
+    let mut reported_health = (0u64, 0u64, 0u64, 0u64);
 
     loop {
         while let Ok(ev) = rx.try_recv() {
@@ -188,6 +237,12 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
             .collect();
         let total_retries =
             control_retries.load(Ordering::Relaxed) + resolver_retries.load(Ordering::Relaxed);
+        let total_health = (
+            health.breaker_trips.load(Ordering::Relaxed),
+            health.breaker_closes.load(Ordering::Relaxed),
+            health.alt_fetches.load(Ordering::Relaxed),
+            control_corrupt.load(Ordering::Relaxed) + resolver_corrupt.load(Ordering::Relaxed),
+        );
         let hb = Msg::Heartbeat {
             node: cfg.node,
             epoch,
@@ -199,6 +254,10 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
             reduce_done: pend_reduce.clone(),
             running_reduces: running_reduces.clone(),
             rpc_retries: total_retries - reported_retries,
+            breaker_trips: total_health.0 - reported_health.0,
+            breaker_closes: total_health.1 - reported_health.1,
+            alt_fetches: total_health.2 - reported_health.2,
+            corrupt_frames: total_health.3 - reported_health.3,
         };
         match control.call(&hb) {
             // Retry budget exhausted: the tracker is gone, and with it the job.
@@ -213,6 +272,7 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
                     pend_failed.clear();
                     pend_reduce.clear();
                     reported_retries = total_retries;
+                    reported_health = total_health;
                     let mut d = data.lock().unwrap();
                     for m in &invalidate {
                         d.outputs.remove(m);
@@ -260,6 +320,8 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
                                 heartbeat: cfg.heartbeat,
                                 io_timeout: cfg.io_timeout,
                                 retry: cfg.retry.clone(),
+                                breaker: cfg.breaker,
+                                health: health.clone(),
                             });
                         }
                     }
@@ -362,6 +424,8 @@ struct ReduceTask {
     heartbeat: Duration,
     io_timeout: Duration,
     retry: RetryPolicy,
+    breaker: BreakerPolicy,
+    health: Arc<NetHealth>,
 }
 
 fn spawn_reduce_task(t: ReduceTask) {
@@ -369,6 +433,11 @@ fn spawn_reduce_task(t: ReduceTask) {
         let mut pairs: Vec<(String, String)> = Vec::new();
         let mut per_source: Vec<(u32, u64)> = Vec::new();
         let mut peers: HashMap<String, RpcClient> = HashMap::new();
+        // Per-holder circuit breakers over the fetch path, plus the last
+        // address each map's fetch failed at — a later success from a
+        // *different* address is an alternate-source fetch worth counting.
+        let mut breakers: HashMap<String, CircuitBreaker> = HashMap::new();
+        let mut failed_at: HashMap<u32, String> = HashMap::new();
         // Fetch every map's partition *in map-index order* — together with
         // the stable sort inside execute_reduce this pins the value order,
         // making output independent of placement and timing.
@@ -380,12 +449,43 @@ fn spawn_reduce_task(t: ReduceTask) {
                 let located = t.resolver.lock().unwrap().call(&Msg::WhereIs { map: m });
                 match located {
                     Ok(Msg::MapAt { node, addr, attempt }) => {
-                        let part = fetch_partition(&t, &mut peers, m, attempt, &addr);
-                        if let Some(p) = part {
-                            break (node, p);
+                        let br = breakers
+                            .entry(addr.clone())
+                            .or_insert_with(|| CircuitBreaker::new(t.breaker));
+                        if br.check() {
+                            match fetch_partition(&t, &mut peers, m, attempt, &addr) {
+                                Some(p) => {
+                                    if br.record_success() {
+                                        t.health.breaker_closes.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    if failed_at.get(&m).is_some_and(|a| *a != addr) {
+                                        t.health.alt_fetches.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    break (node, p);
+                                }
+                                // Holder went away between resolve and
+                                // fetch (or invalidation raced us):
+                                // re-resolve next round, breaker noted.
+                                None => {
+                                    failed_at.insert(m, addr.clone());
+                                    if br.record_failure() {
+                                        t.health.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
                         }
-                        // Holder went away between resolve and fetch (or
-                        // invalidation raced us): re-resolve next round.
+                        if br.is_open() && br.trips_since_success() >= 2 {
+                            // The breaker tripped, cooled down, and its
+                            // probe failed again: this holder is gone for
+                            // practical purposes. Escalate so the tracker
+                            // re-executes the map somewhere reachable;
+                            // stale attempts make duplicates no-ops.
+                            let _ = t
+                                .resolver
+                                .lock()
+                                .unwrap()
+                                .call(&Msg::SourceUnreachable { map: m, attempt });
+                        }
                     }
                     Ok(Msg::Shutdown) | Err(_) => return,
                     _ => {} // NotReady: map not finished (or re-executing)

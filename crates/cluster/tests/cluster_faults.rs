@@ -1,12 +1,29 @@
 //! Fault-plan driven cluster tests: heartbeat-loss windows long enough to
 //! expire a worker, scripted crash/recovery windows, and seeded transient
 //! map failures — all must end in a correct (engine-identical) output
-//! with oracle-consistent counters.
+//! with oracle-consistent counters, and a completion ledger that passes
+//! the simulator's exactly-once-per-epoch oracle.
 
-use pnats_cluster::{check_cluster_report, placer_by_name, run_cluster, ClusterConfig, JobSpec};
+use pnats_cluster::{
+    check_cluster_report, placer_by_name, run_cluster, ClusterConfig, ClusterReport, JobSpec,
+};
 use pnats_core::faults::{FaultPlan, HeartbeatLoss, NodeCrash};
 use pnats_engine::MapReduceEngine;
 use std::time::Duration;
+
+/// Both oracles, one call: the report-level accounting identities plus the
+/// sim crate's ledger laws over the tracker's accepted completions.
+fn assert_oracles(report: &ClusterReport) {
+    check_cluster_report(report).expect("report oracle");
+    pnats_sim::check_cluster_run(
+        &report.counters,
+        &report.completions,
+        report.n_maps,
+        report.n_reduces,
+        report.failed,
+    )
+    .expect("completion-ledger oracle");
+}
 
 fn words_input(kib: usize) -> String {
     const WORDS: &[&str] = &[
@@ -65,7 +82,7 @@ fn heartbeat_loss_window_expires_and_recovers() {
     let report = run_cluster(&cfg, &JobSpec::WordCount, 3, &input, placer);
 
     assert!(!report.failed, "job must survive the loss window");
-    check_cluster_report(&report).expect("oracle");
+    assert_oracles(&report);
     assert_eq!(report.output, expected, "recovery changed the output");
     assert!(report.counters.lost_heartbeats >= 1, "window produced no lost heartbeats");
     assert!(report.counters.peers_expired >= 1, "silent worker was never expired");
@@ -95,10 +112,39 @@ fn scripted_crash_window_reexecutes_lost_maps() {
     let report = run_cluster(&cfg, &JobSpec::WordCount, 3, &input, placer);
 
     assert!(!report.failed, "job must survive one crashed worker");
-    check_cluster_report(&report).expect("oracle");
+    assert_oracles(&report);
     assert_eq!(report.output, expected, "crash recovery changed the output");
     assert_eq!(report.counters.node_crashes, 1, "exactly the scripted crash");
     assert_eq!(report.counters.peers_expired, 0, "scripted crash, not expiry");
+}
+
+/// Safe-mode: with `safe_mode_below` above any reachable fraction the
+/// tracker is permanently degraded, so the same heartbeat-loss window
+/// that normally expires a worker must instead be waited out — no expiry,
+/// no invalidation, one `degraded_mode` record, identical output.
+#[test]
+fn safe_mode_holds_expiry_during_mass_silence() {
+    let mut cfg = ClusterConfig {
+        heartbeat: Duration::from_millis(4),
+        expire_after: 5,
+        cpu_us_per_kib: 2_000,
+        block_bytes: 16 << 10,
+        safe_mode_below: 2.0, // unreachable threshold: always in safe-mode
+        ..ClusterConfig::default()
+    };
+    cfg.faults.heartbeat_losses = vec![HeartbeatLoss { node: 1, from: 4.0, until: 60.0 }];
+    let input = words_input(128);
+    let expected = reference_output(&cfg, &JobSpec::WordCount, 3, &input);
+
+    let placer = placer_by_name("paper", cfg.heartbeat.as_secs_f64()).unwrap();
+    let report = run_cluster(&cfg, &JobSpec::WordCount, 3, &input, placer);
+
+    assert!(!report.failed, "job must survive the loss window");
+    assert_oracles(&report);
+    assert_eq!(report.output, expected, "safe-mode changed the output");
+    assert!(report.counters.lost_heartbeats >= 1, "window produced no lost heartbeats");
+    assert_eq!(report.counters.peers_expired, 0, "safe-mode must hold all expiry");
+    assert!(report.counters.degraded_entries >= 1, "degraded entry never recorded");
 }
 
 /// Seeded transient failures: the doomed-attempt verdicts are the same
@@ -118,7 +164,7 @@ fn transient_failures_retry_to_the_same_output() {
     let report = run_cluster(&cfg, &JobSpec::WordCount, 3, &input, placer);
 
     assert!(!report.failed);
-    check_cluster_report(&report).expect("oracle");
+    assert_oracles(&report);
     assert_eq!(report.output, expected);
     // Reproduce the exact retry count from the seeded draw: attempt k of
     // map m fails iff map_attempt_fails(seed, m, k), k counted from 1.

@@ -39,6 +39,19 @@ pub struct SchedCounters {
     /// Peers the tracker expired after `k` missed heartbeats (cluster
     /// runtime's crash detections).
     pub peers_expired: u64,
+    /// Per-peer circuit breakers tripped open.
+    pub breaker_trips: u64,
+    /// Circuit breakers closed again after a successful probe.
+    pub breaker_closes: u64,
+    /// Map outputs fetched from an alternate source after the primary
+    /// holder was unreachable.
+    pub alt_source_fetches: u64,
+    /// Frames rejected for a checksum mismatch (connection poisoned).
+    pub corrupt_frames: u64,
+    /// Links observed partitioned/black-holed/reset by the chaos layer.
+    pub link_partitions: u64,
+    /// Times the tracker entered degraded (safe) mode.
+    pub degraded_entries: u64,
 }
 
 impl SchedCounters {
@@ -61,6 +74,12 @@ impl SchedCounters {
             FaultKind::TaskRescheduled | FaultKind::TransientFailure => self.retries += 1,
             FaultKind::RpcRetry => self.rpc_retries += 1,
             FaultKind::PeerExpired => self.peers_expired += 1,
+            FaultKind::CircuitOpen => self.breaker_trips += 1,
+            FaultKind::CircuitClose => self.breaker_closes += 1,
+            FaultKind::AltSourceFetch => self.alt_source_fetches += 1,
+            FaultKind::FrameCorrupted => self.corrupt_frames += 1,
+            FaultKind::LinkPartitioned => self.link_partitions += 1,
+            FaultKind::DegradedMode => self.degraded_entries += 1,
             FaultKind::NodeRecover
             | FaultKind::JobFailed
             | FaultKind::LinkDegraded
@@ -93,6 +112,12 @@ impl SchedCounters {
         self.lost_heartbeats += other.lost_heartbeats;
         self.rpc_retries += other.rpc_retries;
         self.peers_expired += other.peers_expired;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_closes += other.breaker_closes;
+        self.alt_source_fetches += other.alt_source_fetches;
+        self.corrupt_frames += other.corrupt_frames;
+        self.link_partitions += other.link_partitions;
+        self.degraded_entries += other.degraded_entries;
     }
 
     /// Skip count for one reason.
@@ -129,6 +154,14 @@ impl SchedCounters {
             " rpc_retries={} peers_expired={}",
             self.rpc_retries, self.peers_expired
         ));
+        s.push_str(&format!(
+            " breaker_trips={} breaker_closes={} alt_source_fetches={}",
+            self.breaker_trips, self.breaker_closes, self.alt_source_fetches
+        ));
+        s.push_str(&format!(
+            " corrupt_frames={} link_partitions={} degraded_entries={}",
+            self.corrupt_frames, self.link_partitions, self.degraded_entries
+        ));
         s
     }
 
@@ -155,6 +188,12 @@ impl SchedCounters {
                 "lost_heartbeats" => c.lost_heartbeats = v,
                 "rpc_retries" => c.rpc_retries = v,
                 "peers_expired" => c.peers_expired = v,
+                "breaker_trips" => c.breaker_trips = v,
+                "breaker_closes" => c.breaker_closes = v,
+                "alt_source_fetches" => c.alt_source_fetches = v,
+                "corrupt_frames" => c.corrupt_frames = v,
+                "link_partitions" => c.link_partitions = v,
+                "degraded_entries" => c.degraded_entries = v,
                 _ => {
                     if let Some(label) = key.strip_prefix("skip_") {
                         if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
@@ -189,7 +228,16 @@ impl SchedCounters {
         s.push_str(&format!("{indent}  \"reexecuted_maps\": {},\n", self.reexecuted_maps));
         s.push_str(&format!("{indent}  \"lost_heartbeats\": {},\n", self.lost_heartbeats));
         s.push_str(&format!("{indent}  \"rpc_retries\": {},\n", self.rpc_retries));
-        s.push_str(&format!("{indent}  \"peers_expired\": {}\n", self.peers_expired));
+        s.push_str(&format!("{indent}  \"peers_expired\": {},\n", self.peers_expired));
+        s.push_str(&format!("{indent}  \"breaker_trips\": {},\n", self.breaker_trips));
+        s.push_str(&format!("{indent}  \"breaker_closes\": {},\n", self.breaker_closes));
+        s.push_str(&format!(
+            "{indent}  \"alt_source_fetches\": {},\n",
+            self.alt_source_fetches
+        ));
+        s.push_str(&format!("{indent}  \"corrupt_frames\": {},\n", self.corrupt_frames));
+        s.push_str(&format!("{indent}  \"link_partitions\": {},\n", self.link_partitions));
+        s.push_str(&format!("{indent}  \"degraded_entries\": {}\n", self.degraded_entries));
         s.push_str(&format!("{indent}}}"));
         s
     }
@@ -229,8 +277,17 @@ mod tests {
         c.record_fault(FaultKind::RpcRetry);
         c.record_fault(FaultKind::RpcRetry);
         c.record_fault(FaultKind::PeerExpired);
+        c.record_fault(FaultKind::CircuitOpen);
+        c.record_fault(FaultKind::CircuitOpen);
+        c.record_fault(FaultKind::CircuitClose);
+        c.record_fault(FaultKind::AltSourceFetch);
+        c.record_fault(FaultKind::FrameCorrupted);
+        c.record_fault(FaultKind::LinkPartitioned);
+        c.record_fault(FaultKind::DegradedMode);
         assert_eq!((c.node_crashes, c.retries, c.reexecuted_maps, c.lost_heartbeats), (1, 2, 1, 1));
         assert_eq!((c.rpc_retries, c.peers_expired), (2, 1));
+        assert_eq!((c.breaker_trips, c.breaker_closes, c.alt_source_fetches), (2, 1, 1));
+        assert_eq!((c.corrupt_frames, c.link_partitions, c.degraded_entries), (1, 1, 1));
         let kv = c.to_kv();
         let back = SchedCounters::from_kv(kv.split_whitespace());
         assert_eq!(back, c);

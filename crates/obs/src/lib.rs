@@ -40,5 +40,5 @@ pub mod sink;
 
 pub use counters::SchedCounters;
 pub use observer::DecisionObserver;
-pub use record::{DecisionRecord, FaultKind, FaultRecord, Phase};
+pub use record::{DecisionRecord, FaultKind, FaultRecord, Phase, TaskCompletion, TaskKind};
 pub use sink::{InMemorySink, JsonlFileSink, NullSink, TraceSink};

@@ -151,6 +151,23 @@ pub enum FaultKind {
     /// by the tracker — the cluster runtime's crash *detection*, as opposed
     /// to [`NodeCrash`] which records the crash itself.
     PeerExpired,
+    /// A wire link stopped carrying traffic (chaos partition, black hole,
+    /// reset, or sustained frame loss).
+    LinkPartitioned,
+    /// A frame arrived with a bad checksum and was rejected — the
+    /// connection was poisoned, the process was not.
+    FrameCorrupted,
+    /// A per-peer circuit breaker tripped open after consecutive failures.
+    CircuitOpen,
+    /// A previously open circuit breaker closed again (probe succeeded).
+    CircuitClose,
+    /// The tracker entered safe mode: too many workers unreachable, so it
+    /// stopped expiring peers and queued work instead of cascading
+    /// invalidations.
+    DegradedMode,
+    /// A map output was fetched from an alternate source after its primary
+    /// holder was unreachable.
+    AltSourceFetch,
 }
 
 impl FaultKind {
@@ -168,6 +185,12 @@ impl FaultKind {
             FaultKind::LinkRestored => "link_restored",
             FaultKind::RpcRetry => "rpc_retry",
             FaultKind::PeerExpired => "peer_expired",
+            FaultKind::LinkPartitioned => "link_partitioned",
+            FaultKind::FrameCorrupted => "frame_corrupted",
+            FaultKind::CircuitOpen => "circuit_open",
+            FaultKind::CircuitClose => "circuit_close",
+            FaultKind::DegradedMode => "degraded_mode",
+            FaultKind::AltSourceFetch => "alt_source_fetch",
         }
     }
 }
@@ -216,6 +239,31 @@ impl FaultRecord {
         self.to_jsonl(&mut s);
         s
     }
+}
+
+/// Which task family a [`TaskCompletion`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+/// One accepted task completion — the ledger entry the exactly-once
+/// invariant oracle (`pnats_sim::check_runtime_completions`) audits. Both
+/// runtimes (engine and cluster) record one of these per completion the
+/// scheduler *accepted* (duplicates and stale attempts excluded), tagged
+/// with the run epoch the completion belongs to: epoch `e` of a map is the
+/// state after `e` invalidations of that map's output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskCompletion {
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its family.
+    pub index: u32,
+    /// Run epoch the completion was accepted in (0 = never invalidated).
+    pub epoch: u32,
 }
 
 #[cfg(test)]
@@ -306,6 +354,12 @@ mod tests {
             FaultKind::LinkRestored,
             FaultKind::RpcRetry,
             FaultKind::PeerExpired,
+            FaultKind::LinkPartitioned,
+            FaultKind::FrameCorrupted,
+            FaultKind::CircuitOpen,
+            FaultKind::CircuitClose,
+            FaultKind::DegradedMode,
+            FaultKind::AltSourceFetch,
         ] {
             let line = FaultRecord { kind, ..rec }.jsonl();
             crate::json::validate_json(line.trim_end())

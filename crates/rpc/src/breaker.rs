@@ -1,0 +1,190 @@
+//! Per-peer circuit breakers.
+//!
+//! A breaker sits in front of a flaky peer and converts "keep timing out
+//! against a dead host" into "fail fast, probe occasionally". It is
+//! deliberately clock-free: the cooldown is counted in [`check`] calls, so
+//! callers that poll on a fixed cadence (the worker's fetch loops run once
+//! per heartbeat) get a cooldown proportional to real time while the
+//! breaker itself stays deterministic and trivially testable.
+//!
+//! State machine: *closed* (requests flow; consecutive failures are
+//! counted) → *open* after `threshold` consecutive failures (requests are
+//! refused for `cooldown` checks) → *half-open* (exactly one probe request
+//! is let through) → closed again on probe success, or re-open on probe
+//! failure. Every transition into open is a **trip**; every transition
+//! back to closed is a **close** — the worker reports both as heartbeat
+//! deltas so the tracker's counters account for every trip.
+//!
+//! [`check`]: CircuitBreaker::check
+
+/// When a breaker opens and how long it stays open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// [`check`](CircuitBreaker::check) calls refused before a half-open
+    /// probe is allowed.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self { threshold: 3, cooldown: 8 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed,
+    /// Refusing requests; `u32` checks remain before a probe is allowed.
+    Open(u32),
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// A circuit breaker guarding one peer. See the module docs for the state
+/// machine.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: State,
+    consecutive_failures: u32,
+    /// Trips (transitions into open) since the last success. The worker
+    /// uses this as the "unreachable past the breaker budget" signal.
+    trips_since_success: u32,
+    /// Lifetime trip count.
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            state: State::Closed,
+            consecutive_failures: 0,
+            trips_since_success: 0,
+            trips: 0,
+        }
+    }
+
+    /// May a request proceed right now? `false` fails fast without
+    /// touching the peer. While open, each call burns one cooldown unit;
+    /// when the cooldown is spent the breaker goes half-open and admits
+    /// exactly one probe (subsequent checks keep refusing until the probe
+    /// reports back via [`record_success`](Self::record_success) /
+    /// [`record_failure`](Self::record_failure)).
+    pub fn check(&mut self) -> bool {
+        match self.state {
+            State::Closed => true,
+            State::Open(0) => {
+                self.state = State::HalfOpen;
+                true
+            }
+            State::Open(remaining) => {
+                self.state = State::Open(remaining - 1);
+                false
+            }
+            State::HalfOpen => false,
+        }
+    }
+
+    /// The guarded request succeeded. Returns `true` when this closed a
+    /// previously-open breaker (a `circuit_close` event).
+    pub fn record_success(&mut self) -> bool {
+        let was_open = self.state != State::Closed;
+        self.state = State::Closed;
+        self.consecutive_failures = 0;
+        self.trips_since_success = 0;
+        was_open
+    }
+
+    /// The guarded request failed. Returns `true` when this tripped the
+    /// breaker open (a `circuit_open` event) — from closed after
+    /// `threshold` consecutive failures, or immediately on a failed
+    /// half-open probe.
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            State::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.threshold {
+                    self.trip();
+                    return true;
+                }
+                false
+            }
+            State::HalfOpen => {
+                self.trip();
+                true
+            }
+            State::Open(_) => false, // a straggler failure while already open
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = State::Open(self.policy.cooldown);
+        self.consecutive_failures = 0;
+        self.trips_since_success += 1;
+        self.trips += 1;
+    }
+
+    /// Is the breaker currently refusing requests?
+    pub fn is_open(&self) -> bool {
+        self.state != State::Closed
+    }
+
+    /// Trips since the last successful request — the caller's signal that
+    /// a peer is unreachable past its budget and stronger medicine
+    /// (alternate source, re-execution) is needed.
+    pub fn trips_since_success(&self) -> u32 {
+        self.trips_since_success
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_fails_fast() {
+        let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 3, cooldown: 4 });
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert!(b.is_open());
+        for _ in 0..4 {
+            assert!(!b.check(), "cooldown refuses requests");
+        }
+        assert!(b.check(), "cooldown spent: one half-open probe admitted");
+        assert!(!b.check(), "only one probe until it reports back");
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 1, cooldown: 0 });
+        assert!(b.record_failure());
+        assert!(b.check(), "cooldown 0: immediate probe");
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+        assert!(b.check());
+        assert!(b.record_success(), "probe success closes");
+        assert!(!b.is_open());
+        assert_eq!(b.trips_since_success(), 0);
+        assert!(b.check(), "closed breaker admits freely");
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 2, cooldown: 1 });
+        assert!(!b.record_failure());
+        assert!(!b.record_success(), "closing a closed breaker is not an event");
+        assert!(!b.record_failure(), "counter restarted after the success");
+        assert!(b.record_failure());
+        assert_eq!(b.trips_since_success(), 1);
+    }
+}

@@ -100,6 +100,7 @@ pub struct RpcClient {
     conn: Option<TcpStream>,
     jitter_state: u64,
     retries: Arc<AtomicU64>,
+    corrupt: Arc<AtomicU64>,
 }
 
 impl RpcClient {
@@ -118,6 +119,7 @@ impl RpcClient {
             timeout,
             conn: None,
             retries: Arc::new(AtomicU64::new(0)),
+            corrupt: Arc::new(AtomicU64::new(0)),
         };
         c.ensure_connected()?;
         Ok(c)
@@ -127,6 +129,13 @@ impl RpcClient {
     /// heartbeat loop to report retries without borrowing the client).
     pub fn retry_counter(&self) -> Arc<AtomicU64> {
         self.retries.clone()
+    }
+
+    /// Cumulative count of frames this client rejected for a checksum
+    /// mismatch (the link damaged bytes in flight). Each one poisoned a
+    /// connection; same shared-handle shape as [`retry_counter`](Self::retry_counter).
+    pub fn corrupt_counter(&self) -> Arc<AtomicU64> {
+        self.corrupt.clone()
     }
 
     /// The address this client dials.
@@ -178,10 +187,12 @@ impl RpcClient {
         Err(last.unwrap_or(RpcError::BadHandshake))
     }
 
-    /// One request/response exchange. A transport failure drops the
-    /// connection and retries the whole call (fresh dial + handshake)
-    /// within the retry budget; wire errors from the peer are not retried
-    /// — a peer that frames garbage will frame garbage again.
+    /// One request/response exchange. A transport failure — or a frame
+    /// whose checksum fails, meaning the *connection* is damaging bytes —
+    /// drops the connection and retries the whole call (fresh dial +
+    /// handshake) within the retry budget; other wire errors from the peer
+    /// are not retried — a peer that frames garbage will frame garbage
+    /// again.
     pub fn call(&mut self, msg: &Msg) -> Result<Msg, RpcError> {
         let payload = msg.encode();
         let mut last: Option<RpcError> = None;
@@ -209,10 +220,21 @@ impl RpcClient {
                 });
             match result {
                 Ok(reply) => return Ok(reply),
-                Err(RpcError::Frame(FrameError::Io(e))) => {
-                    // Connection-level failure: reconnect and retry.
+                Err(
+                    e @ RpcError::Frame(FrameError::Wire(
+                        crate::wire::WireError::ChecksumMismatch { .. },
+                    )),
+                ) => {
+                    // The link damaged a frame in flight: the connection is
+                    // poisoned — count it, reconnect, retry.
+                    self.corrupt.fetch_add(1, Ordering::Relaxed);
                     self.conn = None;
-                    last = Some(RpcError::Frame(FrameError::Io(e)));
+                    last = Some(e);
+                }
+                Err(e @ RpcError::Frame(FrameError::Io(_))) => {
+                    // Transport broke mid-call: reconnect and retry.
+                    self.conn = None;
+                    last = Some(e);
                 }
                 Err(e) => return Err(e),
             }
@@ -259,6 +281,109 @@ mod tests {
             }
             prev = d1;
         }
+    }
+
+    #[test]
+    fn backoff_cap_is_respected_at_any_attempt() {
+        let p = RetryPolicy {
+            max_attempts: 64,
+            base: Duration::from_millis(3),
+            cap: Duration::from_millis(50),
+            seed: 11,
+        };
+        let mut s = p.seed;
+        let ceiling = p.cap + p.cap.mul_f64(0.5); // cap + full jitter bound
+        for n in 0..64 {
+            let d = p.delay(n, &mut s);
+            assert!(d <= ceiling, "attempt {n}: {d:?} exceeds {ceiling:?}");
+            assert!(d >= p.base, "attempt {n}: {d:?} below base");
+        }
+        // Far past the doubling range the exponential part sits exactly on
+        // the cap, so only jitter varies.
+        let mut s = p.seed;
+        for n in 20..40 {
+            let d = p.delay(n, &mut s);
+            assert!(d >= p.cap, "attempt {n}: exponential part must be capped, got {d:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_the_documented_half_bound() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(8),
+            cap: Duration::from_millis(512),
+            seed: 99,
+        };
+        let mut s = p.seed;
+        for n in 0..200u32 {
+            let exp = p.base.saturating_mul(1 << n.min(6)).min(p.cap);
+            let d = p.delay(n.min(6), &mut s);
+            let jitter = d - exp;
+            assert!(
+                jitter <= exp.mul_f64(0.5),
+                "attempt {n}: jitter {jitter:?} above 50% of {exp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_desync_the_herd() {
+        let mk = |seed| RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(400),
+            seed,
+        };
+        let (a, b) = (mk(1), mk(2));
+        let (mut sa, mut sb) = (a.seed, b.seed);
+        let distinct = (0..16).filter(|&n| a.delay(n % 5, &mut sa) != b.delay(n % 5, &mut sb));
+        assert!(
+            distinct.count() >= 12,
+            "two clients with different seeds must not retry in lockstep"
+        );
+    }
+
+    /// A peer that hands back one damaged reply frame poisons only that
+    /// connection: the call succeeds on the reconnect, and the damage is
+    /// tallied on the corrupt counter (the heartbeat reports it upstream).
+    #[test]
+    fn corrupt_reply_is_counted_and_survived_by_reconnect() {
+        use crate::frame::{read_frame, write_frame};
+        use crate::wire::fnv1a32;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut s = conn.expect("accept");
+                let _hello = read_frame(&mut s).expect("hello");
+                write_frame(&mut s, &Msg::HelloAck { version: PROTOCOL_VERSION }.encode())
+                    .expect("ack");
+                let _req = read_frame(&mut s).expect("request");
+                let payload = Msg::Ack.encode();
+                if i == 0 {
+                    // First connection: frame the reply with a wrong
+                    // checksum, as a damaging link would.
+                    let mut bytes = (payload.len() as u32).to_be_bytes().to_vec();
+                    bytes.extend((fnv1a32(&payload) ^ 1).to_be_bytes());
+                    bytes.extend(&payload);
+                    io::Write::write_all(&mut s, &bytes).expect("bad frame");
+                } else {
+                    write_frame(&mut s, &payload).expect("good frame");
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 5,
+        };
+        let mut client =
+            RpcClient::connect(&addr, policy, Duration::from_millis(500)).expect("connect");
+        let corrupt = client.corrupt_counter();
+        assert_eq!(client.call(&Msg::Ack).expect("retried call"), Msg::Ack);
+        assert_eq!(corrupt.load(Ordering::Relaxed), 1, "one damaged frame, one tally");
     }
 
     #[test]

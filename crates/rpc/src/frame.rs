@@ -1,11 +1,16 @@
-//! Length-prefixed framing over a byte stream.
+//! Length-prefixed, checksummed framing over a byte stream.
 //!
-//! A frame is a 4-byte big-endian payload length followed by the payload
-//! (one encoded [`crate::Msg`]). The length is checked against
+//! A frame is a 4-byte big-endian payload length, a 4-byte big-endian
+//! FNV-1a checksum of the payload, then the payload (one encoded
+//! [`crate::Msg`]). The length is checked against
 //! [`MAX_FRAME`](crate::wire::MAX_FRAME) on both sides before any
-//! allocation.
+//! allocation; the checksum is verified before the payload reaches the
+//! message decoder, so corrupted bytes surface as a typed
+//! [`WireError::ChecksumMismatch`] instead of decoding into a valid but
+//! wrong message. A checksum failure poisons the *connection* (the peer or
+//! the link is damaging bytes) — never the process.
 
-use crate::wire::{WireError, MAX_FRAME};
+use crate::wire::{fnv1a32, WireError, MAX_FRAME};
 use std::io::{self, Read, Write};
 
 /// Errors a framed read/write can produce.
@@ -40,6 +45,9 @@ impl From<WireError> for FrameError {
     }
 }
 
+/// Bytes of frame header: payload length + payload checksum.
+pub const FRAME_HEADER: usize = 8;
+
 /// Write one frame. Oversize payloads are refused locally — a bug here
 /// must not become a peer's problem.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
@@ -47,22 +55,29 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
         return Err(WireError::OversizeFrame(payload.len() as u64).into());
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&fnv1a32(payload).to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
 /// Read one frame. A length prefix beyond [`MAX_FRAME`] is rejected before
-/// any buffer is reserved.
+/// any buffer is reserved; a payload whose checksum disagrees with the
+/// header is rejected before it reaches the message decoder.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_be_bytes(len) as usize;
+    let mut header = [0u8; FRAME_HEADER];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
+    let declared = u32::from_be_bytes(header[4..].try_into().unwrap());
     if len > MAX_FRAME {
         return Err(WireError::OversizeFrame(len as u64).into());
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
+    let computed = fnv1a32(&payload);
+    if computed != declared {
+        return Err(WireError::ChecksumMismatch { declared, computed }.into());
+    }
     Ok(payload)
 }
 
@@ -84,6 +99,7 @@ mod tests {
     #[test]
     fn oversize_length_prefix_rejected_without_allocation() {
         let mut bytes = u32::MAX.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
         bytes.extend_from_slice(b"xx");
         let mut cur = io::Cursor::new(bytes);
         match read_frame(&mut cur) {
@@ -96,9 +112,38 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_io_error() {
-        let mut bytes = 10u32.to_be_bytes().to_vec();
-        bytes.extend_from_slice(b"only4");
-        let mut cur = io::Cursor::new(bytes);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"0123456789").unwrap();
+        buf.truncate(FRAME_HEADER + 4);
+        let mut cur = io::Cursor::new(buf);
         assert!(matches!(read_frame(&mut cur), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_is_checksum_mismatch() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"important bytes").unwrap();
+        // Flip one payload bit; length stays valid, checksum must not.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let mut cur = io::Cursor::new(buf);
+        match read_frame(&mut cur) {
+            Err(FrameError::Wire(WireError::ChecksumMismatch { declared, computed })) => {
+                assert_ne!(declared, computed);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_header_checksum_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf[5] ^= 0xFF; // inside the checksum word
+        let mut cur = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur),
+            Err(FrameError::Wire(WireError::ChecksumMismatch { .. }))
+        ));
     }
 }

@@ -20,17 +20,28 @@
 //!   that refuses mismatched peers permanently (no retry can fix skew).
 //! * [`server`] — a listener thread + thread per connection, dispatching
 //!   each decoded message through a handler closure.
+//! * [`chaos`] — a seeded fault-injecting proxy ([`ChaosNet`]) driven by a
+//!   [`ChaosPlan`]: per-link partitions, black holes, resets, corruption,
+//!   truncation, drops, delay and throttling, every probabilistic decision
+//!   a pure function of the seed.
+//! * [`breaker`] — per-peer circuit breakers ([`CircuitBreaker`]) with a
+//!   check-counted cooldown and half-open probes, for callers that must
+//!   fail fast against a partitioned peer.
 
+pub mod breaker;
+pub mod chaos;
 pub mod client;
 pub mod frame;
 pub mod msg;
 pub mod server;
 pub mod wire;
 
+pub use breaker::{BreakerPolicy, CircuitBreaker};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosFault, ChaosNet, ChaosPlan, ChaosProxy, LinkRule};
 pub use client::{RetryPolicy, RpcClient, RpcError};
 pub use frame::{read_frame, write_frame, FrameError};
 pub use msg::{
     Assignment, MapDone, MapFailed, Msg, ProgressReport, ReduceDone, MAGIC, PROTOCOL_VERSION,
 };
 pub use server::{Handler, RpcServer};
-pub use wire::{Reader, WireError, Writer, MAX_FRAME};
+pub use wire::{fnv1a32, Reader, WireError, Writer, MAX_FRAME};

@@ -13,7 +13,10 @@ pub const MAGIC: u32 = 0x504E_4154;
 /// Protocol version. Bump on any wire-format change — including a change
 /// to the partition function (see `pnats_core::partition`), since peers on
 /// different partitionings would silently corrupt the shuffle.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: frames carry an FNV-1a payload checksum, heartbeats carry circuit
+/// breaker deltas, and `SourceUnreachable` joined the message set.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Live progress of one running map attempt (`d_read` and per-partition
 /// `A_jf` — the counters the paper's Î_jf estimator consumes).
@@ -167,6 +170,18 @@ pub enum Msg {
         running_reduces: Vec<(u32, u32)>,
         /// RPC retries the worker performed since the last heartbeat.
         rpc_retries: u64,
+        /// Per-peer circuit breakers tripped open since the last heartbeat.
+        breaker_trips: u64,
+        /// Circuit breakers closed again (probe succeeded) since the last
+        /// heartbeat.
+        breaker_closes: u64,
+        /// Map outputs fetched from an alternate source after the primary
+        /// failed, since the last heartbeat.
+        alt_fetches: u64,
+        /// Control-plane frames the worker rejected for a checksum
+        /// mismatch since the last heartbeat (each one poisoned a
+        /// connection).
+        corrupt_frames: u64,
     },
     /// Tracker → worker: the scheduling answer.
     HeartbeatReply {
@@ -237,6 +252,17 @@ pub enum Msg {
     Shutdown,
     /// Generic acknowledgement.
     Ack,
+    /// Worker → tracker: a map-output source is unreachable past the
+    /// circuit-breaker budget and no alternate source exists — the tracker
+    /// should re-execute the map elsewhere. `attempt` is the attempt tag
+    /// the fetcher believed current, so a report that races a re-execution
+    /// already underway is recognized as stale and ignored.
+    SourceUnreachable {
+        /// Map task index whose output cannot be fetched.
+        map: u32,
+        /// Attempt tag the fetcher was trying to fetch.
+        attempt: u32,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -256,6 +282,7 @@ const TAG_MAP_AT: u8 = 14;
 const TAG_NOT_READY: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
 const TAG_ACK: u8 = 17;
+const TAG_SOURCE_UNREACHABLE: u8 = 18;
 
 const ASSIGN_MAP: u8 = 0;
 const ASSIGN_REDUCE: u8 = 1;
@@ -383,6 +410,10 @@ impl Msg {
                 reduce_done,
                 running_reduces,
                 rpc_retries,
+                breaker_trips,
+                breaker_closes,
+                alt_fetches,
+                corrupt_frames,
             } => {
                 w.u8(TAG_HEARTBEAT);
                 w.u32(*node);
@@ -424,6 +455,10 @@ impl Msg {
                     w.u32(*a);
                 }
                 w.u64(*rpc_retries);
+                w.u64(*breaker_trips);
+                w.u64(*breaker_closes);
+                w.u64(*alt_fetches);
+                w.u64(*corrupt_frames);
             }
             Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown } => {
                 w.u8(TAG_HEARTBEAT_REPLY);
@@ -472,6 +507,11 @@ impl Msg {
             Msg::NotReady => w.u8(TAG_NOT_READY),
             Msg::Shutdown => w.u8(TAG_SHUTDOWN),
             Msg::Ack => w.u8(TAG_ACK),
+            Msg::SourceUnreachable { map, attempt } => {
+                w.u8(TAG_SOURCE_UNREACHABLE);
+                w.u32(*map);
+                w.u32(*attempt);
+            }
         }
         w.into_bytes()
     }
@@ -557,6 +597,10 @@ impl Msg {
                     running_reduces.push((r.u32()?, r.u32()?));
                 }
                 let rpc_retries = r.u64()?;
+                let breaker_trips = r.u64()?;
+                let breaker_closes = r.u64()?;
+                let alt_fetches = r.u64()?;
+                let corrupt_frames = r.u64()?;
                 Ok(Msg::Heartbeat {
                     node,
                     epoch,
@@ -568,6 +612,10 @@ impl Msg {
                     reduce_done,
                     running_reduces,
                     rpc_retries,
+                    breaker_trips,
+                    breaker_closes,
+                    alt_fetches,
+                    corrupt_frames,
                 })
             }
             TAG_HEARTBEAT_REPLY => {
@@ -603,6 +651,9 @@ impl Msg {
             TAG_NOT_READY => Ok(Msg::NotReady),
             TAG_SHUTDOWN => Ok(Msg::Shutdown),
             TAG_ACK => Ok(Msg::Ack),
+            TAG_SOURCE_UNREACHABLE => {
+                Ok(Msg::SourceUnreachable { map: r.u32()?, attempt: r.u32()? })
+            }
             t => Err(WireError::UnknownTag(t)),
         }
     }
@@ -647,6 +698,10 @@ mod tests {
                 }],
                 running_reduces: vec![(2, 0), (3, 1)],
                 rpc_retries: 3,
+                breaker_trips: 1,
+                breaker_closes: 1,
+                alt_fetches: 2,
+                corrupt_frames: 1,
             },
             Msg::HeartbeatReply {
                 assignments: vec![
@@ -673,6 +728,7 @@ mod tests {
             Msg::NotReady,
             Msg::Shutdown,
             Msg::Ack,
+            Msg::SourceUnreachable { map: 3, attempt: 1 },
         ]
     }
 

@@ -30,6 +30,15 @@ pub enum WireError {
     BadBool(u8),
     /// Bytes remained after the message was fully decoded.
     TrailingBytes(usize),
+    /// A frame's payload checksum did not match its header — the bytes
+    /// were damaged in flight (or by a chaos layer). The connection that
+    /// produced it can no longer be trusted; the process can.
+    ChecksumMismatch {
+        /// Checksum declared in the frame header.
+        declared: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
     /// The peer's handshake magic was wrong (not a pnats-rpc peer).
     BadMagic(u32),
     /// The peer speaks a different protocol version.
@@ -52,6 +61,9 @@ impl fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
             WireError::BadBool(b) => write!(f, "invalid bool byte {b:#04x}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::ChecksumMismatch { declared, computed } => {
+                write!(f, "frame checksum mismatch: declared {declared:#010x}, computed {computed:#010x}")
+            }
             WireError::BadMagic(m) => write!(f, "bad handshake magic {m:#010x}"),
             WireError::VersionMismatch { ours, theirs } => {
                 write!(f, "protocol version mismatch: ours {ours}, theirs {theirs}")
@@ -61,6 +73,19 @@ impl fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// FNV-1a over `bytes`, 32-bit — the frame payload checksum. Not
+/// cryptographic; it exists to catch bytes damaged in flight (bit flips,
+/// truncation splices, chaos-layer corruption) before they decode into a
+/// *valid but wrong* message.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Append-only encoder.
 #[derive(Default)]

@@ -157,6 +157,95 @@ pub fn check_report(report: &SimReport, inputs: &[JobInput]) -> Result<(), Strin
     Ok(())
 }
 
+/// Exactly-once-per-epoch over a *runtime* completion ledger — the
+/// cluster-runtime face of laws 2 and 3. The cluster (unlike the
+/// simulator) has no global trace of task spans, but its tracker records
+/// one [`pnats_obs::TaskCompletion`] per completion it *accepted*; this
+/// checks that ledger directly:
+///
+/// * each map index `0..n_maps` completed exactly once per epoch, with
+///   epochs contiguous from zero (an epoch exists only because the
+///   previous completion was invalidated);
+/// * each reduce index `0..n_reduces` completed exactly once (reduce
+///   output is tracker-held, hence durable across crashes).
+pub fn check_runtime_completions(
+    completions: &[pnats_obs::TaskCompletion],
+    n_maps: usize,
+    n_reduces: usize,
+) -> Result<(), String> {
+    use pnats_obs::TaskKind as K;
+    for mi in 0..n_maps {
+        let mut epochs: Vec<u32> = completions
+            .iter()
+            .filter(|c| c.kind == K::Map && c.index == mi as u32)
+            .map(|c| c.epoch)
+            .collect();
+        epochs.sort_unstable();
+        if epochs.is_empty() {
+            return Err(format!("map {mi} has no accepted completion"));
+        }
+        for (want, got) in epochs.iter().enumerate() {
+            if *got != want as u32 {
+                return Err(format!(
+                    "map {mi}: epochs {epochs:?} not exactly-once-contiguous"
+                ));
+            }
+        }
+    }
+    for ri in 0..n_reduces {
+        let n = completions.iter().filter(|c| c.kind == K::Reduce && c.index == ri as u32).count();
+        if n != 1 {
+            return Err(format!("reduce {ri}: {n} completions (want 1)"));
+        }
+    }
+    Ok(())
+}
+
+/// The cluster-runtime oracle: offer conservation plus the exactly-once
+/// completion-ledger laws plus re-execution accounting. For failed
+/// (aborted) runs only the laws that hold mid-flight are checked: offer
+/// conservation, and no duplicate `(task, epoch)` ledger entries.
+pub fn check_cluster_run(
+    counters: &pnats_obs::SchedCounters,
+    completions: &[pnats_obs::TaskCompletion],
+    n_maps: usize,
+    n_reduces: usize,
+    failed: bool,
+) -> Result<(), String> {
+    if !counters.consistent() {
+        return Err(format!(
+            "offer identity violated: offers={} assigns={} skips={}",
+            counters.offers,
+            counters.assigns,
+            counters.total_skips()
+        ));
+    }
+    if failed {
+        // An aborted run owes no completeness — but never a duplicate.
+        let mut seen = std::collections::HashSet::new();
+        for c in completions {
+            if !seen.insert((c.kind == pnats_obs::TaskKind::Map, c.index, c.epoch)) {
+                return Err(format!("duplicate completion accepted: {c:?}"));
+            }
+        }
+        return Ok(());
+    }
+    check_runtime_completions(completions, n_maps, n_reduces)?;
+    // Every epoch>0 map completion exists because an invalidation created
+    // it, and the counters booked each invalidation as a re-executed map.
+    let reexec = completions
+        .iter()
+        .filter(|c| c.kind == pnats_obs::TaskKind::Map && c.epoch > 0)
+        .count() as u64;
+    if reexec != counters.reexecuted_maps {
+        return Err(format!(
+            "re-execution mismatch: {} epoch>0 ledger entries vs reexecuted_maps={}",
+            reexec, counters.reexecuted_maps
+        ));
+    }
+    Ok(())
+}
+
 /// Check a makespan series is monotone non-decreasing up to a relative
 /// `slack` (each value must reach `(1 - slack)` of the running maximum).
 /// The `fault_sweep` bench feeds this the makespans of nested fault plans.
@@ -227,6 +316,42 @@ mod tests {
         });
         let err = check_report(&r, &ins).unwrap_err();
         assert!(err.contains("downtime"), "{err}");
+    }
+
+    #[test]
+    fn runtime_ledger_laws() {
+        use pnats_obs::{SchedCounters, TaskCompletion, TaskKind as K};
+        let c = |kind, index, epoch| TaskCompletion { kind, index, epoch };
+        // Clean: 2 maps (one re-executed), 1 reduce.
+        let ledger = vec![c(K::Map, 0, 0), c(K::Map, 1, 0), c(K::Map, 1, 1), c(K::Reduce, 0, 0)];
+        check_runtime_completions(&ledger, 2, 1).unwrap();
+        // Missing epoch 0 for map 1 → non-contiguous.
+        let gap = vec![c(K::Map, 0, 0), c(K::Map, 1, 1), c(K::Reduce, 0, 0)];
+        let err = check_runtime_completions(&gap, 2, 1).unwrap_err();
+        assert!(err.contains("not exactly-once-contiguous"), "{err}");
+        // Duplicate reduce.
+        let dup = vec![c(K::Map, 0, 0), c(K::Reduce, 0, 0), c(K::Reduce, 0, 0)];
+        let err = check_runtime_completions(&dup, 1, 1).unwrap_err();
+        assert!(err.contains("completions (want 1)"), "{err}");
+
+        let mut counters = SchedCounters::default();
+        counters.offers = 4;
+        counters.assigns = 4;
+        counters.reexecuted_maps = 1;
+        check_cluster_run(&counters, &ledger, 2, 1, false).unwrap();
+        // Booked re-executions must match epoch>0 entries.
+        counters.reexecuted_maps = 0;
+        let err = check_cluster_run(&counters, &ledger, 2, 1, false).unwrap_err();
+        assert!(err.contains("re-execution mismatch"), "{err}");
+        // A failed run owes no completeness...
+        check_cluster_run(&counters, &gap[..1], 2, 1, true).unwrap();
+        // ...but never a duplicate.
+        let err = check_cluster_run(&counters, &dup, 1, 1, true).unwrap_err();
+        assert!(err.contains("duplicate completion"), "{err}");
+        // Offer conservation is checked either way.
+        counters.offers = 5;
+        let err = check_cluster_run(&counters, &ledger, 2, 1, true).unwrap_err();
+        assert!(err.contains("offer identity"), "{err}");
     }
 
     #[test]
