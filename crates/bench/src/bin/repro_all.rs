@@ -170,11 +170,10 @@ fn main() {
     json.push_str("  },\n");
     json.push_str("  \"experiments\": [\n");
     for (i, rec) in records.iter().enumerate() {
-        let runs_per_s = if rec.matrix_runs > 0 {
-            format!("{:.3}", rec.matrix_runs as f64 / rec.wall_s.max(1e-9))
-        } else {
-            "null".to_string()
-        };
+        // Always a number: 0-matrix-run bins (pure data tables like table2)
+        // report 0.000 rather than null, so downstream diffing can parse the
+        // column uniformly.
+        let runs_per_s = format!("{:.3}", rec.matrix_runs as f64 / rec.wall_s.max(1e-9));
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"matrix_runs\": {}, \"runs_per_s\": {}}}{}\n",
             json_escape(&rec.name),

@@ -6,6 +6,7 @@
 //! They are *views* borrowed from whichever runtime hosts the placer — the
 //! discrete-event simulator, the threaded engine or a test harness.
 
+use crate::costidx::CostView;
 use crate::types::{JobId, MapTaskId, ReduceTaskId};
 use pnats_net::{ClusterLayout, NodeId, PathCost};
 
@@ -67,6 +68,9 @@ pub struct MapSchedContext<'a> {
     pub layout: &'a ClusterLayout,
     /// Current time in seconds (drives delay-based baselines).
     pub now: f64,
+    /// Incremental cost index over the free set, when the runtime maintains
+    /// one (see [`CostView`]). `None` preserves the legacy recompute path.
+    pub cost_view: Option<CostView<'a>>,
 }
 
 /// Snapshot handed to [`TaskPlacer::place_reduce`](crate::placer::TaskPlacer::place_reduce).
@@ -104,6 +108,9 @@ pub struct ReduceSchedContext<'a> {
     pub reduces_total: usize,
     /// Current time in seconds.
     pub now: f64,
+    /// Incremental cost index over the free set, when the runtime maintains
+    /// one (see [`CostView`]). `None` preserves the legacy recompute path.
+    pub cost_view: Option<CostView<'a>>,
 }
 
 impl<'a> MapSchedContext<'a> {
@@ -116,12 +123,18 @@ impl<'a> MapSchedContext<'a> {
         cost: &'a dyn PathCost,
         layout: &'a ClusterLayout,
     ) -> Self {
-        Self { job, candidates, free_map_nodes, cost, layout, now: 0.0 }
+        Self { job, candidates, free_map_nodes, cost, layout, now: 0.0, cost_view: None }
     }
 
     /// Set the current time in seconds.
     pub fn at(mut self, now: f64) -> Self {
         self.now = now;
+        self
+    }
+
+    /// Attach an incremental cost index over `free_map_nodes`.
+    pub fn with_cost_view(mut self, view: CostView<'a>) -> Self {
+        self.cost_view = Some(view);
         self
     }
 }
@@ -152,7 +165,14 @@ impl<'a> ReduceSchedContext<'a> {
             reduces_launched: 0,
             reduces_total: candidates.len(),
             now: 0.0,
+            cost_view: None,
         }
+    }
+
+    /// Attach an incremental cost index over `free_reduce_nodes`.
+    pub fn with_cost_view(mut self, view: CostView<'a>) -> Self {
+        self.cost_view = Some(view);
+        self
     }
 
     /// Nodes already running a reduce task of this job.

@@ -6,6 +6,7 @@
 //! [13, 14], a placement's cost is the product of data size and distance.
 
 use crate::context::{MapCandidate, ReduceCandidate};
+use crate::costidx::{CostClasses, CostView};
 use crate::estimate::IntermediateEstimator;
 use pnats_net::{NodeId, PathCost};
 
@@ -76,6 +77,106 @@ pub fn reduce_cost_avg(
 /// (used by LARTS-style baselines and diagnostics).
 pub fn reduce_total_input(c: &ReduceCandidate, est: IntermediateEstimator) -> f64 {
     c.sources.iter().map(|s| est.estimate(s)).sum()
+}
+
+/// `C_m_ave` via the class index: mathematically equal to
+/// [`map_cost_avg`] for any zero-diagonal, non-negative metric (the only
+/// kind [`CostClasses`] is derived for), but `O(classes × replicas)`
+/// instead of `O(free nodes × replicas)`.
+///
+/// Free nodes hosting a replica contribute 0 (their nearest replica is
+/// local); any other free node in class `q` contributes
+/// `min_l h[q][class(l)]`, counted `free(q) − free replicas in q` times.
+/// The integer class counts come from `view`, so the result is a
+/// deterministic function of `(candidate, h-table, counts)` — the property
+/// the differential parity gate relies on.
+///
+/// `h` must be `classes.h_table(..)` for the same matrix revision the
+/// counts describe.
+pub fn map_cost_avg_classed(
+    c: &MapCandidate,
+    classes: &CostClasses,
+    h: &[f64],
+    view: &CostView<'_>,
+) -> f64 {
+    if c.replicas.is_empty() || view.total_free == 0 {
+        return f64::INFINITY;
+    }
+    let nc = classes.n_classes();
+    let mut sum = 0.0;
+    for (q, &cnt) in view.free_counts.iter().enumerate() {
+        if cnt == 0 {
+            continue;
+        }
+        let mut free_reps = 0u32;
+        let m = c
+            .replicas
+            .iter()
+            .map(|&r| {
+                if classes.class(r) as usize == q && view.is_free(r) {
+                    free_reps += 1;
+                }
+                h[q * nc + classes.class(r) as usize]
+            })
+            .min_by(f64::total_cmp)
+            .expect("non-empty replicas");
+        let eff = cnt - free_reps;
+        if eff > 0 {
+            sum += m * eff as f64;
+        }
+    }
+    c.block_size as f64 * sum / view.total_free as f64
+}
+
+/// The per-class free-set distance sums feeding
+/// [`reduce_cost_avg_classed`]: `base[p] = Σ_q free(q) · h[p][q]`, i.e. the
+/// summed distance from a node of class `p` to every free node *other than
+/// itself* (the diagonal of `h` is the intra-class pair distance; the
+/// self-term correction happens per source). Classes with no free nodes are
+/// skipped so an unreachable (`∞`) empty class cannot poison the sum.
+///
+/// Recomputed only when the free-set generation or matrix revision moves;
+/// `out` is overwritten.
+pub fn reduce_class_base(classes: &CostClasses, h: &[f64], counts: &[u32], out: &mut Vec<f64>) {
+    let nc = classes.n_classes();
+    out.clear();
+    out.resize(nc, 0.0);
+    for (p, slot) in out.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (q, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                sum += cnt as f64 * h[p * nc + q];
+            }
+        }
+        *slot = sum;
+    }
+}
+
+/// `C_r_ave` via the class index: mathematically equal to
+/// [`reduce_cost_avg`] (with the per-node and per-source summations
+/// interchanged), but `O(sources)` per candidate with the `O(classes²)`
+/// part amortised into `base`.
+///
+/// Each source on node `p` radiates `est(s)` bytes to every free node:
+/// summed distance `base[class(p)]`, minus the intra-class pair distance
+/// when `p` itself is free (its self-distance is 0, not `intra`).
+pub fn reduce_cost_avg_classed(
+    c: &ReduceCandidate,
+    classes: &CostClasses,
+    base: &[f64],
+    view: &CostView<'_>,
+    est: IntermediateEstimator,
+) -> f64 {
+    if view.total_free == 0 {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for s in &c.sources {
+        let p = classes.class(s.node) as usize;
+        let w = if view.is_free(s.node) { base[p] - classes.intra()[p] } else { base[p] };
+        sum += est.estimate(s) * w;
+    }
+    sum / view.total_free as f64
 }
 
 #[cfg(test)]
@@ -218,6 +319,119 @@ mod tests {
         assert_eq!(avg, 7.0);
         assert_eq!(reduce_total_input(&c, est), 2.0);
         assert!(reduce_cost_avg(&c, &[], &h, est).is_infinite());
+    }
+
+    /// Build a cost view over `free` for classed-vs-legacy cross-checks.
+    fn view_over<'a>(
+        classes: &'a CostClasses,
+        counts: &'a [u32],
+        bits: &'a [u64],
+        total: u32,
+    ) -> CostView<'a> {
+        CostView {
+            classes: Some(classes),
+            free_counts: counts,
+            free_bits: bits,
+            total_free: total,
+            generation: 0,
+        }
+    }
+
+    /// 2 racks × 2 nodes, hop ladder 0/2/4 — integer-valued, so legacy and
+    /// classed means agree exactly, not just approximately.
+    fn two_racks() -> DistanceMatrix {
+        #[rustfmt::skip]
+        let rows = vec![
+            0.0, 2.0, 4.0, 4.0,
+            2.0, 0.0, 4.0, 4.0,
+            4.0, 4.0, 0.0, 2.0,
+            4.0, 4.0, 2.0, 0.0,
+        ];
+        DistanceMatrix::from_rows(4, rows)
+    }
+
+    #[test]
+    fn classed_map_avg_matches_legacy() {
+        let m = two_racks();
+        let classes = CostClasses::derive(&m, 8).unwrap();
+        let h = classes.h_table(&m);
+        // Replica on node 1 (free) and node 2 (not free); free = {0, 1, 3}.
+        let c = MapCandidate {
+            task: mt(0),
+            block_size: 128,
+            replicas: vec![NodeId(1), NodeId(2)],
+        };
+        let free = [NodeId(0), NodeId(1), NodeId(3)];
+        let (counts, bits, total) = crate::costidx::recount_free(&classes, &free);
+        let view = view_over(&classes, &counts, &bits, total);
+        assert_eq!(
+            map_cost_avg_classed(&c, &classes, &h, &view),
+            map_cost_avg(&c, &free, &m),
+        );
+        assert!(map_cost_avg_classed(
+            &MapCandidate { task: mt(1), block_size: 1, replicas: vec![] },
+            &classes,
+            &h,
+            &view
+        )
+        .is_infinite());
+    }
+
+    #[test]
+    fn classed_reduce_avg_matches_legacy() {
+        let m = two_racks();
+        let classes = CostClasses::derive(&m, 8).unwrap();
+        let h = classes.h_table(&m);
+        let est = IntermediateEstimator::default();
+        // Sources on a free node (1) and a busy node (2); free = {1, 3}.
+        let c = ReduceCandidate {
+            task: rt(0),
+            sources: vec![
+                ShuffleSource { node: NodeId(1), current_bytes: 8.0, input_read: 1, input_total: 1 },
+                ShuffleSource { node: NodeId(2), current_bytes: 3.0, input_read: 1, input_total: 1 },
+            ],
+        };
+        let free = [NodeId(1), NodeId(3)];
+        let (counts, bits, total) = crate::costidx::recount_free(&classes, &free);
+        let view = view_over(&classes, &counts, &bits, total);
+        let mut base = Vec::new();
+        reduce_class_base(&classes, &h, &counts, &mut base);
+        assert_eq!(
+            reduce_cost_avg_classed(&c, &classes, &base, &view, est),
+            reduce_cost_avg(&c, &free, &m, est),
+        );
+    }
+
+    #[test]
+    fn classed_reduce_base_skips_empty_classes() {
+        // An isolated (unreachable, ∞-distance) node whose class has no
+        // free slots must not poison the base sums with ∞ · 0.
+        #[rustfmt::skip]
+        let rows = vec![
+            0.0, 2.0, f64::INFINITY,
+            2.0, 0.0, f64::INFINITY,
+            f64::INFINITY, f64::INFINITY, 0.0,
+        ];
+        let m = DistanceMatrix::from_rows(3, rows);
+        let classes = CostClasses::derive(&m, 8).unwrap();
+        let h = classes.h_table(&m);
+        let free = [NodeId(0), NodeId(1)];
+        let (counts, bits, total) = crate::costidx::recount_free(&classes, &free);
+        let view = view_over(&classes, &counts, &bits, total);
+        let mut base = Vec::new();
+        reduce_class_base(&classes, &h, &counts, &mut base);
+        let c = ReduceCandidate {
+            task: rt(0),
+            sources: vec![ShuffleSource {
+                node: NodeId(0),
+                current_bytes: 4.0,
+                input_read: 1,
+                input_total: 1,
+            }],
+        };
+        let got = reduce_cost_avg_classed(&c, &classes, &base, &view, IntermediateEstimator::default());
+        assert_eq!(got, reduce_cost_avg(&c, &free, &m, IntermediateEstimator::default()));
+        assert!(got.is_finite());
     }
 
     #[test]

@@ -57,6 +57,7 @@
 pub mod analysis;
 pub mod context;
 pub mod cost;
+pub mod costidx;
 pub mod estimate;
 pub mod faults;
 pub mod partition;
@@ -68,10 +69,11 @@ pub mod types;
 pub use context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
 };
+pub use costidx::{CostClasses, CostView};
 pub use estimate::IntermediateEstimator;
 pub use faults::{FaultPlan, HeartbeatLoss, LinkDegradation, NodeCrash};
 pub use partition::{partition_of, Partitioner};
 pub use placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 pub use prob::ProbabilityModel;
-pub use prob_sched::{ProbConfig, ProbabilisticPlacer};
+pub use prob_sched::{CostPath, ProbConfig, ProbabilisticPlacer};
 pub use types::{JobId, MapTaskId, ReduceTaskId};

@@ -24,14 +24,37 @@
 //! [`TaskPlacer::last_detail`] for the tracing layer.
 
 use crate::context::{MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext};
-use crate::cost::{map_cost, map_cost_avg, reduce_cost, reduce_cost_avg};
+use crate::cost::{
+    map_cost, map_cost_avg, map_cost_avg_classed, reduce_class_base, reduce_cost,
+    reduce_cost_avg, reduce_cost_avg_classed,
+};
+use crate::costidx::{audit_view, CostClasses, CostView};
 use crate::estimate::IntermediateEstimator;
 use crate::placer::{Decision, DecisionDetail, PlacerStats, SkipReason, TaskPlacer};
 use crate::prob::ProbabilityModel;
-use pnats_net::NodeId;
+use pnats_net::{NodeId, PathCost};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::HashMap;
+
+/// Which `C_ave` maintenance strategy scores candidates when the context
+/// carries a [`CostView`]. Both strategies are bit-identical by
+/// construction — [`CostPath::Reference`] exists to *prove* it, decision by
+/// decision, in the differential parity tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CostPath {
+    /// Trust the runtime's incrementally-maintained class counts and the
+    /// epoch-keyed `C_ave` memo (still audited under `debug_assertions`).
+    #[default]
+    Incremental,
+    /// Full-recompute reference: recount the class counts from the free
+    /// list before every decision, recompute every memoized `C_ave` from
+    /// scratch (asserting bit-equality against the cache), and cross-check
+    /// the classed formulas against the legacy per-node means. Booked
+    /// stats are identical to [`CostPath::Incremental`] — only assertions
+    /// are added — so traces and reports must match byte for byte.
+    Reference,
+}
 
 /// Tunables of the probabilistic network-aware scheduler.
 #[derive(Clone, Copy, Debug)]
@@ -77,10 +100,53 @@ pub struct ProbabilisticPlacer {
     map_avg_cache: AvgCostCache,
     /// Memoized `C_ave` per reduce candidate for the current free-node set.
     reduce_avg_cache: AvgCostCache,
+    /// How to treat an incoming [`CostView`]: trust it or verify it.
+    cost_path: CostPath,
+    /// Class-index tables for map contexts (built from the map-side
+    /// matrix).
+    map_tables: ClassTables,
+    /// Class-index tables for reduce contexts. Separate from the map-side
+    /// tables because the simulator hands reduce contexts the *transposed*
+    /// matrix (same revision number, different values).
+    reduce_tables: ClassTables,
     /// Intermediates of the most recent gate evaluation.
     last_detail: Option<DecisionDetail>,
     /// Decision statistics (diagnostics; not used for scheduling).
     pub stats: PlacerStats,
+}
+
+/// Dense class-to-class tables derived from a [`CostClasses`] partition:
+/// the `h` distance table (rebuilt per matrix revision) and the reduce-side
+/// per-class free-set distance sums (rebuilt per free-set generation).
+#[derive(Clone, Debug, Default)]
+struct ClassTables {
+    /// `(classes.version, n_classes)` the `h` table was built for.
+    h_for: Option<(u64, usize)>,
+    h: Vec<f64>,
+    /// `(classes.version, free-set generation)` `base` was built for.
+    base_for: Option<(u64, u64)>,
+    base: Vec<f64>,
+}
+
+impl ClassTables {
+    /// Rebuild the class distance table if the matrix revision moved.
+    fn ensure_h(&mut self, classes: &CostClasses, cost: &dyn PathCost) {
+        let key = (classes.version(), classes.n_classes());
+        if self.h_for != Some(key) {
+            self.h = classes.h_table(cost);
+            self.h_for = Some(key);
+            self.base_for = None;
+        }
+    }
+
+    /// Rebuild the reduce base sums if the free-set generation moved.
+    fn ensure_base(&mut self, classes: &CostClasses, counts: &[u32], generation: u64) {
+        let key = (classes.version(), generation);
+        if self.base_for != Some(key) {
+            reduce_class_base(classes, &self.h, counts, &mut self.base);
+            self.base_for = Some(key);
+        }
+    }
 }
 
 /// Memoized per-candidate `C_ave` values, valid for one (free-node set,
@@ -94,6 +160,13 @@ pub struct ProbabilisticPlacer {
 struct AvgCostCache {
     free_nodes: Vec<NodeId>,
     cost_version: u64,
+    /// Free-set generation the values were computed at (epoch mode).
+    generation: u64,
+    /// Whether validity is keyed by `(generation, cost_version)` instead of
+    /// comparing free lists. Runtimes that maintain a [`CostView`] bump the
+    /// generation on every free-set membership change, making the `O(free)`
+    /// list comparison per decision unnecessary.
+    epoch_keyed: bool,
     values: HashMap<u64, f64>,
 }
 
@@ -101,11 +174,28 @@ impl AvgCostCache {
     /// Drop every memoized value unless it was computed against exactly
     /// this free-node set and cost-matrix revision.
     fn sync(&mut self, free_nodes: &[NodeId], cost_version: u64) {
-        if self.cost_version != cost_version || self.free_nodes.as_slice() != free_nodes {
+        if self.epoch_keyed
+            || self.cost_version != cost_version
+            || self.free_nodes.as_slice() != free_nodes
+        {
             self.values.clear();
             self.free_nodes.clear();
             self.free_nodes.extend_from_slice(free_nodes);
             self.cost_version = cost_version;
+            self.epoch_keyed = false;
+        }
+    }
+
+    /// Drop every memoized value unless it was computed within this
+    /// `(free-set generation, cost-matrix revision)` epoch.
+    fn sync_epoch(&mut self, generation: u64, cost_version: u64) {
+        if !self.epoch_keyed || self.cost_version != cost_version || self.generation != generation
+        {
+            self.values.clear();
+            self.free_nodes.clear();
+            self.cost_version = cost_version;
+            self.generation = generation;
+            self.epoch_keyed = true;
         }
     }
 }
@@ -183,6 +273,9 @@ impl ProbabilisticPlacer {
             config,
             map_avg_cache: AvgCostCache::default(),
             reduce_avg_cache: AvgCostCache::default(),
+            cost_path: CostPath::default(),
+            map_tables: ClassTables::default(),
+            reduce_tables: ClassTables::default(),
             last_detail: None,
             stats: PlacerStats::default(),
         }
@@ -197,6 +290,17 @@ impl ProbabilisticPlacer {
     /// The active configuration.
     pub fn config(&self) -> ProbConfig {
         self.config
+    }
+
+    /// Select the [`CostPath`] (default: [`CostPath::Incremental`]).
+    pub fn with_cost_path(mut self, path: CostPath) -> Self {
+        self.cost_path = path;
+        self
+    }
+
+    /// The active [`CostPath`].
+    pub fn cost_path(&self) -> CostPath {
+        self.cost_path
     }
 
     /// Shared tail of both algorithms: threshold gate + Bernoulli draw on
@@ -219,6 +323,40 @@ impl ProbabilisticPlacer {
         }
     }
 
+    /// Validate an incoming [`CostView`] against `free` and prepare the
+    /// class tables; returns the partition to score with, if any. The
+    /// audit runs always under [`CostPath::Reference`], and in debug
+    /// builds under [`CostPath::Incremental`] too.
+    fn admit_view<'a>(
+        tables: &mut ClassTables,
+        cost_path: CostPath,
+        view: &Option<CostView<'a>>,
+        free: &[NodeId],
+        cost: &dyn PathCost,
+        side: &str,
+    ) -> Option<&'a CostClasses> {
+        let v = view.as_ref()?;
+        let verify = cost_path == CostPath::Reference || cfg!(debug_assertions);
+        if verify {
+            assert_eq!(
+                v.total_free as usize,
+                free.len(),
+                "{side}: view total_free diverged from the free list"
+            );
+        }
+        let classes = v.classes?;
+        debug_assert_eq!(
+            classes.version(),
+            cost.version(),
+            "{side}: class partition is for another matrix revision"
+        );
+        if verify {
+            audit_view(classes, free, v, side);
+        }
+        tables.ensure_h(classes, cost);
+        Some(classes)
+    }
+
     /// Algorithm 1 body; the trait wrapper books the decision.
     fn decide_map(
         &mut self,
@@ -226,17 +364,46 @@ impl ProbabilisticPlacer {
         node: NodeId,
         rng: &mut SmallRng,
     ) -> Decision {
-        self.map_avg_cache.sync(ctx.free_map_nodes, ctx.cost.version());
+        match &ctx.cost_view {
+            Some(v) => self.map_avg_cache.sync_epoch(v.generation, ctx.cost.version()),
+            None => self.map_avg_cache.sync(ctx.free_map_nodes, ctx.cost.version()),
+        }
+        let classes = Self::admit_view(
+            &mut self.map_tables,
+            self.cost_path,
+            &ctx.cost_view,
+            ctx.free_map_nodes,
+            ctx.cost,
+            "map",
+        );
+        let reference = self.cost_path == CostPath::Reference;
         let model = self.config.model;
         let prune = self.ceiling_factor * PRUNE_SLACK;
         let cache = &mut self.map_avg_cache;
         let stats = &mut self.stats;
+        let tables = &self.map_tables;
         let mut flags = ScanFlags::default();
         let best = argmax_probability(ctx.candidates.iter().map(|c| {
             let c_here = map_cost(c, node, ctx.cost); // line 4
-            let c_ave = cached_avg(cache, stats, map_candidate_key(c), || {
-                map_cost_avg(c, ctx.free_map_nodes, ctx.cost) // line 6
-            });
+            let compute = || match (classes, &ctx.cost_view) {
+                (Some(cl), Some(v)) => {
+                    let ave = map_cost_avg_classed(c, cl, &tables.h, v); // line 6
+                    if reference {
+                        let legacy = map_cost_avg(c, ctx.free_map_nodes, ctx.cost);
+                        assert!(
+                            nearly_equal(ave, legacy),
+                            "map: classed C_ave {ave} diverged from legacy mean {legacy}"
+                        );
+                    }
+                    ave
+                }
+                _ => map_cost_avg(c, ctx.free_map_nodes, ctx.cost), // line 6
+            };
+            let c_ave = if reference {
+                cached_avg_verified(cache, stats, map_candidate_key(c), compute)
+            } else {
+                cached_avg(cache, stats, map_candidate_key(c), compute)
+            };
             // A NaN cost (poisoned metric) can be neither pruned nor
             // scored — flag it so the skip is reported as NonFiniteCost.
             // (±∞ is fine: the probability model maps it to 0 or 1.)
@@ -281,18 +448,50 @@ impl ProbabilisticPlacer {
         if ctx.job_reduce_nodes.contains(&node) {
             return Decision::Skip(SkipReason::Collocated);
         }
-        self.reduce_avg_cache.sync(ctx.free_reduce_nodes, ctx.cost.version());
+        match &ctx.cost_view {
+            Some(v) => self.reduce_avg_cache.sync_epoch(v.generation, ctx.cost.version()),
+            None => self.reduce_avg_cache.sync(ctx.free_reduce_nodes, ctx.cost.version()),
+        }
+        let classes = Self::admit_view(
+            &mut self.reduce_tables,
+            self.cost_path,
+            &ctx.cost_view,
+            ctx.free_reduce_nodes,
+            ctx.cost,
+            "reduce",
+        );
+        if let (Some(cl), Some(v)) = (classes, &ctx.cost_view) {
+            self.reduce_tables.ensure_base(cl, v.free_counts, v.generation);
+        }
+        let reference = self.cost_path == CostPath::Reference;
         let est = self.config.estimator;
         let model = self.config.model;
         let prune = self.ceiling_factor * PRUNE_SLACK;
         let cache = &mut self.reduce_avg_cache;
         let stats = &mut self.stats;
+        let tables = &self.reduce_tables;
         let mut flags = ScanFlags::default();
         let best = argmax_probability(ctx.candidates.iter().map(|c| {
             let c_here = reduce_cost(c, node, ctx.cost, est); // line 5
-            let c_ave = cached_avg(cache, stats, reduce_candidate_key(c), || {
-                reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est) // line 7
-            });
+            let compute = || match (classes, &ctx.cost_view) {
+                (Some(cl), Some(v)) => {
+                    let ave = reduce_cost_avg_classed(c, cl, &tables.base, v, est); // line 7
+                    if reference {
+                        let legacy = reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est);
+                        assert!(
+                            nearly_equal(ave, legacy),
+                            "reduce: classed C_ave {ave} diverged from legacy mean {legacy}"
+                        );
+                    }
+                    ave
+                }
+                _ => reduce_cost_avg(c, ctx.free_reduce_nodes, ctx.cost, est), // line 7
+            };
+            let c_ave = if reference {
+                cached_avg_verified(cache, stats, reduce_candidate_key(c), compute)
+            } else {
+                cached_avg(cache, stats, reduce_candidate_key(c), compute)
+            };
             if c_here.is_nan() || c_ave.is_nan() {
                 flags.non_finite = true;
                 return f64::NAN;
@@ -356,6 +555,49 @@ fn cached_avg(
             v
         }
     }
+}
+
+/// [`CostPath::Reference`]'s variant of [`cached_avg`]: recompute from
+/// scratch on *every* lookup and assert any cached value is bit-identical.
+/// A stale epoch — a free-set change whose generation bump went missing —
+/// surfaces here as a hard panic instead of a silently wrong decision.
+/// Books the same hits/misses as [`cached_avg`], so stats stay identical.
+fn cached_avg_verified(
+    cache: &mut AvgCostCache,
+    stats: &mut PlacerStats,
+    key: u64,
+    compute: impl FnOnce() -> f64,
+) -> f64 {
+    let fresh = compute();
+    match cache.values.get(&key) {
+        Some(&v) => {
+            assert!(
+                v.to_bits() == fresh.to_bits(),
+                "stale memoized C_ave: cached {v}, recomputed {fresh}"
+            );
+            stats.cache_hits += 1;
+            v
+        }
+        None => {
+            stats.cache_misses += 1;
+            cache.values.insert(key, fresh);
+            fresh
+        }
+    }
+}
+
+/// Loose equality for cross-checking the classed `C_ave` formulas against
+/// the legacy per-node means: the two summation orders differ, so allow a
+/// relative error of 1e-9. NaN matches NaN and ∞ matches same-signed ∞
+/// (degenerate inputs degenerate identically on both paths).
+fn nearly_equal(a: f64, b: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
 }
 
 /// Select the candidate with the largest probability; ties broken toward

@@ -146,18 +146,25 @@ impl FlowNetwork {
             }
         }
 
+        // Only links carrying ≥ 1 flow can ever be the bottleneck; scan that
+        // (usually tiny) ascending subset instead of all `n_links`. Ascending
+        // order preserves the exact first-strict-minimum selection of the
+        // full scan, so allocations — and simulation traces — are unchanged.
+        let mut loaded: Vec<u32> = (0..n_links as u32)
+            .filter(|&l| unfrozen_count[l as usize] > 0)
+            .collect();
         let mut remaining = frozen.iter().filter(|f| !**f).count();
         while remaining > 0 {
             // Find the bottleneck link: the smallest equal share.
             let mut best_link = usize::MAX;
             let mut best_share = f64::INFINITY;
-            for l in 0..n_links {
-                if unfrozen_count[l] > 0 {
-                    let share = residual[l] / unfrozen_count[l] as f64;
-                    if share < best_share {
-                        best_share = share;
-                        best_link = l;
-                    }
+            loaded.retain(|&l| unfrozen_count[l as usize] > 0);
+            for &l in &loaded {
+                let l = l as usize;
+                let share = residual[l] / unfrozen_count[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
                 }
             }
             debug_assert!(best_link != usize::MAX, "unfrozen flows but no loaded link");

@@ -25,6 +25,7 @@
 //! * [`cost`] — the [`PathCost`](cost::PathCost) abstraction consumed by the
 //!   scheduler crates.
 
+pub mod classed;
 pub mod cost;
 pub mod distance;
 pub mod flow;
@@ -32,6 +33,7 @@ pub mod monitor;
 pub mod routing;
 pub mod topology;
 
+pub use classed::ClassedDistance;
 pub use cost::{PathCost, RackLadderCost, UniformCost};
 pub use distance::DistanceMatrix;
 pub use flow::{FlowId, FlowNetwork};

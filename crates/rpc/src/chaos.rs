@@ -563,20 +563,20 @@ fn relay_frames(mut from: TcpStream, mut to: TcpStream, ctx: RelayCtx, stop: &At
                     ctx.log(idx, ChaosAction::Throttled);
                     throttle = Some(((*chunk_bytes).max(1), *pause));
                 }
-                ChaosFault::CorruptFrames { p } => {
-                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p {
-                        corrupt = true;
-                    }
+                ChaosFault::CorruptFrames { p }
+                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p =>
+                {
+                    corrupt = true;
                 }
-                ChaosFault::TruncateFrames { p } => {
-                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p {
-                        truncate = true;
-                    }
+                ChaosFault::TruncateFrames { p }
+                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p =>
+                {
+                    truncate = true;
                 }
-                ChaosFault::DropFrames { p } => {
-                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p {
-                        drop_frame = true;
-                    }
+                ChaosFault::DropFrames { p }
+                    if plan.draw(&ctx.link, ctx.conn, ctx.dir, idx, *rule) < *p =>
+                {
+                    drop_frame = true;
                 }
                 _ => {}
             }

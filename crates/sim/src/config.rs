@@ -125,6 +125,18 @@ pub struct SimConfig {
     /// [`FaultPlan::none`] — the default — injects nothing and leaves the
     /// run byte-identical to a fault-free build.
     pub faults: FaultPlan,
+    /// Model transfers on the fluid max-min fair-share flow network
+    /// (`true`, the default and the fidelity the paper's experiments use)
+    /// or at fixed nominal NIC rates (`false`). The nominal engine skips
+    /// global rate recomputation entirely — transfers no longer contend —
+    /// which is what makes 10k-node / 1M-task sweeps tractable; it is a
+    /// throughput benchmark mode, not an experiment mode.
+    pub fluid_network: bool,
+    /// Class-partition cost index (incremental `C_ave` maintenance).
+    /// `None` = automatic: enabled for clusters larger than 64 nodes,
+    /// disabled otherwise so small-cluster goldens keep their historical
+    /// bit-exact floating-point summation order. `Some(_)` forces it.
+    pub cost_index: Option<bool>,
     /// Master seed for all randomness.
     pub seed: u64,
     /// Hard wall on simulated time; runs exceeding it report unfinished
@@ -169,6 +181,8 @@ impl SimConfig {
             speculation_lag: 0.0,
             background: Vec::new(),
             faults: FaultPlan::none(),
+            fluid_network: true,
+            cost_index: None,
             seed: 42,
             max_sim_time: 200_000.0,
         }

@@ -2,6 +2,23 @@
 //!
 //! A binary min-heap keyed on `(time, sequence)` — the sequence number makes
 //! ordering total and deterministic for simultaneous events.
+//!
+//! # Tie ordering
+//!
+//! Events scheduled for the **same timestamp** pop in **insertion (FIFO)
+//! order**, whatever their [`EventKind`]: the queue stamps every push with a
+//! monotonically increasing sequence number and compares `(t, seq)`,
+//! nothing else. Two consequences the simulator relies on:
+//!
+//! * the pop order of any event set is a pure function of the push order —
+//!   never of heap internals, payload contents or kind discriminants, so a
+//!   run's event interleaving is reproducible bit-for-bit;
+//! * a cause always pops before its same-timestamp effect (the cause was
+//!   necessarily pushed first), e.g. a `MapDone` that schedules an
+//!   immediate `Heartbeat` at the same instant.
+//!
+//! The regression tests below pin both properties by shuffling insertion
+//! orders and asserting pop order follows `(time, insertion)` exactly.
 
 use pnats_net::NodeId;
 use std::cmp::Ordering;
@@ -187,6 +204,61 @@ mod tests {
             })
             .collect();
         assert_eq!(maps, vec![0, 1, 2]);
+    }
+
+    /// A mixed-kind event set with distinct timestamps must pop in pure
+    /// time order no matter how insertion is shuffled — the heap must not
+    /// leak its internal layout into the pop order.
+    #[test]
+    fn shuffled_insertion_pops_identical_time_order() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let events: Vec<(f64, EventKind)> = vec![
+            (5.0, EventKind::JobArrival { job: 0 }),
+            (1.0, EventKind::Heartbeat { node: NodeId(3) }),
+            (4.0, EventKind::MapDone { job: 0, map: 2, run: 1 }),
+            (2.0, EventKind::TransferWake { version: 7 }),
+            (8.0, EventKind::ReduceDone { job: 1, reduce: 0, run: 0 }),
+            (3.0, EventKind::NodeCrash { fault: 0 }),
+            (7.0, EventKind::BackgroundStart { idx: 2 }),
+            (6.0, EventKind::MapFailed { job: 2, map: 9, run: 3 }),
+        ];
+        let mut sorted = events.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xE7E27);
+        for round in 0..32 {
+            let mut order = events.clone();
+            order.shuffle(&mut rng);
+            let mut q = EventQueue::new();
+            for &(t, kind) in &order {
+                q.push(t, kind);
+            }
+            let popped: Vec<(f64, EventKind)> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(popped, sorted, "round {round}: pop order depends on insertion order");
+        }
+    }
+
+    /// Same-timestamp events of *different kinds* must pop in insertion
+    /// order — for every permutation, not just the natural one. The kind
+    /// discriminant must have no influence.
+    #[test]
+    fn tie_order_is_insertion_fifo_for_any_kind_permutation() {
+        let kinds = [
+            EventKind::Heartbeat { node: NodeId(1) },
+            EventKind::MapDone { job: 0, map: 0, run: 0 },
+            EventKind::NodeCrash { fault: 0 },
+        ];
+        // All 6 permutations of three simultaneous events.
+        for perm in [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let mut q = EventQueue::new();
+            for &i in &perm {
+                q.push(4.25, kinds[i]);
+            }
+            let popped: Vec<EventKind> =
+                std::iter::from_fn(|| q.pop()).map(|(_, k)| k).collect();
+            let expect: Vec<EventKind> = perm.iter().map(|&i| kinds[i]).collect();
+            assert_eq!(popped, expect, "perm {perm:?}: ties must pop FIFO");
+        }
     }
 
     #[test]

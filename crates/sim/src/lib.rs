@@ -41,6 +41,7 @@
 
 pub mod config;
 pub mod events;
+pub mod freeset;
 pub mod oracle;
 pub mod runner;
 pub mod state;

@@ -334,10 +334,12 @@ mod tests {
         let err = check_runtime_completions(&dup, 1, 1).unwrap_err();
         assert!(err.contains("completions (want 1)"), "{err}");
 
-        let mut counters = SchedCounters::default();
-        counters.offers = 4;
-        counters.assigns = 4;
-        counters.reexecuted_maps = 1;
+        let mut counters = SchedCounters {
+            offers: 4,
+            assigns: 4,
+            reexecuted_maps: 1,
+            ..SchedCounters::default()
+        };
         check_cluster_run(&counters, &ledger, 2, 1, false).unwrap();
         // Booked re-executions must match epoch>0 entries.
         counters.reexecuted_maps = 0;

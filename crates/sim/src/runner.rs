@@ -23,19 +23,42 @@
 
 use crate::config::{JobInput, SimConfig};
 use crate::events::{EventKind, EventQueue};
+use crate::freeset::FreeSet;
 use crate::state::{JobState, MapPhase, NodeState, ReducePhase};
 use crate::trace::{JobRecord, TaskKind, TaskRecord, Trace};
-use crate::transfers::{Completion, TransferTag, Transfers};
+use crate::transfers::{Completion, NominalTransfers, TransferEngine, TransferTag, Transfers};
 use pnats_core::context::{MapSchedContext, ReduceCandidate, ReduceSchedContext};
+use pnats_core::costidx::{CostClasses, CostView};
 use pnats_core::placer::{Decision, SkipReason, TaskPlacer};
 use pnats_core::types::{JobId, ReduceTaskId};
 use pnats_dfs::{RackAware, ReplicaPlacement};
 use pnats_metrics::LocalityClass;
 use pnats_obs::{DecisionObserver, FaultKind, FaultRecord, SchedCounters, TraceSink};
-use pnats_net::{ClusterLayout, DistanceMatrix, NodeId, RateMonitor};
+use pnats_net::{ClassedDistance, ClusterLayout, DistanceMatrix, NodeId, PathCost, RateMonitor};
 use pnats_workloads::Batch;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// The hop metric backing the scheduler's cost queries: dense `n × n`
+/// matrix at testbed scale (and whenever the congestion-scaled matrix of
+/// §II-B3 is in play, which is built dense), class-compressed at large `n`
+/// where a dense matrix would cost `O(n²)` memory.
+enum HopModel {
+    /// Exact `n × n` matrix.
+    Dense(DistanceMatrix),
+    /// Neighbor-class compressed hops ([`ClassedDistance`]) — exact too,
+    /// just `O(classes²)`.
+    Classed(ClassedDistance),
+}
+
+impl HopModel {
+    fn get(&self, a: NodeId, b: NodeId) -> f64 {
+        match self {
+            HopModel::Dense(d) => d.path_cost(a, b),
+            HopModel::Classed(c) => c.path_cost(a, b),
+        }
+    }
+}
 
 /// Convenience: the [`JobInput`]s of a workload batch.
 pub fn job_inputs_from_batch(batch: &Batch) -> Vec<JobInput> {
@@ -80,10 +103,14 @@ impl SimReport {
 pub struct Simulation {
     cfg: SimConfig,
     layout: ClusterLayout,
-    hops: DistanceMatrix,
-    sched_matrix: DistanceMatrix,
+    hops: HopModel,
+    /// Congestion-scaled snapshot (§II-B3); `Some` iff
+    /// [`SimConfig::network_condition`].
+    sched_matrix: Option<DistanceMatrix>,
     sched_matrix_t: f64,
-    monitor: RateMonitor,
+    /// Path-rate monitor; `Some` iff [`SimConfig::network_condition`] (the
+    /// only consumer of its observations).
+    monitor: Option<RateMonitor>,
     placer: Box<dyn TaskPlacer>,
     rng: SmallRng,
     now: f64,
@@ -91,8 +118,26 @@ pub struct Simulation {
     nodes: Vec<NodeState>,
     jobs: Vec<JobState>,
     arrived: Vec<bool>,
-    transfers: Transfers,
+    transfers: TransferEngine,
     trace: Trace,
+    /// Nodes with ≥1 free map slot, maintained incrementally beside
+    /// `nodes[..].free_map` (the scan it replaces only tested `free_map >
+    /// 0`, so membership is identical).
+    map_free: FreeSet,
+    /// Nodes with ≥1 free reduce slot.
+    reduce_free: FreeSet,
+    /// Cost-class partition of the active scheduling metric, when the
+    /// incremental cost index is enabled and derivation succeeded.
+    classes: Option<CostClasses>,
+    /// Sticky: once the active metric fails to partition under the class
+    /// cap, stop retrying for the rest of the run.
+    class_derive_failed: bool,
+    cost_index_enabled: bool,
+    /// Ascending indices of jobs with `arrived && !terminated` — the
+    /// membership (and order) of the old per-offer full-table scan.
+    active_jobs: Vec<usize>,
+    /// Subset of `active_jobs` with a non-empty unassigned-map queue.
+    jobs_wanting_maps: Vec<usize>,
     jobs_done: usize,
     jobs_failed: usize,
     round: u64,
@@ -125,7 +170,29 @@ impl Simulation {
     pub fn new(cfg: SimConfig, placer: Box<dyn TaskPlacer>) -> Self {
         let topo = cfg.build_topology();
         let layout = topo.layout().clone();
-        let hops = DistanceMatrix::hops(&topo);
+        // The congestion-scaled matrix of §II-B3 is inherently dense, so
+        // `network_condition` forces the dense hop model; otherwise large
+        // clusters get the class-compressed one (O(classes²) memory).
+        let use_classed = !cfg.network_condition && cfg.n_nodes > 2048;
+        let hops = if use_classed {
+            HopModel::Classed(ClassedDistance::hops(&topo))
+        } else {
+            HopModel::Dense(DistanceMatrix::hops(&topo))
+        };
+        let (monitor, sched_matrix) = if cfg.network_condition {
+            let dense = match &hops {
+                HopModel::Dense(d) => d.clone(),
+                HopModel::Classed(_) => unreachable!("network_condition forces dense hops"),
+            };
+            (Some(RateMonitor::new(cfg.n_nodes, cfg.monitor_alpha)), Some(dense))
+        } else {
+            (None, None)
+        };
+        let transfers = if cfg.fluid_network {
+            TransferEngine::Fluid(Transfers::new(&topo))
+        } else {
+            TransferEngine::Nominal(NominalTransfers::new(cfg.n_nodes, cfg.nic_bps))
+        };
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut nodes: Vec<NodeState> = (0..cfg.n_nodes)
             .map(|_| NodeState {
@@ -138,12 +205,18 @@ impl Simulation {
         for &(idx, factor) in &cfg.slow_nodes {
             nodes[idx].speed = factor;
         }
+        let mut map_free = FreeSet::new(cfg.n_nodes);
+        let mut reduce_free = FreeSet::new(cfg.n_nodes);
+        for (i, n) in nodes.iter().enumerate() {
+            map_free.set(i, n.free_map > 0);
+            reduce_free.set(i, n.free_reduce > 0);
+        }
         let trace = Trace::new(cfg.total_map_slots(), cfg.total_reduce_slots());
-        let monitor = RateMonitor::new(cfg.n_nodes, cfg.monitor_alpha);
+        let cost_index_enabled = cfg.cost_index.unwrap_or(cfg.n_nodes > 64);
         Self {
-            sched_matrix: hops.clone(),
+            sched_matrix,
             sched_matrix_t: -1.0,
-            transfers: Transfers::new(&topo),
+            transfers,
             layout,
             hops,
             monitor,
@@ -155,6 +228,13 @@ impl Simulation {
             jobs: Vec::new(),
             arrived: Vec::new(),
             trace,
+            map_free,
+            reduce_free,
+            classes: None,
+            class_derive_failed: false,
+            cost_index_enabled,
+            active_jobs: Vec::new(),
+            jobs_wanting_maps: Vec::new(),
             jobs_done: 0,
             jobs_failed: 0,
             round: 0,
@@ -306,6 +386,7 @@ impl Simulation {
         match kind {
             EventKind::JobArrival { job } => {
                 self.arrived[job] = true;
+                self.refresh_active(job);
             }
             EventKind::Heartbeat { node } => {
                 // Dead or partitioned nodes stay silent but keep their
@@ -326,6 +407,7 @@ impl Simulation {
                 self.placer.on_heartbeat_round(self.round);
                 self.observer.begin_round(self.round);
                 self.refresh_sched_matrix();
+                self.ensure_classes();
                 self.schedule_node(node);
                 self.events
                     .push(self.now + self.cfg.heartbeat_s, EventKind::Heartbeat { node });
@@ -377,20 +459,105 @@ impl Simulation {
     /// Refresh the scheduler-facing cost matrix (at most once per
     /// heartbeat interval; it is a full n² snapshot).
     fn refresh_sched_matrix(&mut self) {
-        if !self.cfg.network_condition {
-            return;
-        }
+        let Some(monitor) = &self.monitor else { return };
         if self.now - self.sched_matrix_t < self.cfg.heartbeat_s * 0.999 {
             return;
         }
-        let next_version = self.sched_matrix.version() + 1;
-        self.sched_matrix = self
-            .monitor
-            .congestion_scaled_matrix(&self.hops, self.cfg.nic_bps);
+        let dense = match &self.hops {
+            HopModel::Dense(d) => d,
+            HopModel::Classed(_) => unreachable!("network_condition forces dense hops"),
+        };
+        let sm = self.sched_matrix.as_mut().expect("sched_matrix present with monitor");
+        let next_version = sm.version() + 1;
+        *sm = monitor.congestion_scaled_matrix(dense, self.cfg.nic_bps);
         // Each snapshot gets a fresh revision so placer-side caches keyed on
         // `PathCost::version` notice the change.
-        self.sched_matrix.set_version(next_version);
+        sm.set_version(next_version);
         self.sched_matrix_t = self.now;
+    }
+
+    /// Keep the cost-class partition in sync with the active scheduling
+    /// metric. Cheap when nothing changed (version check); re-derives only
+    /// after a congestion-matrix refresh.
+    fn ensure_classes(&mut self) {
+        if !self.cost_index_enabled || self.class_derive_failed {
+            return;
+        }
+        let cost: &dyn PathCost = match (&self.sched_matrix, &self.hops) {
+            (Some(m), _) => m,
+            (None, HopModel::Dense(d)) => d,
+            (None, HopModel::Classed(c)) => c,
+        };
+        if let Some(cls) = &self.classes {
+            if cls.version() == cost.version() {
+                return;
+            }
+        }
+        let cap = 64.min(4.max(self.cfg.n_nodes / 4));
+        let derived = match (&self.sched_matrix, &self.hops) {
+            (None, HopModel::Classed(cd)) => {
+                // The classed metric already carries its partition — reuse
+                // it instead of re-clustering O(n) columns.
+                Some(CostClasses::from_class_map(cd.class_of(), cd))
+            }
+            _ => CostClasses::derive(cost, cap),
+        };
+        match derived {
+            Some(cls) if cls.n_classes() <= cap => {
+                self.map_free.set_classes(cls.class_of(), cls.n_classes());
+                self.reduce_free.set_classes(cls.class_of(), cls.n_classes());
+                self.classes = Some(cls);
+            }
+            _ => {
+                // Metric does not partition under the cap (e.g. heavily
+                // congestion-skewed) — fall back to reference costing for
+                // the rest of the run.
+                self.class_derive_failed = true;
+                self.classes = None;
+                self.map_free.clear_classes();
+                self.reduce_free.clear_classes();
+            }
+        }
+    }
+
+    /// Sync `active_jobs` / `jobs_wanting_maps` membership for job `ji`
+    /// after any change to its arrived/terminated status.
+    fn refresh_active(&mut self, ji: usize) {
+        let wanted = self.arrived[ji] && !self.jobs[ji].terminated();
+        match self.active_jobs.binary_search(&ji) {
+            Ok(pos) if !wanted => {
+                self.active_jobs.remove(pos);
+            }
+            Err(pos) if wanted => self.active_jobs.insert(pos, ji),
+            _ => {}
+        }
+        self.refresh_wants_maps(ji);
+    }
+
+    /// Sync `jobs_wanting_maps` membership for job `ji` after any change
+    /// to its unassigned-map queue.
+    fn refresh_wants_maps(&mut self, ji: usize) {
+        let wanted = self.arrived[ji]
+            && !self.jobs[ji].terminated()
+            && !self.jobs[ji].unassigned_maps.is_empty();
+        match self.jobs_wanting_maps.binary_search(&ji) {
+            Ok(pos) if !wanted => {
+                self.jobs_wanting_maps.remove(pos);
+            }
+            Err(pos) if wanted => self.jobs_wanting_maps.insert(pos, ji),
+            _ => {}
+        }
+    }
+
+    /// Mirror `nodes[n].free_map` into the incremental free set. Must be
+    /// called after every mutation of the slot counter.
+    fn free_map_changed(&mut self, n: NodeId) {
+        self.map_free.set(n.idx(), self.nodes[n.idx()].free_map > 0);
+    }
+
+    /// Mirror `nodes[n].free_reduce` into the incremental free set.
+    fn free_reduce_changed(&mut self, n: NodeId) {
+        self.reduce_free.set(n.idx(), self.nodes[n.idx()].free_reduce > 0);
     }
 
     /// Jobs eligible for scheduling of one slot type, in Hadoop Fair
@@ -423,16 +590,37 @@ impl Simulation {
             if self.nodes[node.idx()].free_map == 0 {
                 break;
             }
-            let demanding: Vec<usize> = (0..self.jobs.len())
-                .filter(|&j| {
-                    self.arrived[j]
-                        && !self.jobs[j].terminated()
-                        && !self.jobs[j].unassigned_maps.is_empty()
+            // `jobs_wanting_maps` is exactly the old full-table scan's
+            // result (ascending ids; membership maintained incrementally).
+            #[cfg(debug_assertions)]
+            {
+                let scan: Vec<usize> = (0..self.jobs.len())
+                    .filter(|&j| {
+                        self.arrived[j]
+                            && !self.jobs[j].terminated()
+                            && !self.jobs[j].unassigned_maps.is_empty()
+                    })
+                    .collect();
+                debug_assert_eq!(scan, self.jobs_wanting_maps, "jobs_wanting_maps desync");
+            }
+            if self.jobs_wanting_maps.is_empty() {
+                break;
+            }
+            // Head-of-line job under the fair-share order, without
+            // materializing the full sort: the `(over-share, running, id)`
+            // key is unique per job (the id component), so `min_by_key`
+            // picks exactly `fair_order(..).first()`.
+            let share = (self.cfg.total_map_slots() as usize)
+                .div_ceil(self.jobs_wanting_maps.len());
+            let head = self
+                .jobs_wanting_maps
+                .iter()
+                .copied()
+                .min_by_key(|&j| {
+                    let running = self.jobs[j].running_maps.len();
+                    (running >= share, running, j)
                 })
-                .collect();
-            let order =
-                self.fair_order(&demanding, |j| j.running_maps.len(), self.cfg.total_map_slots());
-            let Some(&head) = order.first() else { break };
+                .expect("non-empty demand set");
             match self.offer_map(head, node) {
                 Some(map) => self.assign_map(head, map, node),
                 None => break,
@@ -448,13 +636,15 @@ impl Simulation {
             if self.nodes[node.idx()].free_reduce == 0 {
                 break;
             }
-            let demanding: Vec<usize> = (0..self.jobs.len())
+            // `active_jobs` is exactly the `arrived && !terminated` subset
+            // in ascending order, so filtering it matches the old full scan.
+            let demanding: Vec<usize> = self
+                .active_jobs
+                .iter()
+                .copied()
                 .filter(|&j| {
                     let job = &self.jobs[j];
-                    if !self.arrived[j]
-                        || job.terminated()
-                        || job.unassigned_reduces.is_empty()
-                    {
+                    if job.unassigned_reduces.is_empty() {
                         return false;
                     }
                     // Hadoop slowstart: a fraction of maps must have finished.
@@ -495,21 +685,6 @@ impl Simulation {
         }
     }
 
-    /// Nodes currently advertising at least one free map slot.
-    fn free_map_nodes(&self) -> Vec<NodeId> {
-        (0..self.cfg.n_nodes)
-            .filter(|&n| self.nodes[n].free_map > 0)
-            .map(|n| NodeId(n as u32))
-            .collect()
-    }
-
-    fn free_reduce_nodes(&self) -> Vec<NodeId> {
-        (0..self.cfg.n_nodes)
-            .filter(|&n| self.nodes[n].free_reduce > 0)
-            .map(|n| NodeId(n as u32))
-            .collect()
-    }
-
     /// Offer one map slot on `node` for job `ji`; returns the chosen map
     /// task index, if any.
     fn offer_map(&mut self, ji: usize, node: NodeId) -> Option<usize> {
@@ -517,7 +692,7 @@ impl Simulation {
         // the head of the pending queue up to the window size.
         let mut window = self.jobs[ji].local_unassigned_on(node, 8);
         let job = &self.jobs[ji];
-        for &m in job.unassigned_maps.iter() {
+        for m in job.unassigned_maps.iter() {
             if window.len() >= self.cfg.map_candidate_window {
                 break;
             }
@@ -526,7 +701,13 @@ impl Simulation {
             }
         }
         let candidates: Vec<_> = window.iter().map(|&m| job.map_cands[m].clone()).collect();
-        let free = self.free_map_nodes();
+        let cost: &dyn PathCost = match (&self.sched_matrix, &self.hops) {
+            (Some(m), _) => m,
+            (None, HopModel::Dense(d)) => d,
+            (None, HopModel::Classed(c)) => c,
+        };
+        self.map_free.ensure_list();
+        let free = self.map_free.list();
         // Liveness filter (runtime, not placer): a map is schedulable only
         // while at least one replica of its block is on a live node. If the
         // whole window is data-dead, record a NodeDead skip so the offer
@@ -545,8 +726,8 @@ impl Simulation {
             let ctx = MapSchedContext::new(
                 self.jobs[ji].id,
                 &candidates,
-                &free,
-                if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+                free,
+                cost,
                 &self.layout,
             )
             .at(self.now);
@@ -559,14 +740,23 @@ impl Simulation {
         let candidates: Vec<_> =
             window.iter().map(|&m| self.jobs[ji].map_cands[m].clone()).collect();
         let job = &self.jobs[ji];
-        let ctx = MapSchedContext::new(
+        let mut ctx = MapSchedContext::new(
             job.id,
             &candidates,
-            &free,
-            if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            free,
+            cost,
             &self.layout,
         )
         .at(self.now);
+        if let Some(cls) = &self.classes {
+            ctx = ctx.with_cost_view(CostView {
+                classes: Some(cls),
+                free_counts: self.map_free.counts(),
+                free_bits: self.map_free.words(),
+                total_free: self.map_free.total(),
+                generation: self.map_free.generation(),
+            });
+        }
         let decision = self.placer.place_map(&ctx, node, &mut self.rng);
         self.observer
             .observe_map(&ctx, node, decision, self.placer.last_detail());
@@ -586,7 +776,6 @@ impl Simulation {
             .unassigned_reduces
             .iter()
             .take(self.cfg.reduce_candidate_window)
-            .copied()
             .collect();
         let mut candidates = Vec::with_capacity(window.len());
         let mut scratch = Vec::new();
@@ -597,19 +786,35 @@ impl Simulation {
                 sources: scratch.clone(),
             });
         }
-        let free = self.free_reduce_nodes();
+        let cost: &dyn PathCost = match (&self.sched_matrix, &self.hops) {
+            (Some(m), _) => m,
+            (None, HopModel::Dense(d)) => d,
+            (None, HopModel::Classed(c)) => c,
+        };
+        self.reduce_free.ensure_list();
+        let free = self.reduce_free.list();
+        let job = &self.jobs[ji];
         let launched = job.reduces.len() - job.unassigned_reduces.len();
-        let ctx = ReduceSchedContext::new(
+        let mut ctx = ReduceSchedContext::new(
             job.id,
             &candidates,
-            &free,
-            if self.cfg.network_condition { &self.sched_matrix } else { &self.hops },
+            free,
+            cost,
             &self.layout,
         )
         .running_on(&job.reduce_nodes)
         .map_phase(job.map_work_progress(self.now), job.maps_finished, job.maps.len())
         .reduce_phase(launched, job.reduces.len())
         .at(self.now);
+        if let Some(cls) = &self.classes {
+            ctx = ctx.with_cost_view(CostView {
+                classes: Some(cls),
+                free_counts: self.reduce_free.counts(),
+                free_bits: self.reduce_free.words(),
+                total_free: self.reduce_free.total(),
+                generation: self.reduce_free.generation(),
+            });
+        }
         let decision = self.placer.place_reduce(&ctx, node, &mut self.rng);
         self.observer
             .observe_reduce(&ctx, node, decision, self.placer.last_detail());
@@ -636,17 +841,13 @@ impl Simulation {
     fn assign_map(&mut self, ji: usize, map: usize, node: NodeId) {
         debug_assert!(self.nodes[node.idx()].free_map > 0);
         self.nodes[node.idx()].free_map -= 1;
+        self.free_map_changed(node);
         self.trace.map_util.start(self.now);
 
         let locality = self.map_locality(ji, map, node);
         let noise = self.cfg.partition_noise;
         let job = &mut self.jobs[ji];
-        let pos = job
-            .unassigned_maps
-            .iter()
-            .position(|m| *m == map)
-            .expect("assigning an unassigned map");
-        job.unassigned_maps.remove(pos);
+        assert!(job.unassigned_maps.remove(map), "assigning an unassigned map");
         job.running_tasks += 1;
         job.running_maps.push(map);
         if job.maps[map].weights.is_empty() {
@@ -686,6 +887,7 @@ impl Simulation {
                 None => self.arm_transfer_wake(),
             }
         }
+        self.refresh_wants_maps(ji);
     }
 
     fn start_map_compute(&mut self, ji: usize, map: usize, node: NodeId) {
@@ -727,6 +929,7 @@ impl Simulation {
         }
         let node = self.jobs[ji].maps[map].node().expect("done map has a node");
         self.nodes[node.idx()].free_map += 1;
+        self.free_map_changed(node);
         self.trace.map_util.end(self.now);
         if self.jobs[ji].maps[map].is_done() {
             // Defensive: completions bump no run, so a duplicate event for
@@ -749,6 +952,7 @@ impl Simulation {
         // The hosting node must still be up: its crash would have bumped
         // `run` and made this event stale.
         self.nodes[node.idx()].free_map += 1;
+        self.free_map_changed(node);
         self.trace.map_util.end(self.now);
         let attempts = {
             let m = &mut self.jobs[ji].maps[map];
@@ -778,16 +982,17 @@ impl Simulation {
     /// locality cache), deduplicating both.
     fn requeue_map(&mut self, ji: usize, map: usize) {
         let job = &mut self.jobs[ji];
-        if !job.unassigned_maps.contains(&map) {
+        if !job.unassigned_maps.contains(map) {
             job.unassigned_maps.push_back(map);
         }
         let reps: Vec<NodeId> = job.map_cands[map].replicas.clone();
         for r in reps {
-            let cache = &mut job.local_maps[r.idx()];
+            let cache = job.local_maps.entry(r.0).or_default();
             if !cache.contains(&(map as u32)) {
                 cache.push(map as u32);
             }
         }
+        self.refresh_wants_maps(ji);
     }
 
     /// Cancel live backups of one map (or of a whole job with `None`),
@@ -798,6 +1003,7 @@ impl Simulation {
                 b.cancelled = true;
                 if self.nodes[b.node.idx()].alive {
                     self.nodes[b.node.idx()].free_map += 1;
+                    self.map_free.set(b.node.idx(), true);
                 }
                 self.trace.map_util.end(self.now);
                 self.trace.backups_cancelled += 1;
@@ -851,13 +1057,12 @@ impl Simulation {
     fn try_speculate(&mut self, node: NodeId) {
         let lag = self.cfg.speculation_lag;
         let now = self.now;
-        for ji in 0..self.jobs.len() {
+        // `active_jobs` is the ascending `arrived && !terminated` subset, so
+        // walking it visits exactly the jobs the old full scan kept.
+        let active = self.active_jobs.clone();
+        for ji in active {
             let job = &self.jobs[ji];
-            if !self.arrived[ji]
-                || job.terminated()
-                || !job.unassigned_maps.is_empty()
-                || job.running_maps.is_empty()
-            {
+            if !job.unassigned_maps.is_empty() || job.running_maps.is_empty() {
                 continue;
             }
             // Progress fractions of running maps.
@@ -889,6 +1094,7 @@ impl Simulation {
             }
             // Launch the backup from scratch on this node.
             self.nodes[node.idx()].free_map -= 1;
+            self.free_map_changed(node);
             self.trace.map_util.start(now);
             let speed = self.nodes[node.idx()].speed;
             let jitter = 1.0 + self.cfg.task_jitter * (self.rng.gen::<f64>() * 2.0 - 1.0);
@@ -917,6 +1123,7 @@ impl Simulation {
         };
         self.backups[idx].cancelled = true;
         self.nodes[node.idx()].free_map += 1;
+        self.free_map_changed(node);
         self.trace.map_util.end(self.now);
         if self.jobs[ji].maps[map].is_done() || self.jobs[ji].terminated() {
             // Defensive: primary completions and job teardown cancel their
@@ -935,6 +1142,7 @@ impl Simulation {
         }
         if self.nodes[pnode.idx()].alive {
             self.nodes[pnode.idx()].free_map += 1;
+            self.free_map_changed(pnode);
         }
         self.trace.map_util.end(self.now);
         self.jobs[ji].maps[map].run += 1;
@@ -947,28 +1155,18 @@ impl Simulation {
     fn assign_reduce(&mut self, ji: usize, f: usize, node: NodeId) {
         debug_assert!(self.nodes[node.idx()].free_reduce > 0);
         self.nodes[node.idx()].free_reduce -= 1;
+        self.free_reduce_changed(node);
         self.trace.reduce_util.start(self.now);
 
         let job = &mut self.jobs[ji];
-        let pos = job
-            .unassigned_reduces
-            .iter()
-            .position(|r| *r == f)
-            .expect("assigning an unassigned reduce");
-        job.unassigned_reduces.remove(pos);
+        assert!(job.unassigned_reduces.remove(f), "assigning an unassigned reduce");
         job.running_tasks += 1;
         job.reduce_nodes.push(node);
         job.reduces[f].phase = ReducePhase::Shuffling { node };
         job.reduces[f].assigned_t = self.now;
 
         // Pull everything already finished.
-        for n in 0..job.done_by_node.len() {
-            if let Some(bytes) = job.done_by_node[n].get(f).copied() {
-                if bytes > 0.0 {
-                    job.reduces[f].enqueue(NodeId(n as u32), bytes);
-                }
-            }
-        }
+        job.enqueue_finished_outputs(f);
         self.kick_copiers(ji, f);
         self.try_finish_shuffle(ji, f);
     }
@@ -1050,6 +1248,7 @@ impl Simulation {
             }
         }
         self.nodes[node.idx()].free_reduce += 1;
+        self.free_reduce_changed(node);
         self.trace.reduce_util.end(self.now);
 
         let r = &self.jobs[ji].reduces[f];
@@ -1081,16 +1280,24 @@ impl Simulation {
     }
 
     fn check_job_done(&mut self, ji: usize) {
-        let job = &mut self.jobs[ji];
-        if !job.terminated() && job.is_done() {
-            job.finished_at = Some(self.now);
+        let done = {
+            let job = &mut self.jobs[ji];
+            if !job.terminated() && job.is_done() {
+                job.finished_at = Some(self.now);
+                self.trace.jobs.push(JobRecord {
+                    job: ji,
+                    name: job.name.clone(),
+                    submit: job.submit,
+                    finished: self.now,
+                });
+                true
+            } else {
+                false
+            }
+        };
+        if done {
             self.jobs_done += 1;
-            self.trace.jobs.push(JobRecord {
-                job: ji,
-                name: job.name.clone(),
-                submit: job.submit,
-                finished: self.now,
-            });
+            self.refresh_active(ji);
         }
     }
 
@@ -1102,6 +1309,7 @@ impl Simulation {
         let node = self.jobs[ji].maps[map].node().expect("killing a placed map");
         if self.nodes[node.idx()].alive {
             self.nodes[node.idx()].free_map += 1;
+            self.free_map_changed(node);
         }
         self.trace.map_util.end(self.now);
         {
@@ -1129,6 +1337,7 @@ impl Simulation {
         let node = self.jobs[ji].reduces[f].node().expect("killing a placed reduce");
         if self.nodes[node.idx()].alive {
             self.nodes[node.idx()].free_reduce += 1;
+            self.free_reduce_changed(node);
         }
         self.trace.reduce_util.end(self.now);
         {
@@ -1137,15 +1346,14 @@ impl Simulation {
             r.phase = ReducePhase::Unassigned;
             r.pending.clear();
             r.active_fetches = 0;
-            r.received = 0.0;
-            r.per_source.clear();
+            r.clear_sources();
         }
         let job = &mut self.jobs[ji];
         if let Some(pos) = job.reduce_nodes.iter().position(|x| *x == node) {
             job.reduce_nodes.swap_remove(pos);
         }
         job.running_tasks -= 1;
-        if !job.unassigned_reduces.contains(&f) {
+        if !job.unassigned_reduces.contains(f) {
             job.unassigned_reduces.push_back(f);
         }
         self.record_fault(
@@ -1181,6 +1389,8 @@ impl Simulation {
         self.nodes[n.idx()].alive = false;
         self.nodes[n.idx()].free_map = 0;
         self.nodes[n.idx()].free_reduce = 0;
+        self.free_map_changed(n);
+        self.free_reduce_changed(n);
 
         // 1. Tear down in-flight transfers involving the node.
         let torn = self.transfers.cancel_involving(self.now, n);
@@ -1258,13 +1468,7 @@ impl Simulation {
                 .map(|(i, _)| i)
                 .collect();
             for m in lost {
-                {
-                    let t = &mut self.jobs[ji].maps[m];
-                    t.epoch += 1;
-                    t.run += 1;
-                    t.phase = MapPhase::Unassigned;
-                }
-                self.jobs[ji].maps_finished -= 1;
+                self.jobs[ji].invalidate_map_output(m);
                 self.requeue_map(ji, m);
                 self.record_fault(
                     FaultKind::MapInvalidated,
@@ -1273,7 +1477,7 @@ impl Simulation {
                     Some(m as u32),
                 );
             }
-            self.jobs[ji].done_by_node[n.idx()].clear();
+            self.jobs[ji].clear_node_output(n);
             for f in 0..self.jobs[ji].reduces.len() {
                 let r = &mut self.jobs[ji].reduces[f];
                 if !matches!(
@@ -1282,13 +1486,7 @@ impl Simulation {
                 ) {
                     continue;
                 }
-                r.pending.retain(|(s, _)| *s != n);
-                let mut lost_bytes = 0.0;
-                if let Some(pos) = r.per_source.iter().position(|(s, _)| *s == n) {
-                    let (_, b) = r.per_source.swap_remove(pos);
-                    r.received -= b;
-                    lost_bytes = b;
-                }
+                let lost_bytes = r.drop_source(n);
                 if lost_bytes > 0.0 {
                     if let ReducePhase::Merging { node } = r.phase {
                         // The merge consumed bytes that no longer exist;
@@ -1315,6 +1513,8 @@ impl Simulation {
         self.nodes[n].alive = true;
         self.nodes[n].free_map = self.cfg.map_slots;
         self.nodes[n].free_reduce = self.cfg.reduce_slots;
+        self.free_map_changed(NodeId(n as u32));
+        self.free_reduce_changed(NodeId(n as u32));
         self.record_fault(FaultKind::NodeRecover, n as u32, None, None);
     }
 
@@ -1355,6 +1555,7 @@ impl Simulation {
             let mnode = self.jobs[ji].maps[m].node().expect("running map has a node");
             if self.nodes[mnode.idx()].alive {
                 self.nodes[mnode.idx()].free_map += 1;
+                self.free_map_changed(mnode);
             }
             self.trace.map_util.end(self.now);
             let t = &mut self.jobs[ji].maps[m];
@@ -1372,6 +1573,7 @@ impl Simulation {
             let rnode = self.jobs[ji].reduces[f].node().expect("placed reduce has a node");
             if self.nodes[rnode.idx()].alive {
                 self.nodes[rnode.idx()].free_reduce += 1;
+                self.free_reduce_changed(rnode);
             }
             self.trace.reduce_util.end(self.now);
             let r = &mut self.jobs[ji].reduces[f];
@@ -1389,6 +1591,7 @@ impl Simulation {
         job.failed = true;
         self.jobs_done += 1;
         self.jobs_failed += 1;
+        self.refresh_active(ji);
         let _ = self.transfers.cancel_job(self.now, ji);
         self.arm_transfer_wake();
         self.record_fault(FaultKind::JobFailed, node.idx() as u32, Some(ji as u32), None);
@@ -1396,8 +1599,10 @@ impl Simulation {
 
     /// Route a finished network transfer to its consumer.
     fn handle_completion(&mut self, c: Completion) {
-        if c.avg_rate.is_finite() {
-            self.monitor.observe(c.src, c.dst, c.avg_rate);
+        if let Some(mon) = &mut self.monitor {
+            if c.avg_rate.is_finite() {
+                mon.observe(c.src, c.dst, c.avg_rate);
+            }
         }
         self.trace.network_bytes += c.bytes;
         match c.tag {

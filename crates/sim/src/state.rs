@@ -5,8 +5,18 @@
 //! of state and the query time, so heartbeat "reports" never need to be
 //! stored or synchronized — exactly the information a Hadoop heartbeat
 //! would carry, derived on demand.
+//!
+//! The collections here are sized for 10k-node / 1M-task runs: pending
+//! task queues are intrusive [`PendingList`]s (O(1) remove), shuffle
+//! bookkeeping is indexed per source node instead of linearly scanned,
+//! per-node tables (`done_by_node`, `local_maps`) are sparse maps instead
+//! of `O(n_nodes)` vectors per job, and aggregate map progress is an
+//! integer counter instead of an `O(maps)` sweep. Every replacement
+//! preserves the iteration order and membership of the structure it
+//! replaced, so decision traces are byte-identical.
 
 use crate::config::JobInput;
+use crate::freeset::PendingList;
 use pnats_core::context::{MapCandidate, ShuffleSource};
 use pnats_core::types::{JobId, MapTaskId};
 use pnats_metrics::LocalityClass;
@@ -14,7 +24,7 @@ use pnats_net::NodeId;
 use pnats_workloads::ShuffleModel;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Per-node slot availability.
 #[derive(Clone, Debug)]
@@ -150,19 +160,82 @@ pub enum ReducePhase {
     },
 }
 
+/// FIFO queue of pending shuffle fetches, aggregated per source node.
+///
+/// Same observable behaviour as the `VecDeque<(NodeId, f64)>` it replaced —
+/// first-enqueue order, merge-on-repeat — but the merge is an O(1) map
+/// update instead of a linear scan over the queue.
+#[derive(Clone, Debug, Default)]
+pub struct SourceQueue {
+    order: VecDeque<NodeId>,
+    amt: HashMap<u32, f64>,
+}
+
+impl SourceQueue {
+    /// Queued sources.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Queue `bytes` from `src`, merging into an existing entry (position
+    /// unchanged) if one is already queued.
+    pub fn push(&mut self, src: NodeId, bytes: f64) {
+        match self.amt.entry(src.0) {
+            std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += bytes,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(bytes);
+                self.order.push_back(src);
+            }
+        }
+    }
+
+    /// Dequeue the oldest source with its accumulated bytes.
+    pub fn pop_front(&mut self) -> Option<(NodeId, f64)> {
+        let src = self.order.pop_front()?;
+        let bytes = self.amt.remove(&src.0).expect("queue/amount desync");
+        Some((src, bytes))
+    }
+
+    /// Drop any queued fetch from `src` (node crash).
+    pub fn remove_source(&mut self, src: NodeId) {
+        if self.amt.remove(&src.0).is_some() {
+            self.order.retain(|s| *s != src);
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.amt.clear();
+    }
+
+    /// Iterate `(source, bytes)` in queue order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.order.iter().map(|s| (*s, self.amt[&s.0]))
+    }
+}
+
 /// One reduce task.
 #[derive(Clone, Debug)]
 pub struct ReduceTask {
     /// Lifecycle phase.
     pub phase: ReducePhase,
     /// Fetches not yet started, aggregated per source node.
-    pub pending: VecDeque<(NodeId, f64)>,
+    pub pending: SourceQueue,
     /// Fetch flows currently in the network.
     pub active_fetches: usize,
     /// Shuffle bytes received so far.
     pub received: f64,
     /// Bytes received from each source node (locality accounting).
     pub per_source: Vec<(NodeId, f64)>,
+    /// Source node → index into `per_source` (kept consistent across
+    /// `swap_remove` by `drop_source`).
+    per_source_idx: HashMap<u32, u32>,
     /// Assignment time.
     pub assigned_t: f64,
     /// Attempt id; bumped whenever the current attempt is killed or sent
@@ -174,10 +247,11 @@ impl ReduceTask {
     fn new() -> Self {
         Self {
             phase: ReducePhase::Unassigned,
-            pending: VecDeque::new(),
+            pending: SourceQueue::default(),
             active_fetches: 0,
             received: 0.0,
             per_source: Vec::new(),
+            per_source_idx: HashMap::new(),
             assigned_t: 0.0,
             run: 0,
         }
@@ -198,21 +272,43 @@ impl ReduceTask {
         if bytes <= 0.0 {
             return;
         }
-        if let Some(e) = self.pending.iter_mut().find(|(n, _)| *n == src) {
-            e.1 += bytes;
-        } else {
-            self.pending.push_back((src, bytes));
-        }
+        self.pending.push(src, bytes);
     }
 
     /// Account received bytes from `src`.
     pub fn receive(&mut self, src: NodeId, bytes: f64) {
         self.received += bytes;
-        if let Some(e) = self.per_source.iter_mut().find(|(n, _)| *n == src) {
-            e.1 += bytes;
-        } else {
-            self.per_source.push((src, bytes));
+        match self.per_source_idx.entry(src.0) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.per_source[*e.get() as usize].1 += bytes;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.per_source.len() as u32);
+                self.per_source.push((src, bytes));
+            }
         }
+    }
+
+    /// Forget everything `src` contributed — pending fetch and received
+    /// bytes — returning the lost byte count (node-crash recovery).
+    pub fn drop_source(&mut self, src: NodeId) -> f64 {
+        self.pending.remove_source(src);
+        let Some(pos) = self.per_source_idx.remove(&src.0) else {
+            return 0.0;
+        };
+        let (_, bytes) = self.per_source.swap_remove(pos as usize);
+        if let Some(moved) = self.per_source.get(pos as usize) {
+            self.per_source_idx.insert(moved.0 .0, pos);
+        }
+        self.received -= bytes;
+        bytes
+    }
+
+    /// Reset all shuffle accounting (attempt killed outright).
+    pub fn clear_sources(&mut self) {
+        self.received = 0.0;
+        self.per_source.clear();
+        self.per_source_idx.clear();
     }
 
     /// The source node contributing the most bytes (reduce locality).
@@ -247,19 +343,32 @@ pub struct JobState {
     pub maps: Vec<MapTask>,
     /// Reduce tasks.
     pub reduces: Vec<ReduceTask>,
-    /// Indices of unassigned map tasks (front = next offered).
-    pub unassigned_maps: VecDeque<usize>,
+    /// Unassigned map tasks in offer order (front = next offered).
+    pub unassigned_maps: PendingList,
     /// Per-node index of map tasks with a local replica — Hadoop's
-    /// node-local task cache. Entries are cleaned lazily as tasks assign.
-    pub local_maps: Vec<Vec<u32>>,
-    /// Indices of unassigned reduce tasks.
-    pub unassigned_reduces: VecDeque<usize>,
-    /// Aggregate finished-map output bytes, indexed `[node][partition]`
-    /// (incrementally maintained so reduce contexts build in O(nodes +
-    /// running maps) instead of O(all maps)).
-    pub done_by_node: Vec<Vec<f64>>,
+    /// node-local task cache. Sparse: only nodes holding a replica have an
+    /// entry. Entries are cleaned lazily as tasks assign.
+    pub local_maps: HashMap<u32, Vec<u32>>,
+    /// Unassigned reduce tasks in offer order.
+    pub unassigned_reduces: PendingList,
+    /// Aggregate finished-map output bytes per node, indexed
+    /// `[partition]` within each entry (incrementally maintained so reduce
+    /// contexts build in O(output nodes + running maps) instead of
+    /// O(all maps)). Sparse companion of `output_nodes`.
+    pub done_by_node: HashMap<u32, Vec<f64>>,
+    /// Ascending list of nodes that have ever held finished map output of
+    /// this job — the iteration order for `done_by_node` (which a hash map
+    /// cannot provide deterministically).
+    pub output_nodes: Vec<u32>,
     /// Indices of currently running (placed, unfinished) map tasks.
     pub running_maps: Vec<usize>,
+    /// Total map input bytes (`Σ B_j`), fixed at construction.
+    pub input_total: u64,
+    /// Input bytes of currently-valid *finished* maps; decremented when a
+    /// crash invalidates an output. With the running maps' partial reads
+    /// this reproduces the old full-sweep progress sum exactly (`u64`
+    /// addition is associative/commutative, so the total is bit-identical).
+    pub input_done: u64,
     /// Completed map count.
     pub maps_finished: usize,
     /// Completed reduce count.
@@ -281,7 +390,7 @@ impl JobState {
         id: JobId,
         input: &JobInput,
         replicas_per_block: Vec<Vec<NodeId>>,
-        n_nodes: usize,
+        _n_nodes: usize,
         rng: &mut SmallRng,
     ) -> Self {
         assert_eq!(replicas_per_block.len(), input.block_sizes.len());
@@ -297,7 +406,7 @@ impl JobState {
                 replicas: reps.clone(),
             })
             .collect();
-        let maps = input
+        let maps: Vec<MapTask> = input
             .block_sizes
             .iter()
             .map(|size| MapTask {
@@ -313,12 +422,13 @@ impl JobState {
             })
             .collect();
         let reduces = (0..input.n_reduces).map(|_| ReduceTask::new()).collect();
-        let mut local_maps = vec![Vec::new(); n_nodes];
+        let mut local_maps: HashMap<u32, Vec<u32>> = HashMap::new();
         for (j, reps) in replicas_per_block.iter().enumerate() {
             for r in reps {
-                local_maps[r.idx()].push(j as u32);
+                local_maps.entry(r.idx() as u32).or_default().push(j as u32);
             }
         }
+        let input_total = input.block_sizes.iter().sum();
         Self {
             id,
             name: input.name.clone(),
@@ -328,11 +438,14 @@ impl JobState {
             map_cands,
             maps,
             reduces,
-            unassigned_maps: (0..input.block_sizes.len()).collect(),
+            unassigned_maps: PendingList::full(input.block_sizes.len()),
             local_maps,
-            unassigned_reduces: (0..input.n_reduces).collect(),
-            done_by_node: vec![Vec::new(); n_nodes],
+            unassigned_reduces: PendingList::full(input.n_reduces),
+            done_by_node: HashMap::new(),
+            output_nodes: Vec::new(),
             running_maps: Vec::new(),
+            input_total,
+            input_done: 0,
             maps_finished: 0,
             reduces_finished: 0,
             running_tasks: 0,
@@ -368,26 +481,25 @@ impl JobState {
     /// (compacting already-assigned entries out of the index) — the
     /// node-local candidates Hadoop's per-node task cache would surface.
     pub fn local_unassigned_on(&mut self, node: NodeId, limit: usize) -> Vec<usize> {
+        let Some(cache) = self.local_maps.get_mut(&(node.idx() as u32)) else {
+            return Vec::new();
+        };
         let maps = &self.maps;
-        self.local_maps[node.idx()].retain(|&m| {
-            matches!(maps[m as usize].phase, MapPhase::Unassigned)
-        });
-        self.local_maps[node.idx()]
-            .iter()
-            .take(limit)
-            .map(|&m| m as usize)
-            .collect()
+        cache.retain(|&m| matches!(maps[m as usize].phase, MapPhase::Unassigned));
+        cache.iter().take(limit).map(|&m| m as usize).collect()
     }
 
     /// Fraction of total map *work* (input bytes) completed at `t` — the
-    /// `job_map_progress` Coupling's gate reads.
+    /// `job_map_progress` Coupling's gate reads. O(running maps).
     pub fn map_work_progress(&self, t: f64) -> f64 {
-        let total: u64 = self.maps.iter().map(|m| m.block).sum();
-        if total == 0 {
+        if self.input_total == 0 {
             return 1.0;
         }
-        let read: u64 = self.maps.iter().map(|m| m.input_read(t)).sum();
-        read as f64 / total as f64
+        let mut read = self.input_done;
+        for &mi in &self.running_maps {
+            read += self.maps[mi].input_read(t);
+        }
+        read as f64 / self.input_total as f64
     }
 
     /// Whether every task has finished.
@@ -408,12 +520,55 @@ impl JobState {
             self.running_maps.swap_remove(pos);
         }
         self.maps_finished += 1;
-        let agg = &mut self.done_by_node[node.idx()];
+        self.input_done += self.maps[map].block;
+        let nid = node.idx() as u32;
+        let agg = self.done_by_node.entry(nid).or_default();
         if agg.is_empty() {
             agg.resize(self.reduces.len(), 0.0);
         }
         for (f, slot) in agg.iter_mut().enumerate() {
             *slot += self.maps[map].final_bytes_for(f);
+        }
+        if let Err(pos) = self.output_nodes.binary_search(&nid) {
+            self.output_nodes.insert(pos, nid);
+        }
+    }
+
+    /// A node crash invalidated map `map`'s completed output: bump epoch
+    /// and attempt id, return the task to `Unassigned` and roll back the
+    /// finished-work accounting. The caller requeues it.
+    pub fn invalidate_map_output(&mut self, map: usize) {
+        let t = &mut self.maps[map];
+        t.epoch += 1;
+        t.run += 1;
+        t.phase = MapPhase::Unassigned;
+        self.maps_finished -= 1;
+        self.input_done -= self.maps[map].block;
+    }
+
+    /// Forget all finished output stored on `node` (its disks are gone).
+    /// The node stays in `output_nodes`; its empty aggregate is skipped by
+    /// every reader, matching the old dense table whose entry was cleared
+    /// in place.
+    pub fn clear_node_output(&mut self, node: NodeId) {
+        if let Some(agg) = self.done_by_node.get_mut(&(node.idx() as u32)) {
+            agg.clear();
+        }
+    }
+
+    /// Queue every already-finished map output of partition `f` onto its
+    /// reduce task (called at reduce assignment, before per-completion
+    /// feeding takes over). Ascending node order, like the dense sweep it
+    /// replaces.
+    pub fn enqueue_finished_outputs(&mut self, f: usize) {
+        for i in 0..self.output_nodes.len() {
+            let nid = self.output_nodes[i];
+            let Some(bytes) = self.done_by_node.get(&nid).and_then(|a| a.get(f)).copied() else {
+                continue;
+            };
+            if bytes > 0.0 {
+                self.reduces[f].enqueue(NodeId(nid), bytes);
+            }
         }
     }
 
@@ -424,16 +579,17 @@ impl JobState {
     /// comparison is about).
     pub fn shuffle_sources(&self, f: usize, t: f64, out: &mut Vec<ShuffleSource>) {
         out.clear();
-        for (n, agg) in self.done_by_node.iter().enumerate() {
-            if let Some(bytes) = agg.get(f) {
-                if *bytes > 0.0 {
-                    out.push(ShuffleSource {
-                        node: NodeId(n as u32),
-                        current_bytes: *bytes,
-                        input_read: 1,
-                        input_total: 1,
-                    });
-                }
+        for &nid in &self.output_nodes {
+            let Some(bytes) = self.done_by_node.get(&nid).and_then(|a| a.get(f)) else {
+                continue;
+            };
+            if *bytes > 0.0 {
+                out.push(ShuffleSource {
+                    node: NodeId(nid),
+                    current_bytes: *bytes,
+                    input_read: 1,
+                    input_total: 1,
+                });
             }
         }
         for &mi in &self.running_maps {
@@ -484,6 +640,7 @@ mod tests {
         assert_eq!(j.reduces.len(), 4);
         assert_eq!(j.unassigned_maps.len(), 2);
         assert_eq!(j.map_cands[1].replicas, vec![NodeId(1)]);
+        assert_eq!(j.input_total, 2000);
         assert!(!j.is_done());
     }
 
@@ -512,6 +669,7 @@ mod tests {
         j.complete_map(0, NodeId(0), 5.0);
         assert!((j.map_work_progress(0.0) - 0.5).abs() < 1e-9);
         assert_eq!(j.maps_finished, 1);
+        assert_eq!(j.input_done, 1000);
     }
 
     #[test]
@@ -523,9 +681,29 @@ mod tests {
         j.running_maps.push(0);
         j.complete_map(0, NodeId(2), 1.0);
         assert!(j.running_maps.is_empty());
-        let total: f64 = j.done_by_node[2].iter().sum();
+        assert_eq!(j.output_nodes, vec![2]);
+        let total: f64 = j.done_by_node[&2].iter().sum();
         let expect = j.maps[0].block as f64 * j.maps[0].selectivity;
         assert!((total - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalidation_rolls_back_progress() {
+        let mut j = job();
+        let mut rng = SmallRng::seed_from_u64(4);
+        j.materialize_map_output(0, 0.0, &mut rng);
+        j.maps[0].phase = MapPhase::Computing { node: NodeId(2), start: 0.0, duration: 1.0 };
+        j.complete_map(0, NodeId(2), 1.0);
+        j.invalidate_map_output(0);
+        j.clear_node_output(NodeId(2));
+        assert_eq!(j.maps_finished, 0);
+        assert_eq!(j.input_done, 0);
+        assert_eq!(j.maps[0].epoch, 1);
+        assert_eq!(j.maps[0].phase, MapPhase::Unassigned);
+        // The cleared node yields no shuffle sources.
+        let mut out = Vec::new();
+        j.shuffle_sources(0, 2.0, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -568,7 +746,23 @@ mod tests {
         r.enqueue(NodeId(1), 7.0);
         r.enqueue(NodeId(3), 0.0); // dropped
         assert_eq!(r.pending.len(), 2);
-        assert_eq!(r.pending[0], (NodeId(1), 17.0));
+        let first = r.pending.iter().next().unwrap();
+        assert_eq!(first, (NodeId(1), 17.0));
+    }
+
+    #[test]
+    fn reduce_drop_source_forgets_contribution() {
+        let mut r = ReduceTask::new();
+        r.receive(NodeId(1), 10.0);
+        r.receive(NodeId(2), 30.0);
+        r.enqueue(NodeId(2), 4.0);
+        assert_eq!(r.drop_source(NodeId(2)), 30.0);
+        assert_eq!(r.received, 10.0);
+        assert!(r.pending.is_empty());
+        // Index stays consistent after the swap_remove.
+        r.receive(NodeId(1), 5.0);
+        assert_eq!(r.per_source, vec![(NodeId(1), 15.0)]);
+        assert_eq!(r.drop_source(NodeId(9)), 0.0);
     }
 
     #[test]

@@ -298,6 +298,369 @@ impl Transfers {
     }
 }
 
+#[derive(Clone, Debug)]
+struct NomActive {
+    tag: TransferTag,
+    src: NodeId,
+    dst: NodeId,
+    bytes: f64,
+    rate: f64,
+    started: f64,
+    stamp: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct NomEntry {
+    finish: f64,
+    stamp: u64,
+    slot: usize,
+}
+
+impl PartialEq for NomEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.stamp == other.stamp
+    }
+}
+impl Eq for NomEntry {}
+impl Ord for NomEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: min-heap on (finish, stamp).
+        other
+            .finish
+            .total_cmp(&self.finish)
+            .then_with(|| other.stamp.cmp(&self.stamp))
+    }
+}
+impl PartialOrd for NomEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Nominal-rate transfer engine: every transfer moves at the NIC's nominal
+/// rate (scaled by any active degradation on its endpoints, frozen at
+/// start), with **no contention** between flows.
+///
+/// Starting or finishing a transfer is O(log active) heap work instead of
+/// the fluid model's global max-min recomputation — the difference between
+/// simulating 1M tasks in seconds and in hours. The price is fidelity:
+/// concurrent transfers no longer slow each other down, so this engine is
+/// for scale/throughput benchmarking ([`crate::SimConfig::fluid_network`]
+/// `= false`), never for the paper's experiments.
+///
+/// The wake protocol (versions, stale wake-ups, [`NominalTransfers::reap`])
+/// is identical to [`Transfers`], so the runner drives both through one
+/// code path.
+pub struct NominalTransfers {
+    nic_bps: f64,
+    /// Per-node NIC scale (link-degradation windows), applied to transfers
+    /// *started* while in effect.
+    node_scale: Vec<f64>,
+    slots: Vec<Option<NomActive>>,
+    free: Vec<usize>,
+    heap: std::collections::BinaryHeap<NomEntry>,
+    n_active: usize,
+    stamp: u64,
+    version: u64,
+}
+
+impl NominalTransfers {
+    /// An engine over `n_nodes` nodes with `nic_bps` nominal NICs.
+    pub fn new(n_nodes: usize, nic_bps: f64) -> Self {
+        assert!(nic_bps > 0.0);
+        Self {
+            nic_bps,
+            node_scale: vec![1.0; n_nodes],
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+            n_active: 0,
+            stamp: 0,
+            version: 0,
+        }
+    }
+
+    /// Current version; wake-ups carrying an older version are stale.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of in-flight transfers (including background).
+    pub fn n_active(&self) -> usize {
+        self.n_active
+    }
+
+    /// Start a transfer; local/tiny transfers complete inline exactly like
+    /// the fluid engine.
+    pub fn start(
+        &mut self,
+        now: f64,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: TransferTag,
+    ) -> Option<Completion> {
+        assert!(bytes >= 0.0);
+        if src == dst || bytes <= DONE_EPSILON {
+            return Some(Completion { tag, src, dst, bytes, avg_rate: f64::INFINITY });
+        }
+        let scale = self.node_scale[src.idx()].min(self.node_scale[dst.idx()]);
+        let rate = self.nic_bps * scale;
+        let finish = if bytes.is_finite() { now + bytes / rate } else { f64::INFINITY };
+        self.stamp += 1;
+        let a = NomActive { tag, src, dst, bytes, rate, started: now, stamp: self.stamp };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Some(a);
+                s
+            }
+            None => {
+                self.slots.push(Some(a));
+                self.slots.len() - 1
+            }
+        };
+        if finish.is_finite() {
+            self.heap.push(NomEntry { finish, stamp: self.stamp, slot });
+        }
+        self.n_active += 1;
+        self.version += 1;
+        None
+    }
+
+    fn release(&mut self, slot: usize) -> NomActive {
+        let a = self.slots[slot].take().expect("slot already free");
+        self.free.push(slot);
+        self.n_active -= 1;
+        a
+    }
+
+    /// Remove the (unique) active transfer with `tag` without completing it.
+    pub fn cancel(&mut self, _now: f64, tag: TransferTag) {
+        let found = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|a| a.tag == tag));
+        if let Some(slot) = found {
+            self.release(slot);
+            self.version += 1;
+        }
+    }
+
+    /// Cancel every non-background transfer touching `node`; returns their
+    /// `(tag, src, dst)`.
+    pub fn cancel_involving(
+        &mut self,
+        _now: f64,
+        node: NodeId,
+    ) -> Vec<(TransferTag, NodeId, NodeId)> {
+        let mut cancelled = Vec::new();
+        for slot in 0..self.slots.len() {
+            let hit = self.slots[slot].as_ref().is_some_and(|a| {
+                (a.src == node || a.dst == node)
+                    && !matches!(a.tag, TransferTag::Background { .. })
+            });
+            if hit {
+                let a = self.release(slot);
+                cancelled.push((a.tag, a.src, a.dst));
+            }
+        }
+        if !cancelled.is_empty() {
+            self.version += 1;
+        }
+        cancelled
+    }
+
+    /// Cancel every transfer belonging to `job`; returns the cancelled tags.
+    pub fn cancel_job(&mut self, _now: f64, job: usize) -> Vec<TransferTag> {
+        let mut cancelled = Vec::new();
+        for slot in 0..self.slots.len() {
+            let hit = self.slots[slot].as_ref().is_some_and(|a| match a.tag {
+                TransferTag::MapFetch { job: j, .. } | TransferTag::Shuffle { job: j, .. } => {
+                    j == job
+                }
+                TransferTag::Background { .. } => false,
+            });
+            if hit {
+                cancelled.push(self.release(slot).tag);
+            }
+        }
+        if !cancelled.is_empty() {
+            self.version += 1;
+        }
+        cancelled
+    }
+
+    /// Record a NIC-degradation scale for `node`. Applies to transfers
+    /// started from now on; in-flight transfers keep their frozen rate (an
+    /// accepted approximation of this benchmark-only engine).
+    pub fn scale_node_links(&mut self, _now: f64, node: NodeId, scale: f64) {
+        assert!(scale > 0.0, "link scale must stay positive");
+        self.node_scale[node.idx()] = scale;
+        self.version += 1;
+    }
+
+    /// Remove every transfer whose predicted finish has passed, returning
+    /// their completions.
+    pub fn reap(&mut self, now: f64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            let live = self.slots[top.slot]
+                .as_ref()
+                .is_some_and(|a| a.stamp == top.stamp);
+            if !live {
+                self.heap.pop();
+                continue;
+            }
+            if top.finish > now {
+                break;
+            }
+            let slot = top.slot;
+            self.heap.pop();
+            let a = self.release(slot);
+            let dt = (now - a.started).max(1e-9);
+            done.push(Completion {
+                tag: a.tag,
+                src: a.src,
+                dst: a.dst,
+                bytes: a.bytes,
+                avg_rate: a.bytes / dt,
+            });
+        }
+        if !done.is_empty() {
+            self.version += 1;
+        }
+        done
+    }
+
+    /// Predicted absolute time of the next completion plus the version to
+    /// stamp on the wake-up. `None` when nothing bounded is in flight.
+    pub fn next_wake(&mut self) -> Option<(f64, u64)> {
+        while let Some(top) = self.heap.peek() {
+            let live = self.slots[top.slot]
+                .as_ref()
+                .is_some_and(|a| a.stamp == top.stamp);
+            if live {
+                return Some((top.finish, self.version));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Current rate of the transfer with `tag` (diagnostics/tests).
+    pub fn rate_of(&mut self, tag: TransferTag) -> Option<f64> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|a| a.tag == tag)
+            .map(|a| a.rate)
+    }
+}
+
+/// The transfer engine the runner drives: fluid (contention-accurate) or
+/// nominal (contention-free, for scale benchmarking). One enum instead of a
+/// trait object so the hot calls stay statically dispatched.
+pub enum TransferEngine {
+    /// Max-min fair fluid flows ([`Transfers`]).
+    Fluid(Transfers),
+    /// Fixed nominal rates ([`NominalTransfers`]).
+    Nominal(NominalTransfers),
+}
+
+impl TransferEngine {
+    /// Current version; wake-ups carrying an older version are stale.
+    pub fn version(&self) -> u64 {
+        match self {
+            Self::Fluid(t) => t.version(),
+            Self::Nominal(t) => t.version(),
+        }
+    }
+
+    /// Number of in-flight transfers (including background).
+    pub fn n_active(&self) -> usize {
+        match self {
+            Self::Fluid(t) => t.n_active(),
+            Self::Nominal(t) => t.n_active(),
+        }
+    }
+
+    /// Start a transfer. See [`Transfers::start`].
+    pub fn start(
+        &mut self,
+        now: f64,
+        src: NodeId,
+        dst: NodeId,
+        bytes: f64,
+        tag: TransferTag,
+    ) -> Option<Completion> {
+        match self {
+            Self::Fluid(t) => t.start(now, src, dst, bytes, tag),
+            Self::Nominal(t) => t.start(now, src, dst, bytes, tag),
+        }
+    }
+
+    /// Cancel by tag. See [`Transfers::cancel`].
+    pub fn cancel(&mut self, now: f64, tag: TransferTag) {
+        match self {
+            Self::Fluid(t) => t.cancel(now, tag),
+            Self::Nominal(t) => t.cancel(now, tag),
+        }
+    }
+
+    /// Cancel everything touching a crashed node. See
+    /// [`Transfers::cancel_involving`].
+    pub fn cancel_involving(
+        &mut self,
+        now: f64,
+        node: NodeId,
+    ) -> Vec<(TransferTag, NodeId, NodeId)> {
+        match self {
+            Self::Fluid(t) => t.cancel_involving(now, node),
+            Self::Nominal(t) => t.cancel_involving(now, node),
+        }
+    }
+
+    /// Cancel a failed job's transfers. See [`Transfers::cancel_job`].
+    pub fn cancel_job(&mut self, now: f64, job: usize) -> Vec<TransferTag> {
+        match self {
+            Self::Fluid(t) => t.cancel_job(now, job),
+            Self::Nominal(t) => t.cancel_job(now, job),
+        }
+    }
+
+    /// Scale a node's access links. See [`Transfers::scale_node_links`].
+    pub fn scale_node_links(&mut self, now: f64, node: NodeId, scale: f64) {
+        match self {
+            Self::Fluid(t) => t.scale_node_links(now, node, scale),
+            Self::Nominal(t) => t.scale_node_links(now, node, scale),
+        }
+    }
+
+    /// Collect finished transfers. See [`Transfers::reap`].
+    pub fn reap(&mut self, now: f64) -> Vec<Completion> {
+        match self {
+            Self::Fluid(t) => t.reap(now),
+            Self::Nominal(t) => t.reap(now),
+        }
+    }
+
+    /// Next predicted completion. See [`Transfers::next_wake`].
+    pub fn next_wake(&mut self) -> Option<(f64, u64)> {
+        match self {
+            Self::Fluid(t) => t.next_wake(),
+            Self::Nominal(t) => t.next_wake(),
+        }
+    }
+
+    /// Current rate of a transfer. See [`Transfers::rate_of`].
+    pub fn rate_of(&mut self, tag: TransferTag) -> Option<f64> {
+        match self {
+            Self::Fluid(t) => t.rate_of(tag),
+            Self::Nominal(t) => t.rate_of(tag),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,5 +796,90 @@ mod tests {
         let mut tr = Transfers::new(&topo3());
         let c = tr.start(0.0, NodeId(0), NodeId(1), 0.0, TAG_A);
         assert!(c.is_some());
+    }
+
+    // ---- nominal engine ----
+
+    #[test]
+    fn nominal_finishes_at_bytes_over_nic_rate() {
+        let mut tr = NominalTransfers::new(3, GB);
+        assert!(tr.start(0.0, NodeId(0), NodeId(1), GB, TAG_A).is_none());
+        let (t, v) = tr.next_wake().unwrap();
+        assert!((t - 1.0).abs() < 1e-9, "{t}");
+        let done = tr.reap(t);
+        assert_eq!(done.len(), 1);
+        assert!((done[0].bytes - GB).abs() < 1.0);
+        assert_eq!(v, tr.version() - 1, "reap bumps version");
+        assert_eq!(tr.n_active(), 0);
+    }
+
+    #[test]
+    fn nominal_has_no_contention() {
+        // Two fetches into the same node both finish at t = 1 — that's the
+        // point of the benchmark engine.
+        let mut tr = NominalTransfers::new(3, GB);
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.start(0.0, NodeId(2), NodeId(0), GB, TAG_B);
+        let (t, _) = tr.next_wake().unwrap();
+        assert!((t - 1.0).abs() < 1e-9, "{t}");
+        assert_eq!(tr.reap(t).len(), 2);
+    }
+
+    #[test]
+    fn nominal_local_and_tiny_complete_inline() {
+        let mut tr = NominalTransfers::new(3, GB);
+        assert!(tr.start(0.0, NodeId(1), NodeId(1), 1e9, TAG_A).is_some());
+        assert!(tr.start(0.0, NodeId(0), NodeId(1), 0.5, TAG_B).is_some());
+        assert_eq!(tr.n_active(), 0);
+    }
+
+    #[test]
+    fn nominal_background_never_wakes_and_cancel_works() {
+        let mut tr = NominalTransfers::new(3, GB);
+        let bg = TransferTag::Background { idx: 0 };
+        tr.start(0.0, NodeId(1), NodeId(2), f64::INFINITY, bg);
+        assert_eq!(tr.n_active(), 1);
+        assert!(tr.next_wake().is_none());
+        tr.cancel(0.5, bg);
+        assert_eq!(tr.n_active(), 0);
+    }
+
+    #[test]
+    fn nominal_cancel_involving_spares_background_and_invalidates_heap() {
+        let mut tr = NominalTransfers::new(3, GB);
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.start(0.0, NodeId(2), NodeId(1), GB, TAG_B);
+        let bg = TransferTag::Background { idx: 0 };
+        tr.start(0.0, NodeId(1), NodeId(2), f64::INFINITY, bg);
+        let gone = tr.cancel_involving(0.1, NodeId(1));
+        assert_eq!(gone.len(), 2);
+        assert_eq!(tr.n_active(), 1);
+        // Stale heap entries for the cancelled transfers must not resurface.
+        assert!(tr.next_wake().is_none());
+        assert!(tr.reap(5.0).is_empty());
+    }
+
+    #[test]
+    fn nominal_degradation_scales_new_transfers() {
+        let mut tr = NominalTransfers::new(3, GB);
+        tr.scale_node_links(0.0, NodeId(0), 0.25);
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        assert!((tr.rate_of(TAG_A).unwrap() - GB / 4.0).abs() < 1e-6);
+        let (t, _) = tr.next_wake().unwrap();
+        assert!((t - 4.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn nominal_slot_reuse_keeps_stamps_distinct() {
+        let mut tr = NominalTransfers::new(3, GB);
+        tr.start(0.0, NodeId(1), NodeId(0), GB, TAG_A);
+        tr.cancel(0.1, TAG_A);
+        // Reuses the freed slot; the old heap entry must not reap it.
+        tr.start(0.2, NodeId(2), NodeId(0), GB, TAG_B);
+        let done = tr.reap(1.0); // old finish time of TAG_A
+        assert!(done.is_empty(), "{done:?}");
+        let done = tr.reap(1.2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, TAG_B);
     }
 }

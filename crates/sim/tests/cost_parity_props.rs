@@ -1,0 +1,150 @@
+//! Property tests of the incremental cost maintenance: for *arbitrary*
+//! small clusters (≤12 nodes), job shapes (≤64 tasks) and seeded
+//! [`FaultPlan`]s, the incremental `C_ave` / cost path must equal full
+//! recomputation after every event.
+//!
+//! The check runs each generated scenario twice with the cost index
+//! forced on — once under [`CostPath::Incremental`] (class-compressed
+//! tables, generation-keyed `C_ave` cache) and once under
+//! [`CostPath::Reference`], which recomputes the legacy per-node mean at
+//! every decision and asserts the classed value against it *inside* the
+//! placer (`nearly_equal`, plus a full audit of the free-set view). Byte
+//! equality of the two decision traces then pins that the incremental
+//! bookkeeping never drifted, across crashes, recoveries, heartbeat loss
+//! and link degradation. The case count honors `PROPTEST_CASES`.
+
+use pnats_core::faults::{FaultPlan, NodeCrash};
+use pnats_core::prob_sched::{CostPath, ProbabilisticPlacer};
+use pnats_obs::InMemorySink;
+use pnats_sim::{check_report, JobInput, SimConfig, SimReport, Simulation};
+use pnats_workloads::{AppKind, ShuffleModel};
+use proptest::prelude::*;
+
+const MAX_NODES: usize = 12;
+
+/// Raw crash ingredients over the *maximum* node domain; [`build_plan`]
+/// folds the node index onto whatever cluster size the shape drew (the
+/// vendored proptest shim has no `prop_flat_map` for dependent
+/// strategies).
+type RawCrash = (usize, f64, f64);
+
+fn crash_strategy() -> impl Strategy<Value = RawCrash> {
+    (0..MAX_NODES, 1.0f64..120.0, -50.0f64..200.0)
+}
+
+fn plan_parts_strategy() -> impl Strategy<Value = (Vec<RawCrash>, f64, u32)> {
+    (proptest::collection::vec(crash_strategy(), 0..3), 0.0f64..0.3, 3u32..6)
+}
+
+fn build_plan(parts: &(Vec<RawCrash>, f64, u32), n_nodes: usize) -> FaultPlan {
+    let (raw, p, max_attempts) = parts;
+    FaultPlan {
+        crashes: raw
+            .iter()
+            .map(|&(node, at, rec)| NodeCrash {
+                node: node % n_nodes,
+                at,
+                recover_at: (rec >= 0.0).then_some(at + 5.0 + rec),
+            })
+            .collect(),
+        transient_map_failure_p: *p,
+        max_attempts: *max_attempts,
+        ..FaultPlan::none()
+    }
+}
+
+/// Cluster + workload shapes: 3–12 nodes, 1–2 jobs, ≤64 tasks total.
+#[derive(Debug, Clone)]
+struct Shape {
+    n_nodes: usize,
+    jobs: Vec<(usize, usize)>, // (maps, reduces)
+    network_condition: bool,
+    fluid: bool,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        3usize..=MAX_NODES,
+        proptest::collection::vec((1usize..=28, 1usize..=4), 1..=2),
+        (0u8..2).prop_map(|b| b == 1),
+        (0u8..2).prop_map(|b| b == 1),
+    )
+        .prop_map(|(n_nodes, jobs, network_condition, fluid)| Shape {
+            n_nodes,
+            jobs,
+            network_condition,
+            fluid,
+        })
+}
+
+fn build(shape: &Shape, plan: &FaultPlan, seed: u64) -> (SimConfig, Vec<JobInput>) {
+    let mut cfg = SimConfig::tiny(shape.n_nodes, seed);
+    cfg.max_sim_time = 5_000.0;
+    cfg.network_condition = shape.network_condition;
+    cfg.fluid_network = shape.fluid;
+    // Force the class-compressed machinery on — the auto-gate would leave
+    // it off at this scale, and an idle index is vacuously correct.
+    cfg.cost_index = Some(true);
+    cfg.faults = plan.clone();
+    let inputs = shape
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(ji, &(maps, reduces))| JobInput {
+            name: format!("prop{ji}"),
+            submit: 4.0 * ji as f64,
+            block_sizes: vec![48 << 20; maps],
+            n_reduces: reduces,
+            shuffle: ShuffleModel::for_app(AppKind::Terasort),
+        })
+        .collect();
+    (cfg, inputs)
+}
+
+fn run_path(cfg: &SimConfig, inputs: &[JobInput], path: CostPath) -> SimReport {
+    let placer = Box::new(ProbabilisticPlacer::paper().with_cost_path(path));
+    Simulation::new(cfg.clone(), placer)
+        .with_trace(Box::new(InMemorySink::unbounded()))
+        .run(inputs)
+}
+
+/// Every externally visible byte of a run.
+fn artifacts(r: &SimReport) -> (String, String, String, u64) {
+    (
+        r.trace_jsonl.clone().expect("traced run yields JSONL"),
+        r.trace.tasks_csv(),
+        r.trace.jobs_csv(),
+        r.sim_end.to_bits(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn incremental_cost_maintenance_equals_full_recompute(
+        shape in shape_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let (cfg, inputs) = build(&shape, &FaultPlan::none(), seed);
+        let inc = run_path(&cfg, &inputs, CostPath::Incremental);
+        let full = run_path(&cfg, &inputs, CostPath::Reference);
+        prop_assert_eq!(artifacts(&inc), artifacts(&full), "incremental path drifted");
+        prop_assert_eq!(&inc.counters, &full.counters);
+        prop_assert!(check_report(&inc, &inputs).is_ok(), "{:?}", check_report(&inc, &inputs));
+    }
+
+    #[test]
+    fn incremental_cost_maintenance_survives_arbitrary_faults(
+        shape in shape_strategy(),
+        plan_parts in plan_parts_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let plan = build_plan(&plan_parts, shape.n_nodes);
+        plan.validate(shape.n_nodes).expect("strategy builds valid plans");
+        let (cfg, inputs) = build(&shape, &plan, seed);
+        let inc = run_path(&cfg, &inputs, CostPath::Incremental);
+        let full = run_path(&cfg, &inputs, CostPath::Reference);
+        prop_assert_eq!(artifacts(&inc), artifacts(&full), "incremental path drifted under faults");
+        prop_assert_eq!(&inc.counters, &full.counters);
+        prop_assert!(check_report(&inc, &inputs).is_ok(), "{:?}", check_report(&inc, &inputs));
+    }
+}
