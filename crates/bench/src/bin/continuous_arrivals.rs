@@ -1,10 +1,16 @@
 //! Sensitivity: Poisson job arrivals instead of the paper's all-at-once
 //! batches — the shared-cluster steady state the conclusion targets.
 //! Sweeps offered load (mean inter-arrival gap) for the three schedulers.
+//!
+//! Runs through the tenancy layer as its single-tenant special case: the
+//! passthrough config exercises the service-mode arrival path while
+//! producing byte-identical traces to a tenancy-free run (pinned by
+//! `tests/tenancy_parity.rs`).
 
 use pnats_bench::harness::{cloud_config, mean_jct, run_matrix, Run, PAPER_SCHEDULERS};
 use pnats_metrics::render_table;
 use pnats_sim::JobInput;
+use pnats_tenancy::TenancyConfig;
 use pnats_workloads::poisson_mixed_batch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -27,7 +33,9 @@ fn main() {
         let inputs = JobInput::from_batch(&batch);
         for kind in PAPER_SCHEDULERS {
             cells.push((gap_s, kind));
-            runs.push(Run::new(kind, cloud_config(seed), inputs.clone()));
+            let mut cfg = cloud_config(seed);
+            cfg.tenancy = Some(TenancyConfig::single_tenant(inputs.len()));
+            runs.push(Run::new(kind, cfg, inputs.clone()));
         }
     }
     let reports = run_matrix(runs);

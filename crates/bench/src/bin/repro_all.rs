@@ -13,6 +13,7 @@
 
 use pnats_bench::harness::harness_threads;
 use pnats_obs::SchedCounters;
+use pnats_tenancy::TenantCounters;
 use std::io::Write as _;
 use std::process::Command;
 use std::time::Instant;
@@ -72,6 +73,41 @@ fn merge_counters(stderr: &str, agg: &mut Vec<(String, SchedCounters)>) {
             None => agg.push((name.to_string(), c)),
         }
     }
+}
+
+/// Fold a child's `TENANTS tenant=<name> <kv…>` stderr lines into the
+/// cross-experiment per-tenant aggregate (first-appearance order). Only
+/// service-mode experiments emit them.
+fn merge_tenant_counters(stderr: &str, agg: &mut Vec<(String, TenantCounters)>) {
+    for line in stderr.lines().filter(|l| l.starts_with("TENANTS ")) {
+        let mut tokens = line.split_whitespace().skip(1);
+        let Some(name) = tokens.next().and_then(|t| t.strip_prefix("tenant=")) else {
+            continue;
+        };
+        let c = TenantCounters::from_kv(tokens);
+        match agg.iter_mut().find(|(n, _)| n == name) {
+            Some((_, total)) => total.merge(&c),
+            None => agg.push((name.to_string(), c)),
+        }
+    }
+}
+
+/// Lines of an existing `BENCH_harness.json` written by section-patching
+/// binaries (`scale_sweep`, `tenant_service`) rather than by `repro_all`
+/// itself. Preserved verbatim across the rewrite so re-running `repro_all`
+/// does not clobber their results.
+fn preserved_sections() -> Vec<String> {
+    let Ok(existing) = std::fs::read_to_string("BENCH_harness.json") else {
+        return Vec::new();
+    };
+    existing
+        .lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            t.starts_with("\"scale_sweep\":") || t.starts_with("\"tenant_service\":")
+        })
+        .map(|l| l.to_string())
+        .collect()
 }
 
 /// Total matrix runs reported by a child's `HARNESS runs=…` stderr lines.
@@ -135,11 +171,13 @@ fn main() {
     let total = Instant::now();
     let mut records = Vec::new();
     let mut counters: Vec<(String, SchedCounters)> = Vec::new();
+    let mut tenant_counters: Vec<(String, TenantCounters)> = Vec::new();
     for bin in bins {
         println!("\n############ {bin} ############");
         let child = run_child(&dir, bin, &seed, None);
         std::io::stdout().write_all(&child.stdout).expect("stdout");
         merge_counters(&child.stderr, &mut counters);
+        merge_tenant_counters(&child.stderr, &mut tenant_counters);
         records.push(ExperimentRecord {
             name: bin.to_string(),
             wall_s: child.wall_s,
@@ -194,6 +232,24 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    if !tenant_counters.is_empty() {
+        json.push_str("  \"tenant_counters\": {\n");
+        for (i, (name, c)) in tenant_counters.iter().enumerate() {
+            json.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                json_escape(name),
+                c.to_json_object(),
+                if i + 1 < tenant_counters.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  },\n");
+    }
+    // Keep sections owned by the patching binaries (read before the
+    // rewrite below replaces the file).
+    for line in preserved_sections() {
+        let line = line.trim_end().trim_end_matches(',');
+        json.push_str(&format!("{line},\n"));
+    }
     json.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3}\n"));
     json.push_str("}\n");
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");

@@ -23,7 +23,7 @@
 //! schedulers) and enforces a wall-clock budget — the CI guard against
 //! accidentally regressing the tick loop back to quadratic scans.
 
-use pnats_bench::harness::{run_matrix_with, Run, SchedulerKind};
+use pnats_bench::harness::{patch_bench_section, run_matrix_with, Run, SchedulerKind};
 use pnats_metrics::render_table;
 use pnats_sim::config::TopologyKind;
 use pnats_sim::{JobInput, SimConfig, SimReport};
@@ -92,34 +92,6 @@ impl Cell {
     fn tasks_per_s(&self) -> f64 {
         self.n_tasks as f64 / self.wall_s.max(1e-9)
     }
-}
-
-/// Insert (or replace) the single-line `"scale_sweep"` entry in
-/// `BENCH_harness.json`, preserving everything `repro_all` wrote. The file
-/// is line-oriented by construction, so this is plain line surgery.
-fn patch_bench_json(section_line: &str) {
-    let path = "BENCH_harness.json";
-    let existing = std::fs::read_to_string(path)
-        .unwrap_or_else(|_| "{\n  \"total_wall_s\": 0.000\n}\n".to_string());
-    let mut out: Vec<String> = Vec::new();
-    let mut inserted = false;
-    for line in existing.lines() {
-        if line.trim_start().starts_with("\"scale_sweep\":") {
-            continue; // drop the stale entry
-        }
-        if !inserted && line.trim_start().starts_with("\"total_wall_s\"") {
-            out.push(section_line.to_string());
-            inserted = true;
-        }
-        out.push(line.to_string());
-    }
-    if !inserted {
-        // No total_wall_s marker (hand-edited file): append before the
-        // closing brace.
-        let pos = out.iter().rposition(|l| l.trim() == "}").unwrap_or(out.len());
-        out.insert(pos, section_line.trim_end_matches(',').to_string());
-    }
-    std::fs::write(path, out.join("\n") + "\n").expect("write BENCH_harness.json");
 }
 
 fn main() {
@@ -228,7 +200,7 @@ fn main() {
         "  \"scale_sweep\": {{\"seed\": \"{seed}\", \"smoke\": {smoke}, \"total_wall_s\": {total_wall_s:.3}, \"cells\": [{}]}},",
         cell_json.join(", ")
     );
-    patch_bench_json(&section);
+    patch_bench_section("scale_sweep", &section);
     eprintln!("Scale sweep completed in {total_wall_s:.1}s; results folded into BENCH_harness.json");
 
     if smoke {

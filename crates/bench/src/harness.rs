@@ -206,6 +206,40 @@ pub fn usage_on_help(synopsis: &str) {
     std::process::exit(0);
 }
 
+/// Insert (or replace) a single-line `"<name>": {…},` section in
+/// `BENCH_harness.json`, preserving everything `repro_all` and other
+/// section-patching binaries wrote. The file is line-oriented by
+/// construction, so this is plain line surgery: the stale `"<name>":`
+/// line (if any) is dropped and `section_line` is inserted before the
+/// `"total_wall_s"` summary line (falling back to just before the
+/// closing brace, or creating a minimal file when `repro_all` has not
+/// run yet).
+pub fn patch_bench_section(name: &str, section_line: &str) {
+    let path = "BENCH_harness.json";
+    let existing = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"total_wall_s\": 0.000\n}\n".to_string());
+    let marker = format!("\"{name}\":");
+    let mut out: Vec<String> = Vec::new();
+    let mut inserted = false;
+    for line in existing.lines() {
+        if line.trim_start().starts_with(&marker) {
+            continue; // drop the stale entry
+        }
+        if !inserted && line.trim_start().starts_with("\"total_wall_s\"") {
+            out.push(section_line.to_string());
+            inserted = true;
+        }
+        out.push(line.to_string());
+    }
+    if !inserted {
+        // No total_wall_s marker (hand-edited file): append before the
+        // closing brace.
+        let pos = out.iter().rposition(|l| l.trim() == "}").unwrap_or(out.len());
+        out.insert(pos, section_line.trim_end_matches(',').to_string());
+    }
+    std::fs::write(path, out.join("\n") + "\n").expect("write BENCH_harness.json");
+}
+
 /// Worker count for [`run_matrix`]: `PNATS_THREADS` when set (minimum 1;
 /// `1` disables parallelism entirely), otherwise the machine's available
 /// parallelism.
@@ -299,6 +333,20 @@ pub fn run_matrix(runs: Vec<Run>) -> Vec<SimReport> {
     }
     for (name, c) in &agg {
         eprintln!("COUNTERS scheduler={name} {}", c.to_kv());
+    }
+    // Per-tenant aggregates for service-mode runs, merged by tenant name
+    // in first-appearance order; batch runs (no tenancy) emit nothing.
+    let mut tagg: Vec<(String, pnats_tenancy::TenantCounters)> = Vec::new();
+    for r in &reports {
+        for ts in &r.tenants {
+            match tagg.iter_mut().find(|(name, _)| *name == ts.name) {
+                Some((_, c)) => c.merge(&ts.counters),
+                None => tagg.push((ts.name.clone(), ts.counters.clone())),
+            }
+        }
+    }
+    for (name, c) in &tagg {
+        eprintln!("TENANTS tenant={name} {}", c.to_kv());
     }
     if let Some(path) = trace_to {
         let mut text = String::new();

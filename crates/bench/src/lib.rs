@@ -23,7 +23,8 @@ pub mod harness;
 
 pub use harness::{
     batch_runs, cloud_config, harness_threads, hdfs_config, make_placer, mean_jct, parallel_map,
-    run_batch, run_batches, run_matrix, run_matrix_with, trace_path, usage_on_help, PlacerSpec,
+    patch_bench_section, run_batch, run_batches, run_matrix, run_matrix_with, trace_path,
+    usage_on_help, PlacerSpec,
     Run,
     SchedulerKind,
     ALL_SCHEDULERS,

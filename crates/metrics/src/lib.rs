@@ -21,6 +21,6 @@ pub mod utilization;
 
 pub use cdf::Cdf;
 pub use locality::{LocalityClass, LocalityCounter};
-pub use stats::{reduction_pct, Summary};
+pub use stats::{jain_index, percentile, reduction_pct, Summary};
 pub use table::{render_series, render_table};
 pub use utilization::UtilizationTimeline;

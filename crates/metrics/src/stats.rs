@@ -46,6 +46,42 @@ impl Summary {
     }
 }
 
+/// Exact nearest-rank percentile of `samples`: the smallest sample with at
+/// least `p` (in `[0, 1]`) of the distribution at or below it. No
+/// interpolation — the returned value is always an observed sample, which
+/// is what tail-latency reporting wants (an interpolated p99 can be a
+/// value no job ever experienced). Returns `None` when empty.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "percentile rank must be in [0, 1]");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let idx = ((p * s.len() as f64).ceil() as usize).max(1) - 1;
+    Some(s[idx.min(s.len() - 1)])
+}
+
+/// Jain's fairness index of an allocation vector:
+/// `(Σx)² / (n · Σx²)`.
+///
+/// 1.0 means perfectly equal allocations; `k/n` means `k` of `n` parties
+/// split everything evenly while the rest get nothing. Feed it per-tenant
+/// service *normalized by weight* to measure weighted fairness. Returns
+/// `None` for an empty vector or all-zero allocations (fairness of no
+/// service is undefined).
+pub fn jain_index(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (xs.len() as f64 * sum_sq))
+}
+
 /// The paper's Figure 5 metric: percentage reduction of `ours` relative to
 /// `baseline`, i.e. `(baseline − ours) / baseline × 100`.
 ///
@@ -93,6 +129,53 @@ mod tests {
         assert_eq!(s.min, 7.0);
         assert_eq!(s.p95, 7.0);
         assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 0.5), Some(30.0));
+        assert_eq!(percentile(&xs, 0.90), Some(50.0));
+        assert_eq!(percentile(&xs, 0.99), Some(50.0), "p99 of 5 samples is the max");
+        assert_eq!(percentile(&xs, 1.0), Some(50.0));
+        // Unsorted input, result is always an observed sample.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+        // Agrees with Summary's quantile rule.
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(percentile(&xs, 0.95), Some(s.p95));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn percentile_rank_out_of_range_panics() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn jain_equal_allocations_is_one() {
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), Some(1.0));
+        assert_eq!(jain_index(&[2.5]), Some(1.0), "a single party is trivially fair");
+    }
+
+    #[test]
+    fn jain_single_winner_is_one_over_n() {
+        let j = jain_index(&[9.0, 0.0, 0.0]).unwrap();
+        assert!((j - 1.0 / 3.0).abs() < 1e-12, "{j}");
+        let j = jain_index(&[0.0, 0.0, 0.0, 7.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12, "{j}");
+    }
+
+    #[test]
+    fn jain_is_scale_invariant_and_bounded() {
+        let a = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_index(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 1.0 / 3.0 && a < 1.0);
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), None, "no service ⇒ undefined");
     }
 
     #[test]

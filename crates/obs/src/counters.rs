@@ -52,6 +52,11 @@ pub struct SchedCounters {
     pub link_partitions: u64,
     /// Times the tracker entered degraded (safe) mode.
     pub degraded_entries: u64,
+    /// Arriving jobs shed by service-mode admission control.
+    pub jobs_rejected: u64,
+    /// Running map attempts killed by the service-mode preemption policy
+    /// (each also books one retry when the attempt is requeued).
+    pub preemptions: u64,
 }
 
 impl SchedCounters {
@@ -80,6 +85,8 @@ impl SchedCounters {
             FaultKind::FrameCorrupted => self.corrupt_frames += 1,
             FaultKind::LinkPartitioned => self.link_partitions += 1,
             FaultKind::DegradedMode => self.degraded_entries += 1,
+            FaultKind::JobRejected => self.jobs_rejected += 1,
+            FaultKind::MapPreempted => self.preemptions += 1,
             FaultKind::NodeRecover
             | FaultKind::JobFailed
             | FaultKind::LinkDegraded
@@ -118,6 +125,8 @@ impl SchedCounters {
         self.corrupt_frames += other.corrupt_frames;
         self.link_partitions += other.link_partitions;
         self.degraded_entries += other.degraded_entries;
+        self.jobs_rejected += other.jobs_rejected;
+        self.preemptions += other.preemptions;
     }
 
     /// Skip count for one reason.
@@ -162,6 +171,10 @@ impl SchedCounters {
             " corrupt_frames={} link_partitions={} degraded_entries={}",
             self.corrupt_frames, self.link_partitions, self.degraded_entries
         ));
+        s.push_str(&format!(
+            " jobs_rejected={} preemptions={}",
+            self.jobs_rejected, self.preemptions
+        ));
         s
     }
 
@@ -194,6 +207,8 @@ impl SchedCounters {
                 "corrupt_frames" => c.corrupt_frames = v,
                 "link_partitions" => c.link_partitions = v,
                 "degraded_entries" => c.degraded_entries = v,
+                "jobs_rejected" => c.jobs_rejected = v,
+                "preemptions" => c.preemptions = v,
                 _ => {
                     if let Some(label) = key.strip_prefix("skip_") {
                         if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
@@ -237,7 +252,9 @@ impl SchedCounters {
         ));
         s.push_str(&format!("{indent}  \"corrupt_frames\": {},\n", self.corrupt_frames));
         s.push_str(&format!("{indent}  \"link_partitions\": {},\n", self.link_partitions));
-        s.push_str(&format!("{indent}  \"degraded_entries\": {}\n", self.degraded_entries));
+        s.push_str(&format!("{indent}  \"degraded_entries\": {},\n", self.degraded_entries));
+        s.push_str(&format!("{indent}  \"jobs_rejected\": {},\n", self.jobs_rejected));
+        s.push_str(&format!("{indent}  \"preemptions\": {}\n", self.preemptions));
         s.push_str(&format!("{indent}}}"));
         s
     }
@@ -284,6 +301,10 @@ mod tests {
         c.record_fault(FaultKind::FrameCorrupted);
         c.record_fault(FaultKind::LinkPartitioned);
         c.record_fault(FaultKind::DegradedMode);
+        c.record_fault(FaultKind::JobRejected);
+        c.record_fault(FaultKind::MapPreempted);
+        c.record_fault(FaultKind::MapPreempted);
+        assert_eq!((c.jobs_rejected, c.preemptions), (1, 2));
         assert_eq!((c.node_crashes, c.retries, c.reexecuted_maps, c.lost_heartbeats), (1, 2, 1, 1));
         assert_eq!((c.rpc_retries, c.peers_expired), (2, 1));
         assert_eq!((c.breaker_trips, c.breaker_closes, c.alt_source_fetches), (2, 1, 1));

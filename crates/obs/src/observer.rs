@@ -21,6 +21,9 @@ pub struct DecisionObserver {
     sink: Box<dyn TraceSink>,
     counters: SchedCounters,
     round: u64,
+    /// Tenant id per job index; `None` outside multi-tenant service mode,
+    /// which keeps single-pool trace bytes unchanged.
+    job_tenant: Option<Vec<u32>>,
 }
 
 impl Default for DecisionObserver {
@@ -47,7 +50,20 @@ impl DecisionObserver {
 
     /// Counters plus records delivered to `sink`.
     pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
-        Self { sink, counters: SchedCounters::default(), round: 0 }
+        Self { sink, counters: SchedCounters::default(), round: 0, job_tenant: None }
+    }
+
+    /// Tag subsequent records with each job's tenant (multi-tenant
+    /// service mode only — tagged records serialize an extra `tenant`
+    /// field, so single-pool runs must not call this).
+    pub fn set_tenants(&mut self, job_tenant: Vec<u32>) {
+        self.job_tenant = Some(job_tenant);
+    }
+
+    /// The tenant tag for `job`, if tenant tagging is active.
+    fn tenant_of(&self, job: u32) -> Option<u32> {
+        let tags = self.job_tenant.as_ref()?;
+        Some(tags.get(job as usize).copied().unwrap_or(0))
     }
 
     /// Whether records are being built at all.
@@ -75,6 +91,7 @@ impl DecisionObserver {
                 round: self.round,
                 phase: Phase::Map,
                 job: ctx.job.0,
+                tenant: self.tenant_of(ctx.job.0),
                 node: node.0,
                 candidates: ctx.candidates.len(),
                 free_nodes: ctx.free_map_nodes.len(),
@@ -100,6 +117,7 @@ impl DecisionObserver {
                 round: self.round,
                 phase: Phase::Reduce,
                 job: ctx.job.0,
+                tenant: self.tenant_of(ctx.job.0),
                 node: node.0,
                 candidates: ctx.candidates.len(),
                 free_nodes: ctx.free_reduce_nodes.len(),
@@ -191,6 +209,22 @@ mod tests {
             assert!(line.contains("\"node\":1"), "{line}");
             assert!(line.contains("\"candidates\":1"), "{line}");
             assert!(line.contains("\"free\":2"), "{line}");
+        });
+    }
+
+    #[test]
+    fn tenant_tagging_is_opt_in() {
+        with_ctx(|ctx| {
+            // Untagged: historical byte layout.
+            let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+            obs.observe_map(ctx, NodeId(0), Decision::Assign(0), None);
+            assert!(!obs.drain_jsonl().unwrap().contains("tenant"));
+            // Tagged: job 3 belongs to tenant 1.
+            let mut obs = DecisionObserver::with_sink(Box::new(InMemorySink::unbounded()));
+            obs.set_tenants(vec![0, 0, 0, 1]);
+            obs.observe_map(ctx, NodeId(0), Decision::Assign(0), None);
+            let text = obs.drain_jsonl().unwrap();
+            assert!(text.contains("\"job\":3,\"tenant\":1"), "{text}");
         });
     }
 

@@ -39,6 +39,10 @@ pub struct DecisionRecord {
     pub phase: Phase,
     /// Job whose tasks were offered the slot.
     pub job: u32,
+    /// Tenant the job belongs to, when the run uses a multi-tenant
+    /// service configuration (`None` in single-pool runs, keeping their
+    /// trace bytes unchanged).
+    pub tenant: Option<u32>,
     /// Node whose free slot was offered.
     pub node: u32,
     /// Size of the candidate set the placer chose from.
@@ -86,6 +90,10 @@ impl DecisionRecord {
         out.push_str(self.phase.label());
         out.push_str("\",\"job\":");
         out.push_str(&self.job.to_string());
+        if let Some(tn) = self.tenant {
+            out.push_str(",\"tenant\":");
+            out.push_str(&tn.to_string());
+        }
         out.push_str(",\"node\":");
         out.push_str(&self.node.to_string());
         out.push_str(",\"candidates\":");
@@ -168,6 +176,14 @@ pub enum FaultKind {
     /// A map output was fetched from an alternate source after its primary
     /// holder was unreachable.
     AltSourceFetch,
+    /// An arriving job was turned away by service-mode admission control
+    /// (per-tenant queue bound or cluster-saturation backpressure).
+    JobRejected,
+    /// A running map attempt was killed by the service-mode preemption
+    /// policy to restore a starved tenant's minimum share; always followed
+    /// by a [`TaskRescheduled`](Self::TaskRescheduled) requeue of the same
+    /// task at the same instant.
+    MapPreempted,
 }
 
 impl FaultKind {
@@ -191,6 +207,8 @@ impl FaultKind {
             FaultKind::CircuitClose => "circuit_close",
             FaultKind::DegradedMode => "degraded_mode",
             FaultKind::AltSourceFetch => "alt_source_fetch",
+            FaultKind::JobRejected => "job_rejected",
+            FaultKind::MapPreempted => "map_preempted",
         }
     }
 }
@@ -278,6 +296,7 @@ mod tests {
             phase: Phase::Map,
             job: 1,
             node: 7,
+            tenant: None,
             candidates: 4,
             free_nodes: 12,
             decision: Decision::Assign(2),
@@ -325,6 +344,19 @@ mod tests {
     }
 
     #[test]
+    fn tenant_tag_serializes_after_job() {
+        let rec = DecisionRecord { tenant: Some(2), ..record() };
+        assert!(
+            rec.jsonl().contains("\"job\":1,\"tenant\":2,\"node\":7"),
+            "{}",
+            rec.jsonl()
+        );
+        crate::json::validate_json(rec.jsonl().trim_end()).unwrap();
+        // Untagged records keep their historical byte layout.
+        assert!(!record().jsonl().contains("tenant"));
+    }
+
+    #[test]
     fn integral_floats_keep_a_fraction_marker() {
         let rec = DecisionRecord { t: 3.0, ..record() };
         assert!(rec.jsonl().starts_with("{\"t\":3.0,"), "{}", rec.jsonl());
@@ -360,6 +392,8 @@ mod tests {
             FaultKind::CircuitClose,
             FaultKind::DegradedMode,
             FaultKind::AltSourceFetch,
+            FaultKind::JobRejected,
+            FaultKind::MapPreempted,
         ] {
             let line = FaultRecord { kind, ..rec }.jsonl();
             crate::json::validate_json(line.trim_end())

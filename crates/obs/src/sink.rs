@@ -192,6 +192,7 @@ mod tests {
             round,
             phase: Phase::Map,
             job: 0,
+            tenant: None,
             node: 0,
             candidates: 1,
             free_nodes: 1,

@@ -144,6 +144,12 @@ pub struct SimConfig {
     /// the time when the all jobs finished successfully" — this is how a
     /// too-high `P_min` manifests).
     pub max_sim_time: f64,
+    /// Multi-tenant service mode (`pnats-tenancy`): tenant tags plus the
+    /// weighted-fair-share / admission / preemption policy switches.
+    /// `None` — the default — runs the classic single-pool batch mode; a
+    /// passthrough config (one tenant, all policies off) is required to
+    /// stay byte-identical to `None`.
+    pub tenancy: Option<pnats_tenancy::TenancyConfig>,
 }
 
 impl Default for SimConfig {
@@ -185,6 +191,7 @@ impl SimConfig {
             cost_index: None,
             seed: 42,
             max_sim_time: 200_000.0,
+            tenancy: None,
         }
     }
 

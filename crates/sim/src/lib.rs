@@ -44,6 +44,7 @@ pub mod events;
 pub mod freeset;
 pub mod oracle;
 pub mod runner;
+pub mod service;
 pub mod state;
 pub mod trace;
 pub mod transfers;
@@ -53,4 +54,5 @@ pub use oracle::{
     check_cluster_run, check_makespan_monotone, check_report, check_runtime_completions,
 };
 pub use runner::{job_inputs_from_batch, SimReport, Simulation};
+pub use service::TenantRunStats;
 pub use trace::{JobRecord, TaskKind, TaskRecord, Trace};

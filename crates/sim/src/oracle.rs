@@ -20,6 +20,14 @@
 //!    have killed the attempt instead of letting it complete.
 //! 5. **Re-execution accounting** — when every job completed, the number
 //!    of `epoch > 0` map records equals `counters.reexecuted_maps`.
+//! 6. **Rejection accounting** (service mode) — every admission rejection
+//!    left a `JobRejected` fault, the counters booked it, and the
+//!    rejected job never ran a task or completed.
+//! 7. **Preemption requeue** (service mode) — every `MapPreempted` fault
+//!    is followed by a `TaskRescheduled` for the same task at the same
+//!    instant; preemption kills attempts, it never loses tasks.
+//! 8. **Slot-capacity conservation** — peak concurrent running tasks
+//!    never exceed configured slots of either type.
 //!
 //! A separate helper, [`check_makespan_monotone`], checks the macro
 //! property the `fault_sweep` bench leans on: for a fixed seed and nested
@@ -68,10 +76,84 @@ pub fn check_report(report: &SimReport, inputs: &[JobInput]) -> Result<(), Strin
             report.counters.total_skips()
         ));
     }
-    if report.jobs_completed + report.jobs_failed > report.jobs_submitted {
+    if report.jobs_completed + report.jobs_failed + report.jobs_rejected > report.jobs_submitted {
         return Err(format!(
-            "job accounting: {} completed + {} failed > {} submitted",
-            report.jobs_completed, report.jobs_failed, report.jobs_submitted
+            "job accounting: {} completed + {} failed + {} rejected > {} submitted",
+            report.jobs_completed,
+            report.jobs_failed,
+            report.jobs_rejected,
+            report.jobs_submitted
+        ));
+    }
+
+    // Law 6 (service mode): rejection accounting. Every rejection left a
+    // fault record, the counters booked it, and a rejected job never ran
+    // — no task spans, no completion record.
+    let rejected: Vec<usize> = report
+        .faults
+        .iter()
+        .filter(|f| f.kind == FaultKind::JobRejected)
+        .filter_map(|f| f.job.map(|j| j as usize))
+        .collect();
+    if rejected.len() != report.jobs_rejected
+        || report.counters.jobs_rejected != report.jobs_rejected as u64
+    {
+        return Err(format!(
+            "rejection accounting: {} JobRejected faults, counters say {}, report says {}",
+            rejected.len(),
+            report.counters.jobs_rejected,
+            report.jobs_rejected
+        ));
+    }
+    for ji in &rejected {
+        if report.trace.tasks.iter().any(|t| t.job == *ji) {
+            return Err(format!("rejected job {ji} has task records"));
+        }
+        if report.trace.jobs.iter().any(|jr| jr.job == *ji) {
+            return Err(format!("rejected job {ji} has a completion record"));
+        }
+    }
+
+    // Law 7 (service mode): every preemption requeued its victim — a
+    // MapPreempted fault is immediately followed by a TaskRescheduled for
+    // the same (job, task) at the same instant, and the counters agree.
+    let preempts = report.faults.iter().filter(|f| f.kind == FaultKind::MapPreempted).count();
+    if preempts as u64 != report.counters.preemptions {
+        return Err(format!(
+            "preemption accounting: {} MapPreempted faults vs counters.preemptions={}",
+            preempts, report.counters.preemptions
+        ));
+    }
+    for (i, f) in report.faults.iter().enumerate() {
+        if f.kind != FaultKind::MapPreempted {
+            continue;
+        }
+        let requeued = report.faults[i + 1..].iter().any(|g| {
+            g.kind == FaultKind::TaskRescheduled && g.job == f.job && g.task == f.task && g.t == f.t
+        });
+        if !requeued {
+            return Err(format!(
+                "preempted map not requeued: job {:?} task {:?} at t={}",
+                f.job, f.task, f.t
+            ));
+        }
+    }
+
+    // Law 8: slot-capacity conservation — concurrent running tasks never
+    // exceeded configured slots (preemption/fairness must reuse slots,
+    // not mint them).
+    if report.trace.map_util.peak() > report.trace.map_util.capacity() {
+        return Err(format!(
+            "map slot capacity exceeded: peak {} > capacity {}",
+            report.trace.map_util.peak(),
+            report.trace.map_util.capacity()
+        ));
+    }
+    if report.trace.reduce_util.peak() > report.trace.reduce_util.capacity() {
+        return Err(format!(
+            "reduce slot capacity exceeded: peak {} > capacity {}",
+            report.trace.reduce_util.peak(),
+            report.trace.reduce_util.capacity()
         ));
     }
 

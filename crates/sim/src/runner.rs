@@ -24,6 +24,7 @@
 use crate::config::{JobInput, SimConfig};
 use crate::events::{EventKind, EventQueue};
 use crate::freeset::FreeSet;
+use crate::service::{TenancyState, TenantRunStats};
 use crate::state::{JobState, MapPhase, NodeState, ReducePhase};
 use crate::trace::{JobRecord, TaskKind, TaskRecord, Trace};
 use crate::transfers::{Completion, NominalTransfers, TransferEngine, TransferTag, Transfers};
@@ -34,6 +35,7 @@ use pnats_core::types::{JobId, ReduceTaskId};
 use pnats_dfs::{RackAware, ReplicaPlacement};
 use pnats_metrics::LocalityClass;
 use pnats_obs::{DecisionObserver, FaultKind, FaultRecord, SchedCounters, TraceSink};
+use pnats_tenancy::AdmissionDecision;
 use pnats_net::{ClassedDistance, ClusterLayout, DistanceMatrix, NodeId, PathCost, RateMonitor};
 use pnats_workloads::Batch;
 use rand::rngs::SmallRng;
@@ -90,6 +92,18 @@ pub struct SimReport {
     /// memory (see [`Simulation::with_trace`]); `None` for the default
     /// [`pnats_obs::NullSink`] and for file-backed sinks.
     pub trace_jsonl: Option<String>,
+    /// Jobs turned away by admission control (service mode only; these
+    /// are neither completed nor failed). Always 0 without
+    /// [`SimConfig::tenancy`].
+    pub jobs_rejected: usize,
+    /// Per-tenant service tallies, aligned with the tenancy config's
+    /// tenant ids. Empty without [`SimConfig::tenancy`].
+    pub tenants: Vec<TenantRunStats>,
+    /// Wall-clock seconds this process spent inside `schedule_node` —
+    /// the scheduler-decision latency the service-mode bench reports.
+    /// Only measured for non-passthrough tenancy runs (the timing calls
+    /// would otherwise be overhead on the hot batch path); 0.0 elsewhere.
+    pub sched_wall_s: f64,
 }
 
 impl SimReport {
@@ -154,6 +168,15 @@ pub struct Simulation {
     down_depth: Vec<u32>,
     /// Currently open link-degradation windows as `(plan index, factor)`.
     active_degr: Vec<(usize, f64)>,
+    /// Multi-tenant service-mode runtime; `None` without
+    /// [`SimConfig::tenancy`]. A passthrough config (single tenant, all
+    /// policies off) keeps every scheduling path byte-identical to
+    /// `None` — only arrival/departure counters tick.
+    tenancy: Option<TenancyState>,
+    /// Jobs rejected by admission control.
+    jobs_rejected: usize,
+    /// Wall-clock spent in `schedule_node` (non-passthrough tenancy only).
+    sched_wall: std::time::Duration,
 }
 
 /// A speculative copy of a running map task.
@@ -244,6 +267,9 @@ impl Simulation {
             fault_rng: SmallRng::seed_from_u64(cfg.seed ^ 0xfa17_0000_0000_00f2),
             down_depth: vec![0; cfg.n_nodes],
             active_degr: Vec::new(),
+            tenancy: None,
+            jobs_rejected: 0,
+            sched_wall: std::time::Duration::ZERO,
             cfg,
         }
     }
@@ -307,6 +333,19 @@ impl Simulation {
             self.arrived.push(false);
         }
 
+        // --- Service mode: build the tenancy runtime, tag the decision
+        // trace. Passthrough configs skip the tagging so their trace
+        // stays byte-identical to a `tenancy: None` run. ---
+        if let Some(tc) = self.cfg.tenancy.clone() {
+            let tn = TenancyState::new(tc, inputs.len());
+            if !tn.passthrough {
+                let tags: Vec<u32> =
+                    (0..inputs.len()).map(|j| tn.cfg.tenant_of(j) as u32).collect();
+                self.observer.set_tenants(tags);
+            }
+            self.tenancy = Some(tn);
+        }
+
         // --- Prime heartbeats (staggered) and background flows. ---
         let hb = self.cfg.heartbeat_s;
         for n in 0..self.cfg.n_nodes {
@@ -357,12 +396,15 @@ impl Simulation {
             scheduler: self.placer.name().to_string(),
             sim_end: self.now,
             jobs_submitted: self.jobs.len(),
-            jobs_completed: self.jobs_done - self.jobs_failed,
+            jobs_completed: self.jobs_done - self.jobs_failed - self.jobs_rejected,
             jobs_failed: self.jobs_failed,
             trace: self.trace,
             counters: self.observer.counters().clone(),
             trace_jsonl,
             faults: self.faults,
+            jobs_rejected: self.jobs_rejected,
+            tenants: self.tenancy.as_ref().map(TenancyState::run_stats).unwrap_or_default(),
+            sched_wall_s: self.sched_wall.as_secs_f64(),
         }
     }
 
@@ -384,10 +426,7 @@ impl Simulation {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::JobArrival { job } => {
-                self.arrived[job] = true;
-                self.refresh_active(job);
-            }
+            EventKind::JobArrival { job } => self.on_job_arrival(job),
             EventKind::Heartbeat { node } => {
                 // Dead or partitioned nodes stay silent but keep their
                 // heartbeat chain alive, so a recovered node resumes
@@ -408,7 +447,14 @@ impl Simulation {
                 self.observer.begin_round(self.round);
                 self.refresh_sched_matrix();
                 self.ensure_classes();
-                self.schedule_node(node);
+                if self.tenancy.as_ref().is_some_and(|tn| !tn.passthrough) {
+                    let t0 = std::time::Instant::now();
+                    self.schedule_node(node);
+                    self.sched_wall += t0.elapsed();
+                    self.maybe_preempt();
+                } else {
+                    self.schedule_node(node);
+                }
                 self.events
                     .push(self.now + self.cfg.heartbeat_s, EventKind::Heartbeat { node });
             }
@@ -446,6 +492,137 @@ impl Simulation {
                 self.arm_transfer_wake();
             }
         }
+    }
+
+    /// A job's submission reaches the tracker. In service mode the
+    /// admission gate runs first: a rejected job never arrives — it gets
+    /// no tasks, no JobRecord, and counts as neither completed nor
+    /// failed (it holds a `JobRejected` fault record instead).
+    fn on_job_arrival(&mut self, ji: usize) {
+        if self.tenancy.is_some() {
+            let check = self.tenancy.as_ref().expect("checked").cfg.admission;
+            let backlog = if check { self.backlog_tasks() } else { 0 };
+            let total_slots = self.cfg.total_map_slots() + self.cfg.total_reduce_slots();
+            let tn = self.tenancy.as_mut().expect("checked");
+            let t = tn.cfg.tenant_of(ji);
+            let decision = if check {
+                pnats_tenancy::admit(
+                    tn.cfg.tenants.get(t),
+                    tn.in_system[t] as usize,
+                    backlog,
+                    total_slots,
+                    tn.cfg.saturation_backlog,
+                )
+            } else {
+                AdmissionDecision::Admit
+            };
+            match decision {
+                AdmissionDecision::Admit => tn.admit_job(t),
+                AdmissionDecision::Reject(reason) => {
+                    tn.counters[t].record_reject(reason);
+                    // Terminate the job without arriving: `failed` makes
+                    // `terminated()` true so no index ever admits it, but
+                    // `jobs_failed` stays put — rejection is its own
+                    // outcome in the report's accounting.
+                    self.jobs[ji].failed = true;
+                    self.jobs_done += 1;
+                    self.jobs_rejected += 1;
+                    self.record_fault(FaultKind::JobRejected, 0, Some(ji as u32), None);
+                    return;
+                }
+            }
+        }
+        self.arrived[ji] = true;
+        self.refresh_active(ji);
+    }
+
+    /// Cluster-wide unassigned tasks across admitted, unfinished jobs —
+    /// the saturation signal the admission gate thresholds on.
+    fn backlog_tasks(&self) -> u64 {
+        self.active_jobs
+            .iter()
+            .map(|&j| {
+                let job = &self.jobs[j];
+                (job.unassigned_maps.len() + job.unassigned_reduces.len()) as u64
+            })
+            .sum()
+    }
+
+    /// Min-share enforcement, once per heartbeat after normal scheduling:
+    /// if some tenant with a configured minimum map share is starved (has
+    /// demand, holds less than its floor, and the cluster has no free map
+    /// slot to give it), kill the most recently assigned running map of
+    /// the most over-served tenant and requeue it — PR 3's crash-recovery
+    /// path, so the exactly-once oracle laws hold unchanged.
+    fn maybe_preempt(&mut self) {
+        let Some(tn) = self.tenancy.as_ref() else { return };
+        if !tn.cfg.preemption {
+            return;
+        }
+        if self.now - tn.last_preempt_t < tn.cfg.preempt_cooldown_s {
+            return;
+        }
+        if self.map_free.total() > 0 {
+            return; // a free slot exists — scheduling, not preemption, fixes starvation
+        }
+        let n = tn.cfg.tenants.len();
+        let total = self.cfg.total_map_slots() as f64;
+        let total_weight = tn.cfg.tenants.total_weight();
+        let mut running = vec![0usize; n];
+        for (t, list) in tn.active.iter().enumerate() {
+            running[t] = list.iter().map(|&j| self.jobs[j].running_maps.len()).sum();
+        }
+        // Lowest tenant id wins ties: deterministic.
+        let Some(starved) = (0..n).find(|&t| {
+            let spec = tn.cfg.tenants.get(t);
+            spec.min_share > 0.0
+                && !tn.wanting_maps[t].is_empty()
+                && (running[t] as f64) < (spec.min_share * total).floor()
+        }) else {
+            return;
+        };
+        // Victim tenant: most over-served per unit weight, and strictly
+        // above its weighted fair share (preempting an under-share tenant
+        // would just move the starvation).
+        let victim_t = (0..n)
+            .filter(|&t| t != starved)
+            .filter(|&t| running[t] as f64 > total * tn.cfg.tenants.get(t).weight / total_weight)
+            .max_by(|&a, &b| {
+                let ka = running[a] as f64 / tn.cfg.tenants.get(a).weight;
+                let kb = running[b] as f64 / tn.cfg.tenants.get(b).weight;
+                ka.total_cmp(&kb).then(b.cmp(&a))
+            });
+        let Some(victim_t) = victim_t else { return };
+        // Victim attempt: the most recently assigned running map — the
+        // cheapest to redo. Ties (same assignment heartbeat) break on the
+        // highest (job, map) id, still deterministic.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for &j in &tn.active[victim_t] {
+            for &m in &self.jobs[j].running_maps {
+                let key = (self.jobs[j].maps[m].assigned_t, j, m);
+                if best.is_none_or(|b| (key.0, key.1, key.2) > b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let Some((_, ji, map)) = best else { return };
+        // Tear down an in-flight block fetch before the kill (the
+        // contract `kill_map_attempt` documents).
+        let node = self.jobs[ji].maps[map].node().expect("running map has a node");
+        if matches!(self.jobs[ji].maps[map].phase, MapPhase::Fetching { .. }) {
+            self.transfers.cancel(self.now, TransferTag::MapFetch { job: ji, map });
+            self.arm_transfer_wake();
+        }
+        self.record_fault(
+            FaultKind::MapPreempted,
+            node.idx() as u32,
+            Some(ji as u32),
+            Some(map as u32),
+        );
+        self.kill_map_attempt(ji, map);
+        let tn = self.tenancy.as_mut().expect("checked");
+        tn.counters[victim_t].preempted += 1;
+        tn.last_preempt_t = self.now;
     }
 
     /// Re-arm the single pending transfer wake-up.
@@ -531,6 +708,11 @@ impl Simulation {
             Err(pos) if wanted => self.active_jobs.insert(pos, ji),
             _ => {}
         }
+        if let Some(tn) = &mut self.tenancy {
+            if tn.track_demand() {
+                tn.set_active(ji, wanted);
+            }
+        }
         self.refresh_wants_maps(ji);
     }
 
@@ -546,6 +728,11 @@ impl Simulation {
             }
             Err(pos) if wanted => self.jobs_wanting_maps.insert(pos, ji),
             _ => {}
+        }
+        if let Some(tn) = &mut self.tenancy {
+            if tn.track_demand() {
+                tn.set_wants_maps(ji, wanted);
+            }
         }
     }
 
@@ -606,24 +793,66 @@ impl Simulation {
             if self.jobs_wanting_maps.is_empty() {
                 break;
             }
-            // Head-of-line job under the fair-share order, without
-            // materializing the full sort: the `(over-share, running, id)`
-            // key is unique per job (the id component), so `min_by_key`
-            // picks exactly `fair_order(..).first()`.
-            let share = (self.cfg.total_map_slots() as usize)
-                .div_ceil(self.jobs_wanting_maps.len());
-            let head = self
-                .jobs_wanting_maps
-                .iter()
-                .copied()
-                .min_by_key(|&j| {
-                    let running = self.jobs[j].running_maps.len();
-                    (running >= share, running, j)
-                })
-                .expect("non-empty demand set");
+            // With weighted fair sharing on, the DWRR arbiter first
+            // decides which *tenant* this slot belongs to; the classic
+            // head-of-line rule then runs within that tenant's jobs. The
+            // arbiter charges the winner one slot up front — refunded if
+            // the task-level placer declines the offer (the slot stays
+            // idle, so nobody was served).
+            let (head, charged) = match self.tenancy.as_mut().filter(|tn| tn.cfg.fairness) {
+                Some(tn) => {
+                    #[cfg(debug_assertions)]
+                    {
+                        let mut merged: Vec<usize> =
+                            tn.wanting_maps.iter().flatten().copied().collect();
+                        merged.sort_unstable();
+                        debug_assert_eq!(
+                            merged, self.jobs_wanting_maps,
+                            "tenant demand partition desync"
+                        );
+                    }
+                    let t = tn.arbiter.pick(&tn.demanding);
+                    let list = &tn.wanting_maps[t];
+                    let share = (self.cfg.total_map_slots() as usize).div_ceil(list.len());
+                    let jobs = &self.jobs;
+                    let head = list
+                        .iter()
+                        .copied()
+                        .min_by_key(|&j| {
+                            let running = jobs[j].running_maps.len();
+                            (running >= share, running, j)
+                        })
+                        .expect("demanding tenant has a job wanting maps");
+                    (head, Some(t))
+                }
+                None => {
+                    // Head-of-line job under the fair-share order, without
+                    // materializing the full sort: the `(over-share,
+                    // running, id)` key is unique per job (the id
+                    // component), so `min_by_key` picks exactly
+                    // `fair_order(..).first()`.
+                    let share = (self.cfg.total_map_slots() as usize)
+                        .div_ceil(self.jobs_wanting_maps.len());
+                    let head = self
+                        .jobs_wanting_maps
+                        .iter()
+                        .copied()
+                        .min_by_key(|&j| {
+                            let running = self.jobs[j].running_maps.len();
+                            (running >= share, running, j)
+                        })
+                        .expect("non-empty demand set");
+                    (head, None)
+                }
+            };
             match self.offer_map(head, node) {
                 Some(map) => self.assign_map(head, map, node),
-                None => break,
+                None => {
+                    if let Some(t) = charged {
+                        self.tenancy.as_mut().expect("charged implies tenancy").arbiter.refund(t);
+                    }
+                    break;
+                }
             }
         }
         // Speculative execution: with free map slots, no pending maps in
@@ -666,11 +895,38 @@ impl Simulation {
                 .copied()
                 .filter(|&j| self.jobs[j].reduce_nodes.len() < share)
                 .collect();
-            let order = self.fair_order(
-                &eligible,
-                |j| j.reduce_nodes.len(),
-                self.cfg.total_reduce_slots(),
-            );
+            let order = match self.tenancy.as_ref().filter(|tn| tn.cfg.fairness) {
+                Some(tn) => {
+                    // Weighted least-service across tenants: reduce slots
+                    // are held for a job's whole shuffle, so instead of a
+                    // slot-by-slot arbiter the tenant holding the least
+                    // service per unit weight goes first; within a tenant
+                    // the classic fair-share key applies.
+                    let n = tn.cfg.tenants.len();
+                    let mut held = vec![0usize; n];
+                    for (t, list) in tn.active.iter().enumerate() {
+                        held[t] =
+                            list.iter().map(|&j| self.jobs[j].reduce_nodes.len()).sum();
+                    }
+                    let mut order = eligible.clone();
+                    order.sort_by(|&a, &b| {
+                        let (ta, tb) = (tn.cfg.tenant_of(a), tn.cfg.tenant_of(b));
+                        let ka = held[ta] as f64 / tn.cfg.tenants.get(ta).weight;
+                        let kb = held[tb] as f64 / tn.cfg.tenants.get(tb).weight;
+                        let (ra, rb) =
+                            (self.jobs[a].reduce_nodes.len(), self.jobs[b].reduce_nodes.len());
+                        ka.total_cmp(&kb)
+                            .then(ta.cmp(&tb))
+                            .then((ra >= share, ra, a).cmp(&(rb >= share, rb, b)))
+                    });
+                    order
+                }
+                None => self.fair_order(
+                    &eligible,
+                    |j| j.reduce_nodes.len(),
+                    self.cfg.total_reduce_slots(),
+                ),
+            };
             let mut assigned = false;
             for ji in order {
                 if let Some(red) = self.offer_reduce(ji, node) {
@@ -1298,6 +1554,9 @@ impl Simulation {
         if done {
             self.jobs_done += 1;
             self.refresh_active(ji);
+            if let Some(tn) = &mut self.tenancy {
+                tn.job_left(ji);
+            }
         }
     }
 
@@ -1592,6 +1851,9 @@ impl Simulation {
         self.jobs_done += 1;
         self.jobs_failed += 1;
         self.refresh_active(ji);
+        if let Some(tn) = &mut self.tenancy {
+            tn.job_left(ji);
+        }
         let _ = self.transfers.cancel_job(self.now, ji);
         self.arm_transfer_wake();
         self.record_fault(FaultKind::JobFailed, node.idx() as u32, Some(ji as u32), None);
@@ -2139,5 +2401,196 @@ mod tests {
             let fast_mean: f64 = on_fast.iter().sum::<f64>() / on_fast.len() as f64;
             assert!(slow_mean > fast_mean, "{slow_mean} vs {fast_mean}");
         }
+    }
+
+    // --- Service mode (pnats-tenancy) ---
+
+    use crate::oracle::check_report;
+    use pnats_tenancy::{TenancyConfig, TenantSet, TenantSpec};
+
+    /// Inputs for `n_jobs` map-only jobs per tenant, tagged round-robin
+    /// across `n_tenants`, all submitted at `submit`.
+    fn tenant_inputs(
+        n_tenants: usize,
+        jobs_each: usize,
+        maps: usize,
+        submit: f64,
+    ) -> (Vec<JobInput>, Vec<u32>) {
+        let mut inputs = Vec::new();
+        let mut tags = Vec::new();
+        for j in 0..jobs_each {
+            for t in 0..n_tenants {
+                inputs.push(JobInput {
+                    name: format!("t{t}-job{j}"),
+                    submit,
+                    block_sizes: vec![64 << 20; maps],
+                    n_reduces: 0,
+                    shuffle: ShuffleModel::for_app(AppKind::Terasort),
+                });
+                tags.push(t as u32);
+            }
+        }
+        (inputs, tags)
+    }
+
+    #[test]
+    fn single_tenant_passthrough_is_byte_identical() {
+        let inputs = tiny_inputs(2, 8, 3);
+        let run = |tenancy: Option<TenancyConfig>| {
+            let mut cfg = SimConfig::tiny(6, 11);
+            cfg.tenancy = tenancy;
+            Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+                .with_trace(Box::new(pnats_obs::InMemorySink::unbounded()))
+                .run(&inputs)
+        };
+        let a = run(None);
+        let b = run(Some(TenancyConfig::single_tenant(inputs.len())));
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "trace must be byte-identical");
+        assert_eq!(a.sim_end.to_bits(), b.sim_end.to_bits());
+        assert_eq!(a.counters.to_kv(), b.counters.to_kv());
+        assert_eq!(b.jobs_rejected, 0);
+        assert_eq!(b.sched_wall_s, 0.0, "passthrough runs skip decision timing");
+        // The passthrough run still reports its (trivial) tenant stats.
+        assert_eq!(b.tenants.len(), 1);
+        assert_eq!(b.tenants[0].counters.admitted, inputs.len() as u64);
+        assert_eq!(a.tenants.len(), 0);
+    }
+
+    #[test]
+    fn weighted_fairness_serves_heavy_tenant_first() {
+        let (inputs, tags) = tenant_inputs(2, 4, 12, 0.0);
+        let tenants = TenantSet::new(vec![
+            TenantSpec::new("gold", 3.0),
+            TenantSpec::new("bronze", 1.0),
+        ]);
+        let mut tc = TenancyConfig::new(tenants, tags.clone());
+        tc.fairness = true;
+        let mut cfg = SimConfig::tiny(4, 13);
+        cfg.tenancy = Some(tc);
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(r.all_completed());
+        check_report(&r, &inputs).unwrap();
+        let mean_jct = |tenant: u32| {
+            let jcts: Vec<f64> = r
+                .trace
+                .jobs
+                .iter()
+                .filter(|j| tags[j.job] == tenant)
+                .map(|j| j.jct())
+                .collect();
+            jcts.iter().sum::<f64>() / jcts.len() as f64
+        };
+        let (gold, bronze) = (mean_jct(0), mean_jct(1));
+        assert!(
+            gold < bronze,
+            "3:1 weights must favor the heavy tenant: gold {gold} vs bronze {bronze}"
+        );
+        assert!(r.sched_wall_s > 0.0, "non-passthrough runs time their decisions");
+    }
+
+    #[test]
+    fn admission_queue_cap_rejects_excess_jobs() {
+        let (inputs, tags) = tenant_inputs(1, 6, 4, 0.0);
+        let tenants = TenantSet::new(vec![TenantSpec::new("only", 1.0).with_queue_cap(2)]);
+        let mut tc = TenancyConfig::new(tenants, tags);
+        tc.admission = true;
+        let mut cfg = SimConfig::tiny(4, 17);
+        cfg.tenancy = Some(tc);
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        check_report(&r, &inputs).unwrap();
+        assert_eq!(r.jobs_rejected, 4, "cap 2, six simultaneous arrivals");
+        assert_eq!(r.jobs_completed, 2);
+        assert_eq!(r.jobs_failed, 0);
+        assert_eq!(r.tenants[0].counters.rejected_queue, 4);
+        assert_eq!(r.tenants[0].counters.admitted, 2);
+        assert_eq!(r.tenants[0].counters.peak_in_system, 2);
+        assert_eq!(r.counters.jobs_rejected, 4);
+        // Rejected jobs never produced a task.
+        assert_eq!(r.trace.tasks_of(TaskKind::Map).count(), 2 * 4);
+    }
+
+    #[test]
+    fn saturation_backpressure_rejects_when_backlog_high() {
+        let (mut inputs, tags) = tenant_inputs(1, 8, 16, 0.0);
+        // Stagger arrivals one second apart so backlog builds up first.
+        for (i, input) in inputs.iter_mut().enumerate() {
+            input.submit = i as f64 * 1.0;
+        }
+        let tenants = TenantSet::new(vec![TenantSpec::new("only", 1.0)]);
+        let mut tc = TenancyConfig::new(tenants, tags);
+        tc.admission = true;
+        tc.saturation_backlog = 1.0; // reject past one queued task per slot
+        let mut cfg = SimConfig::tiny(4, 19);
+        cfg.tenancy = Some(tc);
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        check_report(&r, &inputs).unwrap();
+        assert!(r.jobs_rejected > 0, "saturated cluster must shed load");
+        assert_eq!(r.tenants[0].counters.rejected_saturated, r.jobs_rejected as u64);
+        assert_eq!(r.jobs_completed + r.jobs_rejected, r.jobs_submitted);
+    }
+
+    #[test]
+    fn preemption_restores_min_share_and_requeues_victims() {
+        // Tenant 0 saturates every map slot with a long job; tenant 1
+        // (min-share 0.5) arrives mid-run into a full cluster.
+        let mut inputs = vec![JobInput {
+            name: "hog".into(),
+            submit: 0.0,
+            block_sizes: vec![64 << 20; 80],
+            n_reduces: 0,
+            shuffle: ShuffleModel::for_app(AppKind::Terasort),
+        }];
+        inputs.push(JobInput {
+            name: "late".into(),
+            submit: 60.0,
+            block_sizes: vec![64 << 20; 16],
+            n_reduces: 0,
+            shuffle: ShuffleModel::for_app(AppKind::Terasort),
+        });
+        let tenants = TenantSet::new(vec![
+            TenantSpec::new("hog", 1.0),
+            TenantSpec::new("late", 1.0).with_min_share(0.5),
+        ]);
+        let mut tc = TenancyConfig::new(tenants, vec![0, 1]);
+        tc.fairness = true;
+        tc.preemption = true;
+        tc.preempt_cooldown_s = 1.0;
+        let mut cfg = SimConfig::tiny(4, 23);
+        cfg.tenancy = Some(tc);
+        let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+        assert!(r.all_completed());
+        // check_report verifies every MapPreempted was requeued (law 7)
+        // and map exactly-once still holds despite the kills (law 2).
+        check_report(&r, &inputs).unwrap();
+        assert!(r.tenants[0].counters.preempted > 0, "the hog must get preempted");
+        assert_eq!(r.counters.preemptions, r.tenants[0].counters.preempted);
+        assert_eq!(r.tenants[1].counters.preempted, 0);
+    }
+
+    #[test]
+    fn tenancy_runs_are_deterministic() {
+        let (inputs, tags) = tenant_inputs(3, 2, 6, 0.0);
+        let run = || {
+            let tenants = TenantSet::new(vec![
+                TenantSpec::new("a", 2.0),
+                TenantSpec::new("b", 1.0),
+                TenantSpec::new("c", 1.0).with_min_share(0.25),
+            ]);
+            let mut tc = TenancyConfig::new(tenants, tags.clone());
+            tc.fairness = true;
+            tc.preemption = true;
+            let mut cfg = SimConfig::tiny(5, 29);
+            cfg.tenancy = Some(tc);
+            Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper()))
+                .with_trace(Box::new(pnats_obs::InMemorySink::unbounded()))
+                .run(&inputs)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+        assert_eq!(a.sim_end.to_bits(), b.sim_end.to_bits());
+        // Tenant tags ride along in the decision trace.
+        let jsonl = a.trace_jsonl.as_deref().unwrap();
+        assert!(jsonl.lines().any(|l| l.contains("\"tenant\":")), "tagged trace");
+        check_report(&a, &inputs).unwrap();
     }
 }

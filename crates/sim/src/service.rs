@@ -1,0 +1,158 @@
+//! Runtime state for the multi-tenant service mode (`pnats-tenancy`).
+//!
+//! The policy crate ([`pnats_tenancy`]) is pure — specs, the DWRR
+//! arbiter, the admission predicate. This module holds the *runtime*
+//! side the simulator threads through its event loop: per-tenant demand
+//! indexes mirroring `active_jobs` / `jobs_wanting_maps` (maintained at
+//! the same two choke points, so they are exact partitions by tenant),
+//! per-tenant service counters, and the preemption cooldown clock.
+//!
+//! Everything here is gated behind `SimConfig::tenancy`; a `None` config
+//! never constructs a [`TenancyState`] and the simulator runs the classic
+//! single-pool paths untouched.
+
+use pnats_tenancy::{DwrrArbiter, TenancyConfig, TenantCounters};
+
+/// Per-tenant outcome tallies surfaced in a [`crate::SimReport`].
+#[derive(Clone, Debug)]
+pub struct TenantRunStats {
+    /// Tenant name (from its [`pnats_tenancy::TenantSpec`]).
+    pub name: String,
+    /// Configured weight.
+    pub weight: f64,
+    /// Admission / rejection / preemption tallies.
+    pub counters: TenantCounters,
+}
+
+/// Mutable tenancy runtime threaded through the simulation.
+pub(crate) struct TenancyState {
+    /// The policy configuration (tenants, tags, switches).
+    pub cfg: TenancyConfig,
+    /// Single tenant, all policies off: the simulator must take exactly
+    /// the classic code paths (byte-identical traces).
+    pub passthrough: bool,
+    /// Slot-granularity weighted arbiter over tenants for map slots.
+    pub arbiter: DwrrArbiter,
+    /// Per-tenant service tallies.
+    pub counters: Vec<TenantCounters>,
+    /// Jobs currently admitted and not yet finished, per tenant.
+    pub in_system: Vec<u32>,
+    /// Per-tenant partition of `jobs_wanting_maps` (ascending job ids).
+    pub wanting_maps: Vec<Vec<usize>>,
+    /// Per-tenant partition of `active_jobs` (ascending job ids).
+    pub active: Vec<Vec<usize>>,
+    /// Ascending tenant ids with non-empty `wanting_maps` — the demand
+    /// set the arbiter cycles over.
+    pub demanding: Vec<usize>,
+    /// Last preemption time (cooldown anchor); `-inf` before the first.
+    pub last_preempt_t: f64,
+}
+
+impl TenancyState {
+    pub fn new(cfg: TenancyConfig, n_jobs: usize) -> Self {
+        assert!(
+            cfg.job_tenant.iter().all(|&t| (t as usize) < cfg.tenants.len()),
+            "job tenant tag out of range"
+        );
+        assert!(
+            cfg.job_tenant.len() >= n_jobs,
+            "tenancy config tags {} jobs, batch has {}",
+            cfg.job_tenant.len(),
+            n_jobs
+        );
+        let n = cfg.tenants.len();
+        let arbiter = DwrrArbiter::new(&cfg.tenants.weights());
+        let passthrough = cfg.is_passthrough();
+        Self {
+            cfg,
+            passthrough,
+            arbiter,
+            counters: vec![TenantCounters::default(); n],
+            in_system: vec![0; n],
+            wanting_maps: vec![Vec::new(); n],
+            active: vec![Vec::new(); n],
+            demanding: Vec::new(),
+            last_preempt_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Whether the per-tenant demand indexes are maintained: any policy
+    /// that consults them is on. Passthrough runs skip the bookkeeping
+    /// entirely (it is pure overhead there).
+    pub fn track_demand(&self) -> bool {
+        self.cfg.fairness || self.cfg.preemption
+    }
+
+    /// Mirror of `refresh_wants_maps` for the per-tenant partition:
+    /// insert/remove `ji` in its tenant's wanting-maps list and keep the
+    /// tenant demand set (and the arbiter's queue-empty reset rule) in
+    /// sync.
+    pub fn set_wants_maps(&mut self, ji: usize, wanted: bool) {
+        let t = self.cfg.tenant_of(ji);
+        let list = &mut self.wanting_maps[t];
+        match list.binary_search(&ji) {
+            Ok(pos) if !wanted => {
+                list.remove(pos);
+                if list.is_empty() {
+                    // Tenant's queue drained: forfeit accumulated deficit
+                    // (DWRR's anti-burst rule) and leave the demand set.
+                    self.arbiter.reset(t);
+                    if let Ok(dp) = self.demanding.binary_search(&t) {
+                        self.demanding.remove(dp);
+                    }
+                }
+            }
+            Err(pos) if wanted => {
+                if list.is_empty() {
+                    if let Err(dp) = self.demanding.binary_search(&t) {
+                        self.demanding.insert(dp, t);
+                    }
+                }
+                list.insert(pos, ji);
+            }
+            _ => {}
+        }
+    }
+
+    /// Mirror of `refresh_active` for the per-tenant partition.
+    pub fn set_active(&mut self, ji: usize, wanted: bool) {
+        let t = self.cfg.tenant_of(ji);
+        let list = &mut self.active[t];
+        match list.binary_search(&ji) {
+            Ok(pos) if !wanted => {
+                list.remove(pos);
+            }
+            Err(pos) if wanted => list.insert(pos, ji),
+            _ => {}
+        }
+    }
+
+    /// Book a job admission for tenant `t`.
+    pub fn admit_job(&mut self, t: usize) {
+        self.counters[t].admitted += 1;
+        self.in_system[t] += 1;
+        let peak = &mut self.counters[t].peak_in_system;
+        *peak = (*peak).max(self.in_system[t] as u64);
+    }
+
+    /// Book a job leaving the system (completed or failed) for its tenant.
+    pub fn job_left(&mut self, ji: usize) {
+        let t = self.cfg.tenant_of(ji);
+        debug_assert!(self.in_system[t] > 0, "in_system underflow for tenant {t}");
+        self.in_system[t] = self.in_system[t].saturating_sub(1);
+    }
+
+    /// Per-tenant stats for the report.
+    pub fn run_stats(&self) -> Vec<TenantRunStats> {
+        self.cfg
+            .tenants
+            .iter()
+            .zip(&self.counters)
+            .map(|(spec, c)| TenantRunStats {
+                name: spec.name.clone(),
+                weight: spec.weight,
+                counters: c.clone(),
+            })
+            .collect()
+    }
+}

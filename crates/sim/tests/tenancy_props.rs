@@ -1,0 +1,163 @@
+//! Property tests of the multi-tenant service layer: for *arbitrary*
+//! small clusters, tenant sets (weights, queue caps, minimum shares) and
+//! staggered job streams with all three tenancy policies enabled, every
+//! run must satisfy the trace oracle — which pins the three service-mode
+//! laws on top of the classic conservation laws:
+//!
+//! * **slot capacity** — the DWRR arbiter never assigns more concurrent
+//!   tasks than the cluster has slots (oracle law 8);
+//! * **admission bounds** — no tenant ever holds more in-system jobs
+//!   than its queue cap (checked directly against `peak_in_system`), and
+//!   rejected jobs leave no trace records (oracle law 6);
+//! * **preemption requeue** — every `MapPreempted` fault is followed by
+//!   a `TaskRescheduled` for the same attempt at the same instant
+//!   (oracle law 7).
+//!
+//! Per-tenant arrival accounting (`admitted + rejected` equals the
+//! tenant's submissions) and seed-determinism of the full service path
+//! are asserted alongside. The case count honors `PROPTEST_CASES`.
+
+use pnats_core::prob_sched::ProbabilisticPlacer;
+use pnats_sim::{check_report, JobInput, SimConfig, SimReport, Simulation};
+use pnats_tenancy::{TenancyConfig, TenantSet, TenantSpec};
+use pnats_workloads::{AppKind, ShuffleModel};
+use proptest::prelude::*;
+
+const MAX_TENANTS: usize = 4;
+
+/// One generated job: `(maps, reduces, submit, tenant)` over the maximum
+/// tenant domain; the scenario builder folds the tenant index onto the
+/// drawn tenant count (the vendored proptest shim has no dependent
+/// strategies).
+type RawJob = (usize, usize, f64, usize);
+
+fn job_strategy() -> impl Strategy<Value = RawJob> {
+    (1..8usize, 0..3usize, 0.0f64..90.0, 0..MAX_TENANTS)
+}
+
+/// One generated tenant: `(weight, queue cap, raw min-share)`. A cap of 6
+/// means unbounded; the raw min-share is scaled down by the tenant count
+/// so the combined guarantee never exceeds the cluster.
+type RawTenant = (f64, usize, f64);
+
+fn tenant_strategy() -> impl Strategy<Value = RawTenant> {
+    (0.5f64..4.0, 1..7usize, 0.0f64..0.6)
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n_nodes: usize,
+    tenants: Vec<RawTenant>,
+    jobs: Vec<RawJob>,
+    saturation_backlog: f64,
+    cooldown_s: f64,
+    seed: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        (3..8usize, proptest::collection::vec(tenant_strategy(), 1..=MAX_TENANTS)),
+        proptest::collection::vec(job_strategy(), 2..10),
+        (0.5f64..4.0, 1.0f64..10.0, 0..1_000_000u64),
+    )
+        .prop_map(|((n_nodes, tenants), jobs, (sat, cool, seed))| Scenario {
+            n_nodes,
+            tenants,
+            jobs,
+            saturation_backlog: sat,
+            cooldown_s: cool,
+            seed,
+        })
+}
+
+fn build(sc: &Scenario) -> (SimConfig, Vec<JobInput>, TenancyConfig) {
+    let n_tenants = sc.tenants.len();
+    let specs: Vec<TenantSpec> = sc
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(t, &(w, cap, raw_share))| {
+            let mut s = TenantSpec::new(&format!("t{t}"), w)
+                .with_min_share(raw_share / n_tenants as f64);
+            if cap < 6 {
+                s = s.with_queue_cap(cap);
+            }
+            s
+        })
+        .collect();
+    let inputs: Vec<JobInput> = sc
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(maps, reduces, submit, _))| JobInput {
+            name: format!("job{i}"),
+            submit,
+            block_sizes: vec![64 << 20; maps],
+            n_reduces: reduces,
+            shuffle: ShuffleModel::for_app(AppKind::Terasort),
+        })
+        .collect();
+    let tags: Vec<u32> = sc.jobs.iter().map(|&(_, _, _, t)| (t % n_tenants) as u32).collect();
+    let mut tc = TenancyConfig::new(TenantSet::new(specs), tags);
+    tc.fairness = true;
+    tc.admission = true;
+    tc.preemption = true;
+    tc.saturation_backlog = sc.saturation_backlog;
+    tc.preempt_cooldown_s = sc.cooldown_s;
+    let mut cfg = SimConfig::tiny(sc.n_nodes, sc.seed);
+    cfg.max_sim_time = 20_000.0;
+    (cfg, inputs, tc)
+}
+
+fn run(sc: &Scenario) -> (SimReport, Vec<JobInput>, TenancyConfig) {
+    let (mut cfg, inputs, tc) = build(sc);
+    cfg.tenancy = Some(tc.clone());
+    let r = Simulation::new(cfg, Box::new(ProbabilisticPlacer::paper())).run(&inputs);
+    (r, inputs, tc)
+}
+
+proptest! {
+    #[test]
+    /// The oracle holds on every generated service-mode run: offer
+    /// conservation, task/job accounting for admitted jobs, rejection
+    /// accounting, preemption requeue, and the slot-capacity bound.
+    fn oracle_holds_under_all_policies(sc in scenario_strategy()) {
+        let (r, inputs, _) = run(&sc);
+        check_report(&r, &inputs).unwrap_or_else(|e| panic!("{sc:?}: {e}"));
+    }
+
+    #[test]
+    /// Admission control never lets a tenant's in-system job count exceed
+    /// its queue cap, and every submission is accounted exactly once as
+    /// admitted or rejected.
+    fn queue_caps_bound_in_system_jobs(sc in scenario_strategy()) {
+        let (r, _, tc) = run(&sc);
+        for (t, ts) in r.tenants.iter().enumerate() {
+            let cap = tc.tenants.get(t).queue_cap as u64;
+            assert!(
+                ts.counters.peak_in_system <= cap,
+                "{sc:?}: tenant {t} peaked at {} jobs, cap {cap}",
+                ts.counters.peak_in_system
+            );
+            let submitted = tc.job_tenant.iter().filter(|&&x| x as usize == t).count() as u64;
+            assert_eq!(
+                ts.counters.admitted + ts.counters.rejected(),
+                submitted,
+                "{sc:?}: tenant {t} arrival accounting leaked"
+            );
+        }
+    }
+
+    #[test]
+    /// The full service path is deterministic: identical scenario, seed
+    /// and policies produce bit-identical outcomes and counters.
+    fn service_mode_is_deterministic(sc in scenario_strategy()) {
+        let (a, _, _) = run(&sc);
+        let (b, _, _) = run(&sc);
+        assert_eq!(a.sim_end.to_bits(), b.sim_end.to_bits(), "{sc:?}");
+        assert_eq!(a.counters.to_kv(), b.counters.to_kv(), "{sc:?}");
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.counters, y.counters, "{sc:?}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # pnats-tenancy — multi-tenant service-mode policies
+//!
+//! The paper evaluates closed batches on an idle cluster; a production
+//! tracker serves open-loop job streams from many tenants at once. This
+//! crate holds the tenant-aware *policy* layer that sits **above** the
+//! unmodified [`TaskPlacer`](https://docs.rs) impls: it decides *which
+//! tenant's job* is offered each free slot, *whether* an arriving job is
+//! admitted at all, and *when* a running map attempt is preempted to
+//! restore a starved tenant's minimum share. The placer still decides
+//! *where* the chosen task runs — the paper's probabilistic network-aware
+//! placement is untouched.
+//!
+//! Three pieces, mirroring Hadoop's Fair Scheduler pools but slot-granular:
+//!
+//! * [`TenantSpec`]/[`TenantSet`]/[`TenancyConfig`] ([`spec`]) — weights,
+//!   per-tenant queue bounds, minimum map-slot shares, and the per-job
+//!   tenant tags. [`TenancyConfig::is_passthrough`] identifies the
+//!   single-tenant/no-policy configuration that must behave byte-
+//!   identically to a simulator without any tenancy layer at all.
+//! * [`DwrrArbiter`] ([`arbiter`]) — deficit-weighted round-robin over
+//!   *demanding* tenants (those with queued work). One `pick` per free
+//!   slot; service converges to the weight ratio. Deterministic: state is
+//!   a deficit vector and a cursor, no clocks, no randomness.
+//! * [`admission`] — bounded per-tenant queues plus cluster-saturation
+//!   backpressure with typed [`RejectReason`]s, and the per-tenant
+//!   [`TenantCounters`] the observability layer reports.
+//!
+//! The crate is pure policy — no simulator types, no I/O — so the same
+//! arbiter can drive the discrete-event simulator and, later, the live
+//! TCP JobTracker.
+
+pub mod admission;
+pub mod arbiter;
+pub mod spec;
+
+pub use admission::{admit, AdmissionDecision, RejectReason, TenantCounters};
+pub use arbiter::DwrrArbiter;
+pub use spec::{TenancyConfig, TenantSet, TenantSpec};

@@ -1,0 +1,229 @@
+//! Tenant descriptions and the service-mode configuration.
+
+/// One tenant of the shared cluster: a named pool with a fair-share
+/// weight, an admission bound, and an optional guaranteed minimum share
+/// of the cluster's map slots.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name (stable identifier in reports and counters).
+    pub name: String,
+    /// Fair-share weight; slot service converges to the weight ratio
+    /// among demanding tenants. Must be > 0.
+    pub weight: f64,
+    /// Maximum jobs simultaneously *in system* (admitted and not yet
+    /// finished). Arrivals beyond the bound are rejected with
+    /// [`RejectReason::QueueFull`](crate::RejectReason::QueueFull).
+    /// `usize::MAX` (the default) disables the bound.
+    pub queue_cap: usize,
+    /// Guaranteed minimum fraction of total map slots while the tenant
+    /// has queued map work. When the tenant holds fewer running maps
+    /// than this share and no slot is free, the preemption policy may
+    /// kill-and-requeue an over-share tenant's attempt. 0 disables.
+    pub min_share: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with `weight`, no queue bound and no minimum share.
+    pub fn new(name: &str, weight: f64) -> Self {
+        assert!(weight > 0.0, "tenant weight must be positive");
+        Self { name: name.to_string(), weight, queue_cap: usize::MAX, min_share: 0.0 }
+    }
+
+    /// Bound the number of in-system jobs.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Guarantee a minimum fraction of total map slots.
+    pub fn with_min_share(mut self, share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&share), "min_share must be in [0, 1]");
+        self.min_share = share;
+        self
+    }
+}
+
+/// The set of tenants sharing the cluster. Tenant ids are indices into
+/// this set and are stable for a run.
+#[derive(Clone, Debug)]
+pub struct TenantSet {
+    specs: Vec<TenantSpec>,
+}
+
+impl TenantSet {
+    /// Validate and freeze a tenant set. Panics on an empty set, a
+    /// non-positive weight, or a combined `min_share` above 1.0 (the
+    /// guarantees would be unsatisfiable).
+    pub fn new(specs: Vec<TenantSpec>) -> Self {
+        assert!(!specs.is_empty(), "tenant set must be non-empty");
+        let mut total_min = 0.0;
+        for s in &specs {
+            assert!(s.weight > 0.0, "tenant {} weight must be positive", s.name);
+            total_min += s.min_share;
+        }
+        assert!(total_min <= 1.0 + 1e-9, "combined min_share exceeds the cluster");
+        Self { specs }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the set is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The spec of tenant `t`.
+    pub fn get(&self, t: usize) -> &TenantSpec {
+        &self.specs[t]
+    }
+
+    /// Iterate the specs in tenant-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TenantSpec> {
+        self.specs.iter()
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        self.specs.iter().map(|s| s.weight).sum()
+    }
+
+    /// The fair-share weight vector, indexed by tenant id.
+    pub fn weights(&self) -> Vec<f64> {
+        self.specs.iter().map(|s| s.weight).collect()
+    }
+}
+
+/// Full service-mode configuration handed to the simulator: who the
+/// tenants are, which tenant each job belongs to, and which policies are
+/// active.
+#[derive(Clone, Debug)]
+pub struct TenancyConfig {
+    /// The tenants sharing the cluster.
+    pub tenants: TenantSet,
+    /// Tenant id of each job, indexed by job index (parallel to the
+    /// simulator's job-input list). Jobs beyond the end of this vector
+    /// belong to tenant 0.
+    pub job_tenant: Vec<u32>,
+    /// Arbitrate free slots between tenants with deficit-weighted
+    /// round-robin instead of the global single-pool job order.
+    pub fairness: bool,
+    /// Enforce per-tenant queue bounds and cluster-saturation
+    /// backpressure at job arrival.
+    pub admission: bool,
+    /// Kill-and-requeue an over-share map attempt when a tenant with
+    /// queued map work falls below its `min_share` and no slot is free.
+    pub preemption: bool,
+    /// Saturation backpressure threshold: reject arrivals while the
+    /// cluster-wide backlog of unassigned tasks exceeds this many tasks
+    /// *per slot*. `f64::INFINITY` (the default) disables the check.
+    pub saturation_backlog: f64,
+    /// Minimum simulated seconds between two preemptions, bounding churn.
+    pub preempt_cooldown_s: f64,
+}
+
+impl TenancyConfig {
+    /// A config with every policy off — callers opt in per policy.
+    pub fn new(tenants: TenantSet, job_tenant: Vec<u32>) -> Self {
+        Self {
+            tenants,
+            job_tenant,
+            fairness: false,
+            admission: false,
+            preemption: false,
+            saturation_backlog: f64::INFINITY,
+            preempt_cooldown_s: 10.0,
+        }
+    }
+
+    /// The single-tenant special case: one tenant owning every job,
+    /// every policy off. A simulator run through this configuration
+    /// must be byte-identical to a run with no tenancy layer at all.
+    pub fn single_tenant(n_jobs: usize) -> Self {
+        Self::new(
+            TenantSet::new(vec![TenantSpec::new("default", 1.0)]),
+            vec![0; n_jobs],
+        )
+    }
+
+    /// Whether this configuration is the identity: one tenant and no
+    /// active policy, so scheduling decisions cannot differ from the
+    /// tenancy-free path.
+    pub fn is_passthrough(&self) -> bool {
+        self.tenants.len() == 1 && !self.fairness && !self.admission && !self.preemption
+    }
+
+    /// The tenant id of job `job`.
+    pub fn tenant_of(&self, job: usize) -> usize {
+        self.job_tenant.get(job).copied().unwrap_or(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tenant_is_passthrough() {
+        let c = TenancyConfig::single_tenant(5);
+        assert!(c.is_passthrough());
+        assert_eq!(c.tenants.len(), 1);
+        assert_eq!(c.tenant_of(0), 0);
+        assert_eq!(c.tenant_of(4), 0);
+        assert_eq!(c.tenant_of(99), 0, "out-of-range jobs default to tenant 0");
+    }
+
+    #[test]
+    fn any_policy_breaks_passthrough() {
+        let mut c = TenancyConfig::single_tenant(3);
+        c.fairness = true;
+        assert!(!c.is_passthrough());
+        let mut c = TenancyConfig::single_tenant(3);
+        c.admission = true;
+        assert!(!c.is_passthrough());
+        let mut c = TenancyConfig::single_tenant(3);
+        c.preemption = true;
+        assert!(!c.is_passthrough());
+    }
+
+    #[test]
+    fn multi_tenant_is_not_passthrough() {
+        let set = TenantSet::new(vec![TenantSpec::new("a", 1.0), TenantSpec::new("b", 2.0)]);
+        let c = TenancyConfig::new(set, vec![0, 1, 0]);
+        assert!(!c.is_passthrough());
+        assert_eq!(c.tenant_of(1), 1);
+        assert_eq!(c.tenants.total_weight(), 3.0);
+        assert_eq!(c.tenants.weights(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_tenant_set_panics() {
+        TenantSet::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        TenantSpec::new("z", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cluster")]
+    fn oversubscribed_min_share_panics() {
+        TenantSet::new(vec![
+            TenantSpec::new("a", 1.0).with_min_share(0.7),
+            TenantSpec::new("b", 1.0).with_min_share(0.7),
+        ]);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = TenantSpec::new("gold", 4.0).with_queue_cap(8).with_min_share(0.25);
+        assert_eq!(s.queue_cap, 8);
+        assert_eq!(s.min_share, 0.25);
+        assert_eq!(s.weight, 4.0);
+    }
+}

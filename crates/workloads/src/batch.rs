@@ -84,6 +84,75 @@ pub fn poisson_mixed_batch(n_jobs: usize, mean_gap_s: f64, rng: &mut SmallRng) -
     Batch { name: format!("poisson-{n_jobs}"), jobs }
 }
 
+/// One tenant's open-loop arrival stream for [`multi_tenant_poisson`].
+#[derive(Clone, Copy, Debug)]
+pub struct TenantStream {
+    /// Jobs this tenant submits over the run.
+    pub n_jobs: usize,
+    /// Mean Poisson inter-arrival gap, seconds.
+    pub mean_gap_s: f64,
+    /// Job-size divisor applied to the Table II specs (1 = full size);
+    /// smoke runs use a larger divisor for the same arrival pattern on
+    /// smaller jobs.
+    pub divisor: u32,
+}
+
+/// Independent per-tenant Poisson job streams merged into one batch —
+/// the multi-tenant service-mode workload. Stream `i` draws its jobs
+/// round-robin from the Table II catalogue starting at offset `i` (so
+/// tenants get different app mixes) with its own arrival clock; the
+/// merged batch is sorted by arrival time, ties broken by tenant id.
+///
+/// Returns the batch plus the tenant id of each job, aligned with
+/// `batch.jobs` — the tags a `TenancyConfig` carries. Deterministic for
+/// a given `rng` state: streams draw their arrival sequences one stream
+/// at a time, in tenant order.
+pub fn multi_tenant_poisson(streams: &[TenantStream], rng: &mut SmallRng) -> (Batch, Vec<u32>) {
+    assert!(!streams.is_empty());
+    let mut tagged: Vec<(f64, u32, JobSpec)> = Vec::new();
+    for (tenant, s) in streams.iter().enumerate() {
+        assert!(s.mean_gap_s > 0.0);
+        assert!(s.divisor > 0);
+        let mut t = 0.0;
+        for i in 0..s.n_jobs {
+            let spec = TABLE2[(tenant + i) % TABLE2.len()];
+            let scaled = JobSpec {
+                id: spec.id,
+                app: spec.app,
+                input_gb: (spec.input_gb / s.divisor).max(1),
+                maps: (spec.maps / s.divisor).max(1),
+                reduces: (spec.reduces / s.divisor).max(1),
+            };
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -s.mean_gap_s * u.ln();
+            tagged.push((t, tenant as u32, scaled));
+        }
+    }
+    tagged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let tenants = tagged.iter().map(|(_, tn, _)| *tn).collect();
+    let jobs = tagged.into_iter().map(|(t, _, spec)| (spec, t)).collect();
+    (Batch { name: format!("tenants-{}", streams.len()), jobs }, tenants)
+}
+
+/// A trace-driven open-loop workload: explicit `(tenant, catalogue index,
+/// arrival time)` events, e.g. replayed from a production submission log.
+/// The catalogue index selects a Table II spec (modulo the catalogue
+/// size). Events are sorted by time (ties broken by tenant, then input
+/// order); arrival times must be non-negative.
+pub fn trace_driven_batch(name: &str, events: &[(u32, usize, f64)]) -> (Batch, Vec<u32>) {
+    assert!(events.iter().all(|(_, _, t)| *t >= 0.0), "arrival times must be >= 0");
+    let mut ev: Vec<(usize, &(u32, usize, f64))> = events.iter().enumerate().collect();
+    ev.sort_by(|(ia, (ta_t, _, ta)), (ib, (tb_t, _, tb))| {
+        ta.total_cmp(tb).then(ta_t.cmp(tb_t)).then(ia.cmp(ib))
+    });
+    let tenants = ev.iter().map(|(_, (tn, _, _))| *tn).collect();
+    let jobs = ev
+        .into_iter()
+        .map(|(_, (_, idx, t))| (TABLE2[idx % TABLE2.len()], *t))
+        .collect();
+    (Batch { name: name.to_string(), jobs }, tenants)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +189,54 @@ mod tests {
         // Mean gap in the right ballpark (loose: 12 samples).
         let mean = times.last().unwrap() / 12.0;
         assert!((5.0..200.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn multi_tenant_poisson_merges_sorted_and_tagged() {
+        use rand::SeedableRng;
+        let streams = [
+            TenantStream { n_jobs: 5, mean_gap_s: 30.0, divisor: 1 },
+            TenantStream { n_jobs: 3, mean_gap_s: 60.0, divisor: 10 },
+        ];
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (b, tags) = multi_tenant_poisson(&streams, &mut rng);
+        assert_eq!(b.jobs.len(), 8);
+        assert_eq!(tags.len(), 8);
+        assert_eq!(tags.iter().filter(|&&t| t == 0).count(), 5);
+        assert_eq!(tags.iter().filter(|&&t| t == 1).count(), 3);
+        let times: Vec<f64> = b.jobs.iter().map(|(_, t)| *t).collect();
+        assert!(times.windows(2).all(|w| w[1] >= w[0]), "sorted by arrival");
+        // Tenant 1's jobs are scaled down 10×.
+        for ((j, _), tn) in b.jobs.iter().zip(&tags) {
+            if *tn == 1 {
+                assert!(j.maps <= 93, "scaled: {}", j.maps);
+            }
+        }
+        // Deterministic replay.
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        let (b2, tags2) = multi_tenant_poisson(&streams, &mut rng2);
+        assert_eq!(tags, tags2);
+        let t1: Vec<u64> = b.jobs.iter().map(|(_, t)| t.to_bits()).collect();
+        let t2: Vec<u64> = b2.jobs.iter().map(|(_, t)| t.to_bits()).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn trace_driven_batch_replays_in_time_order() {
+        let events = [(1u32, 0usize, 50.0), (0u32, 3usize, 10.0), (0u32, 5usize, 50.0)];
+        let (b, tags) = trace_driven_batch("replay", &events);
+        assert_eq!(b.name, "replay");
+        let times: Vec<f64> = b.jobs.iter().map(|(_, t)| *t).collect();
+        assert_eq!(times, vec![10.0, 50.0, 50.0]);
+        // Tie at t=50 broken by tenant id.
+        assert_eq!(tags, vec![0, 0, 1]);
+        assert_eq!(b.jobs[0].0.id, TABLE2[3].id);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn trace_driven_rejects_negative_times() {
+        trace_driven_batch("bad", &[(0, 0, -1.0)]);
     }
 
     #[test]

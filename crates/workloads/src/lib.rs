@@ -19,6 +19,9 @@ pub mod datagen;
 pub mod shuffle_model;
 pub mod table2;
 
-pub use batch::{poisson_mixed_batch, scaled_batch, table2_batch, Batch};
+pub use batch::{
+    multi_tenant_poisson, poisson_mixed_batch, scaled_batch, table2_batch, trace_driven_batch,
+    Batch, TenantStream,
+};
 pub use shuffle_model::{empirical_partition_weights, PartitionSkew, ShuffleModel};
 pub use table2::{AppKind, JobSpec, TABLE2};

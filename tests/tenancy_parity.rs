@@ -1,0 +1,100 @@
+//! Differential golden gate for the tenancy layer's passthrough claim.
+//!
+//! `continuous_arrivals` (and any future service-mode experiment run with
+//! one tenant and every policy off) routes jobs through
+//! `TenancyConfig::single_tenant` — the identity configuration. The claim
+//! in `SimConfig::tenancy`'s contract is strong: such a run is
+//! **byte-identical** to a run with no tenancy layer at all, decision by
+//! decision. This suite runs the paper's experiment configurations across
+//! the scheduler zoo with tenancy `None` vs the single-tenant passthrough
+//! and asserts identical decision-trace JSONL, counters, job completion
+//! times and end-of-run state — plus that the passthrough never starts
+//! the per-offer scheduling clock (service-mode timing must cost batch
+//! runs nothing).
+
+use pnats_bench::harness::{cloud_config, hdfs_config, jct_by_name, make_placer, SchedulerKind};
+use pnats_obs::InMemorySink;
+use pnats_sim::{JobInput, SimConfig, SimReport, Simulation};
+use pnats_tenancy::TenancyConfig;
+use pnats_workloads::{poisson_mixed_batch, scaled_batch, AppKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A traced run of `kind` on `cfg`, with or without the passthrough
+/// tenancy layer.
+fn run(kind: SchedulerKind, cfg: &SimConfig, inputs: &[JobInput], tenancy: bool) -> SimReport {
+    let mut cfg = cfg.clone();
+    cfg.tenancy = tenancy.then(|| TenancyConfig::single_tenant(inputs.len()));
+    let placer = make_placer(kind, &cfg);
+    Simulation::new(cfg, placer)
+        .with_trace(Box::new(InMemorySink::unbounded()))
+        .run(inputs)
+}
+
+/// Everything a run externalizes, in byte-comparable form.
+fn artifacts(r: &SimReport) -> (String, String, u64, usize, usize) {
+    (
+        r.trace_jsonl.clone().expect("traced run"),
+        r.counters.to_kv(),
+        r.sim_end.to_bits(),
+        r.jobs_completed,
+        r.trace.tasks.len(),
+    )
+}
+
+fn assert_passthrough_parity(label: &str, kind: SchedulerKind, cfg: &SimConfig, inputs: &[JobInput]) {
+    let classic = run(kind, cfg, inputs, false);
+    let service = run(kind, cfg, inputs, true);
+    assert_eq!(
+        artifacts(&classic),
+        artifacts(&service),
+        "{label}/{}: single-tenant passthrough diverged from the classic path",
+        kind.label()
+    );
+    assert_eq!(
+        jct_by_name(&classic),
+        jct_by_name(&service),
+        "{label}/{}: per-job completion times diverged",
+        kind.label()
+    );
+    assert_eq!(classic.sched_wall_s, 0.0, "batch path must not time offers");
+    assert_eq!(service.sched_wall_s, 0.0, "passthrough must not time offers");
+    // The passthrough still accounts arrivals — the one visible effect.
+    assert!(classic.tenants.is_empty());
+    assert_eq!(service.tenants.len(), 1);
+    assert_eq!(service.tenants[0].counters.admitted as usize, inputs.len());
+    assert_eq!(service.tenants[0].counters.rejected(), 0);
+}
+
+#[test]
+fn batch_workloads_are_byte_identical_through_passthrough() {
+    for app in [AppKind::Wordcount, AppKind::Terasort, AppKind::Grep] {
+        let inputs = JobInput::from_batch(&scaled_batch(app, 2, 20));
+        for kind in [SchedulerKind::Probabilistic, SchedulerKind::Fair, SchedulerKind::Fifo] {
+            assert_passthrough_parity(&format!("cloud/{app}"), kind, &cloud_config(7), &inputs);
+        }
+        assert_passthrough_parity(
+            &format!("hdfs/{app}"),
+            SchedulerKind::Probabilistic,
+            &hdfs_config(7),
+            &inputs,
+        );
+    }
+}
+
+#[test]
+fn continuous_arrival_workload_is_byte_identical_through_passthrough() {
+    // The exact shape continuous_arrivals runs: Poisson arrivals of mixed
+    // Table II jobs, scaled down to test size.
+    let mut rng = SmallRng::seed_from_u64(42);
+    let batch = poisson_mixed_batch(6, 45.0, &mut rng);
+    let mut inputs = JobInput::from_batch(&batch);
+    for j in &mut inputs {
+        // Shrink each job to test size while keeping the arrival process.
+        j.block_sizes.truncate(8.max(j.block_sizes.len() / 20));
+        j.n_reduces = j.n_reduces.div_ceil(20);
+    }
+    for kind in [SchedulerKind::Probabilistic, SchedulerKind::Coupling, SchedulerKind::Fair] {
+        assert_passthrough_parity("poisson", kind, &cloud_config(42), &inputs);
+    }
+}
