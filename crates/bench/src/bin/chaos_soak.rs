@@ -13,9 +13,15 @@
 //! traffic envelope. The soak expands it twice, requires byte-identical
 //! JSONL, and writes it to `chaos_soak_trace.jsonl` for CI to diff.
 //!
+//! The final rung leaves the in-process harness entirely: a real
+//! `pnats-cluster tracker` OS process is SIGKILLed mid-job and restarted
+//! over its journal (see [`pnats_bench::failover`]), with the same fatal
+//! engine byte-parity gate as every other stage.
+//!
 //! Usage: `chaos_soak [seed] [--smoke]`. `--smoke` shrinks the input so
 //! the whole ladder fits in a CI smoke budget.
 
+use pnats_bench::failover::{cluster_bin, run_kill_trial, KillTrial};
 use pnats_bench::usage_on_help;
 use pnats_cluster::{
     check_cluster_report, placer_by_name, run_cluster_chaos, ChaosFault, ClusterConfig, JobSpec,
@@ -180,10 +186,64 @@ fn main() -> ExitCode {
         );
     }
 
+    // Final rung: the tracker itself dies. A real OS-process tracker is
+    // SIGKILLed mid-job and restarted on the same address over its
+    // journal; byte parity with the engine stays fatal.
+    let t = Instant::now();
+    match tracker_kill_stage(seed) {
+        Ok(()) => println!(
+            "chaos_soak stage=5 name=tracker-kill ok wall_ms={:.0}",
+            t.elapsed().as_secs_f64() * 1e3
+        ),
+        Err(e) => {
+            eprintln!("chaos_soak: stage 5 (tracker-kill): {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     println!(
-        "chaos_soak ok seed={seed} smoke={smoke} stages=5 artifact=chaos_soak_trace.jsonl \
+        "chaos_soak ok seed={seed} smoke={smoke} stages=6 artifact=chaos_soak_trace.jsonl \
          total_s={:.2}",
         wall.elapsed().as_secs_f64()
     );
     ExitCode::SUCCESS
+}
+
+/// SIGKILL a journaled OS-process tracker mid-map-wave and gate recovery
+/// on the engine reference. Pacing knobs differ from the wire stages —
+/// the kill must land mid-job, so maps are slowed to ~320ms each.
+fn tracker_kill_stage(seed: u64) -> Result<(), String> {
+    let bin = cluster_bin()?;
+    let trial = KillTrial {
+        seed,
+        label: "tracker-kill".to_string(),
+        kill_after: Duration::from_millis(200),
+        kill_worker: false,
+        nodes: 4,
+        reduces: 3,
+        heartbeat_ms: 3,
+        block_bytes: 32 << 10,
+        cpu_us_per_kib: 10_000,
+    };
+    let cfg = ClusterConfig {
+        n_nodes: trial.nodes,
+        heartbeat: Duration::from_millis(trial.heartbeat_ms),
+        block_bytes: trial.block_bytes,
+        cpu_us_per_kib: trial.cpu_us_per_kib,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let input = words_input(384); // 12 maps of 32 KiB
+    let expected = MapReduceEngine::new(cfg.engine_config()).run(
+        &JobSpec::WordCount.job(trial.reduces),
+        &input,
+        placer_by_name("paper", cfg.heartbeat.as_secs_f64()).unwrap(),
+    );
+    if expected.failed {
+        return Err("engine reference run failed".into());
+    }
+    let dir = std::env::temp_dir().join(format!("pnats-soak-kill-{}", std::process::id()));
+    let result = run_kill_trial(&bin, &dir, &trial, &input, &expected.output);
+    let _ = std::fs::remove_dir_all(&dir);
+    result.map(|_| ())
 }

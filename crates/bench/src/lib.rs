@@ -19,6 +19,7 @@
 //!
 //! Both are documented, deterministic and seed-parameterized.
 
+pub mod failover;
 pub mod harness;
 
 pub use harness::{

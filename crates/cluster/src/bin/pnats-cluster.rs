@@ -18,8 +18,9 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: pnats-cluster tracker --listen ADDR --job wordcount|grep:<needle>|terasort --input FILE \
 [--nodes N] [--reduces R] [--map-slots M] [--reduce-slots S] [--block-bytes B] [--heartbeat-ms T] \
-[--expire-after K] [--cpu-us-per-kib C] [--seed S] [--scheduler NAME] [--max-wall-s W] [--report FILE] [--trace FILE]\n\
-       pnats-cluster worker --node I --tracker ADDR [--map-slots M] [--reduce-slots S] [--heartbeat-ms T]";
+[--expire-after K] [--cpu-us-per-kib C] [--seed S] [--scheduler NAME] [--max-wall-s W] [--report FILE] [--trace FILE] \
+[--journal FILE] [--fsync never|always] [--reattach-grace K]\n\
+       pnats-cluster worker --node I --tracker ADDR [--map-slots M] [--reduce-slots S] [--heartbeat-ms T] [--orphan-grace-ms T]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,6 +104,19 @@ fn run_tracker(args: &[String]) -> ExitCode {
     if let Some(n) = get(&flags, "max-wall-s").and_then(parse) {
         cfg.max_wall = Duration::from_secs(n);
     }
+    if let Some(path) = get(&flags, "journal") {
+        cfg.journal = Some(path.into());
+    }
+    if let Some(policy) = get(&flags, "fsync") {
+        let Some(p) = pnats_cluster::FsyncPolicy::parse(policy) else {
+            eprintln!("--fsync takes `never` or `always`, not `{policy}`");
+            return ExitCode::FAILURE;
+        };
+        cfg.journal_fsync = p;
+    }
+    if let Some(n) = get(&flags, "reattach-grace").and_then(parse) {
+        cfg.reattach_grace = n;
+    }
     let n_reduces = get(&flags, "reduces").and_then(parse).unwrap_or(3) as usize;
     let sched = get(&flags, "scheduler").unwrap_or("paper");
     let Some(placer) = pnats_cluster::placer_by_name(sched, cfg.heartbeat.as_secs_f64()) else {
@@ -182,6 +196,10 @@ fn run_worker_cmd(args: &[String]) -> ExitCode {
         retry: defaults.retry,
         breaker: defaults.breaker,
         chaos: None,
+        orphan_grace: get(&flags, "orphan-grace-ms")
+            .and_then(|s| s.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.orphan_grace),
     };
     match pnats_cluster::run_worker(cfg) {
         Ok(()) => ExitCode::SUCCESS,

@@ -2,10 +2,12 @@
 //! [`pnats_engine::EngineConfig`], plus the knobs only a real network
 //! needs: liveness expiry, IO deadlines, RPC retry budgets.
 
+use crate::journal::FsyncPolicy;
 use pnats_core::faults::FaultPlan;
 use pnats_core::partition::Partitioner;
 use pnats_engine::EngineConfig;
 use pnats_rpc::{BreakerPolicy, RetryPolicy};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration for a tracker + worker fleet. Fields shared with
@@ -64,6 +66,25 @@ pub struct ClusterConfig {
     /// `degraded_mode` fault record. `0.0` disables safe-mode entirely —
     /// the default, so fault-plan parity with the engine is untouched.
     pub safe_mode_below: f64,
+    /// Durable write-ahead job journal path. `None` (the default) keeps
+    /// the tracker in-memory-only, exactly as before; `Some(path)` makes
+    /// every scheduler mutation journaled *before* it is applied, and a
+    /// tracker started over a non-empty journal recovers from it instead
+    /// of starting the job fresh.
+    pub journal: Option<PathBuf>,
+    /// When journal appends reach stable storage. [`FsyncPolicy::Never`]
+    /// (default) survives tracker SIGKILL; [`FsyncPolicy::Always`] also
+    /// survives OS crashes.
+    pub journal_fsync: FsyncPolicy,
+    /// Rounds a recovered tracker waits for journal-known workers to
+    /// re-attach before treating them as expired. Must comfortably exceed
+    /// `expire_after` — an orphaned worker's reconnect backoff can span
+    /// several normal expiry windows.
+    pub reattach_grace: u64,
+    /// How long an orphaned worker keeps re-dialing a dead tracker before
+    /// giving up and exiting. The hold state: tasks keep running, outputs
+    /// are kept, heartbeats are swapped for `Reattach` probes.
+    pub orphan_grace: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -86,6 +107,10 @@ impl Default for ClusterConfig {
             max_wall: Duration::from_secs(120),
             breaker: BreakerPolicy::default(),
             safe_mode_below: 0.0,
+            journal: None,
+            journal_fsync: FsyncPolicy::Never,
+            reattach_grace: 40,
+            orphan_grace: Duration::from_secs(8),
         }
     }
 }

@@ -1,0 +1,1002 @@
+//! The durable write-ahead job journal.
+//!
+//! The tracker appends one record per scheduler-visible mutation —
+//! *before* applying it or replying to the worker that caused it — so a
+//! SIGKILLed tracker can be restarted and reconstruct its book by
+//! replaying the file. Records are encoded with the `pnats-rpc` wire
+//! primitives and framed by the same length-prefix + FNV-1a checksum
+//! machinery the TCP protocol uses ([`write_frame`]/[`read_frame`]): a
+//! torn final record (the crash landed mid-append) fails its checksum or
+//! length and is dropped, classic WAL semantics. Everything before the
+//! first damaged record is trusted; everything after it is discarded.
+//!
+//! Durability model: `File::write` hands bytes to the kernel on the spot
+//! (no user-space buffering), so a journal survives SIGKILL of the
+//! tracker *process* even with [`FsyncPolicy::Never`] — fsync only buys
+//! protection against OS/machine crashes, which is why `Never` is the
+//! default and `Always` is a config knob rather than hardcoded.
+//!
+//! What is journaled: job identity (seed + spec, validated on replay),
+//! worker registrations with crash epochs, every task assignment,
+//! completion (reduce completions carry their full output — the tracker
+//! holds reduce output, so it would otherwise die with the process),
+//! invalidation and requeue, re-attach reconciliations, one
+//! `TrackerStarted` per recovery, and the final job verdict.
+
+use pnats_obs::{TaskCompletion, TaskKind};
+use pnats_rpc::frame::{read_frame, write_frame, FrameError};
+use pnats_rpc::wire::{Reader, WireError, Writer};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+
+/// When the journal file is flushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync. Survives tracker SIGKILL (writes reach the kernel
+    /// synchronously); does not survive an OS crash. The default.
+    Never,
+    /// fsync after every appended record. Survives OS crashes at the cost
+    /// of one disk barrier per scheduler mutation.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI/config spelling (`never` | `always`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "never" => Some(FsyncPolicy::Never),
+            "always" => Some(FsyncPolicy::Always),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduler-visible mutation, as journaled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Journal header: the job this file belongs to. Always the first
+    /// record; replay refuses a journal whose identity disagrees with the
+    /// recovering tracker's config.
+    JobSubmitted {
+        /// Cluster seed (drives placement, fault draws, replica layout).
+        seed: u64,
+        /// Map task count.
+        n_maps: u32,
+        /// Reduce task count.
+        n_reduces: u32,
+        /// Job spec wire string (`wordcount`, `grep:<needle>`, …).
+        spec: String,
+    },
+    /// A tracker incarnation started from this journal (appended once per
+    /// recovery, never by the first incarnation).
+    TrackerStarted {
+        /// 1 for the first recovery, 2 for the second, …
+        crash_epoch: u32,
+    },
+    /// A worker registered (or re-registered after being declared dead).
+    WorkerRegistered {
+        /// Node id.
+        node: u32,
+        /// The worker's crash epoch at registration.
+        epoch: u32,
+    },
+    /// A map attempt was handed to a worker.
+    MapAssigned {
+        /// Map task index.
+        map: u32,
+        /// Attempt tag.
+        attempt: u32,
+        /// Node the attempt runs on.
+        node: u32,
+    },
+    /// A map attempt completed and the tracker accepted it.
+    MapCompleted {
+        /// Map task index.
+        map: u32,
+        /// Attempt tag of the accepted completion.
+        attempt: u32,
+        /// Run epoch the completion belongs to.
+        epoch: u32,
+        /// Node holding the output.
+        node: u32,
+        /// Input bytes the attempt consumed (restores live progress).
+        d_read: u64,
+        /// Intermediate bytes per reduce partition (restores the shuffle
+        /// source book).
+        part_bytes: Vec<u64>,
+    },
+    /// A finished map's output was lost; the map re-runs in a new epoch.
+    MapInvalidated {
+        /// Map task index.
+        map: u32,
+        /// Attempt tag the next attempt will carry.
+        new_attempt: u32,
+        /// The new run epoch.
+        new_epoch: u32,
+        /// Node banned from re-running it (source-unreachable holder), if
+        /// any.
+        banned: Option<u32>,
+    },
+    /// A running map attempt was abandoned (node expired, reply lost) and
+    /// the task requeued.
+    MapRequeued {
+        /// Map task index.
+        map: u32,
+        /// Attempt tag the next attempt will carry.
+        new_attempt: u32,
+    },
+    /// A reduce attempt was handed to a worker.
+    ReduceAssigned {
+        /// Reduce task index.
+        reduce: u32,
+        /// Attempt tag.
+        attempt: u32,
+        /// Node the attempt runs on.
+        node: u32,
+    },
+    /// A reduce attempt completed; the tracker holds the output, so the
+    /// journal must too.
+    ReduceCompleted {
+        /// Reduce task index.
+        reduce: u32,
+        /// Attempt tag of the accepted completion.
+        attempt: u32,
+        /// Final key/value pairs of this partition.
+        output: Vec<(String, String)>,
+    },
+    /// A running reduce attempt was abandoned and the task requeued.
+    ReduceRequeued {
+        /// Reduce task index.
+        reduce: u32,
+        /// Attempt tag the next attempt will carry.
+        new_attempt: u32,
+    },
+    /// A journal-inherited attempt was confirmed live by a re-attaching
+    /// worker and adopted by the new incarnation.
+    AttemptReconciled {
+        /// Map or reduce.
+        kind: TaskKind,
+        /// Task index within its family.
+        index: u32,
+        /// Attempt tag confirmed.
+        attempt: u32,
+        /// Node that confirmed it.
+        node: u32,
+    },
+    /// The job ended.
+    JobFinished {
+        /// Whether the job failed (attempt budget burned / blackout).
+        failed: bool,
+    },
+}
+
+const REC_JOB_SUBMITTED: u8 = 1;
+const REC_TRACKER_STARTED: u8 = 2;
+const REC_WORKER_REGISTERED: u8 = 3;
+const REC_MAP_ASSIGNED: u8 = 4;
+const REC_MAP_COMPLETED: u8 = 5;
+const REC_MAP_INVALIDATED: u8 = 6;
+const REC_MAP_REQUEUED: u8 = 7;
+const REC_REDUCE_ASSIGNED: u8 = 8;
+const REC_REDUCE_COMPLETED: u8 = 9;
+const REC_REDUCE_REQUEUED: u8 = 10;
+const REC_ATTEMPT_RECONCILED: u8 = 11;
+const REC_JOB_FINISHED: u8 = 12;
+
+impl JournalRecord {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            JournalRecord::JobSubmitted { seed, n_maps, n_reduces, spec } => {
+                w.u8(REC_JOB_SUBMITTED);
+                w.u64(*seed);
+                w.u32(*n_maps);
+                w.u32(*n_reduces);
+                w.string(spec);
+            }
+            JournalRecord::TrackerStarted { crash_epoch } => {
+                w.u8(REC_TRACKER_STARTED);
+                w.u32(*crash_epoch);
+            }
+            JournalRecord::WorkerRegistered { node, epoch } => {
+                w.u8(REC_WORKER_REGISTERED);
+                w.u32(*node);
+                w.u32(*epoch);
+            }
+            JournalRecord::MapAssigned { map, attempt, node } => {
+                w.u8(REC_MAP_ASSIGNED);
+                w.u32(*map);
+                w.u32(*attempt);
+                w.u32(*node);
+            }
+            JournalRecord::MapCompleted { map, attempt, epoch, node, d_read, part_bytes } => {
+                w.u8(REC_MAP_COMPLETED);
+                w.u32(*map);
+                w.u32(*attempt);
+                w.u32(*epoch);
+                w.u32(*node);
+                w.u64(*d_read);
+                w.count(part_bytes.len());
+                for b in part_bytes {
+                    w.u64(*b);
+                }
+            }
+            JournalRecord::MapInvalidated { map, new_attempt, new_epoch, banned } => {
+                w.u8(REC_MAP_INVALIDATED);
+                w.u32(*map);
+                w.u32(*new_attempt);
+                w.u32(*new_epoch);
+                match banned {
+                    Some(n) => {
+                        w.bool(true);
+                        w.u32(*n);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            JournalRecord::MapRequeued { map, new_attempt } => {
+                w.u8(REC_MAP_REQUEUED);
+                w.u32(*map);
+                w.u32(*new_attempt);
+            }
+            JournalRecord::ReduceAssigned { reduce, attempt, node } => {
+                w.u8(REC_REDUCE_ASSIGNED);
+                w.u32(*reduce);
+                w.u32(*attempt);
+                w.u32(*node);
+            }
+            JournalRecord::ReduceCompleted { reduce, attempt, output } => {
+                w.u8(REC_REDUCE_COMPLETED);
+                w.u32(*reduce);
+                w.u32(*attempt);
+                w.count(output.len());
+                for (k, v) in output {
+                    w.string(k);
+                    w.string(v);
+                }
+            }
+            JournalRecord::ReduceRequeued { reduce, new_attempt } => {
+                w.u8(REC_REDUCE_REQUEUED);
+                w.u32(*reduce);
+                w.u32(*new_attempt);
+            }
+            JournalRecord::AttemptReconciled { kind, index, attempt, node } => {
+                w.u8(REC_ATTEMPT_RECONCILED);
+                w.u8(match kind {
+                    TaskKind::Map => 0,
+                    TaskKind::Reduce => 1,
+                });
+                w.u32(*index);
+                w.u32(*attempt);
+                w.u32(*node);
+            }
+            JournalRecord::JobFinished { failed } => {
+                w.u8(REC_JOB_FINISHED);
+                w.bool(*failed);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode one frame payload. Total: typed errors, no panics, trailing
+    /// bytes rejected.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let rec = Self::decode_inner(&mut r)?;
+        r.finish()?;
+        Ok(rec)
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            REC_JOB_SUBMITTED => Ok(JournalRecord::JobSubmitted {
+                seed: r.u64()?,
+                n_maps: r.u32()?,
+                n_reduces: r.u32()?,
+                spec: r.string()?,
+            }),
+            REC_TRACKER_STARTED => Ok(JournalRecord::TrackerStarted { crash_epoch: r.u32()? }),
+            REC_WORKER_REGISTERED => {
+                Ok(JournalRecord::WorkerRegistered { node: r.u32()?, epoch: r.u32()? })
+            }
+            REC_MAP_ASSIGNED => Ok(JournalRecord::MapAssigned {
+                map: r.u32()?,
+                attempt: r.u32()?,
+                node: r.u32()?,
+            }),
+            REC_MAP_COMPLETED => {
+                let map = r.u32()?;
+                let attempt = r.u32()?;
+                let epoch = r.u32()?;
+                let node = r.u32()?;
+                let d_read = r.u64()?;
+                let n = r.count(8)?;
+                let part_bytes = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+                Ok(JournalRecord::MapCompleted { map, attempt, epoch, node, d_read, part_bytes })
+            }
+            REC_MAP_INVALIDATED => {
+                let map = r.u32()?;
+                let new_attempt = r.u32()?;
+                let new_epoch = r.u32()?;
+                let banned = if r.bool()? { Some(r.u32()?) } else { None };
+                Ok(JournalRecord::MapInvalidated { map, new_attempt, new_epoch, banned })
+            }
+            REC_MAP_REQUEUED => {
+                Ok(JournalRecord::MapRequeued { map: r.u32()?, new_attempt: r.u32()? })
+            }
+            REC_REDUCE_ASSIGNED => Ok(JournalRecord::ReduceAssigned {
+                reduce: r.u32()?,
+                attempt: r.u32()?,
+                node: r.u32()?,
+            }),
+            REC_REDUCE_COMPLETED => {
+                let reduce = r.u32()?;
+                let attempt = r.u32()?;
+                let n = r.count(8)?;
+                let mut output = Vec::with_capacity(n);
+                for _ in 0..n {
+                    output.push((r.string()?, r.string()?));
+                }
+                Ok(JournalRecord::ReduceCompleted { reduce, attempt, output })
+            }
+            REC_REDUCE_REQUEUED => {
+                Ok(JournalRecord::ReduceRequeued { reduce: r.u32()?, new_attempt: r.u32()? })
+            }
+            REC_ATTEMPT_RECONCILED => {
+                let kind = match r.u8()? {
+                    0 => TaskKind::Map,
+                    1 => TaskKind::Reduce,
+                    t => return Err(WireError::UnknownTag(t)),
+                };
+                Ok(JournalRecord::AttemptReconciled {
+                    kind,
+                    index: r.u32()?,
+                    attempt: r.u32()?,
+                    node: r.u32()?,
+                })
+            }
+            REC_JOB_FINISHED => Ok(JournalRecord::JobFinished { failed: r.bool()? }),
+            t => Err(WireError::UnknownTag(t)),
+        }
+    }
+}
+
+/// The append side: an open journal file plus its fsync policy.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    policy: FsyncPolicy,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Create (truncating any previous file) — a fresh job.
+    pub fn create(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        Ok(Self { path, file, policy })
+    }
+
+    /// Open for appending — a recovering tracker continuing an existing
+    /// journal. The caller replays first, then appends from the tail.
+    pub fn open_append(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(Self { path, file, policy })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record (write-ahead: call *before* applying the
+    /// mutation it describes).
+    pub fn append(&mut self, rec: &JournalRecord) -> io::Result<()> {
+        write_frame(&mut self.file, &rec.encode()).map_err(|e| match e {
+            FrameError::Io(e) => e,
+            FrameError::Wire(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        })?;
+        if self.policy == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Read a journal back, tolerating a torn tail: the first record that is
+/// truncated or fails its checksum ends the replay, and everything before
+/// it is returned. A corrupt *first* record (or a header that is not
+/// `JobSubmitted`) is an error — there is no trusted prefix to recover.
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<Vec<JournalRecord>> {
+    let mut r = BufReader::new(File::open(path.as_ref())?);
+    let mut records = Vec::new();
+    // Torn tail (crash mid-append) or damaged bytes: any frame or decode
+    // error stops the replay at the last trusted record.
+    while let Ok(payload) = read_frame(&mut r) {
+        match JournalRecord::decode(&payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+    }
+    match records.first() {
+        Some(JournalRecord::JobSubmitted { .. }) => Ok(records),
+        Some(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "journal does not start with JobSubmitted",
+        )),
+        None => Err(io::Error::new(io::ErrorKind::InvalidData, "journal holds no intact record")),
+    }
+}
+
+/// Per-map book reconstructed by [`JournalState::from_records`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapBook {
+    /// Next/current attempt tag.
+    pub attempt: u32,
+    /// Run epoch (invalidation count).
+    pub epoch: u32,
+    /// Completed, output live on `holder`.
+    pub finished: bool,
+    /// Assigned and not yet completed/requeued.
+    pub running: bool,
+    /// Node running or holding the map.
+    pub holder: Option<u32>,
+    /// Node banned from re-running it.
+    pub banned: Option<u32>,
+    /// Input bytes consumed (finished maps).
+    pub d_read: u64,
+    /// Per-partition intermediate bytes (finished maps).
+    pub part_bytes: Vec<u64>,
+}
+
+/// Per-reduce book reconstructed by [`JournalState::from_records`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReduceBook {
+    /// Next/current attempt tag.
+    pub attempt: u32,
+    /// Completed, output held below.
+    pub finished: bool,
+    /// Assigned and not yet completed/requeued.
+    pub running: bool,
+    /// Node running the attempt.
+    pub holder: Option<u32>,
+    /// Final output pairs (finished reduces).
+    pub output: Vec<(String, String)>,
+}
+
+/// Scheduler-visible state folded out of a journal — everything a fresh
+/// tracker incarnation needs that cannot be re-derived from (seed, cfg,
+/// input).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalState {
+    /// Header: cluster seed.
+    pub seed: u64,
+    /// Header: map count.
+    pub n_maps: u32,
+    /// Header: reduce count.
+    pub n_reduces: u32,
+    /// Header: job spec wire string.
+    pub spec: String,
+    /// Recoveries already performed (count of `TrackerStarted` records).
+    pub crash_epochs: u32,
+    /// Per-map book, indexed by map.
+    pub maps: Vec<MapBook>,
+    /// Per-reduce book, indexed by reduce.
+    pub reduces: Vec<ReduceBook>,
+    /// Last journaled crash epoch per node (BTreeMap keeps `dump`
+    /// deterministic).
+    pub node_epochs: BTreeMap<u32, u32>,
+    /// The cross-incarnation completion ledger, in journal order.
+    pub completions: Vec<TaskCompletion>,
+    /// `Some(failed)` when the journal holds a `JobFinished`.
+    pub finished: Option<bool>,
+    /// Records folded in.
+    pub records_applied: u64,
+}
+
+impl JournalState {
+    /// Fold a record stream into scheduler state. Pure and deterministic:
+    /// same records, same state ([`dump`](Self::dump) is byte-identical).
+    pub fn from_records(records: &[JournalRecord]) -> Result<Self, String> {
+        let mut st = JournalState::default();
+        for (i, rec) in records.iter().enumerate() {
+            st.records_applied += 1;
+            match rec {
+                JournalRecord::JobSubmitted { seed, n_maps, n_reduces, spec } => {
+                    if i != 0 {
+                        return Err(format!("JobSubmitted at record {i}, not 0"));
+                    }
+                    st.seed = *seed;
+                    st.n_maps = *n_maps;
+                    st.n_reduces = *n_reduces;
+                    st.spec = spec.clone();
+                    st.maps = vec![MapBook::default(); *n_maps as usize];
+                    st.reduces = vec![ReduceBook::default(); *n_reduces as usize];
+                }
+                JournalRecord::TrackerStarted { crash_epoch } => {
+                    if *crash_epoch != st.crash_epochs + 1 {
+                        return Err(format!(
+                            "record {i}: crash epoch {crash_epoch} after {}",
+                            st.crash_epochs
+                        ));
+                    }
+                    st.crash_epochs = *crash_epoch;
+                }
+                JournalRecord::WorkerRegistered { node, epoch } => {
+                    st.node_epochs.insert(*node, *epoch);
+                }
+                JournalRecord::MapAssigned { map, attempt, node } => {
+                    let m = st.map_mut(*map, i)?;
+                    m.attempt = *attempt;
+                    m.holder = Some(*node);
+                    m.running = true;
+                    m.finished = false;
+                }
+                JournalRecord::MapCompleted { map, attempt, epoch, node, d_read, part_bytes } => {
+                    let m = st.map_mut(*map, i)?;
+                    m.attempt = *attempt;
+                    m.epoch = *epoch;
+                    m.holder = Some(*node);
+                    m.running = false;
+                    m.finished = true;
+                    m.d_read = *d_read;
+                    m.part_bytes = part_bytes.clone();
+                    st.completions.push(TaskCompletion {
+                        kind: TaskKind::Map,
+                        index: *map,
+                        epoch: *epoch,
+                    });
+                }
+                JournalRecord::MapInvalidated { map, new_attempt, new_epoch, banned } => {
+                    let m = st.map_mut(*map, i)?;
+                    m.attempt = *new_attempt;
+                    m.epoch = *new_epoch;
+                    m.holder = None;
+                    m.running = false;
+                    m.finished = false;
+                    m.banned = *banned;
+                    m.d_read = 0;
+                    m.part_bytes.clear();
+                }
+                JournalRecord::MapRequeued { map, new_attempt } => {
+                    let m = st.map_mut(*map, i)?;
+                    m.attempt = *new_attempt;
+                    m.holder = None;
+                    m.running = false;
+                }
+                JournalRecord::ReduceAssigned { reduce, attempt, node } => {
+                    let r = st.reduce_mut(*reduce, i)?;
+                    r.attempt = *attempt;
+                    r.holder = Some(*node);
+                    r.running = true;
+                }
+                JournalRecord::ReduceCompleted { reduce, attempt, output } => {
+                    let r = st.reduce_mut(*reduce, i)?;
+                    r.attempt = *attempt;
+                    r.running = false;
+                    r.finished = true;
+                    r.output = output.clone();
+                    st.completions.push(TaskCompletion {
+                        kind: TaskKind::Reduce,
+                        index: *reduce,
+                        epoch: 0,
+                    });
+                }
+                JournalRecord::ReduceRequeued { reduce, new_attempt } => {
+                    let r = st.reduce_mut(*reduce, i)?;
+                    r.attempt = *new_attempt;
+                    r.holder = None;
+                    r.running = false;
+                }
+                // Reconciliation is an audit record: the assignment it
+                // confirms is already in the book.
+                JournalRecord::AttemptReconciled { .. } => {}
+                JournalRecord::JobFinished { failed } => st.finished = Some(*failed),
+            }
+        }
+        if st.records_applied == 0 {
+            return Err("empty journal".into());
+        }
+        Ok(st)
+    }
+
+    fn map_mut(&mut self, map: u32, i: usize) -> Result<&mut MapBook, String> {
+        let n = self.maps.len();
+        self.maps.get_mut(map as usize).ok_or(format!("record {i}: map {map} out of range {n}"))
+    }
+
+    fn reduce_mut(&mut self, reduce: u32, i: usize) -> Result<&mut ReduceBook, String> {
+        let n = self.reduces.len();
+        self.reduces
+            .get_mut(reduce as usize)
+            .ok_or(format!("record {i}: reduce {reduce} out of range {n}"))
+    }
+
+    /// Derived recovery tallies for the counter conservation laws:
+    /// `(recovered_maps, recovered_reduces, inherited_assignments,
+    /// recovered_reexec)`.
+    pub fn recovery_tallies(&self) -> (u64, u64, u64, u64) {
+        let recovered_maps = self.maps.iter().filter(|m| m.finished).count() as u64;
+        let recovered_reduces = self.reduces.iter().filter(|r| r.finished).count() as u64;
+        let inherited = self.maps.iter().filter(|m| m.running).count() as u64
+            + self.reduces.iter().filter(|r| r.running).count() as u64;
+        let reexec: u64 = self.maps.iter().map(|m| m.epoch as u64).sum();
+        (recovered_maps, recovered_reduces, inherited, reexec)
+    }
+
+    /// Canonical text dump — deterministic byte-for-byte, the artifact
+    /// the replay-determinism gate compares.
+    pub fn dump(&self) -> String {
+        let mut s = format!(
+            "journal seed={} n_maps={} n_reduces={} spec={} crash_epochs={} records={} \
+             finished={:?}\n",
+            self.seed,
+            self.n_maps,
+            self.n_reduces,
+            self.spec,
+            self.crash_epochs,
+            self.records_applied,
+            self.finished,
+        );
+        for (i, m) in self.maps.iter().enumerate() {
+            s.push_str(&format!(
+                "map {i} attempt={} epoch={} finished={} running={} holder={:?} banned={:?} \
+                 d_read={} parts={:?}\n",
+                m.attempt, m.epoch, m.finished, m.running, m.holder, m.banned, m.d_read,
+                m.part_bytes,
+            ));
+        }
+        for (i, r) in self.reduces.iter().enumerate() {
+            s.push_str(&format!(
+                "reduce {i} attempt={} finished={} running={} holder={:?} pairs={}\n",
+                r.attempt,
+                r.finished,
+                r.running,
+                r.holder,
+                r.output.len(),
+            ));
+        }
+        for (node, epoch) in &self.node_epochs {
+            s.push_str(&format!("node {node} epoch={epoch}\n"));
+        }
+        for c in &self.completions {
+            let k = match c.kind {
+                TaskKind::Map => 'm',
+                TaskKind::Reduce => 'r',
+            };
+            s.push_str(&format!("completion {k} {} {}\n", c.index, c.epoch));
+        }
+        s
+    }
+}
+
+/// The journal-level recovery law, checked by `tracker_failover` over the
+/// finished journal: every assignment outstanding at a `TrackerStarted`
+/// boundary must later be resolved — completed, requeued, invalidated, or
+/// reconciled — and no `(map, epoch)` completion may repeat across
+/// incarnations (zero duplicate completions per crash epoch).
+pub fn check_journal_recovery(records: &[JournalRecord]) -> Result<(), String> {
+    let st = JournalState::from_records(records)?;
+    if st.finished == Some(false) {
+        // Only a successful job promises full resolution.
+        let unresolved_maps: Vec<usize> = st
+            .maps
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.running || !m.finished)
+            .map(|(i, _)| i)
+            .collect();
+        let unresolved_reduces: Vec<usize> = st
+            .reduces
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.running || !r.finished)
+            .map(|(i, _)| i)
+            .collect();
+        if !unresolved_maps.is_empty() || !unresolved_reduces.is_empty() {
+            return Err(format!(
+                "job finished ok but maps {unresolved_maps:?} / reduces {unresolved_reduces:?} \
+                 never resolved"
+            ));
+        }
+    }
+    // Zero duplicate completions per crash epoch: a (map, run-epoch) pair
+    // completes at most once across all incarnations; a reduce completes
+    // at most once, period.
+    let mut seen_map = std::collections::HashSet::new();
+    let mut seen_reduce = std::collections::HashSet::new();
+    for c in &st.completions {
+        let fresh = match c.kind {
+            TaskKind::Map => seen_map.insert((c.index, c.epoch)),
+            TaskKind::Reduce => seen_reduce.insert(c.index),
+        };
+        if !fresh {
+            return Err(format!(
+                "duplicate completion across incarnations: {:?} {} epoch {}",
+                c.kind, c.index, c.epoch
+            ));
+        }
+    }
+    // Every pre-crash running assignment was resolved or adopted: walk the
+    // stream, snapshot outstanding work at each TrackerStarted, and demand
+    // each snapshot entry sees a later resolving record.
+    let mut running_maps: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut running_reduces: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut pending: Vec<(u32, TaskKind, u32, u32)> = Vec::new(); // (boundary, kind, index, attempt)
+    for rec in records {
+        match rec {
+            JournalRecord::MapAssigned { map, attempt, .. } => {
+                running_maps.insert(*map, *attempt);
+            }
+            JournalRecord::MapCompleted { map, .. }
+            | JournalRecord::MapInvalidated { map, .. }
+            | JournalRecord::MapRequeued { map, .. } => {
+                running_maps.remove(map);
+                pending.retain(|(_, k, i, _)| !(*k == TaskKind::Map && i == map));
+            }
+            JournalRecord::ReduceAssigned { reduce, attempt, .. } => {
+                running_reduces.insert(*reduce, *attempt);
+            }
+            JournalRecord::ReduceCompleted { reduce, .. }
+            | JournalRecord::ReduceRequeued { reduce, .. } => {
+                running_reduces.remove(reduce);
+                pending.retain(|(_, k, i, _)| !(*k == TaskKind::Reduce && i == reduce));
+            }
+            JournalRecord::AttemptReconciled { kind, index, .. } => {
+                pending.retain(|(_, k, i, _)| !(k == kind && i == index));
+            }
+            JournalRecord::TrackerStarted { crash_epoch } => {
+                for (m, a) in &running_maps {
+                    pending.push((*crash_epoch, TaskKind::Map, *m, *a));
+                }
+                for (r, a) in &running_reduces {
+                    pending.push((*crash_epoch, TaskKind::Reduce, *r, *a));
+                }
+            }
+            _ => {}
+        }
+    }
+    if st.finished == Some(false) && !pending.is_empty() {
+        return Err(format!(
+            "assignments outstanding at a crash boundary were never reconciled or re-executed: \
+             {pending:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::JobSubmitted {
+                seed: 42,
+                n_maps: 3,
+                n_reduces: 2,
+                spec: "wordcount".into(),
+            },
+            JournalRecord::WorkerRegistered { node: 0, epoch: 0 },
+            JournalRecord::WorkerRegistered { node: 1, epoch: 0 },
+            JournalRecord::MapAssigned { map: 0, attempt: 0, node: 0 },
+            JournalRecord::MapAssigned { map: 1, attempt: 0, node: 1 },
+            JournalRecord::MapCompleted {
+                map: 0,
+                attempt: 0,
+                epoch: 0,
+                node: 0,
+                d_read: 4096,
+                part_bytes: vec![10, 20],
+            },
+            JournalRecord::MapInvalidated { map: 0, new_attempt: 1, new_epoch: 1, banned: None },
+            JournalRecord::MapRequeued { map: 1, new_attempt: 1 },
+            JournalRecord::ReduceAssigned { reduce: 0, attempt: 0, node: 1 },
+            JournalRecord::ReduceCompleted {
+                reduce: 0,
+                attempt: 0,
+                output: vec![("k".into(), "3".into())],
+            },
+            JournalRecord::ReduceRequeued { reduce: 1, new_attempt: 1 },
+            JournalRecord::TrackerStarted { crash_epoch: 1 },
+            JournalRecord::AttemptReconciled {
+                kind: TaskKind::Map,
+                index: 2,
+                attempt: 0,
+                node: 1,
+            },
+            JournalRecord::JobFinished { failed: true },
+        ]
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        for rec in sample_records() {
+            let bytes = rec.encode();
+            let back = JournalRecord::decode(&bytes).unwrap_or_else(|e| panic!("{rec:?}: {e}"));
+            assert_eq!(back, rec);
+            assert_eq!(rec.encode(), bytes, "deterministic encoding");
+        }
+        // Truncations are typed errors, never panics.
+        for rec in sample_records() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert!(JournalRecord::decode(&bytes[..cut]).is_err(), "{rec:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn journal_file_round_trips_and_replays_deterministically() {
+        let dir = std::env::temp_dir().join(format!("pnats-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.journal");
+        let mut j = Journal::create(&path, FsyncPolicy::Always).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back, sample_records());
+        let s1 = JournalState::from_records(&back).unwrap();
+        let s2 = JournalState::from_records(&read_journal(&path).unwrap()).unwrap();
+        assert_eq!(s1.dump(), s2.dump(), "replay must be byte-identical");
+        // Appending after reopen continues the same stream.
+        let mut j = Journal::open_append(&path, FsyncPolicy::Never).unwrap();
+        j.append(&JournalRecord::TrackerStarted { crash_epoch: 2 }).unwrap();
+        drop(j);
+        assert_eq!(read_journal(&path).unwrap().len(), sample_records().len() + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("pnats-journal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let mut j = Journal::create(&path, FsyncPolicy::Never).unwrap();
+        for rec in sample_records() {
+            j.append(&rec).unwrap();
+        }
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Tear the file at every byte boundary inside the last record: the
+        // intact prefix must replay; the torn record must vanish.
+        let intact = sample_records().len();
+        let last_len = JournalRecord::encode(sample_records().last().unwrap()).len() + 8;
+        for cut in (full.len() - last_len + 1)..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let recs = read_journal(&path).unwrap();
+            assert_eq!(recs.len(), intact - 1, "cut at {cut}");
+        }
+        // Damaged bytes mid-tail: same WAL drop semantics.
+        let mut damaged = full.clone();
+        let n = damaged.len();
+        damaged[n - 3] ^= 0x10;
+        std::fs::write(&path, &damaged).unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), intact - 1);
+        // A journal with no intact record is an error, not an empty Ok.
+        std::fs::write(&path, b"xx").unwrap();
+        assert!(read_journal(&path).is_err());
+        // A journal that does not open with JobSubmitted is rejected.
+        let mut f = std::fs::File::create(&path).unwrap();
+        pnats_rpc::frame::write_frame(
+            &mut f,
+            &JournalRecord::TrackerStarted { crash_epoch: 1 }.encode(),
+        )
+        .unwrap();
+        f.flush().unwrap();
+        drop(f);
+        assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_fold_reconstructs_the_book() {
+        let st = JournalState::from_records(&sample_records()).unwrap();
+        assert_eq!((st.seed, st.n_maps, st.n_reduces), (42, 3, 2));
+        assert_eq!(st.crash_epochs, 1);
+        assert_eq!(st.finished, Some(true));
+        // Map 0: completed then invalidated.
+        assert!(!st.maps[0].finished && !st.maps[0].running);
+        assert_eq!((st.maps[0].attempt, st.maps[0].epoch), (1, 1));
+        // Map 1: assigned then requeued.
+        assert!(!st.maps[1].running);
+        assert_eq!(st.maps[1].attempt, 1);
+        // Reduce 0 finished with output; reduce 1 requeued.
+        assert!(st.reduces[0].finished);
+        assert_eq!(st.reduces[0].output, vec![("k".into(), "3".into())]);
+        assert!(!st.reduces[1].running);
+        assert_eq!(st.node_epochs.get(&1), Some(&0));
+        assert_eq!(st.completions.len(), 2);
+        let (rm, rr, inh, reexec) = st.recovery_tallies();
+        assert_eq!((rm, rr, inh, reexec), (0, 1, 0, 1));
+    }
+
+    #[test]
+    fn recovery_law_catches_duplicates_and_orphans() {
+        // A clean recovered run passes.
+        let mut ok = vec![
+            JournalRecord::JobSubmitted {
+                seed: 1,
+                n_maps: 1,
+                n_reduces: 1,
+                spec: "wordcount".into(),
+            },
+            JournalRecord::MapAssigned { map: 0, attempt: 0, node: 0 },
+            JournalRecord::TrackerStarted { crash_epoch: 1 },
+            JournalRecord::AttemptReconciled {
+                kind: TaskKind::Map,
+                index: 0,
+                attempt: 0,
+                node: 0,
+            },
+            JournalRecord::MapCompleted {
+                map: 0,
+                attempt: 0,
+                epoch: 0,
+                node: 0,
+                d_read: 1,
+                part_bytes: vec![1],
+            },
+            JournalRecord::ReduceAssigned { reduce: 0, attempt: 0, node: 0 },
+            JournalRecord::ReduceCompleted { reduce: 0, attempt: 0, output: vec![] },
+            JournalRecord::JobFinished { failed: false },
+        ];
+        check_journal_recovery(&ok).unwrap();
+        // Duplicate (map, epoch) completion across the restart is fatal.
+        ok.insert(
+            5,
+            JournalRecord::MapCompleted {
+                map: 0,
+                attempt: 0,
+                epoch: 0,
+                node: 0,
+                d_read: 1,
+                part_bytes: vec![1],
+            },
+        );
+        assert!(check_journal_recovery(&ok).is_err());
+        // An assignment outstanding at the boundary that nothing ever
+        // resolves is fatal on a successful job.
+        let orphan = vec![
+            JournalRecord::JobSubmitted {
+                seed: 1,
+                n_maps: 2,
+                n_reduces: 0,
+                spec: "wordcount".into(),
+            },
+            JournalRecord::MapAssigned { map: 1, attempt: 0, node: 0 },
+            JournalRecord::TrackerStarted { crash_epoch: 1 },
+            JournalRecord::MapAssigned { map: 0, attempt: 0, node: 0 },
+            JournalRecord::MapCompleted {
+                map: 0,
+                attempt: 0,
+                epoch: 0,
+                node: 0,
+                d_read: 1,
+                part_bytes: vec![],
+            },
+            JournalRecord::JobFinished { failed: false },
+        ];
+        assert!(check_journal_recovery(&orphan).is_err());
+    }
+}

@@ -25,12 +25,16 @@
 
 pub mod config;
 pub mod jobspec;
+pub mod journal;
 pub mod report;
 pub mod tracker;
 pub mod worker;
 
 pub use config::ClusterConfig;
 pub use jobspec::JobSpec;
+pub use journal::{
+    check_journal_recovery, read_journal, FsyncPolicy, Journal, JournalRecord, JournalState,
+};
 pub use report::{check_cluster_report, ClusterReport, ReportSummary};
 pub use tracker::JobTracker;
 pub use worker::{run_worker, WorkerConfig};
@@ -131,6 +135,7 @@ pub fn run_cluster_chaos(
                 retry: cfg.retry.clone(),
                 breaker: cfg.breaker,
                 chaos: Some(net.clone()),
+                orphan_grace: cfg.orphan_grace,
             };
             ctl_proxies.push(ctl);
             std::thread::spawn(move || {
@@ -176,6 +181,7 @@ fn run_cluster_observed(
                 retry: cfg.retry.clone(),
                 breaker: cfg.breaker,
                 chaos: None,
+                orphan_grace: cfg.orphan_grace,
             };
             std::thread::spawn(move || {
                 let _ = run_worker(wc);

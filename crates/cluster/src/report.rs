@@ -31,8 +31,13 @@ pub struct ClusterReport {
     /// Every completion the tracker accepted, in acceptance order — the
     /// exactly-once ledger `pnats_sim::check_cluster_run` audits. Not
     /// carried by the flat text form ([`to_text`](Self::to_text)); the
-    /// oracle runs in-process where the full report is available.
+    /// oracle runs in-process where the full report is available, and
+    /// process-based harnesses rebuild the ledger from the journal.
     pub completions: Vec<TaskCompletion>,
+    /// Wall ms from tracker start to its first assignment decision.
+    /// On a recovery incarnation this is the failover latency probe: the
+    /// time from restart to the first post-recovery assignment.
+    pub first_assign_ms: Option<u64>,
     /// True when the job was aborted (retry budget exhausted, the whole
     /// fleet permanently down, or the `max_wall` deadline fired).
     pub failed: bool,
@@ -47,11 +52,36 @@ pub struct ClusterReport {
 /// and for completed runs additionally:
 ///
 /// * assignment conservation — every map and reduce was assigned exactly
-///   once, plus once more per retry/re-execution:
-///   `assigns == n_maps + n_reduces + retries + reexecuted_maps`,
-/// * every reduce completion recorded a locality class,
-/// * every map was assigned at least once.
+///   once, plus once more per retry/re-execution, *minus* work a recovery
+///   incarnation inherited from the journal instead of assigning itself:
+///   `assigns == n_maps + n_reduces + retries + reexecuted_maps
+///   − recovered_maps − recovered_reduces − inherited_assignments`,
+/// * every non-recovered reduce completion recorded a locality class,
+/// * every map this incarnation had to place was assigned at least once,
+/// * recovery counters are structurally coherent (reconciliations imply a
+///   re-attach, inherited state implies a restart, one journal replay per
+///   restart).
 pub fn check_cluster_report(r: &ClusterReport) -> Result<(), String> {
+    let c = &r.counters;
+    if c.attempts_reconciled > 0 && c.worker_reattaches == 0 {
+        return Err(format!(
+            "{} attempts reconciled without any worker re-attach",
+            c.attempts_reconciled
+        ));
+    }
+    if c.journal_replays != c.tracker_restarts {
+        return Err(format!(
+            "journal replays ({}) != tracker restarts ({})",
+            c.journal_replays, c.tracker_restarts
+        ));
+    }
+    let inherited_any =
+        c.recovered_maps + c.recovered_reduces + c.inherited_assignments + c.recovered_reexec;
+    if inherited_any > 0 && c.tracker_restarts == 0 {
+        return Err(format!(
+            "recovery tallies ({inherited_any}) booked without a tracker restart"
+        ));
+    }
     if !r.counters.consistent() {
         return Err(format!(
             "offer conservation violated: offers={} assigns={} skips={}",
@@ -76,31 +106,48 @@ pub fn check_cluster_report(r: &ClusterReport) -> Result<(), String> {
     if r.failed {
         return Ok(()); // partial runs only owe the offer identities
     }
-    let expected = (r.n_maps + r.n_reduces) as u64 + r.counters.retries + r.counters.reexecuted_maps;
-    if r.counters.assigns != expected {
+    let expected = (r.n_maps + r.n_reduces) as i128 + c.retries as i128
+        + c.reexecuted_maps as i128
+        - c.recovered_maps as i128
+        - c.recovered_reduces as i128
+        - c.inherited_assignments as i128;
+    if c.assigns as i128 != expected {
         return Err(format!(
             "assignment conservation violated: assigns={} expected {} \
-             (n_maps={} n_reduces={} retries={} reexecuted={})",
-            r.counters.assigns,
+             (n_maps={} n_reduces={} retries={} reexecuted={} recovered={}+{} inherited={})",
+            c.assigns,
             expected,
             r.n_maps,
             r.n_reduces,
-            r.counters.retries,
-            r.counters.reexecuted_maps
+            c.retries,
+            c.reexecuted_maps,
+            c.recovered_maps,
+            c.recovered_reduces,
+            c.inherited_assignments
         ));
     }
-    if r.reduce_locality.total() != r.n_reduces as u64 {
+    let owed_reduces = (r.n_reduces as u64).saturating_sub(c.recovered_reduces);
+    if r.reduce_locality.total() != owed_reduces {
         return Err(format!(
-            "reduce locality total {} != n_reduces {}",
+            "reduce locality total {} != n_reduces {} - recovered {}",
             r.reduce_locality.total(),
-            r.n_reduces
+            r.n_reduces,
+            c.recovered_reduces
         ));
     }
-    if r.map_locality.total() < r.n_maps as u64 {
+    // Inherited running assignments may cover maps as well as reduces, so
+    // the map floor only subtracts them conservatively.
+    let owed_maps = (r.n_maps as u64)
+        .saturating_sub(c.recovered_maps)
+        .saturating_sub(c.inherited_assignments);
+    if r.map_locality.total() < owed_maps {
         return Err(format!(
-            "map locality total {} < n_maps {}",
+            "map locality total {} < owed maps {} (n_maps={} recovered={} inherited={})",
             r.map_locality.total(),
-            r.n_maps
+            owed_maps,
+            r.n_maps,
+            c.recovered_maps,
+            c.inherited_assignments
         ));
     }
     Ok(())
@@ -113,13 +160,17 @@ impl ClusterReport {
     /// representable — the built-in jobs never emit them.
     pub fn to_text(&self) -> String {
         let mut s = format!(
-            "status failed={} n_maps={} n_reduces={} skipped={} wall_ms={}\n",
+            "status failed={} n_maps={} n_reduces={} skipped={} wall_ms={}",
             u8::from(self.failed),
             self.n_maps,
             self.n_reduces,
             self.skipped_offers,
             self.wall.as_millis()
         );
+        if let Some(ms) = self.first_assign_ms {
+            s.push_str(&format!(" first_assign_ms={ms}"));
+        }
+        s.push('\n');
         s.push_str(&format!("counters {}\n", self.counters.to_kv()));
         for (k, v) in &self.output {
             s.push_str(k);
@@ -146,6 +197,8 @@ pub struct ReportSummary {
     pub counters: SchedCounters,
     /// Output pairs in partition-major order.
     pub output: Vec<(String, String)>,
+    /// Wall ms from tracker start to first assignment, when reported.
+    pub first_assign_ms: Option<u64>,
 }
 
 impl ReportSummary {
@@ -157,6 +210,7 @@ impl ReportSummary {
         let mut n_maps = 0usize;
         let mut n_reduces = 0usize;
         let mut skipped = 0u64;
+        let mut first_assign_ms = None;
         for tok in status.split_whitespace() {
             let (k, v) = tok.split_once('=')?;
             match k {
@@ -164,6 +218,7 @@ impl ReportSummary {
                 "n_maps" => n_maps = v.parse().ok()?,
                 "n_reduces" => n_reduces = v.parse().ok()?,
                 "skipped" => skipped = v.parse().ok()?,
+                "first_assign_ms" => first_assign_ms = v.parse().ok(),
                 _ => {}
             }
         }
@@ -172,7 +227,15 @@ impl ReportSummary {
         let output = lines
             .filter_map(|l| l.split_once('\t').map(|(k, v)| (k.to_string(), v.to_string())))
             .collect();
-        Some(Self { failed, n_maps, n_reduces, skipped_offers: skipped, counters, output })
+        Some(Self {
+            failed,
+            n_maps,
+            n_reduces,
+            skipped_offers: skipped,
+            counters,
+            output,
+            first_assign_ms,
+        })
     }
 }
 
@@ -194,6 +257,7 @@ mod tests {
             counters,
             trace_jsonl: None,
             completions: Vec::new(),
+            first_assign_ms: Some(4),
             failed: false,
         }
     }
@@ -221,5 +285,36 @@ mod tests {
         assert_eq!(s.skipped_offers, r.skipped_offers);
         assert_eq!(s.counters, r.counters);
         assert_eq!(s.output, r.output);
+        assert_eq!(s.first_assign_ms, r.first_assign_ms);
+    }
+
+    #[test]
+    fn oracle_balances_recovered_work() {
+        // A recovery incarnation: 1 of 3 maps and 1 of 2 reduces inherited
+        // finished, 1 map assignment inherited running — so it only placed
+        // 2 assignments itself, and only 1 reduce completion owed a
+        // locality class.
+        let mut r = sample();
+        r.counters.assigns = 2;
+        r.counters.offers = 4;
+        r.counters.tracker_restarts = 1;
+        r.counters.journal_replays = 1;
+        r.counters.recovered_maps = 1;
+        r.counters.recovered_reduces = 1;
+        r.counters.inherited_assignments = 1;
+        r.map_locality = LocalityCounter { node_local: 1, rack_local: 0, remote: 0 };
+        r.reduce_locality = LocalityCounter { node_local: 1, rack_local: 0, remote: 0 };
+        check_cluster_report(&r).unwrap();
+        // Reconciliation without a re-attach is structurally impossible.
+        r.counters.attempts_reconciled = 1;
+        let err = check_cluster_report(&r).unwrap_err();
+        assert!(err.contains("without any worker re-attach"), "{err}");
+        r.counters.worker_reattaches = 1;
+        check_cluster_report(&r).unwrap();
+        // Recovery tallies without a restart are too.
+        r.counters.tracker_restarts = 0;
+        r.counters.journal_replays = 0;
+        let err = check_cluster_report(&r).unwrap_err();
+        assert!(err.contains("without a tracker restart"), "{err}");
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::config::ClusterConfig;
 use crate::jobspec::JobSpec;
+use crate::journal::{read_journal, Journal, JournalRecord, JournalState};
 use crate::report::ClusterReport;
 use pnats_core::context::{
     MapCandidate, MapSchedContext, ReduceCandidate, ReduceSchedContext, ShuffleSource,
@@ -50,6 +51,10 @@ struct NodeState {
     down_depth: u32,
     free_map: u32,
     free_reduce: u32,
+    /// The journal knows this worker but the current incarnation has not
+    /// heard from it yet: heartbeats are answered `reattach` instead of
+    /// `dead`, and expiry is held for `reattach_grace` rounds.
+    awaiting_reattach: bool,
 }
 
 struct TrackerState {
@@ -102,8 +107,26 @@ struct TrackerState {
     fault_events: Vec<(u64, u8, usize)>,
     next_fault: usize,
     /// Every completion the tracker *accepted*, in acceptance order — the
-    /// ledger `pnats_sim::check_runtime_completions` audits.
+    /// ledger `pnats_sim::check_runtime_completions` audits. Seeded from
+    /// the journal on recovery so the exactly-once-per-epoch law spans
+    /// incarnations.
     completions: Vec<TaskCompletion>,
+    /// The write-ahead journal, when `cfg.journal` is set. Every record is
+    /// appended *before* the mutation it describes is applied or the reply
+    /// carrying it is sent.
+    journal: Option<Journal>,
+    /// Which tracker incarnation this is: 0 for a fresh job, +1 per
+    /// recovery from the journal.
+    crash_epoch: u32,
+    /// Journal-inherited running assignments not yet confirmed by their
+    /// worker (indexed like `map_holder` / `reduce_holder`). Confirmation
+    /// at re-attach books an `attempt_reconciled` fault + journal record.
+    map_inherited: Vec<bool>,
+    reduce_inherited: Vec<bool>,
+    /// Wall-clock ms (since this incarnation started) of the first
+    /// assignment it handed out — the recovery-latency probe the failover
+    /// bench reads.
+    first_assign_ms: Option<u64>,
     /// Whether any worker ever registered; safe-mode cannot trigger on a
     /// fleet that has not shown up yet.
     ever_registered: bool,
@@ -123,6 +146,26 @@ impl TrackerState {
             job,
             task,
         });
+    }
+
+    /// Append one journal record (no-op without a journal). Write-ahead
+    /// discipline: called *before* the mutation the record describes.
+    /// Fail-stop on IO error — a tracker that cannot journal must not keep
+    /// mutating state it has promised to make durable.
+    fn journal_rec(&mut self, rec: &JournalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(rec).expect("journal append");
+        }
+    }
+
+    /// Transition to `done`, journaling the verdict first. Idempotent.
+    fn finish(&mut self, failed: bool) {
+        if self.done {
+            return;
+        }
+        self.journal_rec(&JournalRecord::JobFinished { failed });
+        self.failed = failed;
+        self.done = true;
     }
 
     /// A node is a placement target when it is registered and not
@@ -145,15 +188,26 @@ impl TrackerState {
                 continue;
             }
             if self.map_finished[m] {
+                self.journal_rec(&JournalRecord::MapInvalidated {
+                    map: m as u32,
+                    new_attempt: self.map_attempt[m] + 1,
+                    new_epoch: self.map_epoch[m] + 1,
+                    banned: None,
+                });
                 self.map_finished[m] = false;
                 self.maps_finished -= 1;
                 self.map_epoch[m] += 1;
                 self.fault(FaultKind::MapInvalidated, n as u32, Some(m as u32));
             } else {
+                self.journal_rec(&JournalRecord::MapRequeued {
+                    map: m as u32,
+                    new_attempt: self.map_attempt[m] + 1,
+                });
                 self.fault(FaultKind::TaskRescheduled, n as u32, Some(m as u32));
             }
             self.map_attempt[m] += 1;
             self.map_holder[m] = None;
+            self.map_inherited[m] = false;
             self.progress[m] = (0, vec![0; self.n_reduces]);
             self.unassigned_maps.push(m);
         }
@@ -161,6 +215,11 @@ impl TrackerState {
             if self.reduce_holder[r] != Some(n as u32) || self.reduce_finished[r] {
                 continue; // finished reduce output is tracker-held, hence durable
             }
+            self.journal_rec(&JournalRecord::ReduceRequeued {
+                reduce: r as u32,
+                new_attempt: self.reduce_attempt[r] + 1,
+            });
+            self.reduce_inherited[r] = false;
             self.reduce_attempt[r] += 1;
             self.reduce_holder[r] = None;
             self.unassigned_reduces.push(r);
@@ -236,6 +295,21 @@ impl TrackerState {
             }
         }
 
+        // Recovery grace: a journal-known worker that never re-attached
+        // within `reattach_grace` rounds of this incarnation is as dead as
+        // an expired one — its inherited work (finished outputs included)
+        // is invalidated and re-executed.
+        if round > self.cfg.reattach_grace {
+            for n in 0..self.cfg.n_nodes {
+                if self.nodes[n].awaiting_reattach {
+                    self.nodes[n].awaiting_reattach = false;
+                    self.fault(FaultKind::PeerExpired, n as u32, None);
+                    self.fault(FaultKind::NodeCrash, n as u32, None);
+                    self.invalidate_node(n);
+                }
+            }
+        }
+
         // A whole-fleet scripted blackout with no recovery ahead cannot
         // finish the job. (Expired-but-live workers re-register on their
         // own, so expiry alone never triggers this; the wall-clock cap in
@@ -244,8 +318,7 @@ impl TrackerState {
             && (0..self.cfg.n_nodes).all(|n| self.nodes[n].down_depth > 0)
             && !self.fault_events[self.next_fault..].iter().any(|e| e.1 == 1)
         {
-            self.failed = true;
-            self.done = true;
+            self.finish(true);
             self.fault(FaultKind::JobFailed, 0, None);
         }
     }
@@ -258,6 +331,13 @@ impl TrackerState {
         if self.nodes[n].down_depth > 0 {
             return Msg::NotReady; // scripted-down: hold the worker off
         }
+        if self.nodes[n].awaiting_reattach {
+            // The worker came back *fresh* (wiped) instead of re-attaching:
+            // whatever the journal says it held died with its old life.
+            self.nodes[n].awaiting_reattach = false;
+            self.invalidate_node(n);
+        }
+        self.journal_rec(&JournalRecord::WorkerRegistered { node, epoch });
         self.nodes[n].registered = true;
         self.ever_registered = true;
         self.nodes[n].epoch = epoch;
@@ -303,6 +383,7 @@ impl TrackerState {
             ignored,
             dead,
             shutdown,
+            reattach: false,
         };
         let n = node as usize;
         if n >= self.cfg.n_nodes {
@@ -310,6 +391,23 @@ impl TrackerState {
         }
         if self.done {
             return reply(Vec::new(), Vec::new(), false, false, true);
+        }
+        if self.nodes[n].awaiting_reattach
+            && self.nodes[n].epoch == epoch
+            && self.nodes[n].down_depth == 0
+        {
+            // A recovered tracker hearing from a journal-known worker that
+            // never noticed the restart: tell it to re-attach *keeping* its
+            // state (unlike `dead`, which would wipe finished outputs the
+            // journal still counts on).
+            return Msg::HeartbeatReply {
+                assignments: Vec::new(),
+                invalidate: Vec::new(),
+                ignored: true,
+                dead: false,
+                shutdown: false,
+                reattach: true,
+            };
         }
         if !self.nodes[n].registered || self.nodes[n].epoch != epoch || self.nodes[n].down_depth > 0
         {
@@ -369,8 +467,17 @@ impl TrackerState {
             }
             if self.map_holder[m] == Some(node) && self.map_attempt[m] == d.attempt {
                 if !self.map_finished[m] {
+                    self.journal_rec(&JournalRecord::MapCompleted {
+                        map: d.map,
+                        attempt: d.attempt,
+                        epoch: self.map_epoch[m],
+                        node,
+                        d_read: self.blocks[m].len() as u64,
+                        part_bytes: d.bytes.clone(),
+                    });
                     self.map_finished[m] = true;
                     self.maps_finished += 1;
+                    self.map_inherited[m] = false;
                     self.progress[m] = (self.blocks[m].len() as u64, d.bytes.clone());
                     self.completions.push(TaskCompletion {
                         kind: TaskKind::Map,
@@ -395,7 +502,12 @@ impl TrackerState {
             {
                 continue; // stale or duplicate failure report
             }
+            self.journal_rec(&JournalRecord::MapRequeued {
+                map: f.map,
+                new_attempt: self.map_attempt[m] + 1,
+            });
             self.map_attempt[m] += 1;
+            self.map_inherited[m] = false;
             self.fault(FaultKind::TransientFailure, node, Some(f.map));
             if self.map_starts[m] >= self.cfg.faults.max_attempts {
                 self.failed = true;
@@ -415,8 +527,14 @@ impl TrackerState {
             {
                 continue; // stale or duplicate completion
             }
+            self.journal_rec(&JournalRecord::ReduceCompleted {
+                reduce: r.reduce,
+                attempt: r.attempt,
+                output: r.output.clone(),
+            });
             self.reduce_finished[red] = true;
             self.reduces_finished += 1;
+            self.reduce_inherited[red] = false;
             self.final_output[red] = r.output.clone();
             self.completions.push(TaskCompletion { kind: TaskKind::Reduce, index: r.reduce, epoch: 0 });
             let nid = NodeId(node);
@@ -437,7 +555,7 @@ impl TrackerState {
         if self.failed
             || (self.maps_finished == self.n_maps && self.reduces_finished == self.n_reduces)
         {
-            self.done = true;
+            self.finish(self.failed);
             return reply(Vec::new(), invalidate, false, false, true);
         }
 
@@ -472,9 +590,14 @@ impl TrackerState {
                 || map_done.iter().any(|d| d.map == id)
                 || map_failed.iter().any(|f| f.map == id);
             if !known {
+                self.journal_rec(&JournalRecord::MapRequeued {
+                    map: id,
+                    new_attempt: self.map_attempt[m] + 1,
+                });
                 self.fault(FaultKind::TaskRescheduled, node, Some(id));
                 self.map_attempt[m] += 1;
                 self.map_holder[m] = None;
+                self.map_inherited[m] = false;
                 self.progress[m] = (0, vec![0; self.n_reduces]);
                 self.unassigned_maps.push(m);
             }
@@ -490,9 +613,14 @@ impl TrackerState {
             let known = running_reduces.iter().any(|(red, _)| *red == id)
                 || reduce_done.iter().any(|d| d.reduce == id);
             if !known {
+                self.journal_rec(&JournalRecord::ReduceRequeued {
+                    reduce: id,
+                    new_attempt: self.reduce_attempt[r] + 1,
+                });
                 self.fault(FaultKind::TaskRescheduled, node, Some(id));
                 self.reduce_attempt[r] += 1;
                 self.reduce_holder[r] = None;
+                self.reduce_inherited[r] = false;
                 self.unassigned_reduces.push(r);
                 let nid = NodeId(node);
                 if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == nid) {
@@ -516,6 +644,12 @@ impl TrackerState {
             return Msg::Ack;
         }
         let holder = self.map_holder[m];
+        self.journal_rec(&JournalRecord::MapInvalidated {
+            map,
+            new_attempt: self.map_attempt[m] + 1,
+            new_epoch: self.map_epoch[m] + 1,
+            banned: holder,
+        });
         self.map_finished[m] = false;
         self.maps_finished -= 1;
         self.map_epoch[m] += 1;
@@ -571,6 +705,14 @@ impl TrackerState {
             match decision {
                 Decision::Assign(i) => {
                     let m = offerable[i];
+                    self.journal_rec(&JournalRecord::MapAssigned {
+                        map: m as u32,
+                        attempt: self.map_attempt[m],
+                        node: node.0,
+                    });
+                    if self.first_assign_ms.is_none() {
+                        self.first_assign_ms = Some(self.start.elapsed().as_millis() as u64);
+                    }
                     let pos = self
                         .unassigned_maps
                         .iter()
@@ -645,6 +787,15 @@ impl TrackerState {
             };
             match decision {
                 Decision::Assign(i) => {
+                    let red = self.unassigned_reduces[i];
+                    self.journal_rec(&JournalRecord::ReduceAssigned {
+                        reduce: red as u32,
+                        attempt: self.reduce_attempt[red],
+                        node: node.0,
+                    });
+                    if self.first_assign_ms.is_none() {
+                        self.first_assign_ms = Some(self.start.elapsed().as_millis() as u64);
+                    }
                     let red = self.unassigned_reduces.swap_remove(i);
                     self.nodes[n].free_reduce -= 1;
                     self.reduce_holder[red] = Some(node.0);
@@ -696,6 +847,230 @@ impl TrackerState {
         }
         Msg::NotReady
     }
+
+    /// An orphaned worker presenting its local truth to a (possibly fresh)
+    /// tracker incarnation. The tracker reconciles the journal's book
+    /// against what the worker actually holds, exactly once per item:
+    /// confirmed inherited attempts are adopted (`attempt_reconciled`),
+    /// journaled outputs the worker no longer has are invalidated into a
+    /// new crash epoch, booked-running work the worker lost is requeued,
+    /// and stale bytes on the worker are sent back in `invalidate`.
+    /// Idempotent — a duplicate `Reattach` (retried call, lost ack) finds
+    /// nothing left to reconcile.
+    fn on_reattach(
+        &mut self,
+        node: u32,
+        epoch: u32,
+        data_addr: String,
+        finished_maps: Vec<(u32, u32)>,
+        running_maps: Vec<(u32, u32)>,
+        running_reduces: Vec<(u32, u32)>,
+    ) -> Msg {
+        let n = node as usize;
+        let dead = Msg::ReattachAck { invalidate: Vec::new(), dead: true, shutdown: false };
+        if n >= self.cfg.n_nodes {
+            return dead;
+        }
+        if self.done {
+            return Msg::ReattachAck { invalidate: Vec::new(), dead: false, shutdown: true };
+        }
+        if self.nodes[n].epoch != epoch
+            || self.nodes[n].down_depth > 0
+            || !(self.nodes[n].awaiting_reattach || self.nodes[n].registered)
+        {
+            // Unknown node, stale epoch, or one already declared dead and
+            // invalidated: only a wipe + fresh registration realigns us.
+            return dead;
+        }
+        let was_awaiting = self.nodes[n].awaiting_reattach;
+        self.nodes[n].awaiting_reattach = false;
+        self.nodes[n].registered = true;
+        self.ever_registered = true;
+        self.nodes[n].data_addr = data_addr;
+        self.nodes[n].last_heard = self.round;
+        // Slots sync on the next heartbeat; claim nothing until then.
+        self.nodes[n].free_map = 0;
+        self.nodes[n].free_reduce = 0;
+        if was_awaiting {
+            self.fault(FaultKind::WorkerReattached, node, None);
+        }
+
+        for m in 0..self.n_maps {
+            if self.map_holder[m] != Some(node) {
+                continue;
+            }
+            let attempt = self.map_attempt[m];
+            let holds = |list: &[(u32, u32)]| list.iter().any(|&(i, a)| i == m as u32 && a == attempt);
+            if self.map_finished[m] {
+                if holds(&finished_maps) {
+                    if self.map_inherited[m] {
+                        self.journal_rec(&JournalRecord::AttemptReconciled {
+                            kind: TaskKind::Map,
+                            index: m as u32,
+                            attempt,
+                            node,
+                        });
+                        self.map_inherited[m] = false;
+                        self.fault(FaultKind::AttemptReconciled, node, Some(m as u32));
+                    }
+                } else {
+                    // The journal says this output lives here; the worker
+                    // says otherwise. The worker is the ground truth for
+                    // its own disk: invalidate into a new epoch.
+                    self.journal_rec(&JournalRecord::MapInvalidated {
+                        map: m as u32,
+                        new_attempt: attempt + 1,
+                        new_epoch: self.map_epoch[m] + 1,
+                        banned: None,
+                    });
+                    self.map_finished[m] = false;
+                    self.maps_finished -= 1;
+                    self.map_epoch[m] += 1;
+                    self.map_attempt[m] += 1;
+                    self.map_holder[m] = None;
+                    self.map_inherited[m] = false;
+                    self.progress[m] = (0, vec![0; self.n_reduces]);
+                    self.unassigned_maps.push(m);
+                    self.fault(FaultKind::MapInvalidated, node, Some(m as u32));
+                }
+            } else if holds(&running_maps) || holds(&finished_maps) {
+                // Still live there (or finished during the outage — the
+                // completion arrives with the next heartbeat).
+                self.map_assigned_round[m] = self.round;
+                if self.map_inherited[m] {
+                    self.journal_rec(&JournalRecord::AttemptReconciled {
+                        kind: TaskKind::Map,
+                        index: m as u32,
+                        attempt,
+                        node,
+                    });
+                    self.map_inherited[m] = false;
+                    self.fault(FaultKind::AttemptReconciled, node, Some(m as u32));
+                }
+            } else {
+                self.journal_rec(&JournalRecord::MapRequeued {
+                    map: m as u32,
+                    new_attempt: attempt + 1,
+                });
+                self.fault(FaultKind::TaskRescheduled, node, Some(m as u32));
+                self.map_attempt[m] += 1;
+                self.map_holder[m] = None;
+                self.map_inherited[m] = false;
+                self.progress[m] = (0, vec![0; self.n_reduces]);
+                self.unassigned_maps.push(m);
+            }
+        }
+
+        for r in 0..self.n_reduces {
+            if self.reduce_holder[r] != Some(node) || self.reduce_finished[r] {
+                continue;
+            }
+            let attempt = self.reduce_attempt[r];
+            if running_reduces.iter().any(|&(i, a)| i == r as u32 && a == attempt) {
+                self.reduce_assigned_round[r] = self.round;
+                if self.reduce_inherited[r] {
+                    self.journal_rec(&JournalRecord::AttemptReconciled {
+                        kind: TaskKind::Reduce,
+                        index: r as u32,
+                        attempt,
+                        node,
+                    });
+                    self.reduce_inherited[r] = false;
+                    self.fault(FaultKind::AttemptReconciled, node, Some(r as u32));
+                }
+            } else {
+                self.journal_rec(&JournalRecord::ReduceRequeued {
+                    reduce: r as u32,
+                    new_attempt: attempt + 1,
+                });
+                self.fault(FaultKind::TaskRescheduled, node, Some(r as u32));
+                self.reduce_attempt[r] += 1;
+                self.reduce_holder[r] = None;
+                self.reduce_inherited[r] = false;
+                self.unassigned_reduces.push(r);
+                let nid = NodeId(node);
+                if let Some(pos) = self.job_reduce_nodes.iter().position(|x| *x == nid) {
+                    self.job_reduce_nodes.swap_remove(pos);
+                }
+            }
+        }
+
+        // Bytes the worker holds for attempts the book no longer wants.
+        let invalidate: Vec<u32> = finished_maps
+            .iter()
+            .filter(|&&(i, a)| {
+                let m = i as usize;
+                m >= self.n_maps || self.map_holder[m] != Some(node) || self.map_attempt[m] != a
+            })
+            .map(|&(i, _)| i)
+            .collect();
+        Msg::ReattachAck { invalidate, dead: false, shutdown: false }
+    }
+
+    /// Overlay journal-replayed state onto the freshly-derived book — the
+    /// recovery half of crash tolerance, run once before the server starts
+    /// answering. Placement inputs (splits, replicas, candidates) are
+    /// re-derived from `(seed, cfg, input)`; everything scheduling
+    /// *decided* comes back from the journal.
+    fn apply_recovery(&mut self, st: &JournalState) {
+        self.crash_epoch = st.crash_epochs + 1;
+        for (m, book) in st.maps.iter().enumerate() {
+            self.map_attempt[m] = book.attempt;
+            self.map_epoch[m] = book.epoch;
+            self.map_banned[m] = book.banned;
+            // Starts are not journaled; one start per attempt tag keeps the
+            // transient-failure budget monotone across incarnations.
+            self.map_starts[m] = book.attempt;
+            if book.finished {
+                self.map_finished[m] = true;
+                self.maps_finished += 1;
+                self.map_holder[m] = book.holder;
+                let mut parts = book.part_bytes.clone();
+                parts.resize(self.n_reduces, 0);
+                self.progress[m] = (book.d_read, parts);
+                self.unassigned_maps.retain(|&x| x != m);
+            } else if book.running {
+                self.map_holder[m] = book.holder;
+                self.map_inherited[m] = true;
+                self.unassigned_maps.retain(|&x| x != m);
+            }
+        }
+        for (r, book) in st.reduces.iter().enumerate() {
+            self.reduce_attempt[r] = book.attempt;
+            if book.finished {
+                self.reduce_finished[r] = true;
+                self.reduces_finished += 1;
+                self.final_output[r] = book.output.clone();
+                self.unassigned_reduces.retain(|&x| x != r);
+            } else if book.running {
+                self.reduce_holder[r] = book.holder;
+                self.reduce_inherited[r] = true;
+                self.unassigned_reduces.retain(|&x| x != r);
+                if let Some(h) = book.holder {
+                    self.job_reduce_nodes.push(NodeId(h));
+                }
+            }
+        }
+        for (&node, &epoch) in &st.node_epochs {
+            let n = node as usize;
+            if n < self.nodes.len() {
+                self.nodes[n].epoch = epoch;
+                self.nodes[n].awaiting_reattach = true;
+            }
+        }
+        self.completions = st.completions.clone();
+        self.ever_registered = !st.node_epochs.is_empty();
+        let (rm, rr, inherited, reexec) = st.recovery_tallies();
+        self.fault(FaultKind::TrackerRestart, 0, None);
+        self.fault(FaultKind::JournalReplayed, 0, Some(st.records_applied as u32));
+        self.observer.absorb_recovery(rm, rr, inherited, reexec);
+        if let Some(failed) = st.finished {
+            // The verdict (and all reduce output) is already in the
+            // journal: nothing left to run.
+            self.failed = failed;
+            self.done = true;
+        }
+    }
 }
 
 /// A running JobTracker: RPC server + tick thread around shared state.
@@ -722,6 +1097,38 @@ impl JobTracker {
     ) -> io::Result<JobTracker> {
         assert!(n_reduces > 0, "jobs need at least one reduce partition");
         cfg.faults.validate(cfg.n_nodes).expect("invalid fault plan");
+        // Journal triage, before any state exists: a non-empty journal at
+        // `cfg.journal` means this process is a recovery incarnation.
+        let mut recovered: Option<JournalState> = None;
+        let mut journal: Option<Journal> = None;
+        if let Some(path) = cfg.journal.clone() {
+            let existing =
+                std::fs::metadata(&path).map(|meta| meta.len() > 0).unwrap_or(false);
+            if existing {
+                let records = read_journal(&path)?;
+                let st = JournalState::from_records(&records)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if st.seed != cfg.seed || st.spec != spec.to_wire() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal belongs to a different job: seed={} spec={} vs cfg seed={} \
+                             spec={}",
+                            st.seed,
+                            st.spec,
+                            cfg.seed,
+                            spec.to_wire()
+                        ),
+                    ));
+                }
+                let mut j = Journal::open_append(&path, cfg.journal_fsync)?;
+                j.append(&JournalRecord::TrackerStarted { crash_epoch: st.crash_epochs + 1 })?;
+                journal = Some(j);
+                recovered = Some(st);
+            } else {
+                journal = Some(Journal::create(&path, cfg.journal_fsync)?);
+            }
+        }
         let topo = Topology::single_rack(cfg.n_nodes, 1e9);
         let hops = Arc::new(DistanceMatrix::hops(&topo));
         let layout = topo.layout().clone();
@@ -752,9 +1159,19 @@ impl JobTracker {
             }
         }
         fault_events.sort_unstable();
+        if recovered.is_none() {
+            if let Some(j) = journal.as_mut() {
+                j.append(&JournalRecord::JobSubmitted {
+                    seed: cfg.seed,
+                    n_maps: n_maps as u32,
+                    n_reduces: n_reduces as u32,
+                    spec: spec.to_wire(),
+                })?;
+            }
+        }
         let heartbeat = cfg.heartbeat;
         let n_nodes = cfg.n_nodes;
-        let state = TrackerState {
+        let mut state = TrackerState {
             spec,
             replicas,
             map_cands,
@@ -776,6 +1193,7 @@ impl JobTracker {
                     down_depth: 0,
                     free_map: 0,
                     free_reduce: 0,
+                    awaiting_reattach: false,
                 })
                 .collect(),
             map_holder: vec![None; n_maps],
@@ -802,6 +1220,11 @@ impl JobTracker {
             fault_events,
             next_fault: 0,
             completions: Vec::new(),
+            journal,
+            crash_epoch: 0,
+            map_inherited: vec![false; n_maps],
+            reduce_inherited: vec![false; n_reduces],
+            first_assign_ms: None,
             ever_registered: false,
             degraded: false,
             failed: false,
@@ -809,6 +1232,18 @@ impl JobTracker {
             blocks,
             cfg,
         };
+        if let Some(st) = &recovered {
+            if st.n_maps as usize != n_maps || st.n_reduces as usize != n_reduces {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "journal task shape {}x{} disagrees with derived {}x{}",
+                        st.n_maps, st.n_reduces, n_maps, n_reduces
+                    ),
+                ));
+            }
+            state.apply_recovery(st);
+        }
         let state = Arc::new(Mutex::new(state));
 
         let handler_state = state.clone();
@@ -848,6 +1283,21 @@ impl JobTracker {
                     corrupt_frames,
                 ),
                 Msg::SourceUnreachable { map, attempt } => s.on_source_unreachable(map, attempt),
+                Msg::Reattach {
+                    node,
+                    epoch,
+                    data_addr,
+                    finished_maps,
+                    running_maps,
+                    running_reduces,
+                } => s.on_reattach(
+                    node,
+                    epoch,
+                    data_addr,
+                    finished_maps,
+                    running_maps,
+                    running_reduces,
+                ),
                 Msg::WhereIs { map } => s.on_where_is(map),
                 Msg::FetchBlock { block } => match s.blocks.get(block as usize) {
                     Some(b) => Msg::BlockData { block, data: b.clone() },
@@ -855,10 +1305,9 @@ impl JobTracker {
                 },
                 Msg::Shutdown => {
                     // External stop: whatever is incomplete stays incomplete.
-                    if !(s.maps_finished == s.n_maps && s.reduces_finished == s.n_reduces) {
-                        s.failed = true;
-                    }
-                    s.done = true;
+                    let failed =
+                        !(s.maps_finished == s.n_maps && s.reduces_finished == s.n_reduces);
+                    s.finish(failed);
                     Msg::Ack
                 }
                 _ => Msg::Ack,
@@ -898,8 +1347,7 @@ impl JobTracker {
                 break;
             }
             if Instant::now() > deadline {
-                s.failed = true;
-                s.done = true;
+                s.finish(true);
                 break;
             }
         }
@@ -926,7 +1374,24 @@ impl JobTracker {
             counters: s.observer.counters().clone(),
             trace_jsonl,
             completions: std::mem::take(&mut s.completions),
+            first_assign_ms: s.first_assign_ms,
             failed: s.failed,
+        }
+    }
+
+    /// Die the way a SIGKILL would, minus the process exit: stop the RPC
+    /// server *first* (no worker hears a polite `shutdown`), abandon the
+    /// tick thread, journal **nothing**. The journal on disk ends exactly
+    /// where the crash landed; workers are left orphaned mid-heartbeat.
+    /// Test hook for in-process crash/recovery runs — OS-process harnesses
+    /// use a real SIGKILL instead.
+    pub fn crash(mut self) {
+        if let Some(mut server) = self.server.take() {
+            server.stop();
+        }
+        self.state.lock().unwrap().done = true; // stops the tick thread
+        if let Some(t) = self.tick.take() {
+            let _ = t.join();
         }
     }
 

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything a worker needs to join a cluster.
 #[derive(Clone)]
@@ -50,6 +50,11 @@ pub struct WorkerConfig {
     /// outputs only through whatever faults the plan injects, while local
     /// reads bypass the network exactly as a real co-located read would.
     pub chaos: Option<Arc<ChaosNet>>,
+    /// How long to keep re-dialing a silent tracker (full-jitter backoff,
+    /// `Reattach` probes) before giving up and exiting. During the hold
+    /// the worker stays *orphaned*, not dead: tasks keep running, outputs
+    /// stay served, pending statuses stay pending.
+    pub orphan_grace: Duration,
 }
 
 impl std::fmt::Debug for WorkerConfig {
@@ -64,6 +69,7 @@ impl std::fmt::Debug for WorkerConfig {
             .field("retry", &self.retry)
             .field("breaker", &self.breaker)
             .field("chaos", &self.chaos.as_ref().map(|n| n.plan().seed))
+            .field("orphan_grace", &self.orphan_grace)
             .finish()
     }
 }
@@ -259,10 +265,71 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
             alt_fetches: total_health.2 - reported_health.2,
             corrupt_frames: total_health.3 - reported_health.3,
         };
-        match control.call(&hb) {
-            // Retry budget exhausted: the tracker is gone, and with it the job.
-            Err(_) => return Ok(EpochEnd::Shutdown),
-            Ok(Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown }) => {
+        let reply = match control.call(&hb) {
+            Ok(r) => r,
+            // Retry budget exhausted: the tracker went silent mid-job.
+            // Don't die — hold everything and probe for a (possibly
+            // recovered) incarnation on the same address.
+            Err(_) => match reattach_until_adopted(
+                cfg,
+                epoch,
+                &mut control,
+                &data,
+                &data_addr,
+                &running_maps,
+                &running_reduces,
+                &pend_reduce,
+            ) {
+                Some(ack) => ack,
+                None => {
+                    // Orphan grace exhausted: the tracker is gone for good,
+                    // and with it the job.
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Shutdown);
+                }
+            },
+        };
+        // A live tracker that restarted answers heartbeats with `reattach`
+        // instead of assignments: switch to the same probe loop, keeping
+        // all local state.
+        let reply = match reply {
+            Msg::HeartbeatReply { reattach: true, .. } => match reattach_until_adopted(
+                cfg,
+                epoch,
+                &mut control,
+                &data,
+                &data_addr,
+                &running_maps,
+                &running_reduces,
+                &pend_reduce,
+            ) {
+                Some(ack) => ack,
+                None => {
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Shutdown);
+                }
+            },
+            other => other,
+        };
+        match reply {
+            Msg::ReattachAck { invalidate, dead, shutdown } => {
+                if dead {
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Wiped);
+                }
+                if shutdown {
+                    cancel.store(true, Ordering::SeqCst);
+                    return Ok(EpochEnd::Shutdown);
+                }
+                // Adopted: drop outputs the new incarnation disowned and
+                // resume heartbeating — pending statuses stay pending, so
+                // completions from the outage land with the next beat.
+                let mut d = data.lock().unwrap();
+                for m in &invalidate {
+                    d.outputs.remove(m);
+                }
+            }
+            Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown, .. } => {
                 if dead {
                     cancel.store(true, Ordering::SeqCst);
                     return Ok(EpochEnd::Wiped);
@@ -327,9 +394,66 @@ fn run_epoch(cfg: &WorkerConfig, epoch: u32) -> Result<EpochEnd, RpcError> {
                     }
                 }
             }
-            Ok(_) => {} // protocol noise; try again next round
+            _ => {} // protocol noise; try again next round
         }
         std::thread::sleep(cfg.heartbeat);
+    }
+}
+
+/// The orphaned-worker hold loop: probe the tracker address with
+/// [`Msg::Reattach`] under seeded full-jitter backoff until some tracker
+/// incarnation adopts us (`ReattachAck`), or `cfg.orphan_grace` runs out
+/// (`None`). Local state is untouched throughout — task threads keep
+/// running, finished outputs stay served to peers, pending statuses stay
+/// pending.
+#[allow(clippy::too_many_arguments)]
+fn reattach_until_adopted(
+    cfg: &WorkerConfig,
+    epoch: u32,
+    control: &mut RpcClient,
+    data: &Arc<Mutex<DataState>>,
+    data_addr: &str,
+    running_maps: &HashMap<u32, (u32, Arc<MapProgressGauges>)>,
+    running_reduces: &[(u32, u32)],
+    pend_reduce: &[ReduceDone],
+) -> Option<Msg> {
+    let deadline = Instant::now() + cfg.orphan_grace;
+    // Seeded per node so a fleet of orphans fans its probes out instead of
+    // stampeding the recovering tracker in lockstep.
+    let mut jitter = cfg.retry.seed ^ ((u64::from(cfg.node) + 1) << 32);
+    let mut attempt = 0u32;
+    loop {
+        let finished_maps: Vec<(u32, u32)> =
+            data.lock().unwrap().outputs.iter().map(|(m, (a, _))| (*m, *a)).collect();
+        // A reduce that finished *during* the outage is still ours: keep
+        // it claimed so the completion in the next heartbeat lands fresh
+        // instead of being requeued out from under us.
+        let mut running_r = running_reduces.to_vec();
+        running_r.extend(pend_reduce.iter().map(|r| (r.reduce, r.attempt)));
+        let probe = Msg::Reattach {
+            node: cfg.node,
+            epoch,
+            data_addr: data_addr.to_string(),
+            finished_maps,
+            running_maps: running_maps.iter().map(|(m, (a, _))| (*m, *a)).collect(),
+            running_reduces: running_r,
+        };
+        match control.call(&probe) {
+            Ok(ack @ Msg::ReattachAck { .. }) => return Some(ack),
+            Ok(Msg::Shutdown) => {
+                return Some(Msg::ReattachAck {
+                    invalidate: Vec::new(),
+                    dead: false,
+                    shutdown: true,
+                })
+            }
+            Ok(_) | Err(_) => {}
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(cfg.retry.full_jitter_delay(attempt, &mut jitter).max(cfg.heartbeat));
+        attempt += 1;
     }
 }
 
@@ -487,7 +611,12 @@ fn spawn_reduce_task(t: ReduceTask) {
                                 .call(&Msg::SourceUnreachable { map: m, attempt });
                         }
                     }
-                    Ok(Msg::Shutdown) | Err(_) => return,
+                    Ok(Msg::Shutdown) => return,
+                    // A silent tracker is an *outage*, not a shutdown: hold
+                    // and re-resolve. The heartbeat thread's orphan loop
+                    // sets `cancel` if the outage outlives `orphan_grace`,
+                    // which bounds this retry.
+                    Err(_) => {}
                     _ => {} // NotReady: map not finished (or re-executing)
                 }
                 std::thread::sleep(t.heartbeat);

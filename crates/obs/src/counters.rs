@@ -57,6 +57,29 @@ pub struct SchedCounters {
     /// Running map attempts killed by the service-mode preemption policy
     /// (each also books one retry when the attempt is requeued).
     pub preemptions: u64,
+    /// Tracker incarnations that recovered from a crash (cluster runtime:
+    /// journal replay at startup).
+    pub tracker_restarts: u64,
+    /// Durable job journals replayed into a fresh tracker.
+    pub journal_replays: u64,
+    /// Surviving workers that re-attached to a restarted tracker via
+    /// `Msg::Reattach` without wiping state.
+    pub worker_reattaches: u64,
+    /// Journal-inherited attempts confirmed live by a re-attaching worker
+    /// and adopted instead of re-issued.
+    pub attempts_reconciled: u64,
+    /// Map completions restored from the journal at recovery (finished
+    /// before the crash; no new assignment was needed this incarnation).
+    pub recovered_maps: u64,
+    /// Reduce completions restored from the journal at recovery.
+    pub recovered_reduces: u64,
+    /// Assignments restored from the journal still unfinished at recovery
+    /// (this incarnation inherits them without booking an `assigns`).
+    pub inherited_assignments: u64,
+    /// Sum of map crash epochs restored from the journal at recovery —
+    /// re-executions booked by *previous* incarnations, needed to balance
+    /// the cross-incarnation completion-ledger law.
+    pub recovered_reexec: u64,
 }
 
 impl SchedCounters {
@@ -87,6 +110,10 @@ impl SchedCounters {
             FaultKind::DegradedMode => self.degraded_entries += 1,
             FaultKind::JobRejected => self.jobs_rejected += 1,
             FaultKind::MapPreempted => self.preemptions += 1,
+            FaultKind::TrackerRestart => self.tracker_restarts += 1,
+            FaultKind::JournalReplayed => self.journal_replays += 1,
+            FaultKind::WorkerReattached => self.worker_reattaches += 1,
+            FaultKind::AttemptReconciled => self.attempts_reconciled += 1,
             FaultKind::NodeRecover
             | FaultKind::JobFailed
             | FaultKind::LinkDegraded
@@ -127,6 +154,14 @@ impl SchedCounters {
         self.degraded_entries += other.degraded_entries;
         self.jobs_rejected += other.jobs_rejected;
         self.preemptions += other.preemptions;
+        self.tracker_restarts += other.tracker_restarts;
+        self.journal_replays += other.journal_replays;
+        self.worker_reattaches += other.worker_reattaches;
+        self.attempts_reconciled += other.attempts_reconciled;
+        self.recovered_maps += other.recovered_maps;
+        self.recovered_reduces += other.recovered_reduces;
+        self.inherited_assignments += other.inherited_assignments;
+        self.recovered_reexec += other.recovered_reexec;
     }
 
     /// Skip count for one reason.
@@ -175,6 +210,22 @@ impl SchedCounters {
             " jobs_rejected={} preemptions={}",
             self.jobs_rejected, self.preemptions
         ));
+        s.push_str(&format!(
+            " tracker_restarts={} journal_replays={} worker_reattaches={} \
+             attempts_reconciled={}",
+            self.tracker_restarts,
+            self.journal_replays,
+            self.worker_reattaches,
+            self.attempts_reconciled
+        ));
+        s.push_str(&format!(
+            " recovered_maps={} recovered_reduces={} inherited_assignments={} \
+             recovered_reexec={}",
+            self.recovered_maps,
+            self.recovered_reduces,
+            self.inherited_assignments,
+            self.recovered_reexec
+        ));
         s
     }
 
@@ -209,6 +260,14 @@ impl SchedCounters {
                 "degraded_entries" => c.degraded_entries = v,
                 "jobs_rejected" => c.jobs_rejected = v,
                 "preemptions" => c.preemptions = v,
+                "tracker_restarts" => c.tracker_restarts = v,
+                "journal_replays" => c.journal_replays = v,
+                "worker_reattaches" => c.worker_reattaches = v,
+                "attempts_reconciled" => c.attempts_reconciled = v,
+                "recovered_maps" => c.recovered_maps = v,
+                "recovered_reduces" => c.recovered_reduces = v,
+                "inherited_assignments" => c.inherited_assignments = v,
+                "recovered_reexec" => c.recovered_reexec = v,
                 _ => {
                     if let Some(label) = key.strip_prefix("skip_") {
                         if let Some(r) = SkipReason::ALL.iter().find(|r| r.label() == label) {
@@ -254,7 +313,24 @@ impl SchedCounters {
         s.push_str(&format!("{indent}  \"link_partitions\": {},\n", self.link_partitions));
         s.push_str(&format!("{indent}  \"degraded_entries\": {},\n", self.degraded_entries));
         s.push_str(&format!("{indent}  \"jobs_rejected\": {},\n", self.jobs_rejected));
-        s.push_str(&format!("{indent}  \"preemptions\": {}\n", self.preemptions));
+        s.push_str(&format!("{indent}  \"preemptions\": {},\n", self.preemptions));
+        s.push_str(&format!("{indent}  \"tracker_restarts\": {},\n", self.tracker_restarts));
+        s.push_str(&format!("{indent}  \"journal_replays\": {},\n", self.journal_replays));
+        s.push_str(&format!(
+            "{indent}  \"worker_reattaches\": {},\n",
+            self.worker_reattaches
+        ));
+        s.push_str(&format!(
+            "{indent}  \"attempts_reconciled\": {},\n",
+            self.attempts_reconciled
+        ));
+        s.push_str(&format!("{indent}  \"recovered_maps\": {},\n", self.recovered_maps));
+        s.push_str(&format!("{indent}  \"recovered_reduces\": {},\n", self.recovered_reduces));
+        s.push_str(&format!(
+            "{indent}  \"inherited_assignments\": {},\n",
+            self.inherited_assignments
+        ));
+        s.push_str(&format!("{indent}  \"recovered_reexec\": {}\n", self.recovered_reexec));
         s.push_str(&format!("{indent}}}"));
         s
     }
@@ -304,6 +380,17 @@ mod tests {
         c.record_fault(FaultKind::JobRejected);
         c.record_fault(FaultKind::MapPreempted);
         c.record_fault(FaultKind::MapPreempted);
+        c.record_fault(FaultKind::TrackerRestart);
+        c.record_fault(FaultKind::JournalReplayed);
+        c.record_fault(FaultKind::WorkerReattached);
+        c.record_fault(FaultKind::WorkerReattached);
+        c.record_fault(FaultKind::AttemptReconciled);
+        c.recovered_maps = 3;
+        c.recovered_reduces = 1;
+        c.inherited_assignments = 2;
+        c.recovered_reexec = 1;
+        assert_eq!((c.tracker_restarts, c.journal_replays), (1, 1));
+        assert_eq!((c.worker_reattaches, c.attempts_reconciled), (2, 1));
         assert_eq!((c.jobs_rejected, c.preemptions), (1, 2));
         assert_eq!((c.node_crashes, c.retries, c.reexecuted_maps, c.lost_heartbeats), (1, 2, 1, 1));
         assert_eq!((c.rpc_retries, c.peers_expired), (2, 1));

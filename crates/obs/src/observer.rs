@@ -143,6 +143,24 @@ impl DecisionObserver {
         self.counters.absorb_placer(stats);
     }
 
+    /// Book the derived recovery tallies a journal replay computed: how
+    /// much finished/assigned state this tracker incarnation inherited
+    /// instead of scheduling itself. Called at most once, right after
+    /// replay — these fields balance the cross-incarnation conservation
+    /// laws (`check_cluster_report` / `check_cluster_run`).
+    pub fn absorb_recovery(
+        &mut self,
+        recovered_maps: u64,
+        recovered_reduces: u64,
+        inherited_assignments: u64,
+        recovered_reexec: u64,
+    ) {
+        self.counters.recovered_maps += recovered_maps;
+        self.counters.recovered_reduces += recovered_reduces;
+        self.counters.inherited_assignments += inherited_assignments;
+        self.counters.recovered_reexec += recovered_reexec;
+    }
+
     /// The counters accumulated so far.
     pub fn counters(&self) -> &SchedCounters {
         &self.counters

@@ -184,6 +184,21 @@ pub enum FaultKind {
     /// by a [`TaskRescheduled`](Self::TaskRescheduled) requeue of the same
     /// task at the same instant.
     MapPreempted,
+    /// The tracker came back from a crash and is rebuilding scheduler
+    /// state (journal replay + worker re-attach). Recorded once per
+    /// recovery, at the start of the new tracker incarnation.
+    TrackerRestart,
+    /// The durable job journal was replayed into a fresh tracker; the
+    /// record's `task` field carries the number of journal records
+    /// applied.
+    JournalReplayed,
+    /// A surviving worker re-attached to a restarted tracker via
+    /// `Msg::Reattach`, keeping its local attempt state.
+    WorkerReattached,
+    /// A journal-inherited attempt was reconciled against worker truth at
+    /// re-attach: the worker confirmed it live (or finished) and the
+    /// tracker adopted it instead of re-issuing.
+    AttemptReconciled,
 }
 
 impl FaultKind {
@@ -209,6 +224,10 @@ impl FaultKind {
             FaultKind::AltSourceFetch => "alt_source_fetch",
             FaultKind::JobRejected => "job_rejected",
             FaultKind::MapPreempted => "map_preempted",
+            FaultKind::TrackerRestart => "tracker_restart",
+            FaultKind::JournalReplayed => "journal_replayed",
+            FaultKind::WorkerReattached => "worker_reattached",
+            FaultKind::AttemptReconciled => "attempt_reconciled",
         }
     }
 }
@@ -394,6 +413,10 @@ mod tests {
             FaultKind::AltSourceFetch,
             FaultKind::JobRejected,
             FaultKind::MapPreempted,
+            FaultKind::TrackerRestart,
+            FaultKind::JournalReplayed,
+            FaultKind::WorkerReattached,
+            FaultKind::AttemptReconciled,
         ] {
             let line = FaultRecord { kind, ..rec }.jsonl();
             crate::json::validate_json(line.trim_end())

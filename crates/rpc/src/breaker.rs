@@ -187,4 +187,66 @@ mod tests {
         assert!(b.record_failure());
         assert_eq!(b.trips_since_success(), 1);
     }
+
+    /// Pins the exact cooldown-boundary arithmetic: with `cooldown: n`,
+    /// exactly `n` checks are refused and check `n+1` admits the probe —
+    /// not `n-1`, not `n+2`. The orphaned-worker re-attach loop paces
+    /// itself on this count, so an off-by-one here would silently stretch
+    /// or shrink every failover.
+    #[test]
+    fn probe_admitted_exactly_at_cooldown_boundary() {
+        for cooldown in [0u32, 1, 2, 5] {
+            let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 1, cooldown });
+            assert!(b.record_failure(), "threshold 1 trips immediately");
+            for i in 0..cooldown {
+                assert!(!b.check(), "cooldown {cooldown}: check {i} must refuse");
+            }
+            assert!(b.check(), "cooldown {cooldown}: boundary check admits the probe");
+            assert!(b.is_open(), "half-open still counts as open");
+            assert!(b.record_success(), "boundary probe success closes");
+        }
+    }
+
+    /// A failed probe re-trips and restarts the *full* cooldown — the
+    /// breaker does not remember how far the previous cooldown had
+    /// counted, and `trips_since_success` keeps climbing until a success.
+    #[test]
+    fn failed_probe_restarts_a_full_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 2, cooldown: 3 });
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+        assert_eq!(b.trips_since_success(), 1);
+        for round in 1..4u32 {
+            for i in 0..3 {
+                assert!(!b.check(), "round {round}: cooldown check {i} refuses");
+            }
+            assert!(b.check(), "round {round}: probe admitted");
+            assert!(b.record_failure(), "round {round}: failed probe re-trips");
+            assert_eq!(b.trips_since_success(), 1 + round);
+        }
+        assert_eq!(b.trips(), 4);
+        // The escalation signal the worker keys on never reset mid-outage.
+        assert!(b.trips_since_success() >= 2);
+    }
+
+    /// While one probe is in flight, every further check is refused — the
+    /// half-open state admits exactly one concurrent request no matter how
+    /// many callers poll, and straggler failures (from requests issued
+    /// before the trip) neither re-trip nor extend the cooldown.
+    #[test]
+    fn half_open_admits_one_probe_under_concurrent_checks() {
+        let mut b = CircuitBreaker::new(BreakerPolicy { threshold: 1, cooldown: 2 });
+        assert!(b.record_failure());
+        assert!(!b.check());
+        // Straggler failure mid-cooldown: not an event, cooldown unmoved.
+        assert!(!b.record_failure(), "straggler failure while open is not a trip");
+        assert!(!b.check(), "cooldown not extended by the straggler");
+        assert!(b.check(), "probe admitted");
+        for i in 0..16 {
+            assert!(!b.check(), "concurrent check {i} during the probe must refuse");
+        }
+        assert_eq!(b.trips(), 1, "refused checks are not trips");
+        assert!(b.record_success());
+        assert!(b.check(), "closed after the probe reported success");
+    }
 }

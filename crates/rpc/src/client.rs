@@ -80,6 +80,18 @@ impl RetryPolicy {
         let jitter_frac = (splitmix64(jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
         exp + exp.mul_f64(0.5 * jitter_frac)
     }
+
+    /// Full-jitter delay before retry `n` (0-based):
+    /// `uniform(0, min(cap, base·2ⁿ))`, the AWS "full jitter" scheme. The
+    /// draw is seeded and deterministic (same `jitter_state` sequence,
+    /// same delays). Orphaned workers polling a dead tracker use this —
+    /// full jitter spreads an entire fleet's re-attach storm across the
+    /// whole backoff window instead of synchronizing it at the cap.
+    pub fn full_jitter_delay(&self, n: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << n.min(16)).min(self.cap);
+        let jitter_frac = (splitmix64(jitter_state) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(jitter_frac)
+    }
 }
 
 /// SplitMix64 step — tiny seeded PRNG so this crate stays dependency-free.
@@ -324,6 +336,40 @@ mod tests {
                 jitter <= exp.mul_f64(0.5),
                 "attempt {n}: jitter {jitter:?} above 50% of {exp:?}"
             );
+        }
+    }
+
+    /// Pins the exact full-jitter draw sequence for a fixed seed. The
+    /// orphaned-worker re-attach loop schedules sleeps off this sequence;
+    /// a silent PRNG or rounding change would shift every failover trace,
+    /// so the values are asserted verbatim (in microseconds).
+    #[test]
+    fn full_jitter_draw_sequence_is_pinned() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(400),
+            seed: 0xC0FFEE,
+        };
+        let mut s = p.seed;
+        let draws: Vec<u128> = (0..10).map(|n| p.full_jitter_delay(n, &mut s).as_micros()).collect();
+        assert_eq!(
+            draws,
+            vec![7910, 18507, 21210, 28263, 122045, 285614, 13737, 349440, 41091, 254812]
+        );
+        // Full jitter is bounded by the exponential envelope and hits the
+        // cap region without ever exceeding it.
+        let mut s = p.seed;
+        for n in 0..64u32 {
+            let d = p.full_jitter_delay(n, &mut s);
+            let exp = p.base.saturating_mul(1 << n.min(16)).min(p.cap);
+            assert!(d <= exp, "attempt {n}: {d:?} above envelope {exp:?}");
+            assert!(d <= p.cap, "attempt {n}: {d:?} above cap");
+        }
+        // Determinism: same seed replays the same sequence.
+        let (mut s1, mut s2) = (p.seed, p.seed);
+        for n in 0..32 {
+            assert_eq!(p.full_jitter_delay(n, &mut s1), p.full_jitter_delay(n, &mut s2));
         }
     }
 

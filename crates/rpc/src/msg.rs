@@ -16,7 +16,11 @@ pub const MAGIC: u32 = 0x504E_4154;
 ///
 /// v2: frames carry an FNV-1a payload checksum, heartbeats carry circuit
 /// breaker deltas, and `SourceUnreachable` joined the message set.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: tracker crash-recovery — `Reattach`/`ReattachAck` joined the
+/// message set and `HeartbeatReply` grew a `reattach` flag (a restarted
+/// tracker asks a surviving worker to re-attach instead of wiping it).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Live progress of one running map attempt (`d_read` and per-partition
 /// `A_jf` — the counters the paper's Î_jf estimator consumes).
@@ -199,6 +203,11 @@ pub enum Msg {
         dead: bool,
         /// The job is over; the worker should exit its loops.
         shutdown: bool,
+        /// The tracker restarted and does not recognize this live worker
+        /// yet: the worker must send [`Msg::Reattach`] (keeping all local
+        /// state) instead of heartbeating. Unlike `dead`, nothing is
+        /// wiped — the tracker wants the worker's attempt book back.
+        reattach: bool,
     },
     /// Peer/tracker data plane: fetch an input block.
     FetchBlock {
@@ -263,6 +272,37 @@ pub enum Msg {
         /// Attempt tag the fetcher was trying to fetch.
         attempt: u32,
     },
+    /// Worker → tracker: re-attach to a restarted tracker without wiping
+    /// local state. Carries the worker's complete attempt book so the
+    /// tracker can reconcile its journal-replayed view against worker
+    /// truth — adopting live attempts, invalidating stale ones, and
+    /// re-issuing work the worker never heard about.
+    Reattach {
+        /// The worker's node id.
+        node: u32,
+        /// The worker's current crash epoch (must match the tracker's
+        /// journaled epoch for this node, else the worker is told `dead`).
+        epoch: u32,
+        /// Address of the worker's data server.
+        data_addr: String,
+        /// Finished map attempts still held locally, as `(map, attempt)`.
+        finished_maps: Vec<(u32, u32)>,
+        /// Running map attempts, as `(map, attempt)`.
+        running_maps: Vec<(u32, u32)>,
+        /// Running reduce attempts, as `(reduce, attempt)`.
+        running_reduces: Vec<(u32, u32)>,
+    },
+    /// Tracker → worker: reply to [`Msg::Reattach`].
+    ReattachAck {
+        /// Map indexes whose locally held outputs are stale and must be
+        /// dropped (superseded by a newer crash epoch).
+        invalidate: Vec<u32>,
+        /// The tracker does not recognize this node/epoch: wipe all state,
+        /// bump the crash epoch, and re-register from scratch.
+        dead: bool,
+        /// The job is over; the worker should exit its loops.
+        shutdown: bool,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -283,6 +323,21 @@ const TAG_NOT_READY: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
 const TAG_ACK: u8 = 17;
 const TAG_SOURCE_UNREACHABLE: u8 = 18;
+const TAG_REATTACH: u8 = 19;
+const TAG_REATTACH_ACK: u8 = 20;
+
+fn encode_u32_pairs(w: &mut Writer, xs: &[(u32, u32)]) {
+    w.count(xs.len());
+    for (a, b) in xs {
+        w.u32(*a);
+        w.u32(*b);
+    }
+}
+
+fn decode_u32_pairs(r: &mut Reader<'_>) -> Result<Vec<(u32, u32)>, WireError> {
+    let n = r.count(8)?;
+    (0..n).map(|_| Ok((r.u32()?, r.u32()?))).collect()
+}
 
 const ASSIGN_MAP: u8 = 0;
 const ASSIGN_REDUCE: u8 = 1;
@@ -460,7 +515,7 @@ impl Msg {
                 w.u64(*alt_fetches);
                 w.u64(*corrupt_frames);
             }
-            Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown } => {
+            Msg::HeartbeatReply { assignments, invalidate, ignored, dead, shutdown, reattach } => {
                 w.u8(TAG_HEARTBEAT_REPLY);
                 w.count(assignments.len());
                 for a in assignments {
@@ -473,6 +528,7 @@ impl Msg {
                 w.bool(*ignored);
                 w.bool(*dead);
                 w.bool(*shutdown);
+                w.bool(*reattach);
             }
             Msg::FetchBlock { block } => {
                 w.u8(TAG_FETCH_BLOCK);
@@ -511,6 +567,31 @@ impl Msg {
                 w.u8(TAG_SOURCE_UNREACHABLE);
                 w.u32(*map);
                 w.u32(*attempt);
+            }
+            Msg::Reattach {
+                node,
+                epoch,
+                data_addr,
+                finished_maps,
+                running_maps,
+                running_reduces,
+            } => {
+                w.u8(TAG_REATTACH);
+                w.u32(*node);
+                w.u32(*epoch);
+                w.string(data_addr);
+                encode_u32_pairs(&mut w, finished_maps);
+                encode_u32_pairs(&mut w, running_maps);
+                encode_u32_pairs(&mut w, running_reduces);
+            }
+            Msg::ReattachAck { invalidate, dead, shutdown } => {
+                w.u8(TAG_REATTACH_ACK);
+                w.count(invalidate.len());
+                for m in invalidate {
+                    w.u32(*m);
+                }
+                w.bool(*dead);
+                w.bool(*shutdown);
             }
         }
         w.into_bytes()
@@ -635,6 +716,7 @@ impl Msg {
                     ignored: r.bool()?,
                     dead: r.bool()?,
                     shutdown: r.bool()?,
+                    reattach: r.bool()?,
                 })
             }
             TAG_FETCH_BLOCK => Ok(Msg::FetchBlock { block: r.u32()? }),
@@ -653,6 +735,22 @@ impl Msg {
             TAG_ACK => Ok(Msg::Ack),
             TAG_SOURCE_UNREACHABLE => {
                 Ok(Msg::SourceUnreachable { map: r.u32()?, attempt: r.u32()? })
+            }
+            TAG_REATTACH => Ok(Msg::Reattach {
+                node: r.u32()?,
+                epoch: r.u32()?,
+                data_addr: r.string()?,
+                finished_maps: decode_u32_pairs(r)?,
+                running_maps: decode_u32_pairs(r)?,
+                running_reduces: decode_u32_pairs(r)?,
+            }),
+            TAG_REATTACH_ACK => {
+                let n = r.count(4)?;
+                let mut invalidate = Vec::with_capacity(n);
+                for _ in 0..n {
+                    invalidate.push(r.u32()?);
+                }
+                Ok(Msg::ReattachAck { invalidate, dead: r.bool()?, shutdown: r.bool()? })
             }
             t => Err(WireError::UnknownTag(t)),
         }
@@ -717,6 +815,7 @@ mod tests {
                 ignored: false,
                 dead: true,
                 shutdown: false,
+                reattach: false,
             },
             Msg::FetchBlock { block: 12 },
             Msg::BlockData { block: 12, data: "text\n".into() },
@@ -729,6 +828,15 @@ mod tests {
             Msg::Shutdown,
             Msg::Ack,
             Msg::SourceUnreachable { map: 3, attempt: 1 },
+            Msg::Reattach {
+                node: 2,
+                epoch: 1,
+                data_addr: "127.0.0.1:9004".into(),
+                finished_maps: vec![(0, 0), (3, 1)],
+                running_maps: vec![(5, 2)],
+                running_reduces: vec![(1, 0)],
+            },
+            Msg::ReattachAck { invalidate: vec![3], dead: false, shutdown: false },
         ]
     }
 

@@ -314,15 +314,17 @@ pub fn check_cluster_run(
     }
     check_runtime_completions(completions, n_maps, n_reduces)?;
     // Every epoch>0 map completion exists because an invalidation created
-    // it, and the counters booked each invalidation as a re-executed map.
+    // it — either one this incarnation booked as a re-executed map, or one
+    // a *previous* incarnation booked and the journal replay carried over
+    // (`recovered_reexec`). The split must tile the ledger exactly.
     let reexec = completions
         .iter()
         .filter(|c| c.kind == pnats_obs::TaskKind::Map && c.epoch > 0)
         .count() as u64;
-    if reexec != counters.reexecuted_maps {
+    if reexec != counters.recovered_reexec + counters.reexecuted_maps {
         return Err(format!(
-            "re-execution mismatch: {} epoch>0 ledger entries vs reexecuted_maps={}",
-            reexec, counters.reexecuted_maps
+            "re-execution mismatch: {} epoch>0 ledger entries vs recovered_reexec={} + reexecuted_maps={}",
+            reexec, counters.recovered_reexec, counters.reexecuted_maps
         ));
     }
     Ok(())
@@ -423,8 +425,13 @@ mod tests {
             ..SchedCounters::default()
         };
         check_cluster_run(&counters, &ledger, 2, 1, false).unwrap();
-        // Booked re-executions must match epoch>0 entries.
+        // A recovery incarnation books the same epoch>0 entry as inherited
+        // rather than re-executed; the split still tiles the ledger.
         counters.reexecuted_maps = 0;
+        counters.recovered_reexec = 1;
+        check_cluster_run(&counters, &ledger, 2, 1, false).unwrap();
+        // Booked re-executions must match epoch>0 entries.
+        counters.recovered_reexec = 0;
         let err = check_cluster_run(&counters, &ledger, 2, 1, false).unwrap_err();
         assert!(err.contains("re-execution mismatch"), "{err}");
         // A failed run owes no completeness...
